@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"knnpc/internal/graph"
+)
+
+func TestRunGraphSNAP(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.txt")
+	err := runGraph([]string{"-nodes", "50", "-edges", "200", "-alpha", "0.5", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	edges, n, err := graph.ParseSNAP(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 200 || n > 50 {
+		t.Errorf("wrote %d edges over %d nodes", len(edges), n)
+	}
+}
+
+func TestRunGraphBinaryAndPreset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.bin")
+	err := runGraph([]string{"-preset", "Gen. Rel.", "-out", out, "-format", "binary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	edges, n, err := graph.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 14484 || n != 5241 {
+		t.Errorf("preset graph wrong: %d edges, %d nodes", len(edges), n)
+	}
+}
+
+func TestRunGraphErrors(t *testing.T) {
+	if err := runGraph([]string{"-nodes", "10", "-edges", "5"}); err == nil {
+		t.Error("missing -out should fail")
+	}
+	out := filepath.Join(t.TempDir(), "g")
+	if err := runGraph([]string{"-preset", "nope", "-out", out}); err == nil {
+		t.Error("unknown preset should fail")
+	}
+	if err := runGraph([]string{"-nodes", "10", "-edges", "5", "-out", out, "-format", "xml"}); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestRunProfilesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.csv")
+	err := runProfiles([]string{"-users", "20", "-items", "100", "-per-user", "5", "-clusters", "2", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.HasPrefix(text, "# user,item,weight") {
+		t.Error("CSV header missing")
+	}
+	if !strings.Contains(text, "# clusters:") {
+		t.Error("cluster assignments missing")
+	}
+	lines := strings.Count(text, "\n")
+	if lines < 20 {
+		t.Errorf("expected at least one row per user, got %d lines", lines)
+	}
+}
+
+func TestRunProfilesRequiresOut(t *testing.T) {
+	if err := runProfiles([]string{"-users", "5"}); err == nil {
+		t.Error("missing -out should fail")
+	}
+}

@@ -1,0 +1,144 @@
+// Command experiments regenerates every experiment of the reproduction
+// in one run and prints Markdown tables — the source material of
+// EXPERIMENTS.md. It covers the paper's Table 1, the Figure 1 pipeline
+// breakdown, and the four future-work sweeps (graph size, memory,
+// disk models, threads).
+//
+// Usage:
+//
+//	experiments [-quick]
+//
+//	-quick shrinks the sweeps for a fast smoke run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"knnpc/internal/dataset"
+	"knnpc/internal/experiments"
+	"knnpc/internal/pigraph"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink the sweeps for a fast smoke run")
+	flag.Parse()
+	if err := run(os.Stdout, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, quick bool) error {
+	ctx := context.Background()
+
+	fmt.Fprintln(out, "## Table 1 — PI-graph traversal load/unload operations")
+	fmt.Fprintln(out)
+	specs := dataset.PaperPresets()
+	if quick {
+		specs = specs[:2]
+	}
+	rows, err := experiments.Table1(specs, pigraph.AllHeuristics())
+	if err != nil {
+		return err
+	}
+	paper := experiments.PaperTable1()
+	fmt.Fprintln(out, "| Dataset | Nodes | Edges | Seq. | paper | High-Low | paper | Low-High | paper | Greedy-Reuse | Cost-Aware | Edge-Order |")
+	fmt.Fprintln(out, "|---|---|---|---|---|---|---|---|---|---|---|---|")
+	for _, row := range rows {
+		p := paper[row.Dataset]
+		fmt.Fprintf(out, "| %s | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d |\n",
+			row.Dataset, row.Nodes, row.Edges,
+			row.Ops["Seq."], p["Seq."],
+			row.Ops["High-Low"], p["High-Low"],
+			row.Ops["Low-High"], p["Low-High"],
+			row.Ops["Greedy-Reuse"], row.Ops["Cost-Aware"], row.Ops["Edge-Order"])
+	}
+	fmt.Fprintln(out)
+
+	sizes := []int{1000, 2000, 5000}
+	memUsers, ms := 3000, []int{2, 4, 8, 16, 32}
+	thrUsers, workers := 3000, []int{1, 2, 4, 8}
+	if quick {
+		sizes = []int{200, 400}
+		memUsers, ms = 300, []int{2, 4}
+		thrUsers, workers = 300, []int{1, 2}
+	}
+
+	fmt.Fprintln(out, "## FW-1 — iteration time vs graph size")
+	fmt.Fprintln(out)
+	sizePoints, err := experiments.GraphSizeSweep(ctx, sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "| Configuration | Iteration time | Load/unload ops |")
+	fmt.Fprintln(out, "|---|---|---|")
+	for _, p := range sizePoints {
+		fmt.Fprintf(out, "| %s | %v | %d |\n", p.Label, p.IterTime, p.Ops)
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "## FW-2 — memory (partition count) sweep")
+	fmt.Fprintln(out)
+	memPoints, err := experiments.MemorySweep(ctx, memUsers, ms)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "| Configuration | Iteration time | Load/unload ops | Bytes read/iter |")
+	fmt.Fprintln(out, "|---|---|---|---|")
+	for _, p := range memPoints {
+		fmt.Fprintf(out, "| %s | %v | %d | %d |\n", p.Label, p.IterTime, p.Ops, p.IO.BytesRead)
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "## FW-3 — disk model projection (one iteration's I/O)")
+	fmt.Fprintln(out)
+	if len(memPoints) > 0 {
+		io := memPoints[len(memPoints)-1].IO
+		proj := experiments.DiskProjection(io)
+		fmt.Fprintln(out, "| Model | Modeled device time |")
+		fmt.Fprintln(out, "|---|---|")
+		for _, name := range []string{"hdd", "ssd", "nvme"} {
+			fmt.Fprintf(out, "| %s | %v |\n", name, proj[name])
+		}
+		fmt.Fprintln(out)
+	}
+
+	fmt.Fprintln(out, "## FW-4 — thread scaling (phase-4 scoring workers)")
+	fmt.Fprintln(out)
+	thrPoints, err := experiments.ThreadSweep(ctx, thrUsers, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "| Configuration | Iteration time |")
+	fmt.Fprintln(out, "|---|---|")
+	for _, p := range thrPoints {
+		fmt.Fprintf(out, "| %s | %v |\n", p.Label, p.IterTime)
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "## Convergence — engine recall trajectory vs NN-Descent baseline")
+	fmt.Fprintln(out)
+	convUsers, convIters := 800, 10
+	if quick {
+		convUsers, convIters = 150, 4
+	}
+	conv, err := experiments.Convergence(ctx, experiments.ConvergenceConfig{
+		Users: convUsers, K: 8, Partitions: 8, Iterations: convIters, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "| Iteration | Recall | Edge changes | Tuples scored |")
+	fmt.Fprintln(out, "|---|---|---|---|")
+	for _, p := range conv.Engine {
+		fmt.Fprintf(out, "| %d | %.4f | %d | %d |\n", p.Iteration, p.Recall, p.EdgeChanges, p.ScoredTuples)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "NN-Descent baseline: recall %.4f with %d similarity evaluations (brute force: %d).\n",
+		conv.NNDescentRecall, conv.NNDescentSimEvals, conv.BruteForceEvals)
+	return nil
+}

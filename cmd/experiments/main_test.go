@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickProducesAllSections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, section := range []string{
+		"## Table 1",
+		"## FW-1",
+		"## FW-2",
+		"## FW-3",
+		"## FW-4",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("output missing section %q", section)
+		}
+	}
+	// Markdown tables should be present and non-empty.
+	if strings.Count(out, "|---|") < 4 {
+		t.Error("expected at least four markdown tables")
+	}
+}

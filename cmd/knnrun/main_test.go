@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallConfig() config {
+	return config{
+		users: 150, items: 500, k: 4, m: 4, iters: 2, workers: 2,
+		heuristic: "Low-High", partitioner: "greedy", sim: "cosine",
+		onDisk: false, seed: 1,
+	}
+}
+
+func TestRunSmokes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, smallConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"phase1", "phase4", "modeled disk time on hdd", "loads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithRecall(t *testing.T) {
+	cfg := smallConfig()
+	cfg.recall = true
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recall vs exact:") {
+		t.Error("recall flag should print a recall line")
+	}
+}
+
+func TestRunOnDisk(t *testing.T) {
+	cfg := smallConfig()
+	cfg.onDisk = true
+	cfg.scratch = t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MiB read") {
+		t.Error("on-disk run should report bytes read")
+	}
+}
+
+func TestRunRejectsBadNames(t *testing.T) {
+	for _, mutate := range []func(*config){
+		func(c *config) { c.heuristic = "nope" },
+		func(c *config) { c.partitioner = "nope" },
+		func(c *config) { c.sim = "nope" },
+	} {
+		cfg := smallConfig()
+		mutate(&cfg)
+		var buf bytes.Buffer
+		if err := run(&buf, cfg); err == nil {
+			t.Error("bad name should fail")
+		}
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg := parseFlags([]string{"-users", "42", "-k", "3", "-heuristic", "Seq.", "-ondisk=false"})
+	if cfg.users != 42 || cfg.k != 3 || cfg.heuristic != "Seq." || cfg.onDisk {
+		t.Errorf("parseFlags wrong: %+v", cfg)
+	}
+}

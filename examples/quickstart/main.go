@@ -1,0 +1,62 @@
+// Quickstart: build a KNN graph over a handful of users with the
+// public knnpc API and print each user's nearest neighbors.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"knnpc"
+)
+
+func main() {
+	// Ten users over a tiny item space. Users 0-4 like items 1-10,
+	// users 5-9 like items 11-20: two obvious communities.
+	profiles := make([][]knnpc.Item, 10)
+	for u := 0; u < 10; u++ {
+		base := uint32(1)
+		if u >= 5 {
+			base = 11
+		}
+		for i := uint32(0); i < 6; i++ {
+			item := base + (uint32(u)+i)%10/2*2 + i%3
+			profiles[u] = append(profiles[u], knnpc.Item{ID: item, Weight: float32(1 + i%5)})
+		}
+		profiles[u] = dedupe(profiles[u])
+	}
+
+	sys, err := knnpc.New(profiles, knnpc.Config{K: 3, Partitions: 2, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	reports, err := sys.Run(context.Background(), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged after %d iterations\n\n", len(reports))
+
+	for u := uint32(0); u < 10; u++ {
+		fmt.Printf("user %d -> nearest neighbors %v\n", u, sys.Neighbors(u))
+	}
+	fmt.Println("\nusers 0-4 and 5-9 should mostly neighbor within their own group.")
+}
+
+// dedupe drops duplicate item ids, keeping the first occurrence.
+func dedupe(items []knnpc.Item) []knnpc.Item {
+	seen := make(map[uint32]bool, len(items))
+	out := items[:0]
+	for _, it := range items {
+		if !seen[it.ID] {
+			seen[it.ID] = true
+			out = append(out, it)
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Streaming: evolving profiles — the feature that disqualifies
+// static-graph frameworks like GraphChi and motivates the paper's
+// phase 5. A user's taste drifts from one community to another through
+// per-iteration profile updates pushed into the lazy update queue; the
+// KNN graph follows the drift across iterations.
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"knnpc"
+	"knnpc/internal/dataset"
+)
+
+const (
+	users = 500
+	items = 3000
+	k     = 6
+)
+
+func main() {
+	// Two sharp communities, no noise, so membership is unambiguous.
+	vecs, clusters, err := dataset.ProfileSpec{
+		Users:        users,
+		Items:        items,
+		ItemsPerUser: 25,
+		Clusters:     2,
+		Noise:        0,
+		MaxWeight:    5,
+		Seed:         77,
+	}.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles := make([][]knnpc.Item, users)
+	for u, v := range vecs {
+		for _, e := range v.Entries() {
+			profiles[u] = append(profiles[u], knnpc.Item{ID: e.Item, Weight: e.Weight})
+		}
+	}
+
+	// The drifter: a cluster-0 user who will progressively adopt
+	// cluster-1 items.
+	var drifter uint32
+	for u, c := range clusters {
+		if c == 0 {
+			drifter = uint32(u)
+			break
+		}
+	}
+
+	// Exploration matters here: after the drift, all of the drifter's
+	// structural candidates (neighbors and neighbors' neighbors) are
+	// still community-0, so the paper's pure candidate rule can never
+	// discover community-1 users. A couple of random candidates per
+	// iteration bridge the gap.
+	sys, err := knnpc.New(profiles, knnpc.Config{K: k, Partitions: 5, Seed: 11, Exploration: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Warm up: let the graph settle on the original tastes.
+	for i := 0; i < 8; i++ {
+		if _, err := sys.Iterate(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("drifter is user %d (community 0)\n", drifter)
+	fmt.Printf("before drift: %d/%d of its neighbors are community-0\n",
+		countCommunity(sys.Neighbors(drifter), clusters, 0), k)
+
+	// Drift: each iteration, replace a few original items with
+	// community-1 items (items in the upper half of the item space).
+	// Updates go through the lazy queue: they take effect only at the
+	// iteration boundary (phase 5).
+	original, err := sys.Profile(drifter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	next := 0
+	for iter := 0; iter < 12; iter++ {
+		for j := 0; j < 4 && next < len(original); j++ {
+			sys.RemoveProfileItem(drifter, original[next].ID)
+			newItem := uint32(items/2 + (next*37)%(items/2))
+			sys.SetProfileItem(drifter, newItem, 5)
+			next++
+		}
+		rep, err := sys.Iterate(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if iter%3 == 2 {
+			fmt.Printf("iter %2d: %d profile updates applied, %d/%d neighbors community-1\n",
+				rep.Iteration, rep.UpdatesApplied,
+				countCommunity(sys.Neighbors(drifter), clusters, 1), k)
+		}
+	}
+
+	after := countCommunity(sys.Neighbors(drifter), clusters, 1)
+	fmt.Printf("after drift: %d/%d of the drifter's neighbors are community-1\n", after, k)
+	if after < k/2 {
+		fmt.Println("warning: expected the neighborhood to follow the drift")
+	}
+}
+
+func countCommunity(nbrs []uint32, clusters []int, want int) int {
+	n := 0
+	for _, v := range nbrs {
+		if clusters[v] == want {
+			n++
+		}
+	}
+	return n
+}

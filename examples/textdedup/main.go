@@ -1,0 +1,101 @@
+// Textdedup: near-duplicate document detection. Documents are
+// bag-of-words set profiles compared with Jaccard similarity; planted
+// near-duplicates (90% term overlap) must surface as each other's
+// nearest neighbors after the KNN iteration converges.
+//
+// Run with:
+//
+//	go run ./examples/textdedup
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"knnpc"
+	"knnpc/internal/dataset"
+)
+
+const (
+	docs       = 600
+	vocabulary = 8000
+	termsDoc   = 40
+	topics     = 6
+	pairs      = 20 // planted near-duplicate pairs
+)
+
+func main() {
+	vecs, _, err := dataset.DocumentProfiles(docs, vocabulary, termsDoc, topics, 555)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles := make([][]knnpc.Item, 0, docs+pairs)
+	for _, v := range vecs {
+		var items []knnpc.Item
+		for _, e := range v.Entries() {
+			items = append(items, knnpc.Item{ID: e.Item, Weight: 1})
+		}
+		profiles = append(profiles, items)
+	}
+
+	// Plant near-duplicates: copies of the first `pairs` documents with
+	// ~10% of terms rewritten.
+	rng := rand.New(rand.NewSource(99))
+	duplicateOf := make(map[int]int, pairs)
+	for i := 0; i < pairs; i++ {
+		dup := append([]knnpc.Item(nil), profiles[i]...)
+		for j := range dup {
+			if rng.Float64() < 0.10 {
+				dup[j] = knnpc.Item{ID: uint32(vocabulary + rng.Intn(1000)), Weight: 1}
+			}
+		}
+		duplicateOf[len(profiles)] = i
+		profiles = append(profiles, dedupe(dup))
+	}
+
+	sys, err := knnpc.New(profiles, knnpc.Config{
+		K:          5,
+		Partitions: 6,
+		Similarity: "jaccard",
+		Workers:    4,
+		Seed:       3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	reports, err := sys.Run(context.Background(), 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %d iterations over %d documents\n", len(reports), len(profiles))
+
+	found := 0
+	for dup, orig := range duplicateOf {
+		for _, nbr := range sys.Neighbors(uint32(dup)) {
+			if int(nbr) == orig {
+				found++
+				break
+			}
+		}
+	}
+	fmt.Printf("planted near-duplicates recovered as nearest neighbors: %d / %d\n", found, pairs)
+	if found < pairs*8/10 {
+		fmt.Println("warning: expected at least 80% recovery")
+	}
+}
+
+func dedupe(items []knnpc.Item) []knnpc.Item {
+	seen := make(map[uint32]bool, len(items))
+	out := items[:0]
+	for _, it := range items {
+		if !seen[it.ID] {
+			seen[it.ID] = true
+			out = append(out, it)
+		}
+	}
+	return out
+}

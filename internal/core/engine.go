@@ -1,0 +1,476 @@
+// Package core implements the paper's contribution: an out-of-core KNN
+// engine for a memory-constrained PC that runs each iteration in five
+// phases — (1) partition the KNN graph G(t), (2) populate the
+// de-duplicating tuple hash table H, (3) build the partition interaction
+// graph and plan its traversal, (4) score tuples with at most two
+// partitions resident and keep each user's top-K, yielding G(t+1), and
+// (5) lazily apply queued profile updates to obtain P(t+1).
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"knnpc/internal/disk"
+	"knnpc/internal/graph"
+	"knnpc/internal/knn"
+	"knnpc/internal/partition"
+	"knnpc/internal/pigraph"
+	"knnpc/internal/profile"
+	"knnpc/internal/tuples"
+)
+
+// Options configures an Engine. Zero fields select the documented
+// defaults.
+type Options struct {
+	// K is the number of nearest neighbors per user (required, ≥ 1).
+	K int
+	// NumPartitions is m, the partition count (default 8; must be
+	// ≥ 2 so the two-slot memory model is meaningful, except that
+	// graphs smaller than m shrink it).
+	NumPartitions int
+	// Partitioner is the phase-1 strategy (default partition.Greedy).
+	Partitioner partition.Partitioner
+	// Heuristic is the phase-3 PI traversal order (default
+	// pigraph.DegreeLowHigh, the paper's usually-best variant).
+	Heuristic pigraph.Heuristic
+	// Similarity is sim(s,d) (default profile.Cosine).
+	Similarity profile.Similarity
+	// Workers parallelizes phase-4 scoring (default 1).
+	Workers int
+	// OnDisk selects real file-backed partition state and tuple
+	// spills under ScratchDir; false keeps serialized state in memory
+	// (same code paths, no file traffic).
+	OnDisk bool
+	// ProfilesOnDisk additionally keeps the canonical profile
+	// collection P(t) in a disk file (profile.FileStore): phase 1
+	// reads member profiles with positioned reads and phase 5 applies
+	// updates by streaming rewrite. This is the paper's setting —
+	// profile data is never fully resident.
+	ProfilesOnDisk bool
+	// ScratchDir hosts the on-disk state ("" = private temp dir).
+	ScratchDir string
+	// MemoryBudget, when positive, bounds the bytes of resident
+	// partition state; loading beyond it fails with
+	// disk.ErrBudgetExceeded.
+	MemoryBudget int64
+	// TupleBatch tunes the disk hash table's spill batch (default
+	// 1024 tuples).
+	TupleBatch int
+	// RandomCandidates, when positive, injects that many uniformly
+	// random extra candidates per user into H each iteration. The
+	// paper's candidate rule is purely structural (neighbors and
+	// neighbors' neighbors), which cannot escape a converged
+	// neighborhood after a large profile change; random exploration —
+	// the standard remedy in the gossip-based KNN literature — fixes
+	// that at O(n·R) extra similarity evaluations per iteration.
+	// Zero (the default) reproduces the paper exactly.
+	RandomCandidates int
+	// Seed drives the random initial graph G(0) and the
+	// RandomCandidates sampling.
+	Seed int64
+}
+
+func (o *Options) applyDefaults() {
+	if o.NumPartitions == 0 {
+		o.NumPartitions = 8
+	}
+	if o.Partitioner == nil {
+		o.Partitioner = partition.Greedy{}
+	}
+	if o.Heuristic == nil {
+		o.Heuristic = pigraph.DegreeLowHigh()
+	}
+	if o.Similarity == nil {
+		o.Similarity = profile.Cosine{}
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+}
+
+// Engine drives KNN iterations over a fixed user set. Create one with
+// New, run iterations with Iterate or Run, and Close it to release the
+// scratch directory.
+//
+// An Engine is not safe for concurrent method calls, with one
+// exception: EnqueueUpdate may be called from any goroutine at any
+// time (the update queue is the paper's concurrent ingestion point).
+type Engine struct {
+	opts     Options
+	profiles canonicalProfiles // canonical P(t)
+	queue    *profile.UpdateQueue
+	g        *graph.KNN // G(t)
+	iostats  disk.IOStats
+	budget   *disk.Budget
+	scratch  *disk.Scratch
+	iter     int
+	closed   bool
+}
+
+// New creates an engine over the given profiles. G(0) is a random
+// K-regular graph seeded by opts.Seed (replaceable via SetGraph).
+//
+// The canonical profile store and the KNN graph structure stay in
+// memory (K·n edge ids); the per-partition working set of phase 4 —
+// profiles and accumulators, the memory hogs the paper worries about —
+// is loaded at most two partitions at a time through the state store.
+func New(store *profile.Store, opts Options) (*Engine, error) {
+	if store == nil {
+		return nil, fmt.Errorf("core: profile store is required")
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
+	}
+	opts.applyDefaults()
+	n := store.NumUsers()
+	if n < 2 {
+		return nil, fmt.Errorf("core: need at least 2 users, have %d", n)
+	}
+	if opts.NumPartitions < 2 {
+		return nil, fmt.Errorf("core: need at least 2 partitions, got %d", opts.NumPartitions)
+	}
+	if opts.NumPartitions > n {
+		opts.NumPartitions = n
+	}
+	g, err := graph.RandomKNN(n, opts.K, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:     opts,
+		profiles: memCanonical{store: store},
+		queue:    profile.NewUpdateQueue(),
+		g:        g,
+		budget:   disk.NewBudget(opts.MemoryBudget),
+	}
+	if opts.OnDisk || opts.ProfilesOnDisk {
+		scratch, err := disk.NewScratch(opts.ScratchDir)
+		if err != nil {
+			return nil, err
+		}
+		e.scratch = scratch
+	}
+	if opts.ProfilesOnDisk {
+		fs, err := profile.CreateFileStore(e.scratch.Path("profiles.bin"), &e.iostats, store.Vectors())
+		if err != nil {
+			e.scratch.Close()
+			return nil, fmt.Errorf("core: create disk profile store: %w", err)
+		}
+		e.profiles = fs
+	}
+	return e, nil
+}
+
+// SetGraph replaces G(t) (e.g. with a warm start). The graph must match
+// the engine's user count and K bound.
+func (e *Engine) SetGraph(g *graph.KNN) error {
+	if g.NumNodes() != e.profiles.NumUsers() {
+		return fmt.Errorf("core: graph has %d nodes, engine has %d users", g.NumNodes(), e.profiles.NumUsers())
+	}
+	if g.K() > e.opts.K {
+		return fmt.Errorf("core: graph K=%d exceeds engine K=%d", g.K(), e.opts.K)
+	}
+	e.g = g.Clone()
+	return nil
+}
+
+// Graph returns a copy of the current KNN graph G(t).
+func (e *Engine) Graph() *graph.KNN { return e.g.Clone() }
+
+// Profile returns user u's current profile (from P(t); queued updates
+// are not yet visible, per the paper's lazy-update contract).
+func (e *Engine) Profile(u uint32) (profile.Vector, error) { return e.profiles.Profile(u) }
+
+// EnqueueUpdate defers a profile change to the end of the current
+// iteration (phase 5). Safe for concurrent use.
+func (e *Engine) EnqueueUpdate(u profile.Update) { e.queue.Enqueue(u) }
+
+// IOStats returns a snapshot of the engine's cumulative I/O counters.
+func (e *Engine) IOStats() disk.Snapshot { return e.iostats.Snapshot() }
+
+// Close releases the canonical profile store and the scratch
+// directory. The engine must not be used afterwards.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	err := e.profiles.Close()
+	if e.scratch != nil {
+		if serr := e.scratch.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// Run executes up to maxIters iterations, stopping early when an
+// iteration changes no edges (convergence) or the context is canceled.
+func (e *Engine) Run(ctx context.Context, maxIters int) ([]*IterationStats, error) {
+	var all []*IterationStats
+	for i := 0; i < maxIters; i++ {
+		st, err := e.Iterate(ctx)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, st)
+		if st.EdgeChanges == 0 {
+			break
+		}
+	}
+	return all, nil
+}
+
+// Iterate runs one full five-phase KNN iteration, transforming G(t)
+// into G(t+1) and P(t) into P(t+1).
+func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
+	if e.closed {
+		return nil, fmt.Errorf("core: engine is closed")
+	}
+	stats := &IterationStats{Iteration: e.iter, NumPartitions: e.opts.NumPartitions}
+	ioStart := e.iostats.Snapshot()
+
+	// Phase 1: partition G(t).
+	start := time.Now()
+	dg := e.g.Digraph()
+	assign, err := e.opts.Partitioner.Partition(dg, e.opts.NumPartitions)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 1 (partition): %w", err)
+	}
+	parts := partition.Build(dg, assign)
+	stats.PartitionObjective = partition.Objective(dg, assign)
+	states := e.newStateStore()
+	defer states.Cleanup()
+	for _, p := range parts {
+		st, err := newPartState(p, e.profiles, e.opts.K)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 1 (state init): %w", err)
+		}
+		if err := states.Put(st); err != nil {
+			return nil, fmt.Errorf("core: phase 1 (state init): %w", err)
+		}
+	}
+	stats.Phases.Partition = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: canceled after phase 1: %w", err)
+	}
+
+	// Phase 2: populate the hash table H with bridge tuples and the
+	// direct edges of G(t).
+	start = time.Now()
+	table, err := e.newTable(assign)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2 (hash table): %w", err)
+	}
+	defer table.Close()
+	for _, p := range parts {
+		if err := tuples.GenerateBridge(p, table.Add); err != nil {
+			return nil, fmt.Errorf("core: phase 2 (bridge tuples): %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: canceled in phase 2: %w", err)
+		}
+	}
+	for _, edge := range dg.Edges() {
+		if err := table.Add(edge.Src, edge.Dst); err != nil {
+			return nil, fmt.Errorf("core: phase 2 (direct edges): %w", err)
+		}
+	}
+	if e.opts.RandomCandidates > 0 {
+		// Deterministic per-iteration exploration stream.
+		rng := rand.New(rand.NewSource(e.opts.Seed + int64(e.iter)*0x9E3779B9))
+		n := e.profiles.NumUsers()
+		for u := 0; u < n; u++ {
+			for r := 0; r < e.opts.RandomCandidates; r++ {
+				v := uint32(rng.Intn(n))
+				if v == uint32(u) {
+					continue
+				}
+				if err := table.Add(uint32(u), v); err != nil {
+					return nil, fmt.Errorf("core: phase 2 (random candidates): %w", err)
+				}
+			}
+		}
+	}
+	stats.TuplesAdded = table.Added()
+	stats.Phases.Tuples = time.Since(start)
+
+	// Phase 3: PI graph and traversal plan.
+	start = time.Now()
+	pi, err := pigraph.FromTupleCounts(e.opts.NumPartitions, table.ShardCounts())
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 3 (PI graph): %w", err)
+	}
+	stats.PIEdges = pi.NumEdges()
+	schedule := e.opts.Heuristic.Plan(pi)
+	predicted := schedule.Simulate()
+	stats.PredictedLoads, stats.PredictedUnloads = predicted.Loads, predicted.Unloads
+	stats.Phases.PIGraph = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: canceled after phase 3: %w", err)
+	}
+
+	// Phase 4: execute the schedule under the two-slot memory model,
+	// scoring shards and folding results into the resident partitions'
+	// accumulators.
+	start = time.Now()
+	exec := &phase4{
+		engine:   e,
+		assign:   assign,
+		states:   states,
+		table:    table,
+		scorer:   knn.Scorer{Sim: e.opts.Similarity, Workers: e.opts.Workers},
+		resident: make(map[uint32]*partState, 2),
+		ctx:      ctx,
+	}
+	result, err := schedule.Execute(pigraph.Callbacks{
+		Load:   exec.load,
+		Unload: exec.unload,
+		Pair:   exec.pair,
+		Self:   exec.self,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 4 (KNN computation): %w", err)
+	}
+	stats.Loads, stats.Unloads = result.Loads, result.Unloads
+	stats.TuplesScored = exec.scored
+	if stats.Loads != stats.PredictedLoads || stats.Unloads != stats.PredictedUnloads {
+		return nil, fmt.Errorf("core: phase 4 measured %d/%d load/unload ops, simulator predicted %d/%d",
+			stats.Loads, stats.Unloads, stats.PredictedLoads, stats.PredictedUnloads)
+	}
+
+	// Assemble G(t+1) from the persisted accumulators.
+	next, err := graph.NewKNN(e.profiles.NumUsers(), e.opts.K)
+	if err != nil {
+		return nil, err
+	}
+	err = states.Collect(func(st *partState) error {
+		for _, u := range st.members {
+			if err := next.Set(u, st.accs[u].IDs()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 4 (collect): %w", err)
+	}
+	stats.EdgeChanges = e.g.DiffEdges(next)
+	e.g = next
+	stats.Phases.Score = time.Since(start)
+
+	// Phase 5: apply queued profile updates, P(t) → P(t+1).
+	start = time.Now()
+	applied, err := e.profiles.Apply(e.queue.Drain())
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 5 (profile updates): %w", err)
+	}
+	stats.UpdatesApplied = applied
+	stats.Phases.Update = time.Since(start)
+
+	stats.IO = e.iostats.Snapshot().Sub(ioStart)
+	e.iter++
+	return stats, nil
+}
+
+func (e *Engine) newStateStore() stateStore {
+	if e.opts.OnDisk {
+		return newDiskStateStore(e.scratch, &e.iostats)
+	}
+	return newMemStateStore()
+}
+
+func (e *Engine) newTable(assign *partition.Assignment) (tuples.Table, error) {
+	if e.opts.OnDisk {
+		return tuples.NewDiskTable(assign, e.scratch, &e.iostats, e.opts.TupleBatch), nil
+	}
+	return tuples.NewMemTable(assign), nil
+}
+
+// phase4 carries the mutable state of one schedule execution.
+type phase4 struct {
+	engine   *Engine
+	assign   *partition.Assignment
+	states   stateStore
+	table    tuples.Table
+	scorer   knn.Scorer
+	resident map[uint32]*partState
+	scored   int64
+	ctx      context.Context
+}
+
+func (p *phase4) load(id uint32) error {
+	if err := p.ctx.Err(); err != nil {
+		return fmt.Errorf("canceled: %w", err)
+	}
+	st, err := p.states.Load(id)
+	if err != nil {
+		return err
+	}
+	if err := p.engine.budget.Reserve(int64(st.byteSize())); err != nil {
+		return err
+	}
+	p.engine.iostats.AddLoad()
+	p.resident[id] = st
+	return nil
+}
+
+func (p *phase4) unload(id uint32) error {
+	st, ok := p.resident[id]
+	if !ok {
+		return fmt.Errorf("core: unload of non-resident partition %d", id)
+	}
+	if err := p.states.Unload(st); err != nil {
+		return err
+	}
+	p.engine.budget.Release(int64(st.byteSize()))
+	p.engine.iostats.AddUnload()
+	delete(p.resident, id)
+	return nil
+}
+
+// pair processes both directed shards of the unordered pair {a, b}.
+func (p *phase4) pair(a, b uint32) error {
+	if err := p.processShard(a, b); err != nil {
+		return err
+	}
+	return p.processShard(b, a)
+}
+
+func (p *phase4) self(id uint32) error {
+	return p.processShard(id, id)
+}
+
+func (p *phase4) processShard(i, j uint32) error {
+	ts, err := p.table.Shard(i, j)
+	if err != nil {
+		return err
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+	scores, err := p.scorer.Score(ts, p.lookup)
+	if err != nil {
+		return err
+	}
+	for idx, t := range ts {
+		owner, ok := p.resident[p.assign.Of(t.S)]
+		if !ok {
+			return fmt.Errorf("core: partition of source %d not resident", t.S)
+		}
+		owner.accs[t.S].Push(t.D, scores[idx])
+	}
+	p.scored += int64(len(ts))
+	return nil
+}
+
+func (p *phase4) lookup(u uint32) (profile.Vector, error) {
+	st, ok := p.resident[p.assign.Of(u)]
+	if !ok {
+		return profile.Vector{}, fmt.Errorf("core: partition %d of user %d not resident", p.assign.Of(u), u)
+	}
+	return st.lookup(u)
+}

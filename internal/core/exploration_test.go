@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"knnpc/internal/graph"
+	"knnpc/internal/profile"
+)
+
+// twoIslandsFixture builds a store with two disjoint taste communities
+// and an initial graph whose edges all stay inside community 0 for the
+// probe user — the structural trap that pure 2-hop candidate generation
+// cannot escape.
+func twoIslandsFixture(t *testing.T) (*profile.Store, *graph.KNN) {
+	t.Helper()
+	const n, k = 40, 3
+	vecs := make([]profile.Vector, n)
+	for u := 0; u < n; u++ {
+		base := uint32(0)
+		if u >= n/2 {
+			base = 1000
+		}
+		vecs[u] = profile.FromItems([]uint32{base + uint32(u%5), base + uint32(u%7), base + 50})
+	}
+	store := profile.NewStoreFromVectors(vecs)
+
+	g, err := graph.NewKNN(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring within each half: candidates never cross halves.
+	half := n / 2
+	for u := 0; u < n; u++ {
+		base := 0
+		if u >= half {
+			base = half
+		}
+		local := u - base
+		nbrs := []uint32{
+			uint32(base + (local+1)%half),
+			uint32(base + (local+2)%half),
+			uint32(base + (local+3)%half),
+		}
+		if err := g.Set(uint32(u), nbrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store, g
+}
+
+// moveProbeProfile rewrites user 0's profile to match community 1.
+func moveProbeProfile(store *profile.Store, t *testing.T) {
+	t.Helper()
+	if err := store.Set(0, profile.FromItems([]uint32{1000, 1001, 1050})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplorationEscapesStructuralTrap(t *testing.T) {
+	run := func(randomCandidates int) *graph.KNN {
+		store, g := twoIslandsFixture(t)
+		moveProbeProfile(store, t)
+		eng, err := New(store, Options{
+			K:                3,
+			NumPartitions:    4,
+			RandomCandidates: randomCandidates,
+			Seed:             5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		if err := eng.SetGraph(g); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := eng.Iterate(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng.Graph()
+	}
+
+	crossNeighbors := func(g *graph.KNN) int {
+		n := 0
+		for _, v := range g.Neighbors(0) {
+			if v >= 20 {
+				n++
+			}
+		}
+		return n
+	}
+
+	if got := crossNeighbors(run(0)); got != 0 {
+		t.Errorf("paper's pure candidate rule should stay trapped, found %d cross edges", got)
+	}
+	if got := crossNeighbors(run(3)); got == 0 {
+		t.Error("exploration should discover the matching community")
+	}
+}
+
+func TestExplorationKeepsReportsCoherent(t *testing.T) {
+	store, _ := twoIslandsFixture(t)
+	eng, err := New(store, Options{K: 3, NumPartitions: 3, RandomCandidates: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	st, err := eng.Iterate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 users × 2 random candidates (minus self-collisions) on top of
+	// the structural tuples.
+	if st.TuplesAdded < 60 {
+		t.Errorf("TuplesAdded = %d, expected the exploration stream on top", st.TuplesAdded)
+	}
+	if st.Loads != st.PredictedLoads {
+		t.Errorf("prediction mismatch with exploration: %+v", st)
+	}
+}

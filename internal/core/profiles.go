@@ -1,0 +1,41 @@
+package core
+
+import (
+	"knnpc/internal/profile"
+)
+
+// canonicalProfiles abstracts where P(t) lives: in memory (the default,
+// for small runs and differential testing) or on disk via
+// profile.FileStore (the paper's setting — profiles are the data that
+// must not all be resident).
+type canonicalProfiles interface {
+	NumUsers() int
+	// Profile returns user u's current vector.
+	Profile(u uint32) (profile.Vector, error)
+	// Apply folds drained queue updates in (phase 5).
+	Apply(updates []profile.Update) (int, error)
+	// Close releases resources.
+	Close() error
+}
+
+// memCanonical adapts the in-memory Store.
+type memCanonical struct {
+	store *profile.Store
+}
+
+func (m memCanonical) NumUsers() int { return m.store.NumUsers() }
+
+func (m memCanonical) Profile(u uint32) (profile.Vector, error) {
+	return m.store.Get(u), nil
+}
+
+func (m memCanonical) Apply(updates []profile.Update) (int, error) {
+	return profile.ApplyUpdates(m.store, updates)
+}
+
+func (m memCanonical) Close() error { return nil }
+
+var (
+	_ canonicalProfiles = memCanonical{}
+	_ canonicalProfiles = (*profile.FileStore)(nil)
+)

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"knnpc/internal/dataset"
+	"knnpc/internal/partition"
+	"knnpc/internal/pigraph"
+	"knnpc/internal/profile"
+)
+
+// TestEngineMatchesReferenceProperty fuzzes engine configurations —
+// user count, K, partition count, partitioner, heuristic, worker count
+// and storage backend — and requires exact agreement with the
+// in-memory reference iteration every time.
+func TestEngineMatchesReferenceProperty(t *testing.T) {
+	partitioners := []partition.Partitioner{partition.Range{}, partition.Hash{}, partition.Greedy{}}
+	heuristics := pigraph.AllHeuristics()
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		users := 20 + r.Intn(60)
+		k := 2 + r.Intn(5)
+		m := 2 + r.Intn(6)
+		if m > users {
+			m = users
+		}
+		vecs, _, err := dataset.RatingsProfiles(users, 300, 10, 3, seed)
+		if err != nil {
+			return false
+		}
+		store := profile.NewStoreFromVectors(vecs)
+		opts := Options{
+			K:             k,
+			NumPartitions: m,
+			Partitioner:   partitioners[r.Intn(len(partitioners))],
+			Heuristic:     heuristics[r.Intn(len(heuristics))],
+			Workers:       1 + r.Intn(4),
+			OnDisk:        r.Intn(2) == 1,
+			Seed:          seed,
+		}
+		eng, err := New(store.Clone(), opts)
+		if err != nil {
+			return false
+		}
+		defer eng.Close()
+
+		want := eng.Graph()
+		for iter := 0; iter < 2; iter++ {
+			want = referenceIterate(t, want, store, profile.Cosine{}, k)
+			if _, err := eng.Iterate(context.Background()); err != nil {
+				t.Logf("seed %d: iterate failed: %v", seed, err)
+				return false
+			}
+			if eng.Graph().DiffEdges(want) != 0 {
+				t.Logf("seed %d: config %+v diverged at iteration %d", seed, opts, iter)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

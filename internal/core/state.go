@@ -1,0 +1,243 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"knnpc/internal/disk"
+	"knnpc/internal/knn"
+	"knnpc/internal/partition"
+	"knnpc/internal/profile"
+)
+
+// partState is the loadable unit of phase 4: one partition's members,
+// their profiles, and their partial top-K accumulators. It is exactly
+// what the paper keeps in each of the two memory slots — everything else
+// stays on disk (or, in the in-memory store, serialized out of reach).
+type partState struct {
+	id       uint32
+	members  []uint32
+	profiles map[uint32]profile.Vector
+	accs     map[uint32]*knn.TopK
+}
+
+// lookup resolves a member's profile.
+func (st *partState) lookup(u uint32) (profile.Vector, error) {
+	v, ok := st.profiles[u]
+	if !ok {
+		return profile.Vector{}, fmt.Errorf("core: user %d not in partition %d", u, st.id)
+	}
+	return v, nil
+}
+
+// byteSize reports the encoded size, used for budget accounting.
+func (st *partState) byteSize() int {
+	n := 8 // id + member count
+	for _, u := range st.members {
+		n += 4 + st.profiles[u].ByteSize() + st.accs[u].ByteSize()
+	}
+	return n
+}
+
+// encode serializes the state: id, member count, then per member the
+// id, profile vector and accumulator.
+func (st *partState) encode() []byte {
+	buf := make([]byte, 0, st.byteSize())
+	buf = binary.LittleEndian.AppendUint32(buf, st.id)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.members)))
+	for _, u := range st.members {
+		buf = binary.LittleEndian.AppendUint32(buf, u)
+		buf = st.profiles[u].AppendBinary(buf)
+		buf = st.accs[u].AppendBinary(buf)
+	}
+	return buf
+}
+
+func decodePartState(buf []byte) (*partState, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("core: short partition state header (%d bytes)", len(buf))
+	}
+	st := &partState{
+		id:       binary.LittleEndian.Uint32(buf),
+		profiles: make(map[uint32]profile.Vector),
+		accs:     make(map[uint32]*knn.TopK),
+	}
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	buf = buf[8:]
+	st.members = make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("core: partition %d state truncated at member %d", st.id, i)
+		}
+		u := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		vec, rest, err := profile.DecodeVector(buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d member %d profile: %w", st.id, u, err)
+		}
+		buf = rest
+		tk, rest, err := knn.DecodeTopK(buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d member %d accumulator: %w", st.id, u, err)
+		}
+		buf = rest
+		st.members = append(st.members, u)
+		st.profiles[u] = vec
+		st.accs[u] = tk
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("core: partition %d state has %d trailing bytes", st.id, len(buf))
+	}
+	return st, nil
+}
+
+// newPartState builds the fresh phase-1 state of one partition: member
+// profiles snapshotted from the canonical store, empty accumulators.
+func newPartState(p *partition.Data, profiles canonicalProfiles, k int) (*partState, error) {
+	st := &partState{
+		id:       p.ID,
+		members:  append([]uint32(nil), p.Members...),
+		profiles: make(map[uint32]profile.Vector, len(p.Members)),
+		accs:     make(map[uint32]*knn.TopK, len(p.Members)),
+	}
+	for _, u := range p.Members {
+		vec, err := profiles.Profile(u)
+		if err != nil {
+			return nil, err
+		}
+		st.profiles[u] = vec
+		tk, err := knn.NewTopK(k)
+		if err != nil {
+			return nil, err
+		}
+		st.accs[u] = tk
+	}
+	return st, nil
+}
+
+// stateStore moves partition states between memory and storage. Both
+// implementations serialize on unload and deserialize on load, so the
+// in-memory store exercises the same code paths as the disk store; the
+// disk store additionally pays real file I/O, counted in IOStats.
+type stateStore interface {
+	// Put persists a freshly built state (phase 1).
+	Put(st *partState) error
+	// Load materializes partition p into memory (phase 4).
+	Load(p uint32) (*partState, error)
+	// Unload persists a resident state back (phase 4).
+	Unload(st *partState) error
+	// Collect streams every partition's final state in id order.
+	Collect(emit func(st *partState) error) error
+	// Cleanup removes all stored state.
+	Cleanup() error
+}
+
+// memStateStore keeps encoded blobs in a map. Used for differential
+// testing and for callers who want the five-phase structure without
+// real disk traffic.
+type memStateStore struct {
+	blobs map[uint32][]byte
+}
+
+func newMemStateStore() *memStateStore {
+	return &memStateStore{blobs: make(map[uint32][]byte)}
+}
+
+func (s *memStateStore) Put(st *partState) error {
+	s.blobs[st.id] = st.encode()
+	return nil
+}
+
+func (s *memStateStore) Load(p uint32) (*partState, error) {
+	blob, ok := s.blobs[p]
+	if !ok {
+		return nil, fmt.Errorf("core: partition %d has no stored state", p)
+	}
+	return decodePartState(blob)
+}
+
+func (s *memStateStore) Unload(st *partState) error { return s.Put(st) }
+
+func (s *memStateStore) Collect(emit func(st *partState) error) error {
+	ids := make([]uint32, 0, len(s.blobs))
+	for id := range s.blobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st, err := s.Load(id)
+		if err != nil {
+			return err
+		}
+		if err := emit(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *memStateStore) Cleanup() error {
+	s.blobs = make(map[uint32][]byte)
+	return nil
+}
+
+// diskStateStore keeps one state file per partition under the scratch
+// directory, with all traffic counted in IOStats.
+type diskStateStore struct {
+	scratch *disk.Scratch
+	stats   *disk.IOStats
+	known   map[uint32]bool
+}
+
+func newDiskStateStore(scratch *disk.Scratch, stats *disk.IOStats) *diskStateStore {
+	return &diskStateStore{scratch: scratch, stats: stats, known: make(map[uint32]bool)}
+}
+
+func (s *diskStateStore) path(p uint32) string {
+	return s.scratch.Path(fmt.Sprintf("state-%d.bin", p))
+}
+
+func (s *diskStateStore) Put(st *partState) error {
+	s.known[st.id] = true
+	return disk.WriteFile(s.stats, s.path(st.id), st.encode())
+}
+
+func (s *diskStateStore) Load(p uint32) (*partState, error) {
+	blob, err := disk.ReadFile(s.stats, s.path(p))
+	if err != nil {
+		return nil, err
+	}
+	return decodePartState(blob)
+}
+
+func (s *diskStateStore) Unload(st *partState) error { return s.Put(st) }
+
+func (s *diskStateStore) Collect(emit func(st *partState) error) error {
+	ids := make([]uint32, 0, len(s.known))
+	for id := range s.known {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st, err := s.Load(id)
+		if err != nil {
+			return err
+		}
+		if err := emit(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *diskStateStore) Cleanup() error {
+	var firstErr error
+	for id := range s.known {
+		if err := disk.Remove(s.path(id)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.known = make(map[uint32]bool)
+	return firstErr
+}

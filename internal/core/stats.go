@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"knnpc/internal/disk"
+)
+
+// PhaseTimes records the wall time of each of the paper's five phases
+// in one iteration (Figure 1's pipeline).
+type PhaseTimes struct {
+	Partition time.Duration // phase 1: graph partitioning
+	Tuples    time.Duration // phase 2: hash table H population
+	PIGraph   time.Duration // phase 3: PI graph build + heuristic plan
+	Score     time.Duration // phase 4: KNN computation
+	Update    time.Duration // phase 5: lazy profile updates
+}
+
+// Total sums the five phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Partition + p.Tuples + p.PIGraph + p.Score + p.Update
+}
+
+// IterationStats describes one completed KNN iteration.
+type IterationStats struct {
+	// Iteration is the 0-based iteration index.
+	Iteration int
+	// Phases records per-phase wall time.
+	Phases PhaseTimes
+	// NumPartitions is m.
+	NumPartitions int
+	// PartitionObjective is the paper's Σ(N_in + N_out) criterion
+	// value for the chosen assignment.
+	PartitionObjective int
+	// TuplesAdded counts raw tuple insertions into H (duplicates
+	// included); TuplesScored counts the de-duplicated tuples scored.
+	TuplesAdded  int64
+	TuplesScored int64
+	// PIEdges is the number of undirected PI-graph edges.
+	PIEdges int
+	// PredictedLoads/PredictedUnloads are the phase-3 simulator's
+	// counts; Loads/Unloads are the real counts measured in phase 4.
+	// They are equal by construction (the same schedule executor runs
+	// both), and the engine asserts it.
+	PredictedLoads   int64
+	PredictedUnloads int64
+	Loads            int64
+	Unloads          int64
+	// EdgeChanges is the number of directed edges by which G(t+1)
+	// differs from G(t) — the convergence signal.
+	EdgeChanges int
+	// UpdatesApplied is the number of queued profile updates folded
+	// into P(t+1) in phase 5.
+	UpdatesApplied int
+	// IO is the I/O counter delta for the whole iteration.
+	IO disk.Snapshot
+}
+
+// Ops reports measured Loads + Unloads, Table 1's metric.
+func (s IterationStats) Ops() int64 { return s.Loads + s.Unloads }
+
+// String implements fmt.Stringer with a one-line summary.
+func (s IterationStats) String() string {
+	return fmt.Sprintf("iter %d: m=%d tuples=%d pi-edges=%d ops=%d changes=%d total=%v",
+		s.Iteration, s.NumPartitions, s.TuplesScored, s.PIEdges, s.Ops(), s.EdgeChanges, s.Phases.Total())
+}

@@ -1,0 +1,322 @@
+package dataset
+
+import (
+	"testing"
+
+	"knnpc/internal/graph"
+	"knnpc/internal/profile"
+)
+
+func TestGenerateExactCounts(t *testing.T) {
+	spec := GraphSpec{Name: "t", Nodes: 500, Edges: 3000, Alpha: 0.7, Seed: 1}
+	g, err := spec.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if g.NumNodes() != 500 || g.NumEdges() != 3000 {
+		t.Errorf("got n=%d m=%d, want exactly 500/3000", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestGenerateSimpleGraphInvariants(t *testing.T) {
+	g, err := GraphSpec{Name: "t", Nodes: 200, Edges: 1500, Alpha: 0.8, Seed: 2}.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	seen := make(map[graph.Edge]bool)
+	for _, e := range g.Edges() {
+		if e.Src == e.Dst {
+			t.Fatalf("self loop at %d", e.Src)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GraphSpec{Name: "t", Nodes: 300, Edges: 2000, Alpha: 0.7, Seed: 3}
+	a, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatal("edge counts differ across runs")
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+	c, err := GraphSpec{Name: "t", Nodes: 300, Edges: 2000, Alpha: 0.7, Seed: 4}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	ce := c.Edges()
+	for i := range ae {
+		if ae[i] != ce[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different graphs")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		spec GraphSpec
+	}{
+		{"too few nodes", GraphSpec{Nodes: 1, Edges: 0}},
+		{"too many edges", GraphSpec{Nodes: 3, Edges: 7}},
+		{"negative edges", GraphSpec{Nodes: 3, Edges: -1}},
+		{"negative alpha", GraphSpec{Nodes: 3, Edges: 2, Alpha: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.spec.Generate(); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestAlphaControlsSkew(t *testing.T) {
+	flat, err := GraphSpec{Name: "flat", Nodes: 2000, Edges: 10000, Alpha: 0, Seed: 5}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := GraphSpec{Name: "skewed", Nodes: 2000, Edges: 10000, Alpha: 0.9, Seed: 5}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatStats := graph.ComputeDegreeStats(flat.TotalDegrees())
+	skewedStats := graph.ComputeDegreeStats(skewed.TotalDegrees())
+	if skewedStats.Gini <= flatStats.Gini {
+		t.Errorf("alpha=0.9 should be more unequal than alpha=0: gini %g vs %g",
+			skewedStats.Gini, flatStats.Gini)
+	}
+	if skewedStats.Max < 3*flatStats.Max {
+		t.Errorf("skewed max degree %d should dwarf flat max %d", skewedStats.Max, flatStats.Max)
+	}
+}
+
+func TestWeightsShuffledNoIDCorrelation(t *testing.T) {
+	// Node ids must not encode degree rank: the average degree of the
+	// first half of ids should be close to the second half's.
+	g, err := GraphSpec{Name: "t", Nodes: 2000, Edges: 20000, Alpha: 0.8, Seed: 6}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := g.TotalDegrees()
+	var lo, hi float64
+	half := len(degs) / 2
+	for i, d := range degs {
+		if i < half {
+			lo += float64(d)
+		} else {
+			hi += float64(d)
+		}
+	}
+	lo /= float64(half)
+	hi /= float64(len(degs) - half)
+	ratio := lo / hi
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("degree mass correlates with id halves: %.2f vs %.2f", lo, hi)
+	}
+}
+
+func TestUniformRandom(t *testing.T) {
+	g, err := UniformRandom(100, 500, 7)
+	if err != nil {
+		t.Fatalf("UniformRandom: %v", err)
+	}
+	if g.NumNodes() != 100 || g.NumEdges() != 500 {
+		t.Errorf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g, err := PreferentialAttachment(500, 3, 8)
+	if err != nil {
+		t.Fatalf("PreferentialAttachment: %v", err)
+	}
+	if g.NumNodes() != 500 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+	// n-1 arriving nodes each link out times (capped early on).
+	if g.NumEdges() < 3*450 || g.NumEdges() > 3*499 {
+		t.Errorf("NumEdges = %d, want ≈ 3×499", g.NumEdges())
+	}
+	stats := graph.ComputeDegreeStats(g.TotalDegrees())
+	if stats.Max < 20 {
+		t.Errorf("PA graph should grow hubs, max degree = %d", stats.Max)
+	}
+	if _, err := PreferentialAttachment(1, 1, 0); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := PreferentialAttachment(10, 0, 0); err == nil {
+		t.Error("out=0 should fail")
+	}
+}
+
+func TestPaperPresetsMatchTable1(t *testing.T) {
+	want := map[string][2]int{
+		WikiVote:     {7115, 100762},
+		GeneralRel:   {5241, 14484},
+		HighEnergy:   {12006, 118489},
+		AstroPhysics: {18771, 198050},
+		Email:        {36692, 183831},
+		Gnutella:     {26518, 65369},
+	}
+	presets := PaperPresets()
+	if len(presets) != 6 {
+		t.Fatalf("want 6 presets, got %d", len(presets))
+	}
+	for _, spec := range presets {
+		w, ok := want[spec.Name]
+		if !ok {
+			t.Errorf("unexpected preset %q", spec.Name)
+			continue
+		}
+		if spec.Nodes != w[0] || spec.Edges != w[1] {
+			t.Errorf("%s: spec %d/%d, want %d/%d", spec.Name, spec.Nodes, spec.Edges, w[0], w[1])
+		}
+	}
+}
+
+func TestPresetGnutellaFlatterThanWiki(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates full-size preset graphs")
+	}
+	wiki, ok := PresetByName(WikiVote)
+	if !ok {
+		t.Fatal("missing Wiki-Vote preset")
+	}
+	gnut, ok := PresetByName(Gnutella)
+	if !ok {
+		t.Fatal("missing Gnutella preset")
+	}
+	gw, err := wiki.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := gnut.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wikiGini := graph.ComputeDegreeStats(gw.TotalDegrees()).Gini
+	gnutGini := graph.ComputeDegreeStats(gg.TotalDegrees()).Gini
+	if wikiGini <= gnutGini {
+		t.Errorf("Wiki-Vote should be more skewed than Gnutella: gini %g vs %g", wikiGini, gnutGini)
+	}
+}
+
+func TestPresetByNameUnknown(t *testing.T) {
+	if _, ok := PresetByName("LiveJournal"); ok {
+		t.Error("unknown preset should report false")
+	}
+}
+
+func TestProfileGeneration(t *testing.T) {
+	vecs, clusters, err := RatingsProfiles(200, 1000, 20, 4, 9)
+	if err != nil {
+		t.Fatalf("RatingsProfiles: %v", err)
+	}
+	if len(vecs) != 200 || len(clusters) != 200 {
+		t.Fatalf("got %d vectors, %d clusters", len(vecs), len(clusters))
+	}
+	for u, v := range vecs {
+		if v.Len() == 0 {
+			t.Fatalf("user %d has an empty profile", u)
+		}
+		for _, e := range v.Entries() {
+			if e.Item >= 1000 {
+				t.Fatalf("user %d item %d outside item space", u, e.Item)
+			}
+			if e.Weight < 1 || e.Weight > 5 {
+				t.Fatalf("user %d weight %g outside [1,5]", u, e.Weight)
+			}
+		}
+		if clusters[u] < 0 || clusters[u] >= 4 {
+			t.Fatalf("user %d cluster %d out of range", u, clusters[u])
+		}
+	}
+}
+
+func TestProfileClustersAreMeaningful(t *testing.T) {
+	vecs, clusters, err := RatingsProfiles(120, 2000, 25, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := profile.Cosine{}
+	var same, cross float64
+	var sameN, crossN int
+	for i := 0; i < len(vecs); i++ {
+		for j := i + 1; j < len(vecs); j++ {
+			s := sim.Score(vecs[i], vecs[j])
+			if clusters[i] == clusters[j] {
+				same += s
+				sameN++
+			} else {
+				cross += s
+				crossN++
+			}
+		}
+	}
+	if sameN == 0 || crossN == 0 {
+		t.Skip("degenerate cluster assignment")
+	}
+	if same/float64(sameN) <= 2*cross/float64(crossN) {
+		t.Errorf("same-cluster similarity %.4f should clearly exceed cross-cluster %.4f",
+			same/float64(sameN), cross/float64(crossN))
+	}
+}
+
+func TestDocumentProfilesSetWeights(t *testing.T) {
+	vecs, _, err := DocumentProfiles(50, 500, 30, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, v := range vecs {
+		for _, e := range v.Entries() {
+			if e.Weight != 1 {
+				t.Fatalf("doc %d term %d weight %g, want 1", d, e.Item, e.Weight)
+			}
+		}
+	}
+}
+
+func TestProfileSpecValidation(t *testing.T) {
+	base := ProfileSpec{Users: 10, Items: 100, ItemsPerUser: 5, Clusters: 2, MaxWeight: 5}
+	tests := []struct {
+		name   string
+		mutate func(*ProfileSpec)
+	}{
+		{"zero users", func(s *ProfileSpec) { s.Users = 0 }},
+		{"zero items", func(s *ProfileSpec) { s.Items = 0 }},
+		{"zero itemsPerUser", func(s *ProfileSpec) { s.ItemsPerUser = 0 }},
+		{"zero clusters", func(s *ProfileSpec) { s.Clusters = 0 }},
+		{"bad noise", func(s *ProfileSpec) { s.Noise = 1.5 }},
+		{"zero weight", func(s *ProfileSpec) { s.MaxWeight = 0 }},
+		{"profile longer than item space", func(s *ProfileSpec) { s.ItemsPerUser = 1000 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := base
+			tt.mutate(&spec)
+			if _, _, err := spec.Generate(); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,299 @@
+package disk
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIOStatsCounting(t *testing.T) {
+	var s IOStats
+	s.AddLoad()
+	s.AddLoad()
+	s.AddUnload()
+	s.AddSeek()
+	s.AddRead(100)
+	s.AddRead(50)
+	s.AddWrite(30)
+
+	snap := s.Snapshot()
+	if snap.Loads != 2 || snap.Unloads != 1 || snap.Seeks != 1 {
+		t.Errorf("load/unload/seek counters wrong: %+v", snap)
+	}
+	if snap.ReadOps != 2 || snap.BytesRead != 150 {
+		t.Errorf("read counters wrong: %+v", snap)
+	}
+	if snap.WriteOps != 1 || snap.BytesWritten != 30 {
+		t.Errorf("write counters wrong: %+v", snap)
+	}
+	if got := snap.LoadUnloadOps(); got != 3 {
+		t.Errorf("LoadUnloadOps = %d, want 3", got)
+	}
+
+	s.Reset()
+	if s.Snapshot() != (Snapshot{}) {
+		t.Error("Reset should zero all counters")
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	a := Snapshot{Loads: 5, BytesRead: 100, Seeks: 3}
+	b := Snapshot{Loads: 2, BytesRead: 40, Seeks: 1}
+	d := a.Sub(b)
+	if d.Loads != 3 || d.BytesRead != 60 || d.Seeks != 2 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestIOStatsConcurrent(t *testing.T) {
+	var s IOStats
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.AddRead(1)
+				s.AddLoad()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.BytesRead != 8000 || snap.Loads != 8000 {
+		t.Errorf("concurrent counting lost updates: %+v", snap)
+	}
+}
+
+func TestModelEstimateTime(t *testing.T) {
+	m := Model{
+		Name:           "test",
+		SeekLatency:    10 * time.Millisecond,
+		ReadBandwidth:  100, // 100 B/s to make the math obvious
+		WriteBandwidth: 50,
+	}
+	s := Snapshot{Seeks: 2, BytesRead: 200, BytesWritten: 100}
+	// 2×10ms + 200/100 s + 100/50 s = 4.02 s
+	want := 20*time.Millisecond + 4*time.Second
+	if got := m.EstimateTime(s); got != want {
+		t.Errorf("EstimateTime = %v, want %v", got, want)
+	}
+}
+
+func TestModelOrdering(t *testing.T) {
+	// A seek-heavy workload must be far slower on HDD than SSD than NVMe.
+	s := Snapshot{Seeks: 1000, BytesRead: 64 << 20, BytesWritten: 64 << 20}
+	hdd, ssd, nvme := HDD.EstimateTime(s), SSD.EstimateTime(s), NVMe.EstimateTime(s)
+	if !(hdd > ssd && ssd > nvme) {
+		t.Errorf("expected hdd > ssd > nvme, got %v %v %v", hdd, ssd, nvme)
+	}
+	if hdd < 9*time.Second {
+		t.Errorf("1000 seeks on HDD should cost ≥9s, got %v", hdd)
+	}
+}
+
+func TestModelThroughput(t *testing.T) {
+	if got := SSD.Throughput(Snapshot{}); got != 0 {
+		t.Errorf("empty workload throughput = %v, want 0", got)
+	}
+	s := Snapshot{BytesRead: 520 << 20} // exactly one second of SSD reads
+	tp := SSD.Throughput(s)
+	if tp < 500<<20 || tp > 540<<20 {
+		t.Errorf("throughput = %v, want ≈520MB/s", tp)
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	for _, name := range []string{"hdd", "ssd", "nvme"} {
+		m, ok := ModelByName(name)
+		if !ok || m.Name != name {
+			t.Errorf("ModelByName(%q) = %v, %v", name, m, ok)
+		}
+	}
+	if _, ok := ModelByName("floppy"); ok {
+		t.Error("unknown model should report false")
+	}
+}
+
+func TestReadWriteFileCounted(t *testing.T) {
+	var s IOStats
+	path := filepath.Join(t.TempDir(), "blob")
+	data := []byte("hello out-of-core world")
+	if err := WriteFile(&s, path, data); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(&s, path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Errorf("round trip mismatch: %q", got)
+	}
+	snap := s.Snapshot()
+	if snap.Seeks != 2 || snap.BytesWritten != int64(len(data)) || snap.BytesRead != int64(len(data)) {
+		t.Errorf("counters wrong: %+v", snap)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	var s IOStats
+	if _, err := ReadFile(&s, filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("reading a missing file should fail")
+	}
+}
+
+func TestRemoveIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(path); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := Remove(path); err != nil {
+		t.Fatalf("second Remove should be a no-op, got %v", err)
+	}
+}
+
+func TestRecordFileRoundTrip(t *testing.T) {
+	var s IOStats
+	path := filepath.Join(t.TempDir(), "records")
+	w, err := CreateRecordFile(&s, path)
+	if err != nil {
+		t.Fatalf("CreateRecordFile: %v", err)
+	}
+	records := [][]byte{[]byte("first"), {}, []byte("third record")}
+	for _, rec := range records {
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d, want 3", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := OpenRecordFile(&s, path)
+	if err != nil {
+		t.Fatalf("OpenRecordFile: %v", err)
+	}
+	defer r.Close()
+	for i, want := range records {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("record %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("after last record want io.EOF, got %v", err)
+	}
+}
+
+func TestRecordReaderTruncated(t *testing.T) {
+	var s IOStats
+	path := filepath.Join(t.TempDir(), "records")
+	w, err := CreateRecordFile(&s, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-payload.
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenRecordFile(&s, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("truncated record should yield a real error, got %v", err)
+	}
+}
+
+func TestBudgetReserveRelease(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Reserve(60); err != nil {
+		t.Fatalf("Reserve(60): %v", err)
+	}
+	if err := b.Reserve(50); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-reserve should fail with ErrBudgetExceeded, got %v", err)
+	}
+	if b.Used() != 60 {
+		t.Errorf("failed reserve must not charge: used=%d", b.Used())
+	}
+	if err := b.Reserve(40); err != nil {
+		t.Fatalf("Reserve(40): %v", err)
+	}
+	if b.Peak() != 100 {
+		t.Errorf("Peak = %d, want 100", b.Peak())
+	}
+	b.Release(100)
+	if b.Used() != 0 {
+		t.Errorf("Used after release = %d, want 0", b.Used())
+	}
+	b.Release(10) // over-release clamps
+	if b.Used() != 0 {
+		t.Errorf("over-release should clamp at 0, got %d", b.Used())
+	}
+	if err := b.Reserve(-1); err == nil {
+		t.Error("negative reservation should fail")
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	b := NewBudget(0)
+	if err := b.Reserve(1 << 40); err != nil {
+		t.Errorf("unlimited budget should accept any reservation: %v", err)
+	}
+}
+
+func TestScratchOwnedLifecycle(t *testing.T) {
+	s, err := NewScratch("")
+	if err != nil {
+		t.Fatalf("NewScratch: %v", err)
+	}
+	dir := s.Dir()
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("scratch dir should exist: %v", err)
+	}
+	p := s.Path("a", "b")
+	if want := filepath.Join(dir, "a", "b"); p != want {
+		t.Errorf("Path = %q, want %q", p, want)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Error("owned scratch dir should be removed on Close")
+	}
+}
+
+func TestScratchCallerOwnedPreserved(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "keep")
+	s, err := NewScratch(dir)
+	if err != nil {
+		t.Fatalf("NewScratch: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Error("caller-owned dir must survive Close")
+	}
+}

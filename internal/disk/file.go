@@ -1,0 +1,135 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteFile writes data to path in one sequential pass, recording one
+// seek (the open positions the head) and one write in stats.
+func WriteFile(stats *IOStats, path string, data []byte) error {
+	stats.AddSeek()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("disk: write %s: %w", path, err)
+	}
+	stats.AddWrite(int64(len(data)))
+	return nil
+}
+
+// ReadFile reads path fully in one sequential pass, recording one seek
+// and one read in stats.
+func ReadFile(stats *IOStats, path string) ([]byte, error) {
+	stats.AddSeek()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("disk: read %s: %w", path, err)
+	}
+	stats.AddRead(int64(len(data)))
+	return data, nil
+}
+
+// Remove deletes path, ignoring already-missing files.
+func Remove(path string) error {
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("disk: remove %s: %w", path, err)
+	}
+	return nil
+}
+
+// RecordWriter appends length-prefixed records to a file through a
+// buffered sequential writer. It is the spill format of the tuple hash
+// table: each record is an opaque byte payload.
+type RecordWriter struct {
+	f     *os.File
+	w     *bufio.Writer
+	stats *IOStats
+	n     int64
+}
+
+// CreateRecordFile creates (or truncates) a record file at path.
+func CreateRecordFile(stats *IOStats, path string) (*RecordWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("disk: create record file %s: %w", path, err)
+	}
+	stats.AddSeek()
+	return &RecordWriter{f: f, w: bufio.NewWriterSize(f, 1<<16), stats: stats}, nil
+}
+
+// Append writes one record.
+func (rw *RecordWriter) Append(rec []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
+	if _, err := rw.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("disk: append record header: %w", err)
+	}
+	if _, err := rw.w.Write(rec); err != nil {
+		return fmt.Errorf("disk: append record payload: %w", err)
+	}
+	rw.stats.AddWrite(int64(4 + len(rec)))
+	rw.n++
+	return nil
+}
+
+// Count reports the number of records appended so far.
+func (rw *RecordWriter) Count() int64 { return rw.n }
+
+// Close flushes and closes the file.
+func (rw *RecordWriter) Close() error {
+	if err := rw.w.Flush(); err != nil {
+		rw.f.Close()
+		return fmt.Errorf("disk: flush record file: %w", err)
+	}
+	if err := rw.f.Close(); err != nil {
+		return fmt.Errorf("disk: close record file: %w", err)
+	}
+	return nil
+}
+
+// RecordReader streams records back from a file written by RecordWriter.
+type RecordReader struct {
+	f     *os.File
+	r     *bufio.Reader
+	stats *IOStats
+}
+
+// OpenRecordFile opens a record file for sequential reading.
+func OpenRecordFile(stats *IOStats, path string) (*RecordReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open record file %s: %w", path, err)
+	}
+	stats.AddSeek()
+	return &RecordReader{f: f, r: bufio.NewReaderSize(f, 1<<16), stats: stats}, nil
+}
+
+// Next returns the next record, or io.EOF after the last one. The
+// returned slice is freshly allocated and owned by the caller.
+func (rr *RecordReader) Next() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("disk: read record header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	rec := make([]byte, n)
+	if _, err := io.ReadFull(rr.r, rec); err != nil {
+		return nil, fmt.Errorf("disk: read record payload (%d bytes): %w", n, err)
+	}
+	rr.stats.AddRead(int64(4 + n))
+	return rec, nil
+}
+
+// Close closes the underlying file.
+func (rr *RecordReader) Close() error {
+	if err := rr.f.Close(); err != nil {
+		return fmt.Errorf("disk: close record reader: %w", err)
+	}
+	return nil
+}

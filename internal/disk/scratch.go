@@ -1,0 +1,52 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Scratch manages the on-disk working directory of one engine run:
+// partition files, spilled hash-table shards and accumulator state all
+// live under it. Close removes the directory if Scratch created it.
+type Scratch struct {
+	dir     string
+	created bool
+}
+
+// NewScratch returns a scratch rooted at dir. If dir is empty a fresh
+// temporary directory is created (and owned — Close will remove it). A
+// caller-provided dir is created if missing but never removed.
+func NewScratch(dir string) (*Scratch, error) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "knnpc-*")
+		if err != nil {
+			return nil, fmt.Errorf("disk: create scratch dir: %w", err)
+		}
+		return &Scratch{dir: tmp, created: true}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: ensure scratch dir %s: %w", dir, err)
+	}
+	return &Scratch{dir: dir}, nil
+}
+
+// Dir reports the scratch root.
+func (s *Scratch) Dir() string { return s.dir }
+
+// Path joins name components under the scratch root.
+func (s *Scratch) Path(elem ...string) string {
+	return filepath.Join(append([]string{s.dir}, elem...)...)
+}
+
+// Close removes the directory when Scratch created it; otherwise it is
+// a no-op (caller-owned directories are preserved).
+func (s *Scratch) Close() error {
+	if !s.created {
+		return nil
+	}
+	if err := os.RemoveAll(s.dir); err != nil {
+		return fmt.Errorf("disk: remove scratch dir %s: %w", s.dir, err)
+	}
+	return nil
+}

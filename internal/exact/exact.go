@@ -1,0 +1,102 @@
+// Package exact computes the exact K-nearest-neighbor graph by brute
+// force — the ground truth against which the out-of-core engine and the
+// NN-Descent baseline are measured, and the O(n²) cost bar that
+// motivates both.
+package exact
+
+import (
+	"fmt"
+	"sync"
+
+	"knnpc/internal/graph"
+	"knnpc/internal/knn"
+	"knnpc/internal/profile"
+)
+
+// Options configures the brute-force computation.
+type Options struct {
+	// K is the neighbor count (required, ≥ 1).
+	K int
+	// Sim is the similarity measure (required).
+	Sim profile.Similarity
+	// Workers parallelizes over users; values below 2 run serially.
+	Workers int
+}
+
+// Compute scores every ordered user pair and keeps each user's K best —
+// Θ(n²) similarity evaluations. Deterministic: ties break to smaller
+// ids, identical to the engine's ordering.
+func Compute(store *profile.Store, opts Options) (*graph.KNN, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("exact: K must be positive, got %d", opts.K)
+	}
+	if opts.Sim == nil {
+		return nil, fmt.Errorf("exact: similarity measure is required")
+	}
+	n := store.NumUsers()
+	g, err := graph.NewKNN(n, opts.K)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return g, nil
+	}
+
+	compute := func(u uint32) ([]uint32, error) {
+		tk, err := knn.NewTopK(opts.K)
+		if err != nil {
+			return nil, err
+		}
+		pu := store.Get(u)
+		for v := uint32(0); int(v) < n; v++ {
+			if v == u {
+				continue
+			}
+			tk.Push(v, opts.Sim.Score(pu, store.Get(v)))
+		}
+		return tk.IDs(), nil
+	}
+
+	if opts.Workers < 2 {
+		for u := uint32(0); int(u) < n; u++ {
+			ids, err := compute(u)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.Set(u, ids); err != nil {
+				return nil, fmt.Errorf("exact: set neighbors of %d: %w", u, err)
+			}
+		}
+		return g, nil
+	}
+
+	results := make([][]uint32, n)
+	errs := make([]error, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for u := w; u < n; u += opts.Workers {
+				ids, err := compute(uint32(u))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				results[u] = ids
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for u, ids := range results {
+		if err := g.Set(uint32(u), ids); err != nil {
+			return nil, fmt.Errorf("exact: set neighbors of %d: %w", u, err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,89 @@
+package exact
+
+import (
+	"reflect"
+	"testing"
+
+	"knnpc/internal/dataset"
+	"knnpc/internal/profile"
+)
+
+func clusteredStore(t *testing.T, users int) *profile.Store {
+	t.Helper()
+	vecs, _, err := dataset.RatingsProfiles(users, 500, 15, 3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profile.NewStoreFromVectors(vecs)
+}
+
+func TestComputeValidation(t *testing.T) {
+	store := profile.NewStore(3)
+	if _, err := Compute(store, Options{K: 0, Sim: profile.Cosine{}}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := Compute(store, Options{K: 2}); err == nil {
+		t.Error("nil similarity should fail")
+	}
+}
+
+func TestComputeEmptyStore(t *testing.T) {
+	g, err := Compute(profile.NewStore(0), Options{K: 2, Sim: profile.Cosine{}})
+	if err != nil || g.NumNodes() != 0 {
+		t.Errorf("empty store: g=%v err=%v", g, err)
+	}
+}
+
+func TestComputeHandComputed(t *testing.T) {
+	// Three users: 0 and 1 share an item, 2 is disjoint.
+	mk := func(items ...uint32) profile.Vector { return profile.FromItems(items) }
+	store := profile.NewStoreFromVectors([]profile.Vector{
+		mk(1, 2),
+		mk(2, 3),
+		mk(9),
+	})
+	g, err := Compute(store, Options{K: 1, Sim: profile.Jaccard{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []uint32{1}) {
+		t.Errorf("N(0) = %v, want [1]", got)
+	}
+	if got := g.Neighbors(1); !reflect.DeepEqual(got, []uint32{0}) {
+		t.Errorf("N(1) = %v, want [0]", got)
+	}
+	// user 2 ties at 0 similarity with both; smaller id wins.
+	if got := g.Neighbors(2); !reflect.DeepEqual(got, []uint32{0}) {
+		t.Errorf("N(2) = %v, want [0]", got)
+	}
+}
+
+func TestComputeEveryNodeHasKNeighbors(t *testing.T) {
+	store := clusteredStore(t, 40)
+	g, err := Compute(store, Options{K: 5, Sim: profile.Cosine{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint32(0); u < 40; u++ {
+		if len(g.Neighbors(u)) != 5 {
+			t.Fatalf("node %d has %d neighbors, want 5", u, len(g.Neighbors(u)))
+		}
+	}
+}
+
+func TestComputeParallelMatchesSerial(t *testing.T) {
+	store := clusteredStore(t, 60)
+	serial, err := Compute(store, Options{K: 4, Sim: profile.Cosine{}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par, err := Compute(store, Options{K: 4, Sim: profile.Cosine{}, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if serial.DiffEdges(par) != 0 {
+			t.Errorf("workers=%d: parallel result differs from serial", workers)
+		}
+	}
+}

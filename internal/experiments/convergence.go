@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"knnpc/internal/core"
+	"knnpc/internal/dataset"
+	"knnpc/internal/exact"
+	"knnpc/internal/knn"
+	"knnpc/internal/nndescent"
+	"knnpc/internal/profile"
+)
+
+// ConvergencePoint is one iteration of a quality trajectory.
+type ConvergencePoint struct {
+	Iteration int
+	// Recall is measured against the brute-force exact KNN graph.
+	Recall float64
+	// EdgeChanges is the engine's convergence signal at this step.
+	EdgeChanges int
+	// ScoredTuples counts similarity evaluations this iteration.
+	ScoredTuples int64
+}
+
+// ConvergenceResult compares the out-of-core engine's quality
+// trajectory with the NN-Descent baseline on the same workload.
+type ConvergenceResult struct {
+	Engine []ConvergencePoint
+	// NNDescentRecall is the baseline's final recall.
+	NNDescentRecall float64
+	// NNDescentSimEvals is the baseline's total similarity
+	// evaluations.
+	NNDescentSimEvals int64
+	// BruteForceEvals is n(n-1)/2, the exact computation's cost.
+	BruteForceEvals int64
+}
+
+// ConvergenceConfig parameterizes the trajectory experiment.
+type ConvergenceConfig struct {
+	Users      int
+	K          int
+	Partitions int
+	Iterations int
+	// Exploration adds random candidates per user per iteration
+	// (0 = the paper's pure rule).
+	Exploration int
+	Seed        int64
+}
+
+// Convergence runs the engine for the configured iterations, measuring
+// recall against brute force after every iteration, and runs NN-Descent
+// once on the same data for comparison. It quantifies the trade the
+// paper makes: the out-of-core iteration converges more slowly than the
+// in-memory baseline (no reverse neighbors) but never holds more than
+// two partitions of profile state in memory.
+func Convergence(ctx context.Context, cfg ConvergenceConfig) (*ConvergenceResult, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 8
+	}
+	vecs, _, err := dataset.RatingsProfiles(cfg.Users, 4*cfg.Users, 25, 8, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	store := profile.NewStoreFromVectors(vecs)
+
+	truth, err := exact.Compute(store, exact.Options{K: cfg.K, Sim: profile.Cosine{}, Workers: 4})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ground truth: %w", err)
+	}
+	n := int64(cfg.Users)
+	result := &ConvergenceResult{BruteForceEvals: n * (n - 1) / 2}
+
+	eng, err := core.New(store, core.Options{
+		K:                cfg.K,
+		NumPartitions:    cfg.Partitions,
+		RandomCandidates: cfg.Exploration,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	for i := 0; i < cfg.Iterations; i++ {
+		st, err := eng.Iterate(ctx)
+		if err != nil {
+			return nil, err
+		}
+		result.Engine = append(result.Engine, ConvergencePoint{
+			Iteration:    i,
+			Recall:       knn.Recall(eng.Graph(), truth),
+			EdgeChanges:  st.EdgeChanges,
+			ScoredTuples: st.TuplesScored,
+		})
+		if st.EdgeChanges == 0 {
+			break
+		}
+	}
+
+	approx, stats, err := nndescent.Run(store, nndescent.Options{
+		K:    cfg.K,
+		Sim:  profile.Cosine{},
+		Rho:  0.5, // the standard sampling rate of Dong et al.
+		Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: NN-Descent baseline: %w", err)
+	}
+	result.NNDescentRecall = knn.Recall(approx, truth)
+	result.NNDescentSimEvals = stats.SimEvals
+	return result, nil
+}

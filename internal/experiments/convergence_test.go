@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestConvergenceTrajectory(t *testing.T) {
+	res, err := Convergence(context.Background(), ConvergenceConfig{
+		Users: 150, K: 5, Partitions: 5, Iterations: 8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Engine) == 0 {
+		t.Fatal("no trajectory points")
+	}
+	first, last := res.Engine[0], res.Engine[len(res.Engine)-1]
+	if last.Recall < first.Recall {
+		t.Errorf("recall regressed: %.3f -> %.3f", first.Recall, last.Recall)
+	}
+	if last.EdgeChanges > first.EdgeChanges {
+		t.Errorf("edge churn grew: %d -> %d", first.EdgeChanges, last.EdgeChanges)
+	}
+	if res.NNDescentRecall < 0.5 {
+		t.Errorf("NN-Descent baseline recall %.3f suspiciously low", res.NNDescentRecall)
+	}
+	if res.NNDescentSimEvals >= res.BruteForceEvals {
+		t.Errorf("baseline used %d evals, brute force needs %d", res.NNDescentSimEvals, res.BruteForceEvals)
+	}
+}
+
+func TestConvergenceWithExploration(t *testing.T) {
+	// Exploration must not break the trajectory; it typically speeds
+	// discovery on clustered data.
+	res, err := Convergence(context.Background(), ConvergenceConfig{
+		Users: 120, K: 4, Partitions: 4, Iterations: 6, Exploration: 2, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Engine) == 0 || res.Engine[len(res.Engine)-1].Recall <= 0 {
+		t.Error("exploration trajectory empty or zero recall")
+	}
+}

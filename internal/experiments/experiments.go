@@ -1,0 +1,196 @@
+// Package experiments programmatically regenerates every table and
+// figure of the paper plus the future-work sweeps, returning structured
+// rows that the command-line harnesses print and EXPERIMENTS.md
+// records. Keeping the experiment logic in one library guarantees the
+// numbers in documentation, commands and benchmarks come from the same
+// code.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"knnpc/internal/core"
+	"knnpc/internal/dataset"
+	"knnpc/internal/disk"
+	"knnpc/internal/pigraph"
+	"knnpc/internal/profile"
+)
+
+// Table1Row is one dataset row of the paper's Table 1.
+type Table1Row struct {
+	Dataset string
+	Nodes   int
+	Edges   int
+	// Ops maps heuristic name to simulated load/unload operations.
+	Ops map[string]int64
+}
+
+// PaperTable1 returns the values printed in the paper's Table 1,
+// keyed by dataset then heuristic name.
+func PaperTable1() map[string]map[string]int64 {
+	return map[string]map[string]int64{
+		dataset.WikiVote:     {"Seq.": 211856, "High-Low": 204706, "Low-High": 202290},
+		dataset.GeneralRel:   {"Seq.": 34506, "High-Low": 32220, "Low-High": 31256},
+		dataset.HighEnergy:   {"Seq.": 252754, "High-Low": 242132, "Low-High": 240872},
+		dataset.AstroPhysics: {"Seq.": 420442, "High-Low": 400050, "Low-High": 401770},
+		dataset.Email:        {"Seq.": 399604, "High-Low": 382928, "Low-High": 379312},
+		dataset.Gnutella:     {"Seq.": 157040, "High-Low": 144072, "Low-High": 132710},
+	}
+}
+
+// Table1 regenerates the paper's Table 1 over the given datasets and
+// heuristics: each dataset graph is used as PI-graph structure and
+// each heuristic's schedule is validated and simulated.
+func Table1(specs []dataset.GraphSpec, heuristics []pigraph.Heuristic) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(specs))
+	for _, spec := range specs {
+		dg, err := spec.Generate()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generate %s: %w", spec.Name, err)
+		}
+		pi, err := pigraph.FromDigraph(dg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: PI graph of %s: %w", spec.Name, err)
+		}
+		row := Table1Row{
+			Dataset: spec.Name,
+			Nodes:   spec.Nodes,
+			Edges:   spec.Edges,
+			Ops:     make(map[string]int64, len(heuristics)),
+		}
+		for _, h := range heuristics {
+			schedule := h.Plan(pi)
+			if err := schedule.Validate(pi); err != nil {
+				return nil, fmt.Errorf("experiments: %s schedule on %s: %w", h.Name(), spec.Name, err)
+			}
+			row.Ops[h.Name()] = schedule.Simulate().Ops()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SweepPoint is one measured configuration of an engine sweep.
+type SweepPoint struct {
+	// Label names the swept value (e.g. "users=2000").
+	Label string
+	// IterTime is the mean wall time of one full iteration.
+	IterTime time.Duration
+	// Ops is the load/unload operations of the last iteration.
+	Ops int64
+	// IO is the I/O delta of the last iteration.
+	IO disk.Snapshot
+}
+
+// EngineConfig describes one engine sweep point.
+type EngineConfig struct {
+	Label      string
+	Users      int
+	K          int
+	Partitions int
+	Workers    int
+	OnDisk     bool
+	Iterations int
+	Seed       int64
+}
+
+// RunEngine measures one engine configuration: it generates a clustered
+// ratings workload, runs the requested iterations, and reports the mean
+// iteration time plus the final iteration's ops and I/O.
+func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
+	point := SweepPoint{Label: cfg.Label}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 2
+	}
+	vecs, _, err := dataset.RatingsProfiles(cfg.Users, 4*cfg.Users, 25, 8, cfg.Seed)
+	if err != nil {
+		return point, err
+	}
+	eng, err := core.New(profile.NewStoreFromVectors(vecs), core.Options{
+		K:             cfg.K,
+		NumPartitions: cfg.Partitions,
+		Workers:       cfg.Workers,
+		OnDisk:        cfg.OnDisk,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return point, err
+	}
+	defer eng.Close()
+
+	var total time.Duration
+	for i := 0; i < cfg.Iterations; i++ {
+		st, err := eng.Iterate(ctx)
+		if err != nil {
+			return point, err
+		}
+		total += st.Phases.Total()
+		point.Ops = st.Ops()
+		point.IO = st.IO
+	}
+	point.IterTime = total / time.Duration(cfg.Iterations)
+	return point, nil
+}
+
+// GraphSizeSweep measures iteration time against user count (FW-1).
+func GraphSizeSweep(ctx context.Context, sizes []int) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(sizes))
+	for _, n := range sizes {
+		p, err := RunEngine(ctx, EngineConfig{
+			Label: fmt.Sprintf("users=%d", n), Users: n,
+			K: 10, Partitions: 8, OnDisk: true, Iterations: 2, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// MemorySweep measures ops and I/O against the partition count m
+// (FW-2): larger m = smaller resident footprint bought with more
+// load/unload operations.
+func MemorySweep(ctx context.Context, users int, ms []int) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(ms))
+	for _, m := range ms {
+		p, err := RunEngine(ctx, EngineConfig{
+			Label: fmt.Sprintf("m=%d", m), Users: users,
+			K: 10, Partitions: m, OnDisk: true, Iterations: 2, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// ThreadSweep measures iteration time against scoring workers (FW-4).
+func ThreadSweep(ctx context.Context, users int, workers []int) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(workers))
+	for _, w := range workers {
+		p, err := RunEngine(ctx, EngineConfig{
+			Label: fmt.Sprintf("workers=%d", w), Users: users,
+			K: 10, Partitions: 8, Workers: w, Iterations: 2, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// DiskProjection projects one iteration's measured I/O through the
+// HDD/SSD/NVMe cost models (FW-3), returning modeled device time per
+// model name.
+func DiskProjection(io disk.Snapshot) map[string]time.Duration {
+	out := make(map[string]time.Duration, 3)
+	for _, m := range []disk.Model{disk.HDD, disk.SSD, disk.NVMe} {
+		out[m.Name] = m.EstimateTime(io)
+	}
+	return out
+}

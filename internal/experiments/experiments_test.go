@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"knnpc/internal/dataset"
+	"knnpc/internal/disk"
+	"knnpc/internal/pigraph"
+)
+
+// smallSpecs returns downsized dataset specs so the experiment paths
+// run fast under test; the full presets are exercised by cmd/table1
+// and the benchmarks.
+func smallSpecs() []dataset.GraphSpec {
+	return []dataset.GraphSpec{
+		{Name: "small-skewed", Nodes: 400, Edges: 3000, Alpha: 0.8, Seed: 1},
+		{Name: "small-flat", Nodes: 400, Edges: 1200, Alpha: 0.1, Seed: 2},
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows, err := Table1(smallSpecs(), pigraph.Heuristics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		seq, hl, lh := row.Ops["Seq."], row.Ops["High-Low"], row.Ops["Low-High"]
+		if seq == 0 || hl == 0 || lh == 0 {
+			t.Fatalf("%s: missing ops: %+v", row.Dataset, row.Ops)
+		}
+		if hl > seq || lh > seq {
+			t.Errorf("%s: degree heuristics should not lose to sequential (%d/%d vs %d)",
+				row.Dataset, hl, lh, seq)
+		}
+	}
+}
+
+func TestPaperTable1Shape(t *testing.T) {
+	paper := PaperTable1()
+	if len(paper) != 6 {
+		t.Fatalf("paper table should have 6 datasets, has %d", len(paper))
+	}
+	for ds, ops := range paper {
+		seq := ops["Seq."]
+		for h, v := range ops {
+			if v <= 0 {
+				t.Errorf("%s/%s: non-positive ops", ds, h)
+			}
+			if h != "Seq." && v >= seq {
+				t.Errorf("%s: paper reports %s (%d) beating Seq. (%d)?", ds, h, v, seq)
+			}
+		}
+	}
+}
+
+func TestRunEngineAndSweeps(t *testing.T) {
+	ctx := context.Background()
+	point, err := RunEngine(ctx, EngineConfig{
+		Label: "tiny", Users: 120, K: 4, Partitions: 4, Iterations: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.IterTime <= 0 || point.Ops == 0 {
+		t.Errorf("sweep point not measured: %+v", point)
+	}
+
+	sizes, err := GraphSizeSweep(ctx, []int{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 2 || sizes[0].Label != "users=100" {
+		t.Errorf("size sweep wrong: %+v", sizes)
+	}
+
+	mems, err := MemorySweep(ctx, 150, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mems) != 2 {
+		t.Fatalf("memory sweep wrong length")
+	}
+	// More partitions -> more load/unload operations.
+	if mems[1].Ops <= mems[0].Ops {
+		t.Errorf("m=4 should need more ops than m=2: %d vs %d", mems[1].Ops, mems[0].Ops)
+	}
+
+	threads, err := ThreadSweep(ctx, 120, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(threads) != 2 {
+		t.Fatalf("thread sweep wrong length")
+	}
+}
+
+func TestDiskProjectionOrdering(t *testing.T) {
+	io := disk.Snapshot{Seeks: 100, BytesRead: 10 << 20, BytesWritten: 10 << 20}
+	proj := DiskProjection(io)
+	if !(proj["hdd"] > proj["ssd"] && proj["ssd"] > proj["nvme"]) {
+		t.Errorf("projection ordering wrong: %v", proj)
+	}
+	for name, d := range proj {
+		if d <= 0 {
+			t.Errorf("%s: non-positive modeled time %v", name, d)
+		}
+	}
+}

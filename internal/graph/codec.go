@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The binary edge-file layout is:
+//
+//	magic   [8]byte  "KNNPCEDG"
+//	version uint32   currently 1
+//	nodes   uint32   number of nodes
+//	edges   uint64   number of edges
+//	payload edges × (src uint32, dst uint32), little endian
+const (
+	binaryMagic   = "KNNPCEDG"
+	binaryVersion = 1
+)
+
+// ParseSNAP reads an edge list in the SNAP text format: one "src dst"
+// pair per line (whitespace separated), lines starting with '#' are
+// comments. It returns the edges and the implied node count (max id + 1).
+func ParseSNAP(r io.Reader) ([]Edge, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var (
+		edges []Edge
+		maxID uint32
+		any   bool
+		line  int
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("graph: line %d: want \"src dst\", got %q", line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad source id %q: %w", line, fields[0], err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad destination id %q: %w", line, fields[1], err)
+		}
+		edges = append(edges, Edge{Src: uint32(src), Dst: uint32(dst)})
+		if uint32(src) > maxID {
+			maxID = uint32(src)
+		}
+		if uint32(dst) > maxID {
+			maxID = uint32(dst)
+		}
+		any = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("graph: scan edge list: %w", err)
+	}
+	n := 0
+	if any {
+		n = int(maxID) + 1
+	}
+	return edges, n, nil
+}
+
+// WriteSNAP writes edges in the SNAP text format with a comment header.
+func WriteSNAP(w io.Writer, n int, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# Nodes: %d Edges: %d\n", n, len(edges)); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst); err != nil {
+			return fmt.Errorf("graph: write edge: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flush edge list: %w", err)
+	}
+	return nil
+}
+
+// WriteBinary writes the compact binary edge-file format.
+func WriteBinary(w io.Writer, n int, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("graph: write magic: %w", err)
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:4], binaryVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(n))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(edges)))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	buf := make([]byte, 8)
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(buf[0:4], e.Src)
+		binary.LittleEndian.PutUint32(buf[4:8], e.Dst)
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("graph: write edge: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flush binary edges: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary reads the binary edge-file format written by WriteBinary.
+func ReadBinary(r io.Reader) ([]Edge, int, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(binaryMagic)+16)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, 0, fmt.Errorf("graph: read binary header: %w", err)
+	}
+	if string(head[:len(binaryMagic)]) != binaryMagic {
+		return nil, 0, fmt.Errorf("graph: bad magic %q", head[:len(binaryMagic)])
+	}
+	rest := head[len(binaryMagic):]
+	if v := binary.LittleEndian.Uint32(rest[0:4]); v != binaryVersion {
+		return nil, 0, fmt.Errorf("graph: unsupported edge-file version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(rest[4:8]))
+	m := binary.LittleEndian.Uint64(rest[8:16])
+	const maxReasonableEdges = 1 << 33
+	if m > maxReasonableEdges {
+		return nil, 0, fmt.Errorf("graph: implausible edge count %d", m)
+	}
+	edges := make([]Edge, m)
+	buf := make([]byte, 8)
+	for i := range edges {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, 0, fmt.Errorf("graph: read edge %d of %d: %w", i, m, err)
+		}
+		edges[i] = Edge{
+			Src: binary.LittleEndian.Uint32(buf[0:4]),
+			Dst: binary.LittleEndian.Uint32(buf[4:8]),
+		}
+	}
+	return edges, n, nil
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSNAP(t *testing.T) {
+	tests := []struct {
+		name      string
+		input     string
+		wantEdges []Edge
+		wantN     int
+		wantErr   bool
+	}{
+		{
+			name:      "basic with comments",
+			input:     "# a comment\n0\t1\n2 3\n\n# trailing\n1\t0\n",
+			wantEdges: []Edge{{0, 1}, {2, 3}, {1, 0}},
+			wantN:     4,
+		},
+		{
+			name:      "empty input",
+			input:     "",
+			wantEdges: nil,
+			wantN:     0,
+		},
+		{
+			name:      "only comments",
+			input:     "# nothing\n# here\n",
+			wantEdges: nil,
+			wantN:     0,
+		},
+		{
+			name:    "missing destination",
+			input:   "5\n",
+			wantErr: true,
+		},
+		{
+			name:    "non numeric",
+			input:   "a b\n",
+			wantErr: true,
+		},
+		{
+			name:    "negative id",
+			input:   "-1 2\n",
+			wantErr: true,
+		},
+		{
+			name:      "extra columns ignored",
+			input:     "1 2 weight=9\n",
+			wantEdges: []Edge{{1, 2}},
+			wantN:     3,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			edges, n, err := ParseSNAP(strings.NewReader(tt.input))
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if !reflect.DeepEqual(edges, tt.wantEdges) || n != tt.wantN {
+				t.Errorf("got edges=%v n=%d, want edges=%v n=%d", edges, n, tt.wantEdges, tt.wantN)
+			}
+		})
+	}
+}
+
+func TestSNAPRoundTrip(t *testing.T) {
+	in := []Edge{{0, 3}, {3, 0}, {1, 2}}
+	var buf bytes.Buffer
+	if err := WriteSNAP(&buf, 4, in); err != nil {
+		t.Fatalf("WriteSNAP: %v", err)
+	}
+	out, n, err := ParseSNAP(&buf)
+	if err != nil {
+		t.Fatalf("ParseSNAP: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) || n != 4 {
+		t.Errorf("round trip mismatch: got %v n=%d", out, n)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		in := randomEdges(r, n, r.Intn(100))
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, n, in); err != nil {
+			return false
+		}
+		out, gotN, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if gotN != n || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, 3, []Edge{{0, 1}, {1, 2}}); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = 'X'
+		if _, _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+			t.Error("corrupted magic should fail")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[8] = 99
+		if _, _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+			t.Error("unsupported version should fail")
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		if _, _, err := ReadBinary(bytes.NewReader(good[:len(good)-3])); err == nil {
+			t.Error("truncated payload should fail")
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		if _, _, err := ReadBinary(bytes.NewReader(good[:5])); err == nil {
+			t.Error("truncated header should fail")
+		}
+	})
+	t.Run("implausible edge count", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		for i := 16; i < 24; i++ {
+			bad[i] = 0xFF
+		}
+		if _, _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+			t.Error("implausible edge count should fail fast")
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package graph
+
+// WeaklyConnectedComponents labels each node with a component id
+// (0-based, in order of discovery from the smallest node id), treating
+// every arc as undirected. It returns the labels and the component
+// count. Dataset diagnostics use it to check that synthetic graphs are
+// not fragmenting into islands.
+func WeaklyConnectedComponents(g *Digraph) ([]int, int) {
+	n := g.NumNodes()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	tr := g.Transpose()
+	next := 0
+	queue := make([]uint32, 0, n)
+	for start := 0; start < n; start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		labels[start] = next
+		queue = append(queue[:0], uint32(start))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.OutNeighbors(u) {
+				if labels[v] == -1 {
+					labels[v] = next
+					queue = append(queue, v)
+				}
+			}
+			for _, v := range tr.OutNeighbors(u) {
+				if labels[v] == -1 {
+					labels[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return labels, next
+}
+
+// LargestComponentFraction reports the share of nodes in the largest
+// weakly connected component (0 for an empty graph).
+func LargestComponentFraction(g *Digraph) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	labels, count := WeaklyConnectedComponents(g)
+	sizes := make([]int, count)
+	for _, c := range labels {
+		sizes[c]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return float64(max) / float64(n)
+}
+
+// BFSDistances returns the hop distance from src to every node along
+// out-edges (-1 for unreachable nodes).
+func BFSDistances(g *Digraph, src uint32) []int {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if int(src) >= n {
+		return dist
+	}
+	dist[src] = 0
+	queue := []uint32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	// Two components: {0,1,2} (mixed arc directions) and {3,4}.
+	g := NewDigraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1) // joins via in-edge: weak connectivity
+	g.AddEdge(4, 3)
+
+	labels, count := WeaklyConnectedComponents(g)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("nodes 0,1,2 should share a component: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Errorf("nodes 3,4 should form their own component: %v", labels)
+	}
+}
+
+func TestWeaklyConnectedComponentsIsolated(t *testing.T) {
+	g := NewDigraph(3) // no edges: three singleton components
+	labels, count := WeaklyConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if !reflect.DeepEqual(labels, []int{0, 1, 2}) {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestLargestComponentFraction(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if got := LargestComponentFraction(g); got != 0.75 {
+		t.Errorf("fraction = %v, want 0.75", got)
+	}
+	if got := LargestComponentFraction(NewDigraph(0)); got != 0 {
+		t.Errorf("empty graph fraction = %v, want 0", got)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// 0→1→2, 0→3; node 4 unreachable; arcs are directed.
+	g := NewDigraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(4, 0) // in-edge does not help forward BFS
+
+	want := []int{0, 1, 2, 1, -1}
+	if got := BFSDistances(g, 0); !reflect.DeepEqual(got, want) {
+		t.Errorf("BFSDistances = %v, want %v", got, want)
+	}
+	if got := BFSDistances(g, 99); got[0] != -1 {
+		t.Error("out-of-range source should reach nothing")
+	}
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is an immutable directed graph in compressed-sparse-row form. It
+// stores all out-adjacency lists in one contiguous targets array indexed
+// by per-node offsets, giving cache-friendly sequential scans — the
+// representation used for partition edge files on disk.
+type CSR struct {
+	offsets []uint64
+	targets []uint32
+}
+
+// NewCSR builds a CSR over nodes [0, n) from an edge list. Adjacency
+// lists are sorted by destination id; duplicate edges are collapsed. It
+// returns an error if any endpoint is out of range.
+func NewCSR(n int, edges []Edge) (*CSR, error) {
+	for _, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.Src, e.Dst, n)
+		}
+	}
+	sorted := append([]Edge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Src != sorted[j].Src {
+			return sorted[i].Src < sorted[j].Src
+		}
+		return sorted[i].Dst < sorted[j].Dst
+	})
+	c := &CSR{
+		offsets: make([]uint64, n+1),
+		targets: make([]uint32, 0, len(sorted)),
+	}
+	for i, e := range sorted {
+		if i > 0 && sorted[i-1] == e {
+			continue // collapse duplicates
+		}
+		c.targets = append(c.targets, e.Dst)
+		c.offsets[e.Src+1]++
+	}
+	for i := 1; i <= n; i++ {
+		c.offsets[i] += c.offsets[i-1]
+	}
+	return c, nil
+}
+
+// CSRFromDigraph converts g into CSR form.
+func CSRFromDigraph(g *Digraph) *CSR {
+	c, err := NewCSR(g.NumNodes(), g.Edges())
+	if err != nil {
+		// Digraph cannot hold out-of-range edges; this is unreachable.
+		panic("graph: digraph produced out-of-range edge: " + err.Error())
+	}
+	return c
+}
+
+// NumNodes reports the number of nodes.
+func (c *CSR) NumNodes() int { return len(c.offsets) - 1 }
+
+// NumEdges reports the number of directed edges.
+func (c *CSR) NumEdges() int { return len(c.targets) }
+
+// OutDegree reports the out-degree of u.
+func (c *CSR) OutDegree(u uint32) int {
+	if int(u) >= c.NumNodes() {
+		return 0
+	}
+	return int(c.offsets[u+1] - c.offsets[u])
+}
+
+// OutNeighbors returns the sorted out-neighbor list of u as a view into
+// the CSR's internal storage; callers must not mutate it.
+func (c *CSR) OutNeighbors(u uint32) []uint32 {
+	if int(u) >= c.NumNodes() {
+		return nil
+	}
+	return c.targets[c.offsets[u]:c.offsets[u+1]]
+}
+
+// HasEdge reports whether the arc (src, dst) is present, using binary
+// search over the sorted adjacency list.
+func (c *CSR) HasEdge(src, dst uint32) bool {
+	nbrs := c.OutNeighbors(src)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= dst })
+	return i < len(nbrs) && nbrs[i] == dst
+}
+
+// Edges returns a copy of all edges in (src, dst) sorted order.
+func (c *CSR) Edges() []Edge {
+	edges := make([]Edge, 0, len(c.targets))
+	for u := 0; u < c.NumNodes(); u++ {
+		for _, v := range c.OutNeighbors(uint32(u)) {
+			edges = append(edges, Edge{Src: uint32(u), Dst: v})
+		}
+	}
+	return edges
+}
+
+// Transpose returns the CSR of the reversed graph.
+func (c *CSR) Transpose() *CSR {
+	edges := c.Edges()
+	for i := range edges {
+		edges[i].Src, edges[i].Dst = edges[i].Dst, edges[i].Src
+	}
+	t, err := NewCSR(c.NumNodes(), edges)
+	if err != nil {
+		panic("graph: transpose produced out-of-range edge: " + err.Error())
+	}
+	return t
+}

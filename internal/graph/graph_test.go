@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigraphAddRemove(t *testing.T) {
+	g := NewDigraph(4)
+	if got := g.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d, want 4", got)
+	}
+	if !g.AddEdge(0, 1) {
+		t.Error("AddEdge(0,1) first insert should report true")
+	}
+	if g.AddEdge(0, 1) {
+		t.Error("AddEdge(0,1) duplicate insert should report false")
+	}
+	if !g.AddEdge(1, 0) {
+		t.Error("AddEdge(1,0) reverse arc should be independent")
+	}
+	if got := g.NumEdges(); got != 2 {
+		t.Fatalf("NumEdges = %d, want 2", got)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge should see both arcs")
+	}
+	if g.HasEdge(2, 3) {
+		t.Error("HasEdge(2,3) should be false")
+	}
+	if !g.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge(0,1) should report true")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge(0,1) twice should report false")
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("edge (0,1) should be gone after removal")
+	}
+	if got := g.NumEdges(); got != 1 {
+		t.Fatalf("NumEdges after removal = %d, want 1", got)
+	}
+}
+
+func TestDigraphOutOfRange(t *testing.T) {
+	g := NewDigraph(2)
+	if g.AddEdge(0, 5) {
+		t.Error("AddEdge with out-of-range dst should report false")
+	}
+	if g.AddEdge(5, 0) {
+		t.Error("AddEdge with out-of-range src should report false")
+	}
+	if g.NumEdges() != 0 {
+		t.Error("out-of-range adds must not change edge count")
+	}
+	if g.OutDegree(9) != 0 || g.OutNeighbors(9) != nil {
+		t.Error("queries on out-of-range nodes should be empty")
+	}
+	if g.RemoveEdge(9, 0) {
+		t.Error("RemoveEdge on out-of-range src should report false")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {0, 1}} // duplicate collapses
+	g, err := FromEdges(3, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 (duplicate collapsed)", g.NumEdges())
+	}
+	if _, err := FromEdges(2, []Edge{{0, 7}}); err == nil {
+		t.Fatal("FromEdges with out-of-range endpoint should fail")
+	}
+}
+
+func TestDigraphCloneIsDeep(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Error("mutating the clone must not affect the original")
+	}
+	if c.NumEdges() != 2 || g.NumEdges() != 1 {
+		t.Errorf("edge counts diverged wrong: clone=%d orig=%d", c.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestTransposeHandComputed(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 1)
+	tr := g.Transpose()
+	want := map[Edge]bool{{1, 0}: true, {2, 0}: true, {1, 2}: true}
+	got := tr.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("transpose has %d edges, want %d", len(got), len(want))
+	}
+	for _, e := range got {
+		if !want[e] {
+			t.Errorf("unexpected transposed edge %v", e)
+		}
+	}
+}
+
+func TestDegreeAccessors(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 1)
+	if got := g.OutDegrees(); !reflect.DeepEqual(got, []int{2, 0, 0, 1}) {
+		t.Errorf("OutDegrees = %v", got)
+	}
+	if got := g.InDegrees(); !reflect.DeepEqual(got, []int{0, 2, 1, 0}) {
+		t.Errorf("InDegrees = %v", got)
+	}
+	if got := g.TotalDegrees(); !reflect.DeepEqual(got, []int{2, 2, 1, 1}) {
+		t.Errorf("TotalDegrees = %v", got)
+	}
+}
+
+func TestSortAdjacency(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(0, 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.SortAdjacency()
+	if got := g.OutNeighbors(0); !reflect.DeepEqual(got, []uint32{1, 2, 3}) {
+		t.Errorf("sorted adjacency = %v, want [1 2 3]", got)
+	}
+}
+
+// randomEdges draws m random (possibly duplicate) edges over n nodes.
+func randomEdges(rng *rand.Rand, n, m int) []Edge {
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{Src: uint32(rng.Intn(n)), Dst: uint32(rng.Intn(n))}
+	}
+	return edges
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		g, err := FromEdges(n, randomEdges(r, n, 3*n))
+		if err != nil {
+			return false
+		}
+		g.SortAdjacency()
+		tt := g.Transpose().Transpose()
+		tt.SortAdjacency()
+		return reflect.DeepEqual(g.Edges(), tt.Edges())
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRMatchesDigraphProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		g, err := FromEdges(n, randomEdges(r, n, 2*n))
+		if err != nil {
+			return false
+		}
+		c := CSRFromDigraph(g)
+		if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			want := append([]uint32(nil), g.OutNeighbors(uint32(u))...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if !reflect.DeepEqual(nilIfEmpty(want), nilIfEmpty(c.OutNeighbors(uint32(u)))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nilIfEmpty(s []uint32) []uint32 {
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
+
+func TestCSRDuplicateCollapseAndHasEdge(t *testing.T) {
+	c, err := NewCSR(3, []Edge{{0, 2}, {0, 1}, {0, 2}, {2, 0}})
+	if err != nil {
+		t.Fatalf("NewCSR: %v", err)
+	}
+	if c.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3 (duplicate collapsed)", c.NumEdges())
+	}
+	if got := c.OutNeighbors(0); !reflect.DeepEqual(got, []uint32{1, 2}) {
+		t.Errorf("OutNeighbors(0) = %v, want sorted [1 2]", got)
+	}
+	if !c.HasEdge(0, 2) || c.HasEdge(0, 0) || c.HasEdge(1, 2) {
+		t.Error("HasEdge gave wrong answers")
+	}
+	if c.OutDegree(7) != 0 || c.OutNeighbors(7) != nil {
+		t.Error("out-of-range CSR queries should be empty")
+	}
+}
+
+func TestCSRRejectsOutOfRange(t *testing.T) {
+	if _, err := NewCSR(2, []Edge{{0, 2}}); err == nil {
+		t.Fatal("NewCSR should reject out-of-range endpoints")
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	c, err := NewCSR(3, []Edge{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatalf("NewCSR: %v", err)
+	}
+	tr := c.Transpose()
+	if !tr.HasEdge(1, 0) || !tr.HasEdge(2, 1) || tr.NumEdges() != 2 {
+		t.Errorf("transpose edges wrong: %v", tr.Edges())
+	}
+}

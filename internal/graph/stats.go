@@ -1,0 +1,61 @@
+package graph
+
+import "sort"
+
+// DegreeStats summarizes a degree distribution. It is used by the
+// dataset generators' self-checks and by the experiment harnesses to
+// verify that synthetic graphs have the intended structural character
+// (e.g. heavy-tailed for social graphs).
+type DegreeStats struct {
+	Min    int
+	Max    int
+	Mean   float64
+	Median int
+	P90    int
+	P99    int
+	// Gini is the Gini coefficient of the degree distribution in
+	// [0, 1): 0 means perfectly uniform degrees, values near 1 mean a
+	// few hubs hold most of the edges.
+	Gini float64
+}
+
+// ComputeDegreeStats summarizes the given degrees. An empty input yields
+// the zero DegreeStats.
+func ComputeDegreeStats(degrees []int) DegreeStats {
+	if len(degrees) == 0 {
+		return DegreeStats{}
+	}
+	sorted := append([]int(nil), degrees...)
+	sort.Ints(sorted)
+	var sum float64
+	for _, d := range sorted {
+		sum += float64(d)
+	}
+	st := DegreeStats{
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   sum / float64(len(sorted)),
+		Median: sorted[len(sorted)/2],
+		P90:    sorted[percentileIndex(len(sorted), 90)],
+		P99:    sorted[percentileIndex(len(sorted), 99)],
+	}
+	if sum > 0 {
+		// Gini via the sorted-values formula:
+		// G = (2·Σ i·x_i) / (n·Σ x_i) − (n+1)/n, with i starting at 1.
+		var weighted float64
+		for i, d := range sorted {
+			weighted += float64(i+1) * float64(d)
+		}
+		n := float64(len(sorted))
+		st.Gini = 2*weighted/(n*sum) - (n+1)/n
+	}
+	return st
+}
+
+func percentileIndex(n, pct int) int {
+	idx := n * pct / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}

@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeDegreeStatsEmpty(t *testing.T) {
+	st := ComputeDegreeStats(nil)
+	if st != (DegreeStats{}) {
+		t.Errorf("empty input should yield zero stats, got %+v", st)
+	}
+}
+
+func TestComputeDegreeStatsUniform(t *testing.T) {
+	st := ComputeDegreeStats([]int{4, 4, 4, 4})
+	if st.Min != 4 || st.Max != 4 || st.Mean != 4 || st.Median != 4 {
+		t.Errorf("uniform stats wrong: %+v", st)
+	}
+	if math.Abs(st.Gini) > 1e-9 {
+		t.Errorf("uniform distribution should have Gini 0, got %g", st.Gini)
+	}
+}
+
+func TestComputeDegreeStatsSkewed(t *testing.T) {
+	// One hub with all the degree: Gini should approach (n-1)/n.
+	degs := []int{0, 0, 0, 100}
+	st := ComputeDegreeStats(degs)
+	if st.Min != 0 || st.Max != 100 || st.Mean != 25 {
+		t.Errorf("skewed stats wrong: %+v", st)
+	}
+	if st.Gini < 0.7 {
+		t.Errorf("hub-dominated distribution should have high Gini, got %g", st.Gini)
+	}
+}
+
+func TestComputeDegreeStatsPercentiles(t *testing.T) {
+	degs := make([]int, 100)
+	for i := range degs {
+		degs[i] = i // 0..99
+	}
+	st := ComputeDegreeStats(degs)
+	if st.Median != 50 {
+		t.Errorf("Median = %d, want 50", st.Median)
+	}
+	if st.P90 != 90 {
+		t.Errorf("P90 = %d, want 90", st.P90)
+	}
+	if st.P99 != 99 {
+		t.Errorf("P99 = %d, want 99", st.P99)
+	}
+}
+
+func TestGiniIsScaleInvariant(t *testing.T) {
+	a := ComputeDegreeStats([]int{1, 2, 3, 4})
+	b := ComputeDegreeStats([]int{10, 20, 30, 40})
+	if math.Abs(a.Gini-b.Gini) > 1e-9 {
+		t.Errorf("Gini should be scale invariant: %g vs %g", a.Gini, b.Gini)
+	}
+}

@@ -1,0 +1,47 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkTopKPush measures accumulator insertion under a realistic
+// mix (most candidates rejected once the heap is warm).
+func BenchmarkTopKPush(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	scores := make([]float64, 4096)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk, err := NewTopK(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, s := range scores {
+			tk.Push(uint32(j), s)
+		}
+	}
+}
+
+func BenchmarkTopKEncodeDecode(b *testing.B) {
+	tk, err := NewTopK(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for j := 0; j < 100; j++ {
+		tk.Push(uint32(j), rng.Float64())
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tk.AppendBinary(buf[:0])
+		if _, _, err := DecodeTopK(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

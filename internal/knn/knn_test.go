@@ -1,0 +1,230 @@
+package knn
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"knnpc/internal/graph"
+	"knnpc/internal/profile"
+	"knnpc/internal/tuples"
+)
+
+func TestNewTopKValidation(t *testing.T) {
+	if _, err := NewTopK(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewTopK(-3); err == nil {
+		t.Error("negative k should fail")
+	}
+}
+
+func TestTopKKeepsBest(t *testing.T) {
+	tk, err := NewTopK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Push(1, 0.1)
+	tk.Push(2, 0.9)
+	tk.Push(3, 0.5)
+	tk.Push(4, 0.05)
+	want := []Scored{{ID: 2, Score: 0.9}, {ID: 3, Score: 0.5}}
+	if got := tk.Result(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Result = %v, want %v", got, want)
+	}
+	if got := tk.IDs(); !reflect.DeepEqual(got, []uint32{2, 3}) {
+		t.Errorf("IDs = %v", got)
+	}
+}
+
+func TestTopKTieBreaksOnSmallerID(t *testing.T) {
+	tk, _ := NewTopK(1)
+	tk.Push(9, 0.5)
+	tk.Push(3, 0.5) // same score, smaller id wins
+	if got := tk.IDs(); !reflect.DeepEqual(got, []uint32{3}) {
+		t.Errorf("IDs = %v, want [3]", got)
+	}
+	tk.Push(7, 0.5) // worse than 3 on the tiebreak
+	if got := tk.IDs(); !reflect.DeepEqual(got, []uint32{3}) {
+		t.Errorf("IDs after worse tie = %v, want [3]", got)
+	}
+}
+
+func TestTopKMatchesSortSelectionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(8)
+		n := r.Intn(60)
+		tk, err := NewTopK(k)
+		if err != nil {
+			return false
+		}
+		candidates := make([]Scored, 0, n)
+		for i := 0; i < n; i++ {
+			// Distinct ids; quantized scores force plenty of ties.
+			s := Scored{ID: uint32(i), Score: float64(r.Intn(10)) / 10}
+			candidates = append(candidates, s)
+			tk.Push(s.ID, s.Score)
+		}
+		return reflect.DeepEqual(tk.Result(), SelectTopK(candidates, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKMerge(t *testing.T) {
+	a, _ := NewTopK(3)
+	b, _ := NewTopK(3)
+	a.Push(1, 0.9)
+	a.Push(2, 0.1)
+	b.Push(3, 0.5)
+	b.Push(4, 0.7)
+	a.Merge(b)
+	want := []uint32{1, 4, 3}
+	if got := a.IDs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("merged IDs = %v, want %v", got, want)
+	}
+}
+
+func TestTopKBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(6)
+		tk, err := NewTopK(k)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < r.Intn(20); i++ {
+			tk.Push(uint32(i), r.Float64())
+		}
+		buf := tk.AppendBinary(nil)
+		if len(buf) != tk.ByteSize() {
+			return false
+		}
+		got, rest, err := DecodeTopK(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return reflect.DeepEqual(got.Result(), tk.Result()) && got.K() == tk.K()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTopKErrors(t *testing.T) {
+	tk, _ := NewTopK(2)
+	tk.Push(1, 0.5)
+	buf := tk.AppendBinary(nil)
+	if _, _, err := DecodeTopK(buf[:4]); err == nil {
+		t.Error("short header should fail")
+	}
+	if _, _, err := DecodeTopK(buf[:len(buf)-2]); err == nil {
+		t.Error("truncated payload should fail")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[4] = 200 // count > k
+	if _, _, err := DecodeTopK(bad); err == nil {
+		t.Error("count > k should fail")
+	}
+}
+
+// --- scorer ---
+
+func testProfiles(t *testing.T) []profile.Vector {
+	t.Helper()
+	vecs := make([]profile.Vector, 6)
+	for u := range vecs {
+		entries := []profile.Entry{
+			{Item: uint32(u), Weight: 1},
+			{Item: uint32(u + 1), Weight: 1},
+			{Item: 100, Weight: float32(u)},
+		}
+		v, err := profile.NewVector(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecs[u] = v
+	}
+	return vecs
+}
+
+func TestScorerSerialMatchesParallel(t *testing.T) {
+	vecs := testProfiles(t)
+	lookup := func(u uint32) (profile.Vector, error) { return vecs[u], nil }
+	var ts []tuples.Tuple
+	for s := uint32(0); s < 6; s++ {
+		for d := uint32(0); d < 6; d++ {
+			if s != d {
+				ts = append(ts, tuples.Tuple{S: s, D: d})
+			}
+		}
+	}
+	serial, err := (Scorer{Sim: profile.Cosine{}, Workers: 1}).Score(ts, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		parallel, err := (Scorer{Sim: profile.Cosine{}, Workers: workers}).Score(ts, lookup)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("workers=%d: results differ from serial", workers)
+		}
+	}
+}
+
+func TestScorerErrors(t *testing.T) {
+	lookupErr := func(u uint32) (profile.Vector, error) { return profile.Vector{}, errors.New("missing") }
+	ts := []tuples.Tuple{{S: 0, D: 1}}
+	if _, err := (Scorer{Sim: profile.Cosine{}}).Score(ts, lookupErr); err == nil {
+		t.Error("lookup failure should propagate")
+	}
+	if _, err := (Scorer{Sim: profile.Cosine{}, Workers: 4}).Score(ts, lookupErr); err == nil {
+		t.Error("lookup failure should propagate in parallel mode")
+	}
+	if _, err := (Scorer{}).Score(ts, nil); err == nil {
+		t.Error("nil similarity should fail")
+	}
+	got, err := (Scorer{Sim: profile.Cosine{}}).Score(nil, nil)
+	if err != nil || got != nil {
+		t.Error("empty tuple list should be a cheap no-op")
+	}
+}
+
+// --- recall ---
+
+func TestRecallHandComputed(t *testing.T) {
+	exact, _ := graph.NewKNN(3, 2)
+	exact.Set(0, []uint32{1, 2})
+	exact.Set(1, []uint32{0, 2})
+	// node 2 has empty exact list -> excluded from the mean
+
+	approx, _ := graph.NewKNN(3, 2)
+	approx.Set(0, []uint32{1, 2}) // 2/2
+	approx.Set(1, []uint32{2})    // 1/2
+	want := (1.0 + 0.5) / 2
+	if got := Recall(approx, exact); got != want {
+		t.Errorf("Recall = %v, want %v", got, want)
+	}
+}
+
+func TestRecallPerfectAndEmpty(t *testing.T) {
+	g, _ := graph.NewKNN(4, 2)
+	g.Set(0, []uint32{1, 2})
+	g.Set(3, []uint32{0})
+	if got := Recall(g, g); got != 1 {
+		t.Errorf("self recall = %v, want 1", got)
+	}
+	empty, _ := graph.NewKNN(4, 2)
+	if got := Recall(empty, empty); got != 0 {
+		t.Errorf("recall with no exact edges = %v, want 0", got)
+	}
+	if got := Recall(empty, g); got != 0 {
+		t.Errorf("empty approx recall = %v, want 0", got)
+	}
+}

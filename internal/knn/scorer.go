@@ -1,0 +1,134 @@
+package knn
+
+import (
+	"fmt"
+	"sync"
+
+	"knnpc/internal/graph"
+	"knnpc/internal/profile"
+	"knnpc/internal/tuples"
+)
+
+// Scorer computes similarity scores for tuple shards, optionally in
+// parallel. Scores land in a result slice indexed by tuple position, so
+// the output is identical for any worker count — parallelism changes
+// wall time, never results.
+type Scorer struct {
+	// Sim is the similarity measure; must be non-nil.
+	Sim profile.Similarity
+	// Workers is the number of concurrent scoring goroutines; values
+	// below 2 select serial execution.
+	Workers int
+}
+
+// Lookup resolves a user id to its profile. Phase 4 passes a resolver
+// backed by the two resident partitions.
+type Lookup func(u uint32) (profile.Vector, error)
+
+// Score computes sim(s, d) for every tuple. The lookup must resolve
+// every endpoint.
+func (sc Scorer) Score(ts []tuples.Tuple, lookup Lookup) ([]float64, error) {
+	if sc.Sim == nil {
+		return nil, fmt.Errorf("knn: scorer has no similarity measure")
+	}
+	if len(ts) == 0 {
+		return nil, nil
+	}
+	scores := make([]float64, len(ts))
+	if sc.Workers < 2 {
+		if err := sc.scoreRange(ts, scores, 0, len(ts), lookup); err != nil {
+			return nil, err
+		}
+		return scores, nil
+	}
+
+	workers := sc.Workers
+	if workers > len(ts) {
+		workers = len(ts)
+	}
+	chunk := (len(ts) + workers - 1) / workers
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if err := sc.scoreRange(ts, scores, lo, hi, lookup); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return scores, nil
+}
+
+func (sc Scorer) scoreRange(ts []tuples.Tuple, scores []float64, lo, hi int, lookup Lookup) error {
+	for i := lo; i < hi; i++ {
+		s, err := lookup(ts[i].S)
+		if err != nil {
+			return fmt.Errorf("knn: profile of source %d: %w", ts[i].S, err)
+		}
+		d, err := lookup(ts[i].D)
+		if err != nil {
+			return fmt.Errorf("knn: profile of destination %d: %w", ts[i].D, err)
+		}
+		scores[i] = sc.Sim.Score(s, d)
+	}
+	return nil
+}
+
+// Recall measures how well approx reproduces the exact KNN graph: the
+// mean, over nodes with a non-empty exact neighbor list, of
+// |approx(u) ∩ exact(u)| / |exact(u)| — the standard KNN-graph quality
+// metric (Dong et al., WWW'11). Both graphs must share a node set.
+func Recall(approx, exact *graph.KNN) float64 {
+	var (
+		total float64
+		nodes int
+	)
+	for u := 0; u < exact.NumNodes(); u++ {
+		want := exact.Neighbors(uint32(u))
+		if len(want) == 0 {
+			continue
+		}
+		got := approx.Neighbors(uint32(u))
+		// Both lists are sorted: merge-count the intersection.
+		i, j, hits := 0, 0, 0
+		for i < len(got) && j < len(want) {
+			switch {
+			case got[i] == want[j]:
+				hits++
+				i++
+				j++
+			case got[i] < want[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		total += float64(hits) / float64(len(want))
+		nodes++
+	}
+	if nodes == 0 {
+		return 0
+	}
+	return total / float64(nodes)
+}

@@ -1,0 +1,187 @@
+// Package knn implements phase 4 of the paper: scoring the candidate
+// tuples of H against user profiles and maintaining each user's K most
+// similar candidates, from which the next graph G(t+1) is assembled. It
+// also provides the recall metric used to compare the out-of-core
+// result against exact brute force.
+package knn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scored is a candidate neighbor with its similarity score.
+type Scored struct {
+	ID    uint32
+	Score float64
+}
+
+// Better reports whether a ranks strictly above b: higher score first,
+// ties to the smaller id. It is the single ordering used everywhere so
+// results are deterministic.
+func Better(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// TopK accumulates a user's best K candidates. It is a bounded min-heap
+// (the root is the currently weakest kept candidate), giving O(log K)
+// insertion. Candidates must be distinct ids — the hash table H
+// guarantees each (s, d) pair is scored once per iteration.
+//
+// TopK is the unit of partition state the engine persists: a partition
+// file carries one accumulator per member, serialized with
+// AppendBinary.
+type TopK struct {
+	k       int
+	entries []Scored // min-heap by inverse Better order
+}
+
+// NewTopK returns an empty accumulator with capacity k (k ≥ 1).
+func NewTopK(k int) (*TopK, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: top-k capacity must be positive, got %d", k)
+	}
+	return &TopK{k: k, entries: make([]Scored, 0, k)}, nil
+}
+
+// K reports the capacity.
+func (t *TopK) K() int { return t.k }
+
+// Len reports the number of held candidates.
+func (t *TopK) Len() int { return len(t.entries) }
+
+// worse is the heap ordering: entries[i] ranks below entries[j].
+func (t *TopK) worse(i, j int) bool { return Better(t.entries[j], t.entries[i]) }
+
+// Push offers a candidate. It keeps the K best seen so far.
+func (t *TopK) Push(id uint32, score float64) {
+	s := Scored{ID: id, Score: score}
+	if len(t.entries) < t.k {
+		t.entries = append(t.entries, s)
+		t.up(len(t.entries) - 1)
+		return
+	}
+	if !Better(s, t.entries[0]) {
+		return
+	}
+	t.entries[0] = s
+	t.down(0)
+}
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.worse(i, parent) {
+			break
+		}
+		t.entries[i], t.entries[parent] = t.entries[parent], t.entries[i]
+		i = parent
+	}
+}
+
+func (t *TopK) down(i int) {
+	n := len(t.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && t.worse(l, worst) {
+			worst = l
+		}
+		if r < n && t.worse(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.entries[i], t.entries[worst] = t.entries[worst], t.entries[i]
+		i = worst
+	}
+}
+
+// Merge folds every candidate of o into t.
+func (t *TopK) Merge(o *TopK) {
+	for _, e := range o.entries {
+		t.Push(e.ID, e.Score)
+	}
+}
+
+// Result returns the held candidates best-first (score descending, ties
+// by ascending id).
+func (t *TopK) Result() []Scored {
+	out := append([]Scored(nil), t.entries...)
+	sort.Slice(out, func(i, j int) bool { return Better(out[i], out[j]) })
+	return out
+}
+
+// IDs returns the held candidate ids best-first.
+func (t *TopK) IDs() []uint32 {
+	res := t.Result()
+	ids := make([]uint32, len(res))
+	for i, s := range res {
+		ids[i] = s.ID
+	}
+	return ids
+}
+
+// ByteSize reports the encoded size in bytes.
+func (t *TopK) ByteSize() int { return 8 + 12*len(t.entries) }
+
+// AppendBinary appends the accumulator's encoding to buf. Layout: k
+// uint32, count uint32, then count × (id uint32, score float64 bits).
+func (t *TopK) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.k))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.entries)))
+	for _, e := range t.entries {
+		buf = binary.LittleEndian.AppendUint32(buf, e.ID)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Score))
+	}
+	return buf
+}
+
+// DecodeTopK decodes an accumulator from the front of buf, returning it
+// and the remaining bytes.
+func DecodeTopK(buf []byte) (*TopK, []byte, error) {
+	if len(buf) < 8 {
+		return nil, nil, fmt.Errorf("knn: short top-k header (%d bytes)", len(buf))
+	}
+	k := int(binary.LittleEndian.Uint32(buf))
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	buf = buf[8:]
+	if k <= 0 || n > k {
+		return nil, nil, fmt.Errorf("knn: invalid top-k header k=%d n=%d", k, n)
+	}
+	if len(buf) < 12*n {
+		return nil, nil, fmt.Errorf("knn: top-k payload truncated: want %d entries, have %d bytes", n, len(buf))
+	}
+	t := &TopK{k: k, entries: make([]Scored, n)}
+	for i := 0; i < n; i++ {
+		t.entries[i] = Scored{
+			ID:    binary.LittleEndian.Uint32(buf[12*i:]),
+			Score: math.Float64frombits(binary.LittleEndian.Uint64(buf[12*i+4:])),
+		}
+	}
+	buf = buf[12*n:]
+	// Restore the heap property (encoding preserves it, but do not
+	// trust external bytes).
+	for i := len(t.entries)/2 - 1; i >= 0; i-- {
+		t.down(i)
+	}
+	return t, buf, nil
+}
+
+// SelectTopK is the sort-based reference selection used by tests and
+// the brute-force baseline: the K best of candidates under the same
+// ordering as TopK.
+func SelectTopK(candidates []Scored, k int) []Scored {
+	out := append([]Scored(nil), candidates...)
+	sort.Slice(out, func(i, j int) bool { return Better(out[i], out[j]) })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+// Package nndescent implements the NN-Descent algorithm of Dong, Moses
+// and Li (WWW 2011) — the paper's reference [1] and the standard
+// in-memory baseline for approximate KNN-graph construction. The key
+// differences from the paper's out-of-core system: NN-Descent keeps the
+// whole graph and all profiles in memory, and it exploits reverse
+// neighbors and incremental-join sampling to converge in few
+// iterations.
+package nndescent
+
+import (
+	"fmt"
+	"math/rand"
+
+	"knnpc/internal/graph"
+	"knnpc/internal/knn"
+	"knnpc/internal/profile"
+)
+
+// Options configures a run.
+type Options struct {
+	// K is the neighbor count (required, ≥ 1).
+	K int
+	// Sim is the similarity measure (required).
+	Sim profile.Similarity
+	// Rho is the sample rate ρ ∈ (0, 1]: each round joins ρ·K new
+	// neighbors per direction. Zero selects 1.0 (full joins).
+	Rho float64
+	// Delta is the termination threshold δ: the run stops when fewer
+	// than δ·K·n neighbor updates happen in a round. Zero selects
+	// 0.001.
+	Delta float64
+	// MaxIters caps the number of rounds. Zero selects 30.
+	MaxIters int
+	// Seed drives the random initial graph and sampling.
+	Seed int64
+}
+
+// Stats reports how much work a run did.
+type Stats struct {
+	// Iterations is the number of completed rounds.
+	Iterations int
+	// SimEvals counts similarity evaluations — the headline savings of
+	// NN-Descent versus the n(n−1)/2 of brute force.
+	SimEvals int64
+	// Updates counts accepted neighbor replacements, per round.
+	Updates []int64
+}
+
+// Run builds an approximate KNN graph over the store's users.
+func Run(store *profile.Store, opts Options) (*graph.KNN, Stats, error) {
+	var stats Stats
+	if opts.K <= 0 {
+		return nil, stats, fmt.Errorf("nndescent: K must be positive, got %d", opts.K)
+	}
+	if opts.Sim == nil {
+		return nil, stats, fmt.Errorf("nndescent: similarity measure is required")
+	}
+	if opts.Rho == 0 {
+		opts.Rho = 1
+	}
+	if opts.Rho < 0 || opts.Rho > 1 {
+		return nil, stats, fmt.Errorf("nndescent: rho %g outside (0,1]", opts.Rho)
+	}
+	if opts.Delta == 0 {
+		opts.Delta = 0.001
+	}
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 30
+	}
+	n := store.NumUsers()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	current, err := graph.RandomKNN(n, opts.K, rng)
+	if err != nil {
+		return nil, stats, err
+	}
+	if n <= 1 {
+		return current, stats, nil
+	}
+
+	// heaps[u] accumulates u's best-K with "new" flags per candidate.
+	heaps := make([]*candidateHeap, n)
+	for u := 0; u < n; u++ {
+		h, err := newCandidateHeap(opts.K)
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, v := range current.Neighbors(uint32(u)) {
+			h.offer(v, opts.Sim.Score(store.Get(uint32(u)), store.Get(v)), true)
+			stats.SimEvals++
+		}
+		heaps[u] = h
+	}
+
+	sampleSize := int(opts.Rho * float64(opts.K))
+	if sampleSize < 1 {
+		sampleSize = 1
+	}
+
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		// Build the sampled new/old lists, then mix in reverse
+		// direction (Dong et al. §2.3: B[v] ∪ R[v]).
+		newLists := make([][]uint32, n)
+		oldLists := make([][]uint32, n)
+		for u := 0; u < n; u++ {
+			newCand, oldCand := heaps[u].split()
+			shuffle(rng, newCand)
+			if len(newCand) > sampleSize {
+				newCand = newCand[:sampleSize]
+			}
+			heaps[u].markSeen(newCand)
+			newLists[u] = newCand
+			oldLists[u] = oldCand
+		}
+		revNew := reverse(n, newLists)
+		revOld := reverse(n, oldLists)
+		for u := 0; u < n; u++ {
+			shuffle(rng, revNew[u])
+			if len(revNew[u]) > sampleSize {
+				revNew[u] = revNew[u][:sampleSize]
+			}
+			shuffle(rng, revOld[u])
+			if len(revOld[u]) > sampleSize {
+				revOld[u] = revOld[u][:sampleSize]
+			}
+			newLists[u] = dedup(append(newLists[u], revNew[u]...))
+			oldLists[u] = dedup(append(oldLists[u], revOld[u]...))
+		}
+
+		var updates int64
+		join := func(a, b uint32) {
+			if a == b {
+				return
+			}
+			s := opts.Sim.Score(store.Get(a), store.Get(b))
+			stats.SimEvals++
+			if heaps[a].offer(b, s, true) {
+				updates++
+			}
+			if heaps[b].offer(a, s, true) {
+				updates++
+			}
+		}
+		for u := 0; u < n; u++ {
+			nl, ol := newLists[u], oldLists[u]
+			for i, a := range nl {
+				for _, b := range nl[i+1:] {
+					join(a, b)
+				}
+				for _, b := range ol {
+					join(a, b)
+				}
+			}
+		}
+		stats.Updates = append(stats.Updates, updates)
+		stats.Iterations++
+		if float64(updates) < opts.Delta*float64(opts.K)*float64(n) {
+			break
+		}
+	}
+
+	out, err := graph.NewKNN(n, opts.K)
+	if err != nil {
+		return nil, stats, err
+	}
+	for u := 0; u < n; u++ {
+		if err := out.Set(uint32(u), heaps[u].ids()); err != nil {
+			return nil, stats, fmt.Errorf("nndescent: set neighbors of %d: %w", u, err)
+		}
+	}
+	return out, stats, nil
+}
+
+func shuffle(rng *rand.Rand, s []uint32) {
+	rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+func reverse(n int, lists [][]uint32) [][]uint32 {
+	rev := make([][]uint32, n)
+	for u, list := range lists {
+		for _, v := range list {
+			rev[v] = append(rev[v], uint32(u))
+		}
+	}
+	return rev
+}
+
+func dedup(s []uint32) []uint32 {
+	seen := make(map[uint32]bool, len(s))
+	out := s[:0]
+	for _, v := range s {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// candidateHeap is a bounded best-K container whose entries carry the
+// NN-Descent "new" flag: a candidate participates in joins once, then
+// is marked old.
+type candidateHeap struct {
+	tk    *knn.TopK
+	flags map[uint32]bool // id -> isNew
+}
+
+func newCandidateHeap(k int) (*candidateHeap, error) {
+	tk, err := knn.NewTopK(k)
+	if err != nil {
+		return nil, err
+	}
+	return &candidateHeap{tk: tk, flags: make(map[uint32]bool, k)}, nil
+}
+
+// offer inserts the candidate if it improves the heap, reporting
+// whether the neighbor set changed.
+func (h *candidateHeap) offer(id uint32, score float64, isNew bool) bool {
+	if _, dup := h.flags[id]; dup {
+		return false
+	}
+	before := h.tk.Len()
+	h.tk.Push(id, score)
+	kept := false
+	if h.tk.Len() > before {
+		kept = true
+	} else {
+		// Full heap: membership decides whether the push replaced.
+		kept = false
+		for _, s := range h.tk.Result() {
+			if s.ID == id {
+				kept = true
+				break
+			}
+		}
+	}
+	if !kept {
+		return false
+	}
+	h.flags[id] = isNew
+	// Drop flags of evicted candidates.
+	live := make(map[uint32]bool, h.tk.Len())
+	for _, s := range h.tk.Result() {
+		live[s.ID] = true
+	}
+	for id := range h.flags {
+		if !live[id] {
+			delete(h.flags, id)
+		}
+	}
+	return true
+}
+
+// split returns the current candidates partitioned into new and old.
+func (h *candidateHeap) split() (newIDs, oldIDs []uint32) {
+	for _, s := range h.tk.Result() {
+		if h.flags[s.ID] {
+			newIDs = append(newIDs, s.ID)
+		} else {
+			oldIDs = append(oldIDs, s.ID)
+		}
+	}
+	return newIDs, oldIDs
+}
+
+// markSeen clears the "new" flag of the sampled candidates.
+func (h *candidateHeap) markSeen(ids []uint32) {
+	for _, id := range ids {
+		if _, ok := h.flags[id]; ok {
+			h.flags[id] = false
+		}
+	}
+}
+
+// ids returns the best-first neighbor ids.
+func (h *candidateHeap) ids() []uint32 { return h.tk.IDs() }

@@ -1,0 +1,119 @@
+package nndescent
+
+import (
+	"testing"
+
+	"knnpc/internal/dataset"
+	"knnpc/internal/exact"
+	"knnpc/internal/knn"
+	"knnpc/internal/profile"
+)
+
+func clusteredStore(t *testing.T, users int) *profile.Store {
+	t.Helper()
+	vecs, _, err := dataset.RatingsProfiles(users, 800, 20, 4, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profile.NewStoreFromVectors(vecs)
+}
+
+func TestRunValidation(t *testing.T) {
+	store := profile.NewStore(5)
+	if _, _, err := Run(store, Options{K: 0, Sim: profile.Cosine{}}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, _, err := Run(store, Options{K: 2}); err == nil {
+		t.Error("nil similarity should fail")
+	}
+	if _, _, err := Run(store, Options{K: 2, Sim: profile.Cosine{}, Rho: 1.5}); err == nil {
+		t.Error("rho > 1 should fail")
+	}
+}
+
+func TestRunTinyStore(t *testing.T) {
+	g, _, err := Run(profile.NewStore(1), Options{K: 3, Sim: profile.Cosine{}})
+	if err != nil || g.NumEdges() != 0 {
+		t.Errorf("single user: %v err=%v", g, err)
+	}
+}
+
+func TestRunInvariants(t *testing.T) {
+	store := clusteredStore(t, 100)
+	g, stats, err := Run(store, Options{K: 6, Sim: profile.Cosine{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint32(0); u < 100; u++ {
+		nbrs := g.Neighbors(u)
+		if len(nbrs) == 0 || len(nbrs) > 6 {
+			t.Fatalf("node %d has %d neighbors", u, len(nbrs))
+		}
+		for _, v := range nbrs {
+			if v == u {
+				t.Fatalf("node %d is its own neighbor", u)
+			}
+		}
+	}
+	if stats.Iterations == 0 || stats.SimEvals == 0 {
+		t.Errorf("stats not populated: %+v", stats)
+	}
+}
+
+func TestRunHighRecallVsExact(t *testing.T) {
+	store := clusteredStore(t, 150)
+	truth, err := exact.Compute(store, exact.Options{K: 5, Sim: profile.Cosine{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, stats, err := Run(store, Options{K: 5, Sim: profile.Cosine{}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := knn.Recall(approx, truth); r < 0.85 {
+		t.Errorf("NN-Descent recall = %.3f, want ≥ 0.85 (stats %+v)", r, stats)
+	}
+}
+
+func TestRunCheaperThanBruteForce(t *testing.T) {
+	n := 300
+	store := clusteredStore(t, n)
+	_, stats, err := Run(store, Options{K: 5, Sim: profile.Cosine{}, Rho: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := int64(n) * int64(n-1) / 2
+	if stats.SimEvals >= brute {
+		t.Errorf("NN-Descent used %d evals, brute force needs %d — no savings", stats.SimEvals, brute)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	store := clusteredStore(t, 80)
+	a, _, err := Run(store, Options{K: 4, Sim: profile.Cosine{}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(store, Options{K: 4, Sim: profile.Cosine{}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DiffEdges(b) != 0 {
+		t.Error("same seed should reproduce the same graph")
+	}
+}
+
+func TestUpdatesDecreaseAcrossIterations(t *testing.T) {
+	store := clusteredStore(t, 200)
+	_, stats, err := Run(store, Options{K: 5, Sim: profile.Cosine{}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Updates) < 2 {
+		t.Skip("converged in one round")
+	}
+	first, last := stats.Updates[0], stats.Updates[len(stats.Updates)-1]
+	if last >= first {
+		t.Errorf("updates should decay: first=%d last=%d (%v)", first, last, stats.Updates)
+	}
+}

@@ -1,0 +1,44 @@
+package pigraph
+
+import (
+	"testing"
+
+	"knnpc/internal/dataset"
+)
+
+func benchPI(b *testing.B) *PIGraph {
+	b.Helper()
+	dg, err := dataset.GraphSpec{Name: "bench", Nodes: 5000, Edges: 40000, Alpha: 0.7, Seed: 1}.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := FromDigraph(dg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkPlan measures schedule construction throughput per
+// heuristic on a 5k-node, 40k-edge PI graph.
+func BenchmarkPlan(b *testing.B) {
+	g := benchPI(b)
+	for _, h := range AllHeuristics() {
+		b.Run(h.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Plan(g)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulate measures the two-slot executor without callbacks.
+func BenchmarkSimulate(b *testing.B) {
+	g := benchPI(b)
+	s := DegreeLowHigh().Plan(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Simulate()
+	}
+}

@@ -1,0 +1,211 @@
+package pigraph
+
+import "fmt"
+
+// Callbacks receive the events of a schedule execution. Nil callbacks
+// are skipped, so a pure simulation passes the zero value. The engine's
+// phase 4 passes real partition I/O here, which is what guarantees the
+// engine's measured load/unload count equals the simulated one.
+type Callbacks struct {
+	// Load is called when partition p is brought into a memory slot.
+	Load func(p uint32) error
+	// Unload is called when partition p is evicted (or flushed at the
+	// end of the run).
+	Unload func(p uint32) error
+	// Pair is called with both partitions resident to process the
+	// tuple shards of the unordered pair {primary, peer}.
+	Pair func(primary, peer uint32) error
+	// Self is called with p resident to process p's self-shard.
+	Self func(p uint32) error
+}
+
+// Result summarizes an execution: the load/unload operation counts the
+// paper's Table 1 reports, plus processed work tallies.
+type Result struct {
+	Loads   int64
+	Unloads int64
+	Pairs   int64
+	Selfs   int64
+}
+
+// Ops reports Loads + Unloads, Table 1's metric.
+func (r Result) Ops() int64 { return r.Loads + r.Unloads }
+
+// slotMachine models the paper's memory constraint: at most two
+// partitions resident. Eviction is least-recently-used with the current
+// primary pinned.
+type slotMachine struct {
+	resident [2]int64 // partition ids; -1 = empty
+	lastUsed [2]int64
+	tick     int64
+	result   Result
+	cb       Callbacks
+}
+
+func newSlotMachine(cb Callbacks) *slotMachine {
+	return &slotMachine{resident: [2]int64{-1, -1}, cb: cb}
+}
+
+// ensure makes p resident. pinned (≥0) names a partition that must not
+// be evicted; pass -1 to pin nothing.
+func (sm *slotMachine) ensure(p uint32, pinned int64) error {
+	sm.tick++
+	for i := range sm.resident {
+		if sm.resident[i] == int64(p) {
+			sm.lastUsed[i] = sm.tick
+			return nil
+		}
+	}
+	slot := -1
+	for i := range sm.resident {
+		if sm.resident[i] == -1 {
+			slot = i
+			break
+		}
+	}
+	if slot == -1 {
+		// Evict the least recently used slot that is not pinned.
+		best := int64(1) << 62
+		for i := range sm.resident {
+			if sm.resident[i] == pinned {
+				continue
+			}
+			if sm.lastUsed[i] < best {
+				best = sm.lastUsed[i]
+				slot = i
+			}
+		}
+		if slot == -1 {
+			return fmt.Errorf("pigraph: both slots pinned while loading %d", p)
+		}
+		sm.result.Unloads++
+		if sm.cb.Unload != nil {
+			if err := sm.cb.Unload(uint32(sm.resident[slot])); err != nil {
+				return fmt.Errorf("pigraph: unload %d: %w", sm.resident[slot], err)
+			}
+		}
+	}
+	sm.resident[slot] = int64(p)
+	sm.lastUsed[slot] = sm.tick
+	sm.result.Loads++
+	if sm.cb.Load != nil {
+		if err := sm.cb.Load(p); err != nil {
+			return fmt.Errorf("pigraph: load %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// drain unloads everything still resident.
+func (sm *slotMachine) drain() error {
+	for i := range sm.resident {
+		if sm.resident[i] == -1 {
+			continue
+		}
+		sm.result.Unloads++
+		if sm.cb.Unload != nil {
+			if err := sm.cb.Unload(uint32(sm.resident[i])); err != nil {
+				return fmt.Errorf("pigraph: final unload %d: %w", sm.resident[i], err)
+			}
+		}
+		sm.resident[i] = -1
+	}
+	return nil
+}
+
+// Execute walks the schedule under the two-slot memory model, invoking
+// the callbacks, and returns the operation counts. Memory starts empty
+// and is drained at the end.
+func (s *Schedule) Execute(cb Callbacks) (Result, error) {
+	sm := newSlotMachine(cb)
+	for _, v := range s.Visits {
+		if err := sm.ensure(v.Primary, -1); err != nil {
+			return sm.result, err
+		}
+		if v.Self {
+			sm.result.Selfs++
+			if cb.Self != nil {
+				if err := cb.Self(v.Primary); err != nil {
+					return sm.result, fmt.Errorf("pigraph: self shard of %d: %w", v.Primary, err)
+				}
+			}
+		}
+		for _, peer := range v.Peers {
+			if err := sm.ensure(peer, int64(v.Primary)); err != nil {
+				return sm.result, err
+			}
+			sm.result.Pairs++
+			if cb.Pair != nil {
+				if err := cb.Pair(v.Primary, peer); err != nil {
+					return sm.result, fmt.Errorf("pigraph: pair {%d,%d}: %w", v.Primary, peer, err)
+				}
+			}
+		}
+	}
+	if err := sm.drain(); err != nil {
+		return sm.result, err
+	}
+	return sm.result, nil
+}
+
+// Simulate counts load/unload operations without side effects — the
+// Table 1 measurement.
+func (s *Schedule) Simulate() Result {
+	// The zero Callbacks cannot fail.
+	r, err := s.Execute(Callbacks{})
+	if err != nil {
+		panic("pigraph: simulation cannot fail: " + err.Error())
+	}
+	return r
+}
+
+// Validate checks that the schedule covers the PI graph exactly: every
+// undirected edge processed exactly once, every self-shard exactly
+// once, and no phantom work.
+func (s *Schedule) Validate(g *PIGraph) error {
+	if s.NumPartitions != g.NumPartitions() {
+		return fmt.Errorf("pigraph: schedule over %d partitions, graph has %d", s.NumPartitions, g.NumPartitions())
+	}
+	type pair struct{ a, b uint32 }
+	norm := func(a, b uint32) pair {
+		if a > b {
+			a, b = b, a
+		}
+		return pair{a, b}
+	}
+	seenPair := make(map[pair]bool)
+	seenSelf := make(map[uint32]bool)
+	for _, v := range s.Visits {
+		if v.Self {
+			if g.SelfWeight(v.Primary) == 0 {
+				return fmt.Errorf("pigraph: phantom self visit at %d", v.Primary)
+			}
+			if seenSelf[v.Primary] {
+				return fmt.Errorf("pigraph: self-shard of %d processed twice", v.Primary)
+			}
+			seenSelf[v.Primary] = true
+		}
+		for _, peer := range v.Peers {
+			if peer == v.Primary {
+				return fmt.Errorf("pigraph: visit of %d lists itself as peer", peer)
+			}
+			if g.Weight(v.Primary, peer) == 0 {
+				return fmt.Errorf("pigraph: phantom edge {%d,%d}", v.Primary, peer)
+			}
+			p := norm(v.Primary, peer)
+			if seenPair[p] {
+				return fmt.Errorf("pigraph: edge {%d,%d} processed twice", p.a, p.b)
+			}
+			seenPair[p] = true
+		}
+	}
+	if len(seenPair) != g.NumEdges() {
+		return fmt.Errorf("pigraph: schedule covers %d of %d edges", len(seenPair), g.NumEdges())
+	}
+	for i := uint32(0); int(i) < g.NumPartitions(); i++ {
+		if g.SelfWeight(i) > 0 && !seenSelf[i] {
+			return fmt.Errorf("pigraph: self-shard of %d never processed", i)
+		}
+	}
+	return nil
+}

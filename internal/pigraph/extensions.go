@@ -1,0 +1,189 @@
+package pigraph
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// This file holds heuristics beyond the paper's three: the naive
+// baseline its introduction argues against, and the cost-aware
+// traversal its future-work section proposes.
+
+// EdgeOrder is the strawman the paper's design exists to avoid:
+// process PI edges one at a time in an order with no partition
+// locality (a deterministic hash scatter, modeling tuples consumed in
+// arbitrary hash-table order). Consecutive edges rarely share a
+// resident partition, so the two memory slots thrash — "accessing
+// their profiles from respective partitions in an arbitrary fashion
+// can lead to poor performance due to various random accesses to
+// disk". It exists to quantify how much the node-major heuristics
+// save.
+type EdgeOrder struct{}
+
+// Name implements Heuristic.
+func (EdgeOrder) Name() string { return "Edge-Order" }
+
+// Plan implements Heuristic.
+func (EdgeOrder) Plan(g *PIGraph) *Schedule {
+	st := newTraversal(g)
+	m := g.NumPartitions()
+	type scatterEdge struct {
+		key  uint64
+		i, j uint32
+		self bool
+	}
+	var edges []scatterEdge
+	for i := uint32(0); int(i) < m; i++ {
+		if st.self[i] {
+			edges = append(edges, scatterEdge{key: scatterKey(i, i), i: i, self: true})
+		}
+		for _, j := range g.Neighbors(i) {
+			if i < j { // one entry per unordered pair
+				edges = append(edges, scatterEdge{key: scatterKey(i, j), i: i, j: j})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].key != edges[b].key {
+			return edges[a].key < edges[b].key
+		}
+		if edges[a].i != edges[b].i {
+			return edges[a].i < edges[b].i
+		}
+		return edges[a].j < edges[b].j
+	})
+	for _, e := range edges {
+		if e.self {
+			st.emit(e.i, nil)
+			continue
+		}
+		st.emit(e.i, []uint32{e.j})
+	}
+	return st.schedule()
+}
+
+// scatterKey is a deterministic pair hash (Fibonacci scrambling) that
+// destroys any id locality in the edge order.
+func scatterKey(i, j uint32) uint64 {
+	x := uint64(i)<<32 | uint64(j)
+	x *= 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	return x
+}
+
+// CostAware implements the heuristic the paper's future work sketches:
+// "consider the amount of time consumed for both partition load/unload
+// operations and the similarity computation for tuples given two
+// partitions". It greedily maximizes scoring work unlocked per
+// partition load: still-resident partitions with remaining work are
+// continued first (their loads are already paid for); otherwise the
+// partition with the highest remaining tuple weight is fetched. Within
+// a visit, heavy shards are processed first.
+type CostAware struct{}
+
+// Name implements Heuristic.
+func (CostAware) Name() string { return "Cost-Aware" }
+
+// Plan implements Heuristic.
+func (CostAware) Plan(g *PIGraph) *Schedule {
+	st := newTraversal(g)
+	m := g.NumPartitions()
+
+	// Remaining incident tuple weight per partition, kept current as
+	// edges are consumed; a lazy max-heap serves the fallback pick.
+	remWeight := make([]int64, m)
+	for i := uint32(0); int(i) < m; i++ {
+		remWeight[i] = g.SelfWeight(i)
+		for _, j := range g.Neighbors(i) {
+			remWeight[i] += g.Weight(i, j)
+		}
+	}
+	wq := &weightHeap{}
+	for i := uint32(0); int(i) < m; i++ {
+		if remWeight[i] > 0 {
+			heap.Push(wq, weightEntry{w: remWeight[i], p: i})
+		}
+	}
+
+	resident := [2]int64{-1, -1}
+	for {
+		// Continue a resident partition when it still has work: its
+		// load is already paid, so any remaining weight is free.
+		next, found := uint32(0), false
+		for _, r := range resident {
+			if r < 0 {
+				continue
+			}
+			q := uint32(r)
+			if st.hasWork(q) && (!found || remWeight[q] > remWeight[next] || (remWeight[q] == remWeight[next] && q < next)) {
+				next, found = q, true
+			}
+		}
+		if !found {
+			// Fetch the heaviest remaining partition.
+			for wq.Len() > 0 {
+				e := heap.Pop(wq).(weightEntry)
+				if e.w != remWeight[e.p] || !st.hasWork(e.p) {
+					continue // stale
+				}
+				next, found = e.p, true
+				break
+			}
+			if !found {
+				break
+			}
+		}
+
+		peers := st.livePeers(next)
+		// Heavy shards first; ties by id for determinism.
+		sort.Slice(peers, func(a, b int) bool {
+			wa, wb := g.Weight(next, peers[a]), g.Weight(next, peers[b])
+			if wa != wb {
+				return wa > wb
+			}
+			return peers[a] < peers[b]
+		})
+		// Account consumed weight before emitting.
+		for _, q := range peers {
+			w := g.Weight(next, q)
+			remWeight[next] -= w
+			remWeight[q] -= w
+			if remWeight[q] > 0 {
+				heap.Push(wq, weightEntry{w: remWeight[q], p: q})
+			}
+		}
+		if st.self[next] {
+			remWeight[next] -= g.SelfWeight(next)
+		}
+		st.emit(next, peers)
+		resident = [2]int64{int64(next), -1}
+		if len(peers) > 0 {
+			resident[1] = int64(peers[len(peers)-1])
+		}
+	}
+	return st.schedule()
+}
+
+type weightEntry struct {
+	w int64
+	p uint32
+}
+
+type weightHeap []weightEntry
+
+func (h weightHeap) Len() int { return len(h) }
+func (h weightHeap) Less(a, b int) bool {
+	if h[a].w != h[b].w {
+		return h[a].w > h[b].w
+	}
+	return h[a].p < h[b].p
+}
+func (h weightHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *weightHeap) Push(x interface{}) { *h = append(*h, x.(weightEntry)) }
+func (h *weightHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

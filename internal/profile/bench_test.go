@@ -1,0 +1,53 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVectors(n, items int) []Vector {
+	rng := rand.New(rand.NewSource(1))
+	vecs := make([]Vector, n)
+	for i := range vecs {
+		vecs[i] = randomVector(rng, items, 4*items)
+	}
+	return vecs
+}
+
+func BenchmarkCosine(b *testing.B) {
+	vecs := benchVectors(64, 50)
+	sim := Cosine{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Score(vecs[i%64], vecs[(i+1)%64])
+	}
+}
+
+func BenchmarkJaccard(b *testing.B) {
+	vecs := benchVectors(64, 50)
+	sim := Jaccard{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Score(vecs[i%64], vecs[(i+1)%64])
+	}
+}
+
+func BenchmarkVectorEncodeDecode(b *testing.B) {
+	vecs := benchVectors(16, 60)
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = vecs[i%16].AppendBinary(buf[:0])
+		if _, _, err := DecodeVector(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWithItem(b *testing.B) {
+	vecs := benchVectors(16, 60)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vecs[i%16].WithItem(uint32(i), 1)
+	}
+}

@@ -1,0 +1,124 @@
+package profile
+
+import (
+	"path/filepath"
+	"testing"
+
+	"knnpc/internal/disk"
+)
+
+func newFileStore(t *testing.T, vecs []Vector) (*FileStore, *disk.IOStats) {
+	t.Helper()
+	var stats disk.IOStats
+	fs, err := CreateFileStore(filepath.Join(t.TempDir(), "profiles.bin"), &stats, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs, &stats
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	vecs := []Vector{
+		FromItems([]uint32{1, 2, 3}),
+		{}, // empty profile
+		FromItems([]uint32{9}),
+	}
+	fs, stats := newFileStore(t, vecs)
+	if fs.NumUsers() != 3 {
+		t.Fatalf("NumUsers = %d", fs.NumUsers())
+	}
+	for u, want := range vecs {
+		got, err := fs.Profile(uint32(u))
+		if err != nil {
+			t.Fatalf("Profile(%d): %v", u, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("user %d round trip mismatch", u)
+		}
+	}
+	if _, err := fs.Profile(99); err == nil {
+		t.Error("out-of-range user should fail")
+	}
+	snap := stats.Snapshot()
+	if snap.Seeks < 3 || snap.BytesRead == 0 {
+		t.Errorf("point reads should be counted: %+v", snap)
+	}
+}
+
+func TestFileStoreApply(t *testing.T) {
+	fs, _ := newFileStore(t, []Vector{
+		FromItems([]uint32{1, 2}),
+		FromItems([]uint32{5}),
+	})
+	n, err := fs.Apply([]Update{
+		{User: 0, Kind: SetItem, Item: 7, Weight: 3},
+		{User: 0, Kind: RemoveItem, Item: 1},
+		{User: 1, Kind: ReplaceProfile, Vector: FromItems([]uint32{42})},
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("Apply = %d, %v", n, err)
+	}
+	v0, err := fs.Profile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v0.Weight(7); !ok {
+		t.Error("SetItem not applied")
+	}
+	if _, ok := v0.Weight(1); ok {
+		t.Error("RemoveItem not applied")
+	}
+	v1, err := fs.Profile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v1.Weight(42); !ok || v1.Len() != 1 {
+		t.Error("ReplaceProfile not applied")
+	}
+}
+
+func TestFileStoreApplyValidation(t *testing.T) {
+	fs, _ := newFileStore(t, []Vector{FromItems([]uint32{1})})
+	if _, err := fs.Apply([]Update{{User: 9, Kind: SetItem, Item: 1}}); err == nil {
+		t.Error("out-of-range user should fail before any rewrite")
+	}
+	if _, err := fs.Apply([]Update{{User: 0, Kind: UpdateKind(77)}}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	// Failed validation must leave the store readable.
+	if _, err := fs.Profile(0); err != nil {
+		t.Errorf("store unreadable after failed Apply: %v", err)
+	}
+	if n, err := fs.Apply(nil); n != 0 || err != nil {
+		t.Errorf("empty Apply should be a no-op: %d, %v", n, err)
+	}
+}
+
+func TestFileStoreApplyFIFOWithinUser(t *testing.T) {
+	fs, _ := newFileStore(t, []Vector{{}})
+	_, err := fs.Apply([]Update{
+		{User: 0, Kind: SetItem, Item: 1, Weight: 1},
+		{User: 0, Kind: SetItem, Item: 1, Weight: 9}, // later wins
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := fs.Profile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := v.Weight(1); w != 9 {
+		t.Errorf("weight = %v, want 9 (FIFO order)", w)
+	}
+}
+
+func TestFileStoreCloseIdempotent(t *testing.T) {
+	fs, _ := newFileStore(t, []Vector{{}})
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Errorf("double close should be a no-op: %v", err)
+	}
+}

@@ -1,0 +1,167 @@
+package profile
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store holds the profile of every user — the P(t) of the paper. The
+// in-memory implementation backs small runs and tests; the out-of-core
+// engine keeps per-partition profile shards on disk and materializes
+// Stores only for loaded partitions.
+type Store struct {
+	vecs []Vector
+}
+
+// NewStore returns a store of n empty profiles.
+func NewStore(n int) *Store {
+	return &Store{vecs: make([]Vector, n)}
+}
+
+// NewStoreFromVectors wraps the given vectors (not copied).
+func NewStoreFromVectors(vecs []Vector) *Store {
+	return &Store{vecs: vecs}
+}
+
+// NumUsers reports the number of users.
+func (s *Store) NumUsers() int { return len(s.vecs) }
+
+// Get returns user u's profile. Out-of-range users have empty profiles.
+func (s *Store) Get(u uint32) Vector {
+	if int(u) >= len(s.vecs) {
+		return Vector{}
+	}
+	return s.vecs[u]
+}
+
+// Set replaces user u's profile. It returns an error for out-of-range
+// users.
+func (s *Store) Set(u uint32, v Vector) error {
+	if int(u) >= len(s.vecs) {
+		return fmt.Errorf("profile: user %d out of range [0,%d)", u, len(s.vecs))
+	}
+	s.vecs[u] = v
+	return nil
+}
+
+// Clone returns a deep-enough copy: the vector table is copied, the
+// immutable vectors are shared.
+func (s *Store) Clone() *Store {
+	return &Store{vecs: append([]Vector(nil), s.vecs...)}
+}
+
+// Vectors returns the store's vector table as a copied slice (the
+// immutable vectors themselves are shared). Used to seed disk-backed
+// stores.
+func (s *Store) Vectors() []Vector {
+	return append([]Vector(nil), s.vecs...)
+}
+
+// TotalBytes reports the summed encoded size of all profiles, used to
+// size partitions against the memory budget.
+func (s *Store) TotalBytes() int {
+	total := 0
+	for _, v := range s.vecs {
+		total += v.ByteSize()
+	}
+	return total
+}
+
+// UpdateKind discriminates the operations a queued profile update can
+// carry.
+type UpdateKind int
+
+// The supported update operations.
+const (
+	// SetItem inserts or updates one (item, weight) entry.
+	SetItem UpdateKind = iota + 1
+	// RemoveItem deletes one item from the profile.
+	RemoveItem
+	// ReplaceProfile swaps the whole profile vector.
+	ReplaceProfile
+)
+
+// Update is one deferred profile change in the queue q of the paper.
+type Update struct {
+	User   uint32
+	Kind   UpdateKind
+	Item   uint32  // SetItem, RemoveItem
+	Weight float32 // SetItem
+	Vector Vector  // ReplaceProfile
+}
+
+// UpdateQueue collects profile changes during an iteration without
+// touching P(t); Apply drains it into a store at the iteration boundary
+// (phase 5). It is safe for concurrent Enqueue.
+type UpdateQueue struct {
+	mu      sync.Mutex
+	pending []Update
+}
+
+// NewUpdateQueue returns an empty queue.
+func NewUpdateQueue() *UpdateQueue { return &UpdateQueue{} }
+
+// Enqueue appends an update to be applied at the next iteration
+// boundary.
+func (q *UpdateQueue) Enqueue(u Update) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pending = append(q.pending, u)
+}
+
+// Len reports the number of queued updates.
+func (q *UpdateQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// Drain removes and returns all pending updates in FIFO order.
+func (q *UpdateQueue) Drain() []Update {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.pending
+	q.pending = nil
+	return out
+}
+
+// ApplyUpdates folds updates into the store in order, returning how
+// many were applied. An unknown kind or out-of-range user aborts;
+// earlier updates stay applied.
+func ApplyUpdates(s *Store, updates []Update) (int, error) {
+	for i, u := range updates {
+		cur := s.Get(u.User)
+		var next Vector
+		switch u.Kind {
+		case SetItem:
+			next = cur.WithItem(u.Item, u.Weight)
+		case RemoveItem:
+			next = cur.WithoutItem(u.Item)
+		case ReplaceProfile:
+			next = u.Vector
+		default:
+			return i, fmt.Errorf("profile: unknown update kind %d", u.Kind)
+		}
+		if err := s.Set(u.User, next); err != nil {
+			return i, fmt.Errorf("profile: apply update %d: %w", i, err)
+		}
+	}
+	return len(updates), nil
+}
+
+// Apply drains the queue into the store in FIFO order — this is phase 5
+// of the paper, turning P(t) into P(t+1). It returns the number of
+// updates applied. Unknown kinds or out-of-range users abort with an
+// error; earlier updates stay applied (the queue retains the failed
+// update and everything after it).
+func (q *UpdateQueue) Apply(s *Store) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n, err := ApplyUpdates(s, q.pending)
+	if err != nil {
+		q.pending = q.pending[n:]
+		return n, err
+	}
+	q.pending = nil
+	return n, nil
+}

@@ -1,0 +1,61 @@
+package tuples
+
+import (
+	"testing"
+
+	"knnpc/internal/dataset"
+	"knnpc/internal/partition"
+)
+
+// BenchmarkGenerateBridge measures the sorted-merge two-hop join over
+// one partitioned 2k-node graph, reporting tuple throughput.
+func BenchmarkGenerateBridge(b *testing.B) {
+	g, err := dataset.UniformRandom(2000, 20000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := (partition.Greedy{}).Partition(g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := partition.Build(g, a)
+	b.ResetTimer()
+	var tuples int64
+	for i := 0; i < b.N; i++ {
+		tuples = 0
+		for _, p := range parts {
+			if err := GenerateBridge(p, func(s, d uint32) error {
+				tuples++
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(tuples), "tuples")
+}
+
+// BenchmarkMemTableAdd measures hash-table insert throughput with the
+// duplicate mix of a real two-hop stream.
+func BenchmarkMemTableAdd(b *testing.B) {
+	g, err := dataset.UniformRandom(1000, 10000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := (partition.Hash{}).Partition(g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := partition.Build(g, a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table := NewMemTable(a)
+		for _, p := range parts {
+			if err := GenerateBridge(p, table.Add); err != nil {
+				b.Fatal(err)
+			}
+		}
+		table.Close()
+	}
+}

@@ -1,0 +1,196 @@
+package tuples
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"knnpc/internal/disk"
+	"knnpc/internal/partition"
+)
+
+// DiskTable is the out-of-core implementation of the hash table H. Raw
+// tuples are appended (duplicates and all) to one spill file per shard
+// through small in-memory batch buffers; de-duplication happens
+// shard-at-a-time when phase 4 reads the shard — exactly the moment the
+// two owning partitions are resident anyway, so peak memory stays
+// bounded by a single shard rather than the whole tuple set.
+type DiskTable struct {
+	assign  *partition.Assignment
+	scratch *disk.Scratch
+	stats   *disk.IOStats
+	batch   int
+
+	writers map[ShardID]*disk.RecordWriter
+	pending map[ShardID][]uint64
+	counts  map[ShardID]int64
+	added   int64
+	closed  bool
+}
+
+// defaultBatch is how many tuples accumulate in memory per shard before
+// they are flushed as one spill record (8 bytes per tuple).
+const defaultBatch = 1024
+
+// NewDiskTable returns an empty disk-backed H whose spill files live
+// under scratch. batch ≤ 0 selects the default batch size.
+func NewDiskTable(assign *partition.Assignment, scratch *disk.Scratch, stats *disk.IOStats, batch int) *DiskTable {
+	if batch <= 0 {
+		batch = defaultBatch
+	}
+	return &DiskTable{
+		assign:  assign,
+		scratch: scratch,
+		stats:   stats,
+		batch:   batch,
+		writers: make(map[ShardID]*disk.RecordWriter),
+		pending: make(map[ShardID][]uint64),
+		counts:  make(map[ShardID]int64),
+	}
+}
+
+// Add implements Table.
+func (t *DiskTable) Add(s, d uint32) error {
+	if t.closed {
+		return errors.New("tuples: add to closed disk table")
+	}
+	t.added++
+	id := ShardID{I: t.assign.Of(s), J: t.assign.Of(d)}
+	t.counts[id]++
+	t.pending[id] = append(t.pending[id], pack(s, d))
+	if len(t.pending[id]) >= t.batch {
+		return t.flush(id)
+	}
+	return nil
+}
+
+func (t *DiskTable) flush(id ShardID) error {
+	buf := t.pending[id]
+	if len(buf) == 0 {
+		return nil
+	}
+	w, ok := t.writers[id]
+	if !ok {
+		var err error
+		w, err = disk.CreateRecordFile(t.stats, t.shardPath(id))
+		if err != nil {
+			return fmt.Errorf("tuples: open spill for shard (%d,%d): %w", id.I, id.J, err)
+		}
+		t.writers[id] = w
+	}
+	rec := make([]byte, 8*len(buf))
+	for i, k := range buf {
+		binary.LittleEndian.PutUint64(rec[8*i:], k)
+	}
+	if err := w.Append(rec); err != nil {
+		return fmt.Errorf("tuples: spill shard (%d,%d): %w", id.I, id.J, err)
+	}
+	t.pending[id] = buf[:0]
+	return nil
+}
+
+func (t *DiskTable) shardPath(id ShardID) string {
+	return t.scratch.Path(fmt.Sprintf("shard-%d-%d.tuples", id.I, id.J))
+}
+
+// Added implements Table.
+func (t *DiskTable) Added() int64 { return t.added }
+
+// ShardCounts implements Table. Counts are raw (duplicates included);
+// they upper-bound the distinct tuple count.
+func (t *DiskTable) ShardCounts() map[ShardID]int64 {
+	out := make(map[ShardID]int64, len(t.counts))
+	for id, c := range t.counts {
+		out[id] = c
+	}
+	return out
+}
+
+// Shard implements Table: it drains the shard's spill file, de-
+// duplicates by sort-unique, and deletes the file (each shard is read
+// exactly once, by the PI-edge that owns it).
+func (t *DiskTable) Shard(i, j uint32) ([]Tuple, error) {
+	id := ShardID{I: i, J: j}
+	if t.counts[id] == 0 {
+		return nil, nil
+	}
+	keys := make([]uint64, 0, t.counts[id])
+
+	// Unflushed tail first.
+	for _, k := range t.pending[id] {
+		keys = append(keys, k)
+	}
+	delete(t.pending, id)
+
+	if w, ok := t.writers[id]; ok {
+		if err := w.Close(); err != nil {
+			return nil, fmt.Errorf("tuples: finish spill (%d,%d): %w", i, j, err)
+		}
+		delete(t.writers, id)
+		r, err := disk.OpenRecordFile(t.stats, t.shardPath(id))
+		if err != nil {
+			return nil, err
+		}
+		for {
+			rec, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				r.Close()
+				return nil, fmt.Errorf("tuples: read spill (%d,%d): %w", i, j, err)
+			}
+			if len(rec)%8 != 0 {
+				r.Close()
+				return nil, fmt.Errorf("tuples: spill (%d,%d) has ragged record of %d bytes", i, j, len(rec))
+			}
+			for off := 0; off < len(rec); off += 8 {
+				keys = append(keys, binary.LittleEndian.Uint64(rec[off:]))
+			}
+		}
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		if err := disk.Remove(t.shardPath(id)); err != nil {
+			return nil, err
+		}
+	}
+	delete(t.counts, id)
+
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	out := make([]Tuple, 0, len(keys))
+	var prev uint64
+	for idx, k := range keys {
+		if idx > 0 && k == prev {
+			continue
+		}
+		prev = k
+		out = append(out, unpack(k))
+	}
+	return out, nil
+}
+
+// Close implements Table: it closes and removes any remaining spill
+// files.
+func (t *DiskTable) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	var firstErr error
+	for id, w := range t.writers {
+		if err := w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := disk.Remove(t.shardPath(id)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	t.writers = nil
+	t.pending = nil
+	return firstErr
+}
+
+var _ Table = (*DiskTable)(nil)

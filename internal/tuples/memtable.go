@@ -1,0 +1,85 @@
+package tuples
+
+import (
+	"sort"
+
+	"knnpc/internal/partition"
+)
+
+// MemTable is the in-memory implementation of the hash table H: exact
+// de-duplication at insert time via per-shard hash sets. It is the
+// default when the tuple set fits in the memory budget.
+type MemTable struct {
+	assign *partition.Assignment
+	shards map[ShardID]map[uint64]struct{}
+	added  int64
+}
+
+// NewMemTable returns an empty in-memory H over the given assignment.
+func NewMemTable(assign *partition.Assignment) *MemTable {
+	return &MemTable{
+		assign: assign,
+		shards: make(map[ShardID]map[uint64]struct{}),
+	}
+}
+
+// Add implements Table.
+func (t *MemTable) Add(s, d uint32) error {
+	t.added++
+	id := ShardID{I: t.assign.Of(s), J: t.assign.Of(d)}
+	set, ok := t.shards[id]
+	if !ok {
+		set = make(map[uint64]struct{})
+		t.shards[id] = set
+	}
+	set[pack(s, d)] = struct{}{}
+	return nil
+}
+
+// Added implements Table.
+func (t *MemTable) Added() int64 { return t.added }
+
+// Unique reports the number of distinct tuples held — the size of H.
+func (t *MemTable) Unique() int64 {
+	var n int64
+	for _, set := range t.shards {
+		n += int64(len(set))
+	}
+	return n
+}
+
+// ShardCounts implements Table. For MemTable the counts are exact
+// distinct-tuple counts.
+func (t *MemTable) ShardCounts() map[ShardID]int64 {
+	out := make(map[ShardID]int64, len(t.shards))
+	for id, set := range t.shards {
+		out[id] = int64(len(set))
+	}
+	return out
+}
+
+// Shard implements Table.
+func (t *MemTable) Shard(i, j uint32) ([]Tuple, error) {
+	set := t.shards[ShardID{I: i, J: j}]
+	if len(set) == 0 {
+		return nil, nil
+	}
+	keys := make([]uint64, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	out := make([]Tuple, len(keys))
+	for idx, k := range keys {
+		out[idx] = unpack(k)
+	}
+	return out, nil
+}
+
+// Close implements Table.
+func (t *MemTable) Close() error {
+	t.shards = nil
+	return nil
+}
+
+var _ Table = (*MemTable)(nil)

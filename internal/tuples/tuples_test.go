@@ -1,0 +1,359 @@
+package tuples
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"knnpc/internal/dataset"
+	"knnpc/internal/disk"
+	"knnpc/internal/graph"
+	"knnpc/internal/partition"
+)
+
+// collectBridge runs GenerateBridge over all partitions of g and
+// returns the raw tuple stream.
+func collectBridge(t *testing.T, g *graph.Digraph, m int) []Tuple {
+	t.Helper()
+	a, err := (partition.Hash{}).Partition(g, m)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	var out []Tuple
+	for _, p := range partition.Build(g, a) {
+		err := GenerateBridge(p, func(s, d uint32) error {
+			out = append(out, Tuple{S: s, D: d})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("GenerateBridge: %v", err)
+		}
+	}
+	return out
+}
+
+// naiveTwoHop enumerates {(s,d) : s→v→d ∈ g, s≠d} with duplicates for
+// every distinct bridge.
+func naiveTwoHop(g *graph.Digraph) []Tuple {
+	var out []Tuple
+	for v := uint32(0); int(v) < g.NumNodes(); v++ {
+		var sources []uint32
+		for u := uint32(0); int(u) < g.NumNodes(); u++ {
+			if g.HasEdge(u, v) {
+				sources = append(sources, u)
+			}
+		}
+		for _, s := range sources {
+			for _, d := range g.OutNeighbors(v) {
+				if s != d {
+					out = append(out, Tuple{S: s, D: d})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].S != ts[j].S {
+			return ts[i].S < ts[j].S
+		}
+		return ts[i].D < ts[j].D
+	})
+}
+
+func TestGenerateBridgeHandComputed(t *testing.T) {
+	// 0→1→2, 0→1→3, 4→1→2 ... bridge 1 in one partition.
+	g := graph.NewDigraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(4, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	got := collectBridge(t, g, 1)
+	want := []Tuple{{0, 2}, {0, 3}, {4, 2}, {4, 3}}
+	sortTuples(got)
+	sortTuples(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("bridge tuples = %v, want %v", got, want)
+	}
+}
+
+func TestGenerateBridgeSkipsSelf(t *testing.T) {
+	// 0→1→0 would produce (0,0): must be skipped.
+	g := graph.NewDigraph(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	got := collectBridge(t, g, 1)
+	if len(got) != 0 {
+		t.Errorf("self tuples must be skipped, got %v", got)
+	}
+}
+
+func TestGenerateBridgeEqualsNaiveTwoHopProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(25)
+		g, err := dataset.UniformRandom(n, min(3*n, n*(n-1)), seed)
+		if err != nil {
+			return false
+		}
+		m := 1 + r.Intn(5)
+		if m > n {
+			m = n
+		}
+		var got []Tuple
+		a, err := (partition.Hash{}).Partition(g, m)
+		if err != nil {
+			return false
+		}
+		for _, p := range partition.Build(g, a) {
+			if err := GenerateBridge(p, func(s, d uint32) error {
+				got = append(got, Tuple{S: s, D: d})
+				return nil
+			}); err != nil {
+				return false
+			}
+		}
+		want := naiveTwoHop(g)
+		sortTuples(got)
+		sortTuples(want)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// paperDedupGraph builds the two duplicate-producing shapes the paper
+// names: a 3-cycle (a,b,c with edges to each other) and a diamond
+// (a→b→d, a→c→d).
+func paperDedupGraph() *graph.Digraph {
+	g := graph.NewDigraph(7)
+	// cycle on 0,1,2 — all six arcs
+	for _, e := range [][2]uint32{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}} {
+		g.AddEdge(e[0], e[1])
+	}
+	// diamond 3→4→6, 3→5→6
+	for _, e := range [][2]uint32{{3, 4}, {3, 5}, {4, 6}, {5, 6}} {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func newTables(t *testing.T, assign *partition.Assignment) map[string]Table {
+	t.Helper()
+	scratch, err := disk.NewScratch(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats disk.IOStats
+	return map[string]Table{
+		"mem":  NewMemTable(assign),
+		"disk": NewDiskTable(assign, scratch, &stats, 4), // tiny batch to force spills
+	}
+}
+
+func TestTableDeduplicatesPaperCases(t *testing.T) {
+	g := paperDedupGraph()
+	a, err := (partition.Range{}).Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, table := range newTables(t, a) {
+		t.Run(name, func(t *testing.T) {
+			defer table.Close()
+			// The diamond yields (3,6) twice (bridges 4 and 5); the
+			// cycle yields duplicates like (0,1) from direct + 2-hop.
+			for _, p := range partition.Build(g, a) {
+				if err := GenerateBridge(p, table.Add); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, e := range g.Edges() {
+				if err := table.Add(e.Src, e.Dst); err != nil {
+					t.Fatal(err)
+				}
+			}
+			seen := make(map[Tuple]bool)
+			for i := uint32(0); i < 2; i++ {
+				for j := uint32(0); j < 2; j++ {
+					shard, err := table.Shard(i, j)
+					if err != nil {
+						t.Fatalf("Shard(%d,%d): %v", i, j, err)
+					}
+					for _, tu := range shard {
+						if seen[tu] {
+							t.Fatalf("duplicate tuple %v across shards", tu)
+						}
+						seen[tu] = true
+					}
+				}
+			}
+			if !seen[Tuple{3, 6}] {
+				t.Error("diamond tuple (3,6) missing")
+			}
+			if !seen[Tuple{0, 1}] {
+				t.Error("direct edge (0,1) missing")
+			}
+			if seen[Tuple{0, 0}] {
+				t.Error("self tuple leaked into H")
+			}
+		})
+	}
+}
+
+func TestMemAndDiskTablesAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(30)
+		m := 2 + r.Intn(3)
+		if m > n {
+			m = n
+		}
+		g, err := dataset.UniformRandom(n, min(4*n, n*(n-1)), seed)
+		if err != nil {
+			return false
+		}
+		a, err := (partition.Hash{}).Partition(g, m)
+		if err != nil {
+			return false
+		}
+		scratch, err := disk.NewScratch("")
+		if err != nil {
+			return false
+		}
+		defer scratch.Close()
+		var stats disk.IOStats
+		mem := NewMemTable(a)
+		dsk := NewDiskTable(a, scratch, &stats, 3)
+		defer mem.Close()
+		defer dsk.Close()
+
+		for _, p := range partition.Build(g, a) {
+			if err := GenerateBridge(p, func(s, d uint32) error {
+				if err := mem.Add(s, d); err != nil {
+					return err
+				}
+				return dsk.Add(s, d)
+			}); err != nil {
+				return false
+			}
+		}
+		for i := uint32(0); int(i) < m; i++ {
+			for j := uint32(0); int(j) < m; j++ {
+				a1, err := mem.Shard(i, j)
+				if err != nil {
+					return false
+				}
+				a2, err := dsk.Shard(i, j)
+				if err != nil {
+					return false
+				}
+				if !reflect.DeepEqual(a1, a2) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardsAreSortedAndOwnedByRightPartitions(t *testing.T) {
+	g, err := dataset.UniformRandom(40, 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := (partition.Hash{}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewMemTable(a)
+	defer table.Close()
+	for _, e := range g.Edges() {
+		table.Add(e.Src, e.Dst)
+	}
+	for id := range table.ShardCounts() {
+		shard, err := table.Shard(id.I, id.J)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.SliceIsSorted(shard, func(x, y int) bool {
+			if shard[x].S != shard[y].S {
+				return shard[x].S < shard[y].S
+			}
+			return shard[x].D < shard[y].D
+		}) {
+			t.Errorf("shard (%d,%d) not sorted", id.I, id.J)
+		}
+		for _, tu := range shard {
+			if a.Of(tu.S) != id.I || a.Of(tu.D) != id.J {
+				t.Errorf("tuple %v landed in wrong shard (%d,%d)", tu, id.I, id.J)
+			}
+		}
+	}
+}
+
+func TestMemTableCounts(t *testing.T) {
+	a, err := partition.NewAssignment([]uint32{0, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewMemTable(a)
+	table.Add(0, 1)
+	table.Add(0, 1) // duplicate
+	table.Add(0, 2)
+	if table.Added() != 3 {
+		t.Errorf("Added = %d, want 3", table.Added())
+	}
+	if table.Unique() != 2 {
+		t.Errorf("Unique = %d, want 2", table.Unique())
+	}
+	counts := table.ShardCounts()
+	if counts[ShardID{0, 0}] != 1 || counts[ShardID{0, 1}] != 1 {
+		t.Errorf("ShardCounts = %v", counts)
+	}
+}
+
+func TestDiskTableAddAfterClose(t *testing.T) {
+	a, err := partition.NewAssignment([]uint32{0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := disk.NewScratch(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats disk.IOStats
+	table := NewDiskTable(a, scratch, &stats, 0)
+	if err := table.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Add(0, 1); err == nil {
+		t.Error("Add after Close should fail")
+	}
+	if err := table.Close(); err != nil {
+		t.Errorf("double Close should be a no-op, got %v", err)
+	}
+}
+
+func TestEmptyShardIsEmpty(t *testing.T) {
+	a, err := partition.NewAssignment([]uint32{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, table := range newTables(t, a) {
+		t.Run(name, func(t *testing.T) {
+			defer table.Close()
+			shard, err := table.Shard(1, 1)
+			if err != nil || shard != nil {
+				t.Errorf("empty shard = %v, %v", shard, err)
+			}
+		})
+	}
+}

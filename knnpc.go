@@ -1,0 +1,321 @@
+// Package knnpc is the public API of the out-of-core KNN system
+// reproduced from "Scaling KNN Computation over Large Graphs on a PC"
+// (Chiluka, Kermarrec, Olivares — Middleware 2014).
+//
+// The system maintains an evolving K-nearest-neighbor graph over a set
+// of users with sparse profiles, on a machine whose memory holds only
+// two graph partitions at a time. Each call to Iterate runs the paper's
+// five phases: partition the KNN graph, populate the de-duplicated
+// candidate-tuple hash table, plan the partition-interaction-graph
+// traversal, score candidates and keep each user's top-K, then apply
+// queued profile updates.
+//
+// Quick start:
+//
+//	profiles := [][]knnpc.Item{
+//		{{ID: 1, Weight: 5}, {ID: 2, Weight: 3}},
+//		{{ID: 2, Weight: 4}, {ID: 3, Weight: 1}},
+//		// ...
+//	}
+//	sys, err := knnpc.New(profiles, knnpc.Config{K: 10})
+//	if err != nil { ... }
+//	defer sys.Close()
+//	reports, err := sys.Run(ctx, 10)
+//	neighbors := sys.Neighbors(0) // user 0's current K nearest
+package knnpc
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"knnpc/internal/core"
+	"knnpc/internal/exact"
+	"knnpc/internal/graph"
+	"knnpc/internal/knn"
+	"knnpc/internal/partition"
+	"knnpc/internal/pigraph"
+	"knnpc/internal/profile"
+)
+
+// Item is one entry of a user profile: an item identifier with a weight
+// (rating, term frequency, ...).
+type Item struct {
+	ID     uint32
+	Weight float32
+}
+
+// Config tunes the system. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// K is the number of nearest neighbors per user. Required, ≥ 1.
+	K int
+	// Partitions is m, the number of graph partitions (default 8).
+	Partitions int
+	// PartitionStrategy is "greedy" (default — minimizes the paper's
+	// Σ(N_in+N_out) criterion), "range", or "hash".
+	PartitionStrategy string
+	// Heuristic is the PI-graph traversal order: "Seq.", "High-Low",
+	// "Low-High" (default), or "Greedy-Reuse".
+	Heuristic string
+	// Similarity is "cosine" (default), "jaccard", "dice" or
+	// "overlap".
+	Similarity string
+	// Workers parallelizes similarity scoring (default 1).
+	Workers int
+	// OnDisk stores partition state and tuple spills in real files
+	// under ScratchDir ("" = private temp dir), exercising the
+	// out-of-core path. When false, state is serialized in memory
+	// through the same code paths.
+	OnDisk bool
+	// ProfilesOnDisk additionally keeps the canonical profile
+	// collection on disk (point reads in phase 1, streaming rewrite
+	// in phase 5) so profile data is never fully memory-resident.
+	ProfilesOnDisk bool
+	// ScratchDir hosts on-disk state when OnDisk is set.
+	ScratchDir string
+	// MemoryBudgetBytes, when positive, bounds resident partition
+	// state; exceeding it fails the iteration.
+	MemoryBudgetBytes int64
+	// Exploration, when positive, adds that many random candidates
+	// per user each iteration. The paper's structural candidate rule
+	// cannot escape a converged neighborhood after large profile
+	// changes; a little random exploration fixes that. Zero (default)
+	// reproduces the paper's rule exactly.
+	Exploration int
+	// Seed drives the random initial graph G(0).
+	Seed int64
+}
+
+func (c Config) engineOptions() (core.Options, error) {
+	opts := core.Options{
+		K:                c.K,
+		NumPartitions:    c.Partitions,
+		Workers:          c.Workers,
+		OnDisk:           c.OnDisk,
+		ProfilesOnDisk:   c.ProfilesOnDisk,
+		ScratchDir:       c.ScratchDir,
+		MemoryBudget:     c.MemoryBudgetBytes,
+		RandomCandidates: c.Exploration,
+		Seed:             c.Seed,
+	}
+	if c.PartitionStrategy != "" {
+		p, ok := partition.ByName(c.PartitionStrategy)
+		if !ok {
+			return opts, fmt.Errorf("knnpc: unknown partition strategy %q", c.PartitionStrategy)
+		}
+		opts.Partitioner = p
+	}
+	if c.Heuristic != "" {
+		h, ok := pigraph.HeuristicByName(c.Heuristic)
+		if !ok {
+			return opts, fmt.Errorf("knnpc: unknown heuristic %q", c.Heuristic)
+		}
+		opts.Heuristic = h
+	}
+	if c.Similarity != "" {
+		s, ok := profile.ByName(c.Similarity)
+		if !ok {
+			return opts, fmt.Errorf("knnpc: unknown similarity %q", c.Similarity)
+		}
+		opts.Similarity = s
+	}
+	return opts, nil
+}
+
+// Report summarizes one completed iteration.
+type Report struct {
+	// Iteration is the 0-based iteration index.
+	Iteration int
+	// Duration is the iteration's total wall time; PhasePartition
+	// through PhaseUpdate break it down by the paper's five phases.
+	Duration       time.Duration
+	PhasePartition time.Duration
+	PhaseTuples    time.Duration
+	PhasePIGraph   time.Duration
+	PhaseScore     time.Duration
+	PhaseUpdate    time.Duration
+	// TuplesScored is the number of de-duplicated candidate pairs
+	// scored.
+	TuplesScored int64
+	// LoadUnloadOps is the number of partition load/unload operations
+	// phase 4 performed — the paper's Table 1 metric.
+	LoadUnloadOps int64
+	// EdgeChanges counts directed-edge differences between G(t) and
+	// G(t+1); zero means the graph has converged.
+	EdgeChanges int
+	// UpdatesApplied is the number of deferred profile updates folded
+	// in at the iteration boundary.
+	UpdatesApplied int
+}
+
+func reportFrom(st *core.IterationStats) Report {
+	return Report{
+		Iteration:      st.Iteration,
+		Duration:       st.Phases.Total(),
+		PhasePartition: st.Phases.Partition,
+		PhaseTuples:    st.Phases.Tuples,
+		PhasePIGraph:   st.Phases.PIGraph,
+		PhaseScore:     st.Phases.Score,
+		PhaseUpdate:    st.Phases.Update,
+		TuplesScored:   st.TuplesScored,
+		LoadUnloadOps:  st.Ops(),
+		EdgeChanges:    st.EdgeChanges,
+		UpdatesApplied: st.UpdatesApplied,
+	}
+}
+
+// System is a live KNN computation over a fixed user set.
+type System struct {
+	eng *core.Engine
+	k   int
+}
+
+// New creates a System over the given profiles (user u's profile is
+// profiles[u]; duplicate item ids within one profile are an error).
+func New(profiles [][]Item, cfg Config) (*System, error) {
+	store, err := storeFromItems(profiles)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := cfg.engineOptions()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(store, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng, k: cfg.K}, nil
+}
+
+func storeFromItems(profiles [][]Item) (*profile.Store, error) {
+	vecs := make([]profile.Vector, len(profiles))
+	for u, items := range profiles {
+		entries := make([]profile.Entry, len(items))
+		for i, it := range items {
+			entries[i] = profile.Entry{Item: it.ID, Weight: it.Weight}
+		}
+		v, err := profile.NewVector(entries)
+		if err != nil {
+			return nil, fmt.Errorf("knnpc: profile of user %d: %w", u, err)
+		}
+		vecs[u] = v
+	}
+	return profile.NewStoreFromVectors(vecs), nil
+}
+
+// Iterate runs one five-phase KNN iteration.
+func (s *System) Iterate(ctx context.Context) (Report, error) {
+	st, err := s.eng.Iterate(ctx)
+	if err != nil {
+		return Report{}, err
+	}
+	return reportFrom(st), nil
+}
+
+// Run executes up to maxIters iterations, stopping early on
+// convergence (an iteration that changes no edges) or context
+// cancellation.
+func (s *System) Run(ctx context.Context, maxIters int) ([]Report, error) {
+	stats, err := s.eng.Run(ctx, maxIters)
+	reports := make([]Report, len(stats))
+	for i, st := range stats {
+		reports[i] = reportFrom(st)
+	}
+	return reports, err
+}
+
+// Neighbors returns user u's current K nearest neighbors, most similar
+// first is not guaranteed — ids are sorted ascending (the graph form).
+func (s *System) Neighbors(u uint32) []uint32 {
+	return append([]uint32(nil), s.eng.Graph().Neighbors(u)...)
+}
+
+// NeighborLists returns every user's current neighbor list.
+func (s *System) NeighborLists() [][]uint32 {
+	g := s.eng.Graph()
+	out := make([][]uint32, g.NumNodes())
+	for u := range out {
+		out[u] = append([]uint32(nil), g.Neighbors(uint32(u))...)
+	}
+	return out
+}
+
+// Profile returns user u's current profile (queued updates excluded
+// until the next iteration boundary).
+func (s *System) Profile(u uint32) ([]Item, error) {
+	vec, err := s.eng.Profile(u)
+	if err != nil {
+		return nil, err
+	}
+	entries := vec.Entries()
+	items := make([]Item, len(entries))
+	for i, e := range entries {
+		items[i] = Item{ID: e.Item, Weight: e.Weight}
+	}
+	return items, nil
+}
+
+// SetProfileItem queues an insert-or-update of one profile entry; it
+// takes effect at the end of the current iteration (the paper's lazy
+// update queue q).
+func (s *System) SetProfileItem(u uint32, item uint32, weight float32) {
+	s.eng.EnqueueUpdate(profile.Update{User: u, Kind: profile.SetItem, Item: item, Weight: weight})
+}
+
+// RemoveProfileItem queues the removal of one profile entry.
+func (s *System) RemoveProfileItem(u uint32, item uint32) {
+	s.eng.EnqueueUpdate(profile.Update{User: u, Kind: profile.RemoveItem, Item: item})
+}
+
+// Recall measures the system's current graph against the exact KNN
+// graph computed by brute force with the same similarity — the standard
+// quality metric. It is O(n²) and meant for evaluation, not production.
+func (s *System) Recall(profiles [][]Item, cfg Config) (float64, error) {
+	truth, err := ExactNeighbors(profiles, cfg)
+	if err != nil {
+		return 0, err
+	}
+	n := len(profiles)
+	exactG, err := graph.NewKNN(n, cfg.K)
+	if err != nil {
+		return 0, err
+	}
+	for u, ids := range truth {
+		if err := exactG.Set(uint32(u), ids); err != nil {
+			return 0, err
+		}
+	}
+	return knn.Recall(s.eng.Graph(), exactG), nil
+}
+
+// Close releases the system's scratch storage.
+func (s *System) Close() error { return s.eng.Close() }
+
+// ExactNeighbors computes the exact K-nearest neighbors of every user
+// by brute force — ground truth for evaluating the iterative system.
+// Only cfg.K, cfg.Similarity and cfg.Workers are used.
+func ExactNeighbors(profiles [][]Item, cfg Config) ([][]uint32, error) {
+	store, err := storeFromItems(profiles)
+	if err != nil {
+		return nil, err
+	}
+	sim := profile.Similarity(profile.Cosine{})
+	if cfg.Similarity != "" {
+		s, ok := profile.ByName(cfg.Similarity)
+		if !ok {
+			return nil, fmt.Errorf("knnpc: unknown similarity %q", cfg.Similarity)
+		}
+		sim = s
+	}
+	g, err := exact.Compute(store, exact.Options{K: cfg.K, Sim: sim, Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]uint32, g.NumNodes())
+	for u := range out {
+		out[u] = append([]uint32(nil), g.Neighbors(uint32(u))...)
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package knnpc
+
+import (
+	"context"
+	"testing"
+
+	"knnpc/internal/dataset"
+)
+
+func testProfiles(t *testing.T, users int) [][]Item {
+	t.Helper()
+	vecs, _, err := dataset.RatingsProfiles(users, 400, 15, 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]Item, len(vecs))
+	for u, v := range vecs {
+		for _, e := range v.Entries() {
+			out[u] = append(out[u], Item{ID: e.Item, Weight: e.Weight})
+		}
+	}
+	return out
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	profiles := testProfiles(t, 20)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"missing K", Config{}},
+		{"bad strategy", Config{K: 3, PartitionStrategy: "metis"}},
+		{"bad heuristic", Config{K: 3, Heuristic: "random"}},
+		{"bad similarity", Config{K: 3, Similarity: "euclid"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(profiles, tt.cfg); err == nil {
+				t.Error("want config error")
+			}
+		})
+	}
+}
+
+func TestNewRejectsDuplicateItems(t *testing.T) {
+	profiles := [][]Item{
+		{{ID: 1, Weight: 1}, {ID: 1, Weight: 2}},
+		{{ID: 2, Weight: 1}},
+	}
+	if _, err := New(profiles, Config{K: 1}); err == nil {
+		t.Error("duplicate items in one profile should fail")
+	}
+}
+
+func TestSystemLifecycle(t *testing.T) {
+	profiles := testProfiles(t, 80)
+	sys, err := New(profiles, Config{K: 5, Partitions: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	rep, err := sys.Iterate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iteration != 0 || rep.LoadUnloadOps == 0 || rep.TuplesScored == 0 {
+		t.Errorf("report looks empty: %+v", rep)
+	}
+	if rep.Duration <= 0 {
+		t.Error("duration should be positive")
+	}
+
+	nbrs := sys.Neighbors(0)
+	if len(nbrs) == 0 || len(nbrs) > 5 {
+		t.Errorf("Neighbors(0) = %v", nbrs)
+	}
+	lists := sys.NeighborLists()
+	if len(lists) != 80 {
+		t.Errorf("NeighborLists has %d users", len(lists))
+	}
+}
+
+func TestSystemRunAndRecall(t *testing.T) {
+	profiles := testProfiles(t, 120)
+	cfg := Config{K: 5, Partitions: 5, Workers: 2, Seed: 3}
+	sys, err := New(profiles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	reports, err := sys.Run(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no iterations ran")
+	}
+	recall, err := sys.Recall(profiles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recall < 0.4 {
+		t.Errorf("recall %.3f too low after %d iterations", recall, len(reports))
+	}
+}
+
+func TestSystemOnDisk(t *testing.T) {
+	profiles := testProfiles(t, 60)
+	sys, err := New(profiles, Config{
+		K:          4,
+		Partitions: 4,
+		OnDisk:     true,
+		ScratchDir: t.TempDir(),
+		Heuristic:  "Seq.",
+		Similarity: "jaccard",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.Iterate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemFullyOnDisk(t *testing.T) {
+	profiles := testProfiles(t, 60)
+	sys, err := New(profiles, Config{
+		K:              4,
+		Partitions:     4,
+		OnDisk:         true,
+		ProfilesOnDisk: true,
+		ScratchDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	sys.SetProfileItem(3, 7777, 2)
+	rep, err := sys.Iterate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UpdatesApplied != 1 {
+		t.Errorf("UpdatesApplied = %d, want 1", rep.UpdatesApplied)
+	}
+	after, err := sys.Profile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, it := range after {
+		if it.ID == 7777 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("update should reach the disk-resident profile store")
+	}
+}
+
+func TestSystemProfileUpdates(t *testing.T) {
+	profiles := testProfiles(t, 30)
+	sys, err := New(profiles, Config{K: 3, Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	sys.SetProfileItem(5, 12345, 4)
+	sys.RemoveProfileItem(5, profiles[5][0].ID)
+
+	// Lazy: invisible before the boundary.
+	mid, err := sys.Profile(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range mid {
+		if it.ID == 12345 {
+			t.Fatal("update visible before iteration")
+		}
+	}
+	rep, err := sys.Iterate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UpdatesApplied != 2 {
+		t.Errorf("UpdatesApplied = %d, want 2", rep.UpdatesApplied)
+	}
+	after, err := sys.Profile(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawNew, sawRemoved bool
+	for _, it := range after {
+		if it.ID == 12345 {
+			sawNew = true
+		}
+		if it.ID == profiles[5][0].ID {
+			sawRemoved = true
+		}
+	}
+	if !sawNew || sawRemoved {
+		t.Errorf("profile update not applied correctly (new=%v removedStill=%v)", sawNew, sawRemoved)
+	}
+}
+
+func TestExactNeighbors(t *testing.T) {
+	profiles := testProfiles(t, 25)
+	truth, err := ExactNeighbors(profiles, Config{K: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 25 {
+		t.Fatalf("got %d users", len(truth))
+	}
+	for u, ids := range truth {
+		if len(ids) != 4 {
+			t.Errorf("user %d has %d exact neighbors, want 4", u, len(ids))
+		}
+	}
+	if _, err := ExactNeighbors(profiles, Config{K: 4, Similarity: "nope"}); err == nil {
+		t.Error("bad similarity should fail")
+	}
+}
