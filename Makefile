@@ -1,0 +1,32 @@
+# Single source of truth for build/test commands: CI invokes these
+# targets, so passing `make ci` locally means CI passes too.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass of every benchmark — a smoke run proving the harness works,
+# not a measurement (use `go test -bench=. -benchmem` for numbers).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Fails when any file needs reformatting, printing the offenders.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build fmt vet race bench

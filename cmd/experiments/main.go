@@ -120,6 +120,23 @@ func run(out io.Writer, quick bool) error {
 	}
 	fmt.Fprintln(out)
 
+	fmt.Fprintln(out, "## FW-5 — pipelined phase 4 (prefetch depth, on-disk state)")
+	fmt.Fprintln(out)
+	pfUsers, depths, pfWorkers := 2000, []int{0, 1, 2, 4}, 4
+	if quick {
+		pfUsers, depths, pfWorkers = 300, []int{0, 1}, 2
+	}
+	pfPoints, err := experiments.PrefetchSweep(ctx, pfUsers, depths, pfWorkers, "ssd")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "| Configuration | Phase-4 time | Iteration time | Load/unload ops | Prefetched loads |")
+	fmt.Fprintln(out, "|---|---|---|---|---|")
+	for _, p := range pfPoints {
+		fmt.Fprintf(out, "| %s | %v | %v | %d | %d |\n", p.Label, p.ScoreTime, p.IterTime, p.Ops, p.PrefetchedLoads)
+	}
+	fmt.Fprintln(out)
+
 	fmt.Fprintln(out, "## Convergence — engine recall trajectory vs NN-Descent baseline")
 	fmt.Fprintln(out)
 	convUsers, convIters := 800, 10

@@ -16,7 +16,10 @@
 //	-partitioner "greedy", "range", or "hash"
 //	-sim         "cosine", "jaccard", "dice", "overlap"
 //	-workers     scoring goroutines (default 1)
+//	-slots       resident-partition budget S (default 2, the paper's model)
+//	-prefetch    async load lookahead depth; 0 = serial phase 4 (default 0)
 //	-ondisk      use real files for partition state (default true)
+//	-emulate     enforce a disk model's latency on state I/O: "hdd", "ssd", "nvme" ("" = none)
 //	-scratch     scratch directory ("" = temp)
 //	-seed        RNG seed
 //	-recall      also compute exact KNN and report recall (O(n²))
@@ -49,7 +52,9 @@ func main() {
 
 type config struct {
 	users, items, k, m, iters, workers int
+	slots, prefetch                    int
 	heuristic, partitioner, sim        string
+	emulate                            string
 	onDisk, profilesOnDisk, recall     bool
 	scratch                            string
 	seed                               int64
@@ -64,10 +69,13 @@ func parseFlags(args []string) config {
 	fs.IntVar(&cfg.m, "m", 8, "number of partitions")
 	fs.IntVar(&cfg.iters, "iters", 5, "maximum iterations")
 	fs.IntVar(&cfg.workers, "workers", 1, "scoring goroutines")
+	fs.IntVar(&cfg.slots, "slots", 2, "resident-partition budget S")
+	fs.IntVar(&cfg.prefetch, "prefetch", 0, "async load lookahead depth (0 = serial phase 4)")
 	fs.StringVar(&cfg.heuristic, "heuristic", "Low-High", "PI traversal heuristic")
 	fs.StringVar(&cfg.partitioner, "partitioner", "greedy", "partitioning strategy")
 	fs.StringVar(&cfg.sim, "sim", "cosine", "similarity measure")
 	fs.BoolVar(&cfg.onDisk, "ondisk", true, "use real files for partition state")
+	fs.StringVar(&cfg.emulate, "emulate", "", "enforce a disk model's latency on state I/O: hdd, ssd, nvme (empty = none)")
 	fs.BoolVar(&cfg.profilesOnDisk, "profilesondisk", false, "keep the canonical profile collection on disk too")
 	fs.BoolVar(&cfg.recall, "recall", false, "also compute exact KNN and report recall (O(n²))")
 	fs.StringVar(&cfg.scratch, "scratch", "", "scratch directory (empty = temp)")
@@ -89,6 +97,10 @@ func run(out io.Writer, cfg config) error {
 	if !ok {
 		return fmt.Errorf("unknown similarity %q", cfg.sim)
 	}
+	emulate, err := disk.ResolveModel(cfg.emulate)
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(out, "generating %d users × %d items (clustered ratings)...\n", cfg.users, cfg.items)
 	vecs, _, err := dataset.RatingsProfiles(cfg.users, cfg.items, 25, 8, cfg.seed)
@@ -104,7 +116,10 @@ func run(out io.Writer, cfg config) error {
 		Heuristic:      h,
 		Similarity:     sim,
 		Workers:        cfg.workers,
+		Slots:          cfg.slots,
+		PrefetchDepth:  cfg.prefetch,
 		OnDisk:         cfg.onDisk,
+		EmulateDisk:    emulate,
 		ProfilesOnDisk: cfg.profilesOnDisk,
 		ScratchDir:     cfg.scratch,
 		Seed:           cfg.seed,
@@ -114,18 +129,18 @@ func run(out io.Writer, cfg config) error {
 	}
 	defer eng.Close()
 
-	fmt.Fprintf(out, "engine: k=%d m=%d heuristic=%s partitioner=%s sim=%s workers=%d ondisk=%v\n\n",
-		cfg.k, cfg.m, h.Name(), p.Name(), sim.Name(), cfg.workers, cfg.onDisk)
-	fmt.Fprintln(out, "iter  phase1(part)  phase2(tuples)  phase3(pi)  phase4(score)  phase5(upd)  ops  changed")
+	fmt.Fprintf(out, "engine: k=%d m=%d heuristic=%s partitioner=%s sim=%s workers=%d slots=%d prefetch=%d ondisk=%v\n\n",
+		cfg.k, cfg.m, h.Name(), p.Name(), sim.Name(), cfg.workers, cfg.slots, cfg.prefetch, cfg.onDisk)
+	fmt.Fprintln(out, "iter  phase1(part)  phase2(tuples)  phase3(pi)  phase4(score)  phase5(upd)  ops  prefetched  changed")
 
 	for i := 0; i < cfg.iters; i++ {
 		st, err := eng.Iterate(context.Background())
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%4d  %12v  %14v  %10v  %13v  %11v  %5d  %d\n",
+		fmt.Fprintf(out, "%4d  %12v  %14v  %10v  %13v  %11v  %5d  %10d  %d\n",
 			st.Iteration, st.Phases.Partition, st.Phases.Tuples, st.Phases.PIGraph,
-			st.Phases.Score, st.Phases.Update, st.Ops(), st.EdgeChanges)
+			st.Phases.Score, st.Phases.Update, st.Ops(), st.PrefetchedLoads, st.EdgeChanges)
 		if st.EdgeChanges == 0 {
 			fmt.Fprintln(out, "converged")
 			break

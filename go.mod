@@ -1,0 +1,3 @@
+module knnpc
+
+go 1.22

@@ -2,9 +2,11 @@
 // engine for a memory-constrained PC that runs each iteration in five
 // phases — (1) partition the KNN graph G(t), (2) populate the
 // de-duplicating tuple hash table H, (3) build the partition interaction
-// graph and plan its traversal, (4) score tuples with at most two
-// partitions resident and keep each user's top-K, yielding G(t+1), and
-// (5) lazily apply queued profile updates to obtain P(t+1).
+// graph and plan its traversal, (4) score tuples with at most S
+// partitions resident (two in the paper; optionally pipelined with
+// asynchronous lookahead prefetch) and keep each user's top-K,
+// yielding G(t+1), and (5) lazily apply queued profile updates to
+// obtain P(t+1).
 package core
 
 import (
@@ -40,6 +42,23 @@ type Options struct {
 	Similarity profile.Similarity
 	// Workers parallelizes phase-4 scoring (default 1).
 	Workers int
+	// Slots is the phase-4 memory budget S: at most S partitions
+	// resident at once (default 2, the paper's model; must be ≥ 2).
+	// The phase-3 simulator predicts, and the engine asserts, the
+	// Loads/Unloads counts for whatever S is chosen, so Table 1
+	// reproduction always runs with the default.
+	Slots int
+	// PrefetchDepth enables pipelined phase-4 execution: up to this
+	// many upcoming partition loads are fetched on background
+	// goroutines while the current pair is being scored. 0 (default)
+	// is the paper's fully serial execution. Prefetching never changes
+	// the Loads/Unloads accounting — only wall time — but each
+	// in-flight fetch transiently holds one partition's state beyond
+	// the S slots. That staging memory is charged to MemoryBudget the
+	// moment it is fetched, so a budget sized for exactly S partitions
+	// has no prefetch headroom and the iteration fails with
+	// ErrBudgetExceeded rather than silently exceeding the bound.
+	PrefetchDepth int
 	// OnDisk selects real file-backed partition state and tuple
 	// spills under ScratchDir; false keeps serialized state in memory
 	// (same code paths, no file traffic).
@@ -52,6 +71,14 @@ type Options struct {
 	ProfilesOnDisk bool
 	// ScratchDir hosts the on-disk state ("" = private temp dir).
 	ScratchDir string
+	// EmulateDisk, when non-nil with OnDisk set, enforces the model's
+	// device latency on every partition state load and unload (a
+	// modeled seek plus transfer time is slept on top of the host's
+	// real file I/O). This reproduces the paper's latency-bound phase 4
+	// on hosts whose page cache would otherwise hide the cost the
+	// Loads/Unloads metric models, making serial-vs-pipelined
+	// comparisons meaningful anywhere. I/O counters are unaffected.
+	EmulateDisk *disk.Model
 	// MemoryBudget, when positive, bounds the bytes of resident
 	// partition state; loading beyond it fails with
 	// disk.ErrBudgetExceeded.
@@ -88,6 +115,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Workers == 0 {
 		o.Workers = 1
+	}
+	if o.Slots == 0 {
+		o.Slots = 2
 	}
 }
 
@@ -131,6 +161,15 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 	}
 	if opts.NumPartitions < 2 {
 		return nil, fmt.Errorf("core: need at least 2 partitions, got %d", opts.NumPartitions)
+	}
+	if opts.Slots < 2 {
+		return nil, fmt.Errorf("core: need at least 2 memory slots, got %d", opts.Slots)
+	}
+	if opts.PrefetchDepth < 0 {
+		return nil, fmt.Errorf("core: negative prefetch depth %d", opts.PrefetchDepth)
+	}
+	if opts.EmulateDisk != nil && !opts.OnDisk {
+		return nil, fmt.Errorf("core: EmulateDisk requires OnDisk (the in-memory state store has no device to emulate)")
 	}
 	if opts.NumPartitions > n {
 		opts.NumPartitions = n
@@ -306,16 +345,22 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 	}
 	stats.PIEdges = pi.NumEdges()
 	schedule := e.opts.Heuristic.Plan(pi)
-	predicted := schedule.Simulate()
+	execOpts := pigraph.ExecOptions{Slots: e.opts.Slots, PrefetchDepth: e.opts.PrefetchDepth}
+	predicted, err := schedule.SimulateOpts(execOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 3 (simulate): %w", err)
+	}
 	stats.PredictedLoads, stats.PredictedUnloads = predicted.Loads, predicted.Unloads
 	stats.Phases.PIGraph = time.Since(start)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: canceled after phase 3: %w", err)
 	}
 
-	// Phase 4: execute the schedule under the two-slot memory model,
+	// Phase 4: execute the schedule under the S-slot memory model,
 	// scoring shards and folding results into the resident partitions'
-	// accumulators.
+	// accumulators. With PrefetchDepth > 0 the executor fetches
+	// upcoming partitions on background goroutines while the cursor
+	// scores, double-buffering disk I/O against computation.
 	start = time.Now()
 	exec := &phase4{
 		engine:   e,
@@ -323,19 +368,23 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 		states:   states,
 		table:    table,
 		scorer:   knn.Scorer{Sim: e.opts.Similarity, Workers: e.opts.Workers},
-		resident: make(map[uint32]*partState, 2),
+		resident: make(map[uint32]*partState, e.opts.Slots),
 		ctx:      ctx,
 	}
-	result, err := schedule.Execute(pigraph.Callbacks{
-		Load:   exec.load,
-		Unload: exec.unload,
-		Pair:   exec.pair,
-		Self:   exec.self,
-	})
+	result, err := schedule.ExecuteOpts(pigraph.Callbacks{
+		Load:    exec.load,
+		Unload:  exec.unload,
+		Pair:    exec.pair,
+		Self:    exec.self,
+		Fetch:   exec.fetch,
+		Commit:  exec.commit,
+		Discard: exec.discard,
+	}, execOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 4 (KNN computation): %w", err)
 	}
 	stats.Loads, stats.Unloads = result.Loads, result.Unloads
+	stats.PrefetchedLoads = result.PrefetchedLoads
 	stats.TuplesScored = exec.scored
 	if stats.Loads != stats.PredictedLoads || stats.Unloads != stats.PredictedUnloads {
 		return nil, fmt.Errorf("core: phase 4 measured %d/%d load/unload ops, simulator predicted %d/%d",
@@ -378,7 +427,7 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 
 func (e *Engine) newStateStore() stateStore {
 	if e.opts.OnDisk {
-		return newDiskStateStore(e.scratch, &e.iostats)
+		return newDiskStateStore(e.scratch, &e.iostats, e.opts.EmulateDisk)
 	}
 	return newMemStateStore()
 }
@@ -390,7 +439,11 @@ func (e *Engine) newTable(assign *partition.Assignment) (tuples.Table, error) {
 	return tuples.NewMemTable(assign), nil
 }
 
-// phase4 carries the mutable state of one schedule execution.
+// phase4 carries the mutable state of one schedule execution. All
+// fields except states are confined to the executor's cursor; fetch
+// runs on the executor's prefetch goroutines and touches only the
+// state store (whose Load is safe concurrently with Put/Unload of
+// other partitions) and the engine's atomic I/O counters.
 type phase4 struct {
 	engine   *Engine
 	assign   *partition.Assignment
@@ -402,20 +455,54 @@ type phase4 struct {
 	ctx      context.Context
 }
 
-func (p *phase4) load(id uint32) error {
+// fetch reads partition id off the state store without making it
+// resident — the asynchronous half of a pipelined load. It may run
+// concurrently with unloads of other partitions (never of id itself;
+// the executor orders fetches after the matching write-back). The
+// state's memory is charged to the budget here, the moment it is
+// allocated, so in-flight prefetches count against the bound the
+// budget exists to enforce; an abandoned prefetch is released through
+// discard.
+func (p *phase4) fetch(id uint32) (any, error) {
 	if err := p.ctx.Err(); err != nil {
-		return fmt.Errorf("canceled: %w", err)
+		return nil, fmt.Errorf("canceled: %w", err)
 	}
 	st, err := p.states.Load(id)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := p.engine.budget.Reserve(int64(st.byteSize())); err != nil {
-		return err
+		return nil, err
+	}
+	return st, nil
+}
+
+// commit makes a fetched partition resident — the synchronous half,
+// run on the cursor (the budget was already charged in fetch).
+func (p *phase4) commit(id uint32, data any) error {
+	st, ok := data.(*partState)
+	if !ok {
+		return fmt.Errorf("core: commit of partition %d with unexpected payload %T", id, data)
 	}
 	p.engine.iostats.AddLoad()
 	p.resident[id] = st
 	return nil
+}
+
+// discard releases a prefetched partition the aborted execution will
+// never commit.
+func (p *phase4) discard(_ uint32, data any) {
+	if st, ok := data.(*partState); ok {
+		p.engine.budget.Release(int64(st.byteSize()))
+	}
+}
+
+func (p *phase4) load(id uint32) error {
+	st, err := p.fetch(id)
+	if err != nil {
+		return err
+	}
+	return p.commit(id, st)
 }
 
 func (p *phase4) unload(id uint32) error {
@@ -432,23 +519,43 @@ func (p *phase4) unload(id uint32) error {
 	return nil
 }
 
-// pair processes both directed shards of the unordered pair {a, b}.
+// pair processes both directed shards of the unordered pair {a, b} as
+// one scoring batch: combining (a,b) and (b,a) gives the worker
+// fan-out the largest possible parallel unit, so CPU parallelism and
+// prefetch I/O overlap compose. Tuple order (forward shard then
+// reverse) matches the former per-shard processing, keeping
+// accumulator tie-breaking identical.
 func (p *phase4) pair(a, b uint32) error {
-	if err := p.processShard(a, b); err != nil {
-		return err
-	}
-	return p.processShard(b, a)
-}
-
-func (p *phase4) self(id uint32) error {
-	return p.processShard(id, id)
-}
-
-func (p *phase4) processShard(i, j uint32) error {
-	ts, err := p.table.Shard(i, j)
+	fwd, err := p.table.Shard(a, b)
 	if err != nil {
 		return err
 	}
+	rev, err := p.table.Shard(b, a)
+	if err != nil {
+		return err
+	}
+	switch {
+	case len(rev) == 0:
+		return p.scoreTuples(fwd)
+	case len(fwd) == 0:
+		return p.scoreTuples(rev)
+	default:
+		batch := make([]tuples.Tuple, 0, len(fwd)+len(rev))
+		batch = append(batch, fwd...)
+		batch = append(batch, rev...)
+		return p.scoreTuples(batch)
+	}
+}
+
+func (p *phase4) self(id uint32) error {
+	ts, err := p.table.Shard(id, id)
+	if err != nil {
+		return err
+	}
+	return p.scoreTuples(ts)
+}
+
+func (p *phase4) scoreTuples(ts []tuples.Tuple) error {
 	if len(ts) == 0 {
 		return nil
 	}

@@ -371,7 +371,7 @@ func TestDiskStateStoreCorruptFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats disk.IOStats
-	s := newDiskStateStore(scratch, &stats)
+	s := newDiskStateStore(scratch, &stats, nil)
 	st := &partState{
 		id:       0,
 		members:  []uint32{1},

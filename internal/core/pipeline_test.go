@@ -1,0 +1,186 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"knnpc/internal/disk"
+	"knnpc/internal/graph"
+	"knnpc/internal/pigraph"
+)
+
+// runEngine drives iters iterations and returns the per-iteration
+// stats plus the final graph.
+func runEngine(t *testing.T, opts Options, users, iters int) ([]*IterationStats, *graph.KNN) {
+	t.Helper()
+	store := testStore(t, users, 42)
+	if opts.OnDisk {
+		opts.ScratchDir = t.TempDir()
+	}
+	eng, err := New(store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var all []*IterationStats
+	for i := 0; i < iters; i++ {
+		st, err := eng.Iterate(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, st)
+	}
+	return all, eng.Graph()
+}
+
+// TestPipelinedMatchesSerialEngine is the end-to-end invariant of the
+// pipelined executor: with identical seeds, an on-disk engine with
+// Slots=2/PrefetchDepth=0 (the paper's serial setting) and one with
+// prefetch enabled plus multi-worker scoring must produce the same
+// graph trajectory and the exact same Loads/Unloads accounting; only
+// PrefetchedLoads may differ.
+func TestPipelinedMatchesSerialEngine(t *testing.T) {
+	const users, iters = 300, 3
+	base := Options{K: 6, NumPartitions: 6, OnDisk: true, Seed: 9}
+
+	serial := base
+	serialStats, serialGraph := runEngine(t, serial, users, iters)
+
+	pipelined := base
+	pipelined.PrefetchDepth = 2
+	pipelined.Workers = 4
+	pipeStats, pipeGraph := runEngine(t, pipelined, users, iters)
+
+	if serialGraph.DiffEdges(pipeGraph) != 0 {
+		t.Fatal("pipelined execution produced a different KNN graph")
+	}
+	var prefetched int64
+	for i := range serialStats {
+		s, p := serialStats[i], pipeStats[i]
+		if s.Loads != p.Loads || s.Unloads != p.Unloads {
+			t.Fatalf("iter %d: pipelined %d/%d loads/unloads, serial %d/%d",
+				i, p.Loads, p.Unloads, s.Loads, s.Unloads)
+		}
+		if s.TuplesScored != p.TuplesScored || s.EdgeChanges != p.EdgeChanges {
+			t.Fatalf("iter %d: pipelined scored=%d changes=%d, serial scored=%d changes=%d",
+				i, p.TuplesScored, p.EdgeChanges, s.TuplesScored, s.EdgeChanges)
+		}
+		if s.PrefetchedLoads != 0 {
+			t.Fatalf("iter %d: serial engine reported %d prefetched loads", i, s.PrefetchedLoads)
+		}
+		prefetched += p.PrefetchedLoads
+	}
+	if prefetched == 0 {
+		t.Fatal("pipelined engine never prefetched a load")
+	}
+}
+
+// TestPipelinedInMemoryStore exercises the prefetch path against the
+// mem state store too (concurrent Load-while-Put hits the map, not
+// files), with exploration and profile churn in the mix.
+func TestPipelinedInMemoryStore(t *testing.T) {
+	const users, iters = 200, 3
+	base := Options{K: 5, NumPartitions: 5, RandomCandidates: 2, Seed: 3}
+
+	serialStats, serialGraph := runEngine(t, base, users, iters)
+
+	pipelined := base
+	pipelined.PrefetchDepth = 3
+	pipelined.Workers = 2
+	pipeStats, pipeGraph := runEngine(t, pipelined, users, iters)
+
+	if serialGraph.DiffEdges(pipeGraph) != 0 {
+		t.Fatal("pipelined execution produced a different KNN graph")
+	}
+	for i := range serialStats {
+		if serialStats[i].Ops() != pipeStats[i].Ops() {
+			t.Fatalf("iter %d: ops %d vs %d", i, pipeStats[i].Ops(), serialStats[i].Ops())
+		}
+	}
+}
+
+// TestWiderSlotBudgetReducesOps checks the S-slot generalization
+// end to end: more resident partitions can only reduce the measured
+// load/unload operations, and the engine's simulated-vs-measured
+// assertion holds for non-default S.
+func TestWiderSlotBudgetReducesOps(t *testing.T) {
+	const users = 250
+	twoSlot := Options{K: 5, NumPartitions: 8, OnDisk: true, Seed: 4}
+	twoStats, twoGraph := runEngine(t, twoSlot, users, 2)
+
+	fourSlot := twoSlot
+	fourSlot.Slots = 4
+	fourSlot.PrefetchDepth = 1
+	fourStats, fourGraph := runEngine(t, fourSlot, users, 2)
+
+	if twoGraph.DiffEdges(fourGraph) != 0 {
+		t.Fatal("slot budget changed the computed KNN graph")
+	}
+	for i := range twoStats {
+		if fourStats[i].Ops() > twoStats[i].Ops() {
+			t.Fatalf("iter %d: 4 slots cost %d ops, 2 slots cost %d", i, fourStats[i].Ops(), twoStats[i].Ops())
+		}
+	}
+}
+
+// TestPrefetchChargesMemoryBudget: in-flight prefetches count against
+// MemoryBudget the moment they are fetched — a budget with slack for
+// the staging partitions succeeds, and an aborted run releases every
+// staged reservation (engine budget is cumulative across iterations,
+// so a leak would poison the next call).
+func TestPrefetchChargesMemoryBudget(t *testing.T) {
+	store := testStore(t, 120, 5)
+	eng, err := New(store, Options{K: 4, NumPartitions: 6, PrefetchDepth: 2, MemoryBudget: 1 << 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	st, err := eng.Iterate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PrefetchedLoads == 0 {
+		t.Fatal("no loads prefetched")
+	}
+	if used := eng.budget.Used(); used != 0 {
+		t.Fatalf("%d budget bytes still reserved after iteration", used)
+	}
+	if eng.budget.Peak() == 0 {
+		t.Fatal("budget never charged")
+	}
+}
+
+// TestPipelineOptionValidation rejects bad budgets at construction.
+func TestPipelineOptionValidation(t *testing.T) {
+	store := testStore(t, 20, 1)
+	if _, err := New(store, Options{K: 3, Slots: 1}); err == nil {
+		t.Error("Slots=1 accepted")
+	}
+	if _, err := New(store, Options{K: 3, PrefetchDepth: -1}); err == nil {
+		t.Error("PrefetchDepth=-1 accepted")
+	}
+	if _, err := New(store, Options{K: 3, EmulateDisk: &disk.HDD}); err == nil {
+		t.Error("EmulateDisk without OnDisk accepted")
+	}
+}
+
+// TestEngineSlotsPassedToSimulator guards against the prediction and
+// the execution disagreeing on the memory model: an engine with S=3
+// must still satisfy its internal measured==predicted assertion (the
+// Iterate call errors out otherwise) and report fewer or equal ops
+// than the two-slot simulation of the same schedule would.
+func TestEngineSlotsPassedToSimulator(t *testing.T) {
+	store := testStore(t, 150, 8)
+	eng, err := New(store, Options{K: 4, NumPartitions: 6, Slots: 3, Heuristic: pigraph.DegreeLowHigh(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	st, err := eng.Iterate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loads != st.PredictedLoads || st.Unloads != st.PredictedUnloads {
+		t.Fatalf("measured %d/%d, predicted %d/%d", st.Loads, st.Unloads, st.PredictedLoads, st.PredictedUnloads)
+	}
+}

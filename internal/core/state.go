@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"knnpc/internal/disk"
 	"knnpc/internal/knn"
@@ -120,6 +122,13 @@ func newPartState(p *partition.Data, profiles canonicalProfiles, k int) (*partSt
 // implementations serialize on unload and deserialize on load, so the
 // in-memory store exercises the same code paths as the disk store; the
 // disk store additionally pays real file I/O, counted in IOStats.
+//
+// Concurrency contract: pipelined phase 4 calls Load from prefetch
+// goroutines concurrently with Put/Unload running on the cursor, but
+// never for the same partition id at the same time (the executor
+// orders each load after the write-back that precedes it on the op
+// tape). Put, Unload, Collect and Cleanup are never concurrent with
+// each other.
 type stateStore interface {
 	// Put persists a freshly built state (phase 1).
 	Put(st *partState) error
@@ -135,8 +144,11 @@ type stateStore interface {
 
 // memStateStore keeps encoded blobs in a map. Used for differential
 // testing and for callers who want the five-phase structure without
-// real disk traffic.
+// real disk traffic. The mutex makes the map safe for the pipelined
+// executor's concurrent Load-while-Put (the disk store gets the same
+// safety from operating on distinct per-partition files).
 type memStateStore struct {
+	mu    sync.Mutex
 	blobs map[uint32][]byte
 }
 
@@ -145,12 +157,17 @@ func newMemStateStore() *memStateStore {
 }
 
 func (s *memStateStore) Put(st *partState) error {
-	s.blobs[st.id] = st.encode()
+	blob := st.encode()
+	s.mu.Lock()
+	s.blobs[st.id] = blob
+	s.mu.Unlock()
 	return nil
 }
 
 func (s *memStateStore) Load(p uint32) (*partState, error) {
+	s.mu.Lock()
 	blob, ok := s.blobs[p]
+	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("core: partition %d has no stored state", p)
 	}
@@ -178,35 +195,82 @@ func (s *memStateStore) Collect(emit func(st *partState) error) error {
 }
 
 func (s *memStateStore) Cleanup() error {
+	s.mu.Lock()
 	s.blobs = make(map[uint32][]byte)
+	s.mu.Unlock()
 	return nil
 }
 
 // diskStateStore keeps one state file per partition under the scratch
-// directory, with all traffic counted in IOStats.
+// directory, with all traffic counted in IOStats. A non-nil emulate
+// model additionally sleeps the modeled device time of each access, so
+// phase 4 experiences the latency of the paper's hardware class even
+// when the host's page cache absorbs the real I/O. Load is safe for
+// concurrent use with Put/Load of other partitions: distinct
+// partitions live in distinct files and the stats counters are atomic.
 type diskStateStore struct {
 	scratch *disk.Scratch
 	stats   *disk.IOStats
+	emulate *disk.Model
+	// devMu serializes the emulated device time: the modeled hardware
+	// is one spindle/controller, so concurrent accesses (prefetch
+	// goroutines racing the cursor's write-back) must queue for it
+	// rather than sleep in parallel — otherwise the emulated device
+	// would have unlimited internal parallelism and pipelined
+	// comparisons would overstate the win. Only the modeled sleep is
+	// serialized; the host's real file I/O still overlaps freely.
+	devMu sync.Mutex
+	// devDebt accumulates modeled time not yet slept. time.Sleep
+	// overshoots sub-millisecond requests badly (timer granularity),
+	// which would inflate fast models like NVMe several-fold; instead
+	// each access adds its modeled duration to the debt and the store
+	// sleeps only when ≥ 1ms is owed, crediting back the actually
+	// elapsed time, so aggregate device time stays exact.
+	devDebt time.Duration
 	known   map[uint32]bool
 }
 
-func newDiskStateStore(scratch *disk.Scratch, stats *disk.IOStats) *diskStateStore {
-	return &diskStateStore{scratch: scratch, stats: stats, known: make(map[uint32]bool)}
+func newDiskStateStore(scratch *disk.Scratch, stats *disk.IOStats, emulate *disk.Model) *diskStateStore {
+	return &diskStateStore{scratch: scratch, stats: stats, emulate: emulate, known: make(map[uint32]bool)}
 }
 
 func (s *diskStateStore) path(p uint32) string {
 	return s.scratch.Path(fmt.Sprintf("state-%d.bin", p))
 }
 
+// emulateAccess queues for the emulated device and holds it for the
+// modeled duration of one access (amortized across accesses to dodge
+// timer granularity — see devDebt).
+func (s *diskStateStore) emulateAccess(d time.Duration) {
+	s.devMu.Lock()
+	s.devDebt += d
+	if s.devDebt >= time.Millisecond {
+		start := time.Now()
+		time.Sleep(s.devDebt)
+		s.devDebt -= time.Since(start)
+	}
+	s.devMu.Unlock()
+}
+
 func (s *diskStateStore) Put(st *partState) error {
 	s.known[st.id] = true
-	return disk.WriteFile(s.stats, s.path(st.id), st.encode())
+	blob := st.encode()
+	if err := disk.WriteFile(s.stats, s.path(st.id), blob); err != nil {
+		return err
+	}
+	if s.emulate != nil {
+		s.emulateAccess(s.emulate.WriteTime(int64(len(blob))))
+	}
+	return nil
 }
 
 func (s *diskStateStore) Load(p uint32) (*partState, error) {
 	blob, err := disk.ReadFile(s.stats, s.path(p))
 	if err != nil {
 		return nil, err
+	}
+	if s.emulate != nil {
+		s.emulateAccess(s.emulate.ReadTime(int64(len(blob))))
 	}
 	return decodePartState(blob)
 }

@@ -47,6 +47,12 @@ type IterationStats struct {
 	PredictedUnloads int64
 	Loads            int64
 	Unloads          int64
+	// PrefetchedLoads is the subset of Loads whose I/O was issued
+	// asynchronously ahead of the scoring cursor (0 for serial
+	// execution, i.e. Options.PrefetchDepth == 0). Every prefetched
+	// load is still counted once in Loads, so the Table 1 Ops metric
+	// is unaffected by pipelining.
+	PrefetchedLoads int64
 	// EdgeChanges is the number of directed edges by which G(t+1)
 	// differs from G(t) — the convergence signal.
 	EdgeChanges int

@@ -3,6 +3,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"knnpc/internal/profile"
 )
@@ -79,8 +80,17 @@ func (s ProfileSpec) Generate() ([]profile.Vector, []int, error) {
 			}
 			chosen[uint32(item)] = true
 		}
-		entries := make([]profile.Entry, 0, len(chosen))
+		// Assign weights in sorted item order: drawing them while
+		// ranging over the map would consume the seeded RNG in map
+		// iteration order, making the "deterministic" generator differ
+		// run to run.
+		items := make([]uint32, 0, len(chosen))
 		for item := range chosen {
+			items = append(items, item)
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		entries := make([]profile.Entry, 0, len(items))
+		for _, item := range items {
 			entries = append(entries, profile.Entry{
 				Item:   item,
 				Weight: float32(1 + rng.Intn(s.MaxWeight)),

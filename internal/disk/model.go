@@ -49,6 +49,19 @@ var (
 	}
 )
 
+// ResolveModel resolves a preset model name for configuration
+// plumbing: "" means no model (nil), anything else must name a preset.
+func ResolveModel(name string) (*Model, error) {
+	if name == "" {
+		return nil, nil
+	}
+	m, ok := ModelByName(name)
+	if !ok {
+		return nil, fmt.Errorf("disk: unknown disk model %q", name)
+	}
+	return &m, nil
+}
+
 // ModelByName returns a preset model by name, reporting false for
 // unknown names.
 func ModelByName(name string) (Model, bool) {
@@ -73,6 +86,26 @@ func (m Model) EstimateTime(s Snapshot) time.Duration {
 	}
 	if m.WriteBandwidth > 0 {
 		d += time.Duration(float64(s.BytesWritten) / float64(m.WriteBandwidth) * float64(time.Second))
+	}
+	return d
+}
+
+// ReadTime models one random read access of n bytes: a seek plus the
+// transfer at sequential read bandwidth.
+func (m Model) ReadTime(n int64) time.Duration {
+	d := m.SeekLatency
+	if m.ReadBandwidth > 0 {
+		d += time.Duration(float64(n) / float64(m.ReadBandwidth) * float64(time.Second))
+	}
+	return d
+}
+
+// WriteTime models one random write access of n bytes: a seek plus the
+// transfer at sequential write bandwidth.
+func (m Model) WriteTime(n int64) time.Duration {
+	d := m.SeekLatency
+	if m.WriteBandwidth > 0 {
+		d += time.Duration(float64(n) / float64(m.WriteBandwidth) * float64(time.Second))
 	}
 	return d
 }

@@ -78,8 +78,14 @@ type SweepPoint struct {
 	Label string
 	// IterTime is the mean wall time of one full iteration.
 	IterTime time.Duration
+	// ScoreTime is the mean wall time of phase 4 alone — the phase
+	// the pipelined executor accelerates.
+	ScoreTime time.Duration
 	// Ops is the load/unload operations of the last iteration.
 	Ops int64
+	// PrefetchedLoads is the last iteration's asynchronously issued
+	// loads (0 when running serial).
+	PrefetchedLoads int64
 	// IO is the I/O delta of the last iteration.
 	IO disk.Snapshot
 }
@@ -91,9 +97,17 @@ type EngineConfig struct {
 	K          int
 	Partitions int
 	Workers    int
-	OnDisk     bool
-	Iterations int
-	Seed       int64
+	// Slots and PrefetchDepth configure phase-4 execution: S resident
+	// partitions (0 = the paper's 2) and the async load lookahead
+	// (0 = serial).
+	Slots         int
+	PrefetchDepth int
+	OnDisk        bool
+	// EmulateDisk enforces the named disk model's latency on state
+	// I/O ("" = none) so latency-bound comparisons are host-neutral.
+	EmulateDisk string
+	Iterations  int
+	Seed        int64
 }
 
 // RunEngine measures one engine configuration: it generates a clustered
@@ -108,11 +122,18 @@ func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
 	if err != nil {
 		return point, err
 	}
+	emulate, err := disk.ResolveModel(cfg.EmulateDisk)
+	if err != nil {
+		return point, err
+	}
 	eng, err := core.New(profile.NewStoreFromVectors(vecs), core.Options{
 		K:             cfg.K,
 		NumPartitions: cfg.Partitions,
 		Workers:       cfg.Workers,
+		Slots:         cfg.Slots,
+		PrefetchDepth: cfg.PrefetchDepth,
 		OnDisk:        cfg.OnDisk,
+		EmulateDisk:   emulate,
 		Seed:          cfg.Seed,
 	})
 	if err != nil {
@@ -120,17 +141,20 @@ func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
 	}
 	defer eng.Close()
 
-	var total time.Duration
+	var total, score time.Duration
 	for i := 0; i < cfg.Iterations; i++ {
 		st, err := eng.Iterate(ctx)
 		if err != nil {
 			return point, err
 		}
 		total += st.Phases.Total()
+		score += st.Phases.Score
 		point.Ops = st.Ops()
+		point.PrefetchedLoads = st.PrefetchedLoads
 		point.IO = st.IO
 	}
 	point.IterTime = total / time.Duration(cfg.Iterations)
+	point.ScoreTime = score / time.Duration(cfg.Iterations)
 	return point, nil
 }
 
@@ -175,6 +199,36 @@ func ThreadSweep(ctx context.Context, users int, workers []int) ([]SweepPoint, e
 		p, err := RunEngine(ctx, EngineConfig{
 			Label: fmt.Sprintf("workers=%d", w), Users: users,
 			K: 10, Partitions: 8, Workers: w, Iterations: 2, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// PrefetchSweep contrasts serial phase-4 execution with the pipelined
+// executor at several lookahead depths on the on-disk configuration
+// (FW-5): every point performs the identical Loads/Unloads op
+// sequence, so differences are pure I/O–compute overlap. The model
+// ("hdd", "ssd", ... or "" for raw host speed) enforces device latency
+// on state I/O, which is what makes the comparison meaningful on hosts
+// whose page cache hides real disk cost.
+func PrefetchSweep(ctx context.Context, users int, depths []int, workers int, model string) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(depths))
+	for _, d := range depths {
+		label := "serial"
+		if d > 0 {
+			label = fmt.Sprintf("prefetch=%d", d)
+		}
+		if model != "" {
+			label += "/" + model
+		}
+		p, err := RunEngine(ctx, EngineConfig{
+			Label: label, Users: users,
+			K: 10, Partitions: 8, Workers: workers, PrefetchDepth: d,
+			OnDisk: true, EmulateDisk: model, Iterations: 2, Seed: 1,
 		})
 		if err != nil {
 			return nil, err

@@ -17,6 +17,57 @@ type Callbacks struct {
 	Pair func(primary, peer uint32) error
 	// Self is called with p resident to process p's self-shard.
 	Self func(p uint32) error
+
+	// Fetch and Commit split Load into an asynchronous half and a
+	// synchronous half for pipelined execution (ExecOptions with
+	// PrefetchDepth > 0). Fetch reads partition p off the storage
+	// medium WITHOUT making it resident; the executor may run it on a
+	// background goroutine concurrently with Pair/Self/Unload of other
+	// partitions (never concurrently with an Unload of p itself — the
+	// executor orders fetches after the write-back that precedes them
+	// on the tape). Commit makes the fetched value resident; it runs on
+	// the executor's cursor, serialized with every other callback.
+	//
+	// When either is nil, or PrefetchDepth is 0, every load falls back
+	// to the synchronous Load callback and execution is fully serial.
+	Fetch  func(p uint32) (any, error)
+	Commit func(p uint32, data any) error
+	// Discard releases a successfully fetched value that will never be
+	// committed — it is called (on the executor's goroutine, after the
+	// fetch completes) for each in-flight prefetch abandoned when
+	// execution aborts early. Callers that charge resources in Fetch
+	// (memory budgets, pinned buffers) release them here.
+	Discard func(p uint32, data any)
+}
+
+// ExecOptions tunes schedule execution. The zero value reproduces the
+// paper's setting: two memory slots, fully serial I/O.
+type ExecOptions struct {
+	// Slots is the memory budget S: at most S partitions resident at
+	// once (0 defaults to 2, the paper's model; values below 2 are an
+	// error — a pair needs both endpoints resident).
+	Slots int
+	// PrefetchDepth is the asynchronous lookahead: how many upcoming
+	// partition loads may be in flight (fetched on background
+	// goroutines) ahead of the scoring cursor. 0 (the default) is
+	// serial execution. Prefetching changes wall time only, never the
+	// Loads/Unloads accounting — the op tape is fixed by Slots alone.
+	// Each in-flight fetch transiently holds one partition beyond the
+	// S resident slots.
+	PrefetchDepth int
+}
+
+func (o ExecOptions) withDefaults() (ExecOptions, error) {
+	if o.Slots == 0 {
+		o.Slots = 2
+	}
+	if o.Slots < 2 {
+		return o, fmt.Errorf("pigraph: need at least 2 slots, got %d", o.Slots)
+	}
+	if o.PrefetchDepth < 0 {
+		return o, fmt.Errorf("pigraph: negative prefetch depth %d", o.PrefetchDepth)
+	}
+	return o, nil
 }
 
 // Result summarizes an execution: the load/unload operation counts the
@@ -26,24 +77,55 @@ type Result struct {
 	Unloads int64
 	Pairs   int64
 	Selfs   int64
+	// PrefetchedLoads is the subset of Loads whose I/O was issued
+	// asynchronously ahead of the cursor (always 0 for serial
+	// execution). It is reported separately so Table 1's Ops metric
+	// stays comparable across execution modes: Ops counts every load
+	// exactly once whether it was prefetched or not.
+	PrefetchedLoads int64
 }
 
 // Ops reports Loads + Unloads, Table 1's metric.
 func (r Result) Ops() int64 { return r.Loads + r.Unloads }
 
-// slotMachine models the paper's memory constraint: at most two
-// partitions resident. Eviction is least-recently-used with the current
-// primary pinned.
-type slotMachine struct {
-	resident [2]int64 // partition ids; -1 = empty
-	lastUsed [2]int64
-	tick     int64
-	result   Result
-	cb       Callbacks
+// opKind discriminates the entries of the op tape.
+type opKind uint8
+
+const (
+	opLoad opKind = iota
+	opUnload
+	opPair
+	opSelf
+)
+
+// op is one step of the fully resolved execution plan. For opPair, a is
+// the primary and b the peer; otherwise b is unused.
+type op struct {
+	kind opKind
+	a, b uint32
 }
 
-func newSlotMachine(cb Callbacks) *slotMachine {
-	return &slotMachine{resident: [2]int64{-1, -1}, cb: cb}
+// slotMachine models the paper's memory constraint generalized to S
+// slots: at most S partitions resident. Eviction is least-recently-used
+// with the current primary pinned. It emits the op tape instead of
+// invoking callbacks, so the same plan drives serial and pipelined
+// execution identically.
+type slotMachine struct {
+	resident []int64 // partition ids; -1 = empty
+	lastUsed []int64
+	tick     int64
+	tape     []op
+}
+
+func newSlotMachine(slots int) *slotMachine {
+	sm := &slotMachine{
+		resident: make([]int64, slots),
+		lastUsed: make([]int64, slots),
+	}
+	for i := range sm.resident {
+		sm.resident[i] = -1
+	}
+	return sm
 }
 
 // ensure makes p resident. pinned (≥0) names a partition that must not
@@ -76,87 +158,255 @@ func (sm *slotMachine) ensure(p uint32, pinned int64) error {
 			}
 		}
 		if slot == -1 {
-			return fmt.Errorf("pigraph: both slots pinned while loading %d", p)
+			return fmt.Errorf("pigraph: all %d slots pinned while loading %d", len(sm.resident), p)
 		}
-		sm.result.Unloads++
-		if sm.cb.Unload != nil {
-			if err := sm.cb.Unload(uint32(sm.resident[slot])); err != nil {
-				return fmt.Errorf("pigraph: unload %d: %w", sm.resident[slot], err)
-			}
-		}
+		sm.tape = append(sm.tape, op{kind: opUnload, a: uint32(sm.resident[slot])})
 	}
 	sm.resident[slot] = int64(p)
 	sm.lastUsed[slot] = sm.tick
-	sm.result.Loads++
-	if sm.cb.Load != nil {
-		if err := sm.cb.Load(p); err != nil {
-			return fmt.Errorf("pigraph: load %d: %w", p, err)
-		}
-	}
+	sm.tape = append(sm.tape, op{kind: opLoad, a: p})
 	return nil
 }
 
-// drain unloads everything still resident.
-func (sm *slotMachine) drain() error {
+// drain unloads everything still resident, in slot order.
+func (sm *slotMachine) drain() {
 	for i := range sm.resident {
 		if sm.resident[i] == -1 {
 			continue
 		}
-		sm.result.Unloads++
-		if sm.cb.Unload != nil {
-			if err := sm.cb.Unload(uint32(sm.resident[i])); err != nil {
-				return fmt.Errorf("pigraph: final unload %d: %w", sm.resident[i], err)
+		sm.tape = append(sm.tape, op{kind: opUnload, a: uint32(sm.resident[i])})
+		sm.resident[i] = -1
+	}
+}
+
+// plan resolves the schedule into the op tape of an S-slot execution.
+// Memory starts empty and is drained at the end.
+func (s *Schedule) plan(slots int) ([]op, error) {
+	sm := newSlotMachine(slots)
+	for _, v := range s.Visits {
+		if err := sm.ensure(v.Primary, -1); err != nil {
+			return nil, err
+		}
+		if v.Self {
+			sm.tape = append(sm.tape, op{kind: opSelf, a: v.Primary})
+		}
+		for _, peer := range v.Peers {
+			if err := sm.ensure(peer, int64(v.Primary)); err != nil {
+				return nil, err
+			}
+			sm.tape = append(sm.tape, op{kind: opPair, a: v.Primary, b: peer})
+		}
+	}
+	sm.drain()
+	return sm.tape, nil
+}
+
+// Execute walks the schedule under the paper's two-slot memory model
+// with serial I/O, invoking the callbacks, and returns the operation
+// counts. Memory starts empty and is drained at the end.
+func (s *Schedule) Execute(cb Callbacks) (Result, error) {
+	return s.ExecuteOpts(cb, ExecOptions{})
+}
+
+// ExecuteOpts walks the schedule under an S-slot memory model,
+// optionally pipelining partition loads ahead of the scoring cursor
+// (see ExecOptions). For any fixed Slots the callback sequence — and
+// therefore the Loads/Unloads accounting — is identical for every
+// PrefetchDepth; prefetching only overlaps the I/O with computation.
+func (s *Schedule) ExecuteOpts(cb Callbacks, opts ExecOptions) (Result, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	tape, err := s.plan(opts.Slots)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.PrefetchDepth > 0 && cb.Fetch != nil && cb.Commit != nil {
+		return runPipelined(tape, cb, opts.PrefetchDepth)
+	}
+	return runSerial(tape, cb)
+}
+
+// runSerial replays the tape on one goroutine.
+func runSerial(tape []op, cb Callbacks) (Result, error) {
+	var r Result
+	for _, o := range tape {
+		if err := applyOp(&r, o, cb, nil); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// future is one in-flight background fetch.
+type future struct {
+	p    uint32
+	done chan struct{}
+	data any
+	err  error
+}
+
+// runPipelined replays the tape with up to depth partition fetches in
+// flight ahead of the cursor. A fetch for the load at tape index i is
+// only issued once the latest unload of the same partition before i has
+// executed (the write-back hazard): fetching earlier would read stale
+// bytes.
+func runPipelined(tape []op, cb Callbacks, depth int) (Result, error) {
+	// hazard[i], for a load op at index i, is the index of the latest
+	// unload of the same partition before i (-1 if none).
+	hazard := make(map[int]int)
+	lastUnload := make(map[uint32]int)
+	for i, o := range tape {
+		switch o.kind {
+		case opUnload:
+			lastUnload[o.a] = i
+		case opLoad:
+			h, ok := lastUnload[o.a]
+			if !ok {
+				h = -1
+			}
+			hazard[i] = h
+		}
+	}
+
+	futures := make(map[int]*future) // keyed by load op tape index
+	outstanding := 0
+	scan := 0 // next tape index to consider for prefetch
+
+	// drainFutures waits out every issued-but-unconsumed fetch so no
+	// goroutine outlives the call (they touch caller state via Fetch),
+	// handing successfully fetched values back through Discard.
+	drainFutures := func() {
+		for _, f := range futures {
+			<-f.done
+			if f.err == nil && cb.Discard != nil {
+				cb.Discard(f.p, f.data)
 			}
 		}
-		sm.resident[i] = -1
+	}
+
+	var r Result
+	for cursor, o := range tape {
+		// Top up the prefetch window: issue fetches for upcoming loads,
+		// stopping at the first load whose write-back hazard has not yet
+		// executed (ops before cursor have executed; cursor's own op has
+		// not).
+		for outstanding < depth && scan < len(tape) {
+			if tape[scan].kind != opLoad {
+				scan++
+				continue
+			}
+			if scan < cursor {
+				scan++ // already executed synchronously
+				continue
+			}
+			if h := hazard[scan]; h >= cursor {
+				break // pending write-back of the same partition
+			}
+			if scan == cursor {
+				// Fetching the op the cursor is about to execute gains
+				// nothing; let the synchronous path handle it.
+				scan++
+				continue
+			}
+			f := &future{p: tape[scan].a, done: make(chan struct{})}
+			futures[scan] = f
+			outstanding++
+			go func() {
+				defer close(f.done)
+				f.data, f.err = cb.Fetch(f.p)
+			}()
+			scan++
+		}
+
+		f := futures[cursor]
+		if f != nil {
+			<-f.done
+			delete(futures, cursor)
+			outstanding--
+		}
+		if err := applyOp(&r, o, cb, f); err != nil {
+			drainFutures()
+			return r, err
+		}
+	}
+	drainFutures()
+	return r, nil
+}
+
+// applyOp executes one tape entry, counting it in r. For opLoad, a
+// non-nil future supplies the prefetched data (committed here, on the
+// cursor); otherwise the load runs synchronously.
+func applyOp(r *Result, o op, cb Callbacks, f *future) error {
+	switch o.kind {
+	case opLoad:
+		r.Loads++
+		if f != nil {
+			if f.err != nil {
+				return fmt.Errorf("pigraph: prefetch %d: %w", o.a, f.err)
+			}
+			r.PrefetchedLoads++
+			if err := cb.Commit(o.a, f.data); err != nil {
+				return fmt.Errorf("pigraph: commit %d: %w", o.a, err)
+			}
+			return nil
+		}
+		if cb.Load != nil {
+			if err := cb.Load(o.a); err != nil {
+				return fmt.Errorf("pigraph: load %d: %w", o.a, err)
+			}
+		} else if cb.Fetch != nil && cb.Commit != nil {
+			data, err := cb.Fetch(o.a)
+			if err != nil {
+				return fmt.Errorf("pigraph: fetch %d: %w", o.a, err)
+			}
+			if err := cb.Commit(o.a, data); err != nil {
+				return fmt.Errorf("pigraph: commit %d: %w", o.a, err)
+			}
+		}
+	case opUnload:
+		r.Unloads++
+		if cb.Unload != nil {
+			if err := cb.Unload(o.a); err != nil {
+				return fmt.Errorf("pigraph: unload %d: %w", o.a, err)
+			}
+		}
+	case opPair:
+		r.Pairs++
+		if cb.Pair != nil {
+			if err := cb.Pair(o.a, o.b); err != nil {
+				return fmt.Errorf("pigraph: pair {%d,%d}: %w", o.a, o.b, err)
+			}
+		}
+	case opSelf:
+		r.Selfs++
+		if cb.Self != nil {
+			if err := cb.Self(o.a); err != nil {
+				return fmt.Errorf("pigraph: self shard of %d: %w", o.a, err)
+			}
+		}
 	}
 	return nil
 }
 
-// Execute walks the schedule under the two-slot memory model, invoking
-// the callbacks, and returns the operation counts. Memory starts empty
-// and is drained at the end.
-func (s *Schedule) Execute(cb Callbacks) (Result, error) {
-	sm := newSlotMachine(cb)
-	for _, v := range s.Visits {
-		if err := sm.ensure(v.Primary, -1); err != nil {
-			return sm.result, err
-		}
-		if v.Self {
-			sm.result.Selfs++
-			if cb.Self != nil {
-				if err := cb.Self(v.Primary); err != nil {
-					return sm.result, fmt.Errorf("pigraph: self shard of %d: %w", v.Primary, err)
-				}
-			}
-		}
-		for _, peer := range v.Peers {
-			if err := sm.ensure(peer, int64(v.Primary)); err != nil {
-				return sm.result, err
-			}
-			sm.result.Pairs++
-			if cb.Pair != nil {
-				if err := cb.Pair(v.Primary, peer); err != nil {
-					return sm.result, fmt.Errorf("pigraph: pair {%d,%d}: %w", v.Primary, peer, err)
-				}
-			}
-		}
-	}
-	if err := sm.drain(); err != nil {
-		return sm.result, err
-	}
-	return sm.result, nil
-}
-
-// Simulate counts load/unload operations without side effects — the
-// Table 1 measurement.
+// Simulate counts load/unload operations under the two-slot model
+// without side effects — the Table 1 measurement.
 func (s *Schedule) Simulate() Result {
-	// The zero Callbacks cannot fail.
-	r, err := s.Execute(Callbacks{})
+	// The zero Callbacks with default options cannot fail.
+	r, err := s.SimulateOpts(ExecOptions{})
 	if err != nil {
-		panic("pigraph: simulation cannot fail: " + err.Error())
+		panic("pigraph: two-slot simulation cannot fail: " + err.Error())
 	}
 	return r
+}
+
+// SimulateOpts counts the operations of an S-slot execution without
+// side effects. PrefetchDepth is irrelevant here: the tape, and hence
+// the counts, depend only on Slots. The only possible error is invalid
+// options.
+func (s *Schedule) SimulateOpts(opts ExecOptions) (Result, error) {
+	return s.ExecuteOpts(Callbacks{}, ExecOptions{Slots: opts.Slots})
 }
 
 // Validate checks that the schedule covers the PI graph exactly: every

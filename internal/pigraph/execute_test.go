@@ -1,0 +1,439 @@
+package pigraph
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// event records one callback invocation for trace comparison. A
+// prefetched load commits at the same tape position a serial load would
+// execute, so both record the same "load" event.
+type event struct {
+	kind string
+	a, b uint32
+}
+
+// traceCallbacks returns callbacks that append every invocation to a
+// shared trace, using the serial Load path only.
+func traceCallbacks(trace *[]event) Callbacks {
+	return Callbacks{
+		Load:   func(p uint32) error { *trace = append(*trace, event{"load", p, 0}); return nil },
+		Unload: func(p uint32) error { *trace = append(*trace, event{"unload", p, 0}); return nil },
+		Pair:   func(a, b uint32) error { *trace = append(*trace, event{"pair", a, b}); return nil },
+		Self:   func(p uint32) error { *trace = append(*trace, event{"self", p, 0}); return nil },
+	}
+}
+
+// referenceExecute is the original hard-coded two-slot serial executor
+// (the pre-pipelining implementation), kept verbatim as the oracle for
+// tape-equivalence testing: ExecuteOpts with Slots=2, PrefetchDepth=0
+// must reproduce its callback sequence op for op.
+func referenceExecute(s *Schedule, cb Callbacks) (Result, error) {
+	type refMachine struct {
+		resident [2]int64
+		lastUsed [2]int64
+		tick     int64
+		result   Result
+	}
+	sm := &refMachine{resident: [2]int64{-1, -1}}
+	ensure := func(p uint32, pinned int64) error {
+		sm.tick++
+		for i := range sm.resident {
+			if sm.resident[i] == int64(p) {
+				sm.lastUsed[i] = sm.tick
+				return nil
+			}
+		}
+		slot := -1
+		for i := range sm.resident {
+			if sm.resident[i] == -1 {
+				slot = i
+				break
+			}
+		}
+		if slot == -1 {
+			best := int64(1) << 62
+			for i := range sm.resident {
+				if sm.resident[i] == pinned {
+					continue
+				}
+				if sm.lastUsed[i] < best {
+					best = sm.lastUsed[i]
+					slot = i
+				}
+			}
+			sm.result.Unloads++
+			if cb.Unload != nil {
+				if err := cb.Unload(uint32(sm.resident[slot])); err != nil {
+					return err
+				}
+			}
+		}
+		sm.resident[slot] = int64(p)
+		sm.lastUsed[slot] = sm.tick
+		sm.result.Loads++
+		if cb.Load != nil {
+			return cb.Load(p)
+		}
+		return nil
+	}
+	for _, v := range s.Visits {
+		if err := ensure(v.Primary, -1); err != nil {
+			return sm.result, err
+		}
+		if v.Self {
+			sm.result.Selfs++
+			if cb.Self != nil {
+				if err := cb.Self(v.Primary); err != nil {
+					return sm.result, err
+				}
+			}
+		}
+		for _, peer := range v.Peers {
+			if err := ensure(peer, int64(v.Primary)); err != nil {
+				return sm.result, err
+			}
+			sm.result.Pairs++
+			if cb.Pair != nil {
+				if err := cb.Pair(v.Primary, peer); err != nil {
+					return sm.result, err
+				}
+			}
+		}
+	}
+	for i := range sm.resident {
+		if sm.resident[i] == -1 {
+			continue
+		}
+		sm.result.Unloads++
+		if cb.Unload != nil {
+			if err := cb.Unload(uint32(sm.resident[i])); err != nil {
+				return sm.result, err
+			}
+		}
+		sm.resident[i] = -1
+	}
+	return sm.result, nil
+}
+
+// TestTapeMatchesReferenceSerialExecutor pins the Table 1 invariant:
+// the op-tape executor with the default options reproduces the original
+// serial two-slot implementation event for event, on every heuristic
+// over a spread of random PI graphs.
+func TestTapeMatchesReferenceSerialExecutor(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		for _, shape := range []struct{ n, m int }{{8, 14}, {25, 80}, {60, 300}} {
+			g := randomPI(t, seed, shape.n, shape.m)
+			for _, h := range AllHeuristics() {
+				s := h.Plan(g)
+
+				var want []event
+				wantRes, err := referenceExecute(s, traceCallbacks(&want))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []event
+				gotRes, err := s.ExecuteOpts(traceCallbacks(&got), ExecOptions{Slots: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if gotRes != wantRes {
+					t.Fatalf("%s seed=%d n=%d: result %+v, reference %+v", h.Name(), seed, shape.n, gotRes, wantRes)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d events, reference %d", h.Name(), len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s: event %d = %+v, reference %+v", h.Name(), i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiSlotResidencyInvariants checks S-slot executions for every
+// S: at most S partitions resident, pairs/selfs only touch resident
+// partitions, loads and unloads balance to zero.
+func TestMultiSlotResidencyInvariants(t *testing.T) {
+	g := randomPI(t, 5, 30, 120)
+	for _, slots := range []int{2, 3, 4, 8} {
+		for _, h := range AllHeuristics() {
+			s := h.Plan(g)
+			resident := make(map[uint32]bool)
+			maxResident := 0
+			cb := Callbacks{
+				Load: func(p uint32) error {
+					if resident[p] {
+						return fmt.Errorf("load of already-resident %d", p)
+					}
+					resident[p] = true
+					if len(resident) > maxResident {
+						maxResident = len(resident)
+					}
+					if len(resident) > slots {
+						return fmt.Errorf("%d partitions resident with %d slots", len(resident), slots)
+					}
+					return nil
+				},
+				Unload: func(p uint32) error {
+					if !resident[p] {
+						return fmt.Errorf("unload of non-resident %d", p)
+					}
+					delete(resident, p)
+					return nil
+				},
+				Pair: func(a, b uint32) error {
+					if !resident[a] || !resident[b] {
+						return fmt.Errorf("pair {%d,%d} with residency {%v,%v}", a, b, resident[a], resident[b])
+					}
+					return nil
+				},
+				Self: func(p uint32) error {
+					if !resident[p] {
+						return fmt.Errorf("self of non-resident %d", p)
+					}
+					return nil
+				},
+			}
+			res, err := s.ExecuteOpts(cb, ExecOptions{Slots: slots})
+			if err != nil {
+				t.Fatalf("slots=%d %s: %v", slots, h.Name(), err)
+			}
+			if len(resident) != 0 {
+				t.Fatalf("slots=%d %s: %d partitions resident after drain", slots, h.Name(), len(resident))
+			}
+			if res.Loads != res.Unloads {
+				t.Fatalf("slots=%d %s: %d loads vs %d unloads", slots, h.Name(), res.Loads, res.Unloads)
+			}
+			if res.PrefetchedLoads != 0 {
+				t.Fatalf("slots=%d %s: serial run reported %d prefetched loads", slots, h.Name(), res.PrefetchedLoads)
+			}
+		}
+	}
+}
+
+// TestMoreSlotsNeverIncreaseOps: growing the budget can only help the
+// LRU slot machine on these workloads (each extra slot keeps strictly
+// more history resident).
+func TestMoreSlotsNeverIncreaseOps(t *testing.T) {
+	g := randomPI(t, 99, 40, 200)
+	simOps := func(s *Schedule, slots int) int64 {
+		t.Helper()
+		r, err := s.SimulateOpts(ExecOptions{Slots: slots})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Ops()
+	}
+	for _, h := range AllHeuristics() {
+		s := h.Plan(g)
+		prev := simOps(s, 2)
+		for _, slots := range []int{3, 4, 6, 40} {
+			ops := simOps(s, slots)
+			if ops > prev {
+				t.Errorf("%s: slots=%d ops=%d exceeds smaller budget's %d", h.Name(), slots, ops, prev)
+			}
+			prev = ops
+		}
+	}
+}
+
+// TestSimulateOptsReturnsValidationError: invalid options surface as
+// an error, not a panic (unlike the paper-default Simulate, which
+// cannot fail).
+func TestSimulateOptsReturnsValidationError(t *testing.T) {
+	g := randomPI(t, 2, 6, 10)
+	s := Sequential{}.Plan(g)
+	if _, err := s.SimulateOpts(ExecOptions{Slots: 1}); err == nil {
+		t.Error("Slots=1 accepted by SimulateOpts")
+	}
+}
+
+// fakeStore simulates the engine's partition store for pipelined
+// execution: Unload writes a new version of the partition's payload,
+// Fetch reads the current version. If the executor ever fetched ahead
+// of a pending write-back (the stale-read hazard) or ran two
+// fetches of one partition concurrently with its unload, the versions
+// observed at commit time would disagree with serial execution.
+type fakeStore struct {
+	mu       sync.Mutex
+	version  map[uint32]int
+	resident map[uint32]int // version each resident partition was loaded with
+	inFetch  atomic.Int32
+	maxFetch int32 // guarded by mu
+}
+
+func newFakeStore() *fakeStore {
+	return &fakeStore{version: make(map[uint32]int), resident: make(map[uint32]int)}
+}
+
+func (fs *fakeStore) callbacks(committed *[]event) Callbacks {
+	return Callbacks{
+		Load: func(p uint32) error {
+			fs.mu.Lock()
+			defer fs.mu.Unlock()
+			fs.resident[p] = fs.version[p]
+			*committed = append(*committed, event{"load", p, uint32(fs.version[p])})
+			return nil
+		},
+		Unload: func(p uint32) error {
+			fs.mu.Lock()
+			defer fs.mu.Unlock()
+			if _, ok := fs.resident[p]; !ok {
+				return fmt.Errorf("unload of non-resident %d", p)
+			}
+			delete(fs.resident, p)
+			fs.version[p]++ // write-back produces a new on-disk version
+			return nil
+		},
+		Fetch: func(p uint32) (any, error) {
+			n := fs.inFetch.Add(1)
+			defer fs.inFetch.Add(-1)
+			fs.mu.Lock()
+			v := fs.version[p]
+			if n > fs.maxFetch {
+				fs.maxFetch = n
+			}
+			fs.mu.Unlock()
+			return v, nil
+		},
+		Commit: func(p uint32, data any) error {
+			fs.mu.Lock()
+			defer fs.mu.Unlock()
+			v := data.(int)
+			if v != fs.version[p] {
+				return fmt.Errorf("partition %d committed stale version %d, disk has %d", p, v, fs.version[p])
+			}
+			fs.resident[p] = v
+			*committed = append(*committed, event{"load", p, uint32(v)})
+			return nil
+		},
+	}
+}
+
+// TestPipelinedMatchesSerial runs the same schedules serially and
+// pipelined at several depths against the versioned fake store: the
+// counts must be identical, every commit must see the freshest
+// write-back (no stale prefetch), and the committed version sequence
+// must equal the serial one.
+func TestPipelinedMatchesSerial(t *testing.T) {
+	g := randomPI(t, 3, 30, 140)
+	for _, h := range AllHeuristics() {
+		s := h.Plan(g)
+
+		serialStore := newFakeStore()
+		var serialEvents []event
+		serialCB := serialStore.callbacks(&serialEvents)
+		serialCB.Fetch, serialCB.Commit = nil, nil
+		serialRes, err := s.ExecuteOpts(serialCB, ExecOptions{Slots: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, depth := range []int{1, 2, 5} {
+			store := newFakeStore()
+			var events []event
+			cb := store.callbacks(&events)
+			cb.Load = nil // force the fetch/commit path for every load
+			res, err := s.ExecuteOpts(cb, ExecOptions{Slots: 2, PrefetchDepth: depth})
+			if err != nil {
+				t.Fatalf("%s depth=%d: %v", h.Name(), depth, err)
+			}
+			if res.Loads != serialRes.Loads || res.Unloads != serialRes.Unloads ||
+				res.Pairs != serialRes.Pairs || res.Selfs != serialRes.Selfs {
+				t.Fatalf("%s depth=%d: counts %+v, serial %+v", h.Name(), depth, res, serialRes)
+			}
+			if res.Loads > 2 && res.PrefetchedLoads == 0 {
+				t.Errorf("%s depth=%d: no loads were prefetched", h.Name(), depth)
+			}
+			if res.PrefetchedLoads > res.Loads {
+				t.Errorf("%s depth=%d: %d prefetched of %d loads", h.Name(), depth, res.PrefetchedLoads, res.Loads)
+			}
+			if len(events) != len(serialEvents) {
+				t.Fatalf("%s depth=%d: %d load events, serial %d", h.Name(), depth, len(events), len(serialEvents))
+			}
+			for i := range events {
+				if events[i] != serialEvents[i] {
+					t.Fatalf("%s depth=%d: load event %d = %+v, serial %+v", h.Name(), depth, i, events[i], serialEvents[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPrefetchDepthBoundsConcurrency: no more than depth fetches run
+// concurrently.
+func TestPrefetchDepthBoundsConcurrency(t *testing.T) {
+	g := randomPI(t, 21, 40, 220)
+	s := DegreeLowHigh().Plan(g)
+	for _, depth := range []int32{1, 3} {
+		store := newFakeStore()
+		var events []event
+		cb := store.callbacks(&events)
+		cb.Load = nil
+		if _, err := s.ExecuteOpts(cb, ExecOptions{Slots: 2, PrefetchDepth: int(depth)}); err != nil {
+			t.Fatal(err)
+		}
+		if store.maxFetch > depth {
+			t.Errorf("depth=%d: observed %d concurrent fetches", depth, store.maxFetch)
+		}
+	}
+}
+
+// TestPipelinedPropagatesErrors: fetch and commit failures surface at
+// the load's tape position with no goroutine left running, and every
+// successfully fetched but never-committed value is handed back
+// through Discard.
+func TestPipelinedPropagatesErrors(t *testing.T) {
+	g := randomPI(t, 2, 12, 30)
+	s := Sequential{}.Plan(g)
+	boom := errors.New("boom")
+
+	var fetches, committed, discarded atomic.Int64
+	cb := Callbacks{
+		Fetch: func(p uint32) (any, error) {
+			if fetches.Add(1) > 3 {
+				return nil, boom
+			}
+			return int(p), nil
+		},
+		Commit: func(p uint32, data any) error { committed.Add(1); return nil },
+		Discard: func(p uint32, data any) {
+			discarded.Add(1)
+			if data.(int) != int(p) {
+				t.Errorf("discard of %d handed payload %v", p, data)
+			}
+		},
+	}
+	_, err := s.ExecuteOpts(cb, ExecOptions{Slots: 2, PrefetchDepth: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Every successful fetch either committed or was discarded; the
+	// failed fetch was neither.
+	ok := fetches.Load()
+	if ok > 3 {
+		ok = 3 // fetches beyond the third failed
+	}
+	if committed.Load()+discarded.Load() != ok {
+		t.Errorf("%d fetched ok, %d committed + %d discarded", ok, committed.Load(), discarded.Load())
+	}
+}
+
+// TestExecOptionsValidation rejects nonsensical budgets.
+func TestExecOptionsValidation(t *testing.T) {
+	g := randomPI(t, 2, 6, 10)
+	s := Sequential{}.Plan(g)
+	if _, err := s.ExecuteOpts(Callbacks{}, ExecOptions{Slots: 1}); err == nil {
+		t.Error("Slots=1 accepted")
+	}
+	if _, err := s.ExecuteOpts(Callbacks{}, ExecOptions{PrefetchDepth: -1}); err == nil {
+		t.Error("PrefetchDepth=-1 accepted")
+	}
+}

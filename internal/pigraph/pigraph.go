@@ -1,6 +1,8 @@
 // Package pigraph implements phase 3 of the paper: the partition
 // interaction (PI) graph and the traversal heuristics that decide the
-// order in which partitions are loaded into the two in-memory slots.
+// order in which partitions are loaded into the in-memory slots (two
+// in the paper; the executor generalizes to an S-slot budget with
+// optional asynchronous lookahead prefetch — see ExecOptions).
 //
 // A PI-graph node is a partition Ri; an edge {Ri, Rj} exists when the
 // hash table H holds tuples whose endpoints lie in Ri and Rj. Computing

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"knnpc/internal/core"
+	"knnpc/internal/disk"
 	"knnpc/internal/exact"
 	"knnpc/internal/graph"
 	"knnpc/internal/knn"
@@ -63,6 +64,19 @@ type Config struct {
 	Similarity string
 	// Workers parallelizes similarity scoring (default 1).
 	Workers int
+	// Slots is the phase-4 memory budget: at most this many partitions
+	// resident at once (default 2, the paper's model; must be ≥ 2).
+	// The load/unload accounting reported per iteration always matches
+	// the schedule simulation for the chosen budget.
+	Slots int
+	// PrefetchDepth pipelines phase 4: up to this many upcoming
+	// partition loads are fetched on background goroutines while the
+	// current pair is scored, overlapping disk I/O with computation.
+	// 0 (default) reproduces the paper's serial execution. The
+	// Loads/Unloads accounting is identical at every depth; each
+	// in-flight fetch transiently holds one partition beyond Slots,
+	// charged against MemoryBudgetBytes while in flight.
+	PrefetchDepth int
 	// OnDisk stores partition state and tuple spills in real files
 	// under ScratchDir ("" = private temp dir), exercising the
 	// out-of-core path. When false, state is serialized in memory
@@ -74,6 +88,11 @@ type Config struct {
 	ProfilesOnDisk bool
 	// ScratchDir hosts on-disk state when OnDisk is set.
 	ScratchDir string
+	// EmulateDisk, with OnDisk set, enforces a disk model's device
+	// latency ("hdd", "ssd" or "nvme") on partition state I/O, so the
+	// paper's latency-bound phase 4 is reproducible on hosts whose
+	// page cache hides real disk cost. "" (default) adds no latency.
+	EmulateDisk string
 	// MemoryBudgetBytes, when positive, bounds resident partition
 	// state; exceeding it fails the iteration.
 	MemoryBudgetBytes int64
@@ -92,6 +111,8 @@ func (c Config) engineOptions() (core.Options, error) {
 		K:                c.K,
 		NumPartitions:    c.Partitions,
 		Workers:          c.Workers,
+		Slots:            c.Slots,
+		PrefetchDepth:    c.PrefetchDepth,
 		OnDisk:           c.OnDisk,
 		ProfilesOnDisk:   c.ProfilesOnDisk,
 		ScratchDir:       c.ScratchDir,
@@ -120,6 +141,11 @@ func (c Config) engineOptions() (core.Options, error) {
 		}
 		opts.Similarity = s
 	}
+	m, err := disk.ResolveModel(c.EmulateDisk)
+	if err != nil {
+		return opts, fmt.Errorf("knnpc: %w", err)
+	}
+	opts.EmulateDisk = m
 	return opts, nil
 }
 
@@ -139,8 +165,12 @@ type Report struct {
 	// scored.
 	TuplesScored int64
 	// LoadUnloadOps is the number of partition load/unload operations
-	// phase 4 performed — the paper's Table 1 metric.
+	// phase 4 performed — the paper's Table 1 metric. It is identical
+	// for serial and pipelined execution of the same iteration.
 	LoadUnloadOps int64
+	// PrefetchedLoads is the subset of loads issued asynchronously
+	// ahead of the scoring cursor (0 unless Config.PrefetchDepth > 0).
+	PrefetchedLoads int64
 	// EdgeChanges counts directed-edge differences between G(t) and
 	// G(t+1); zero means the graph has converged.
 	EdgeChanges int
@@ -151,17 +181,18 @@ type Report struct {
 
 func reportFrom(st *core.IterationStats) Report {
 	return Report{
-		Iteration:      st.Iteration,
-		Duration:       st.Phases.Total(),
-		PhasePartition: st.Phases.Partition,
-		PhaseTuples:    st.Phases.Tuples,
-		PhasePIGraph:   st.Phases.PIGraph,
-		PhaseScore:     st.Phases.Score,
-		PhaseUpdate:    st.Phases.Update,
-		TuplesScored:   st.TuplesScored,
-		LoadUnloadOps:  st.Ops(),
-		EdgeChanges:    st.EdgeChanges,
-		UpdatesApplied: st.UpdatesApplied,
+		Iteration:       st.Iteration,
+		Duration:        st.Phases.Total(),
+		PhasePartition:  st.Phases.Partition,
+		PhaseTuples:     st.Phases.Tuples,
+		PhasePIGraph:    st.Phases.PIGraph,
+		PhaseScore:      st.Phases.Score,
+		PhaseUpdate:     st.Phases.Update,
+		TuplesScored:    st.TuplesScored,
+		LoadUnloadOps:   st.Ops(),
+		PrefetchedLoads: st.PrefetchedLoads,
+		EdgeChanges:     st.EdgeChanges,
+		UpdatesApplied:  st.UpdatesApplied,
 	}
 }
 

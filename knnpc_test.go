@@ -32,6 +32,10 @@ func TestNewValidatesConfig(t *testing.T) {
 		{"bad strategy", Config{K: 3, PartitionStrategy: "metis"}},
 		{"bad heuristic", Config{K: 3, Heuristic: "random"}},
 		{"bad similarity", Config{K: 3, Similarity: "euclid"}},
+		{"bad slots", Config{K: 3, Slots: 1}},
+		{"bad prefetch", Config{K: 3, PrefetchDepth: -1}},
+		{"bad disk model", Config{K: 3, EmulateDisk: "tape"}},
+		{"emulate without ondisk", Config{K: 3, EmulateDisk: "hdd"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -205,6 +209,68 @@ func TestSystemProfileUpdates(t *testing.T) {
 	}
 	if !sawNew || sawRemoved {
 		t.Errorf("profile update not applied correctly (new=%v removedStill=%v)", sawNew, sawRemoved)
+	}
+}
+
+// TestSystemPipelined exercises the pipelined phase-4 mode through the
+// public API: prefetch on disk with multi-worker scoring must converge
+// to the same graph as the paper's serial two-slot execution, report
+// prefetched loads, and keep the ops metric identical.
+func TestSystemPipelined(t *testing.T) {
+	profiles := testProfiles(t, 60)
+	base := Config{K: 4, Partitions: 4, Seed: 11}
+
+	serial, err := New(profiles, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	serialReports, err := serial.Run(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.OnDisk = true
+	cfg.Workers = 3
+	cfg.PrefetchDepth = 2
+	pipe, err := New(profiles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	pipeReports, err := pipe.Run(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serialReports) != len(pipeReports) {
+		t.Fatalf("serial converged in %d iterations, pipelined in %d", len(serialReports), len(pipeReports))
+	}
+	var prefetched int64
+	for i := range serialReports {
+		s, p := serialReports[i], pipeReports[i]
+		if s.LoadUnloadOps != p.LoadUnloadOps {
+			t.Fatalf("iter %d: ops %d vs %d", i, p.LoadUnloadOps, s.LoadUnloadOps)
+		}
+		if s.PrefetchedLoads != 0 {
+			t.Fatalf("iter %d: serial run prefetched %d loads", i, s.PrefetchedLoads)
+		}
+		prefetched += p.PrefetchedLoads
+	}
+	if prefetched == 0 {
+		t.Error("pipelined run never prefetched a load")
+	}
+	for u := uint32(0); u < 60; u++ {
+		sn, pn := serial.Neighbors(u), pipe.Neighbors(u)
+		if len(sn) != len(pn) {
+			t.Fatalf("user %d: %d vs %d neighbors", u, len(pn), len(sn))
+		}
+		for i := range sn {
+			if sn[i] != pn[i] {
+				t.Fatalf("user %d: neighbors diverge (%v vs %v)", u, pn, sn)
+			}
+		}
 	}
 }
 
