@@ -3,7 +3,19 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+# Recipes use pipes (bench-json); without pipefail a failing `go test`
+# would be masked by the downstream consumer's exit status and CI would
+# upload a corrupt baseline.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+# Pinned so benchmark JSON documents are comparable across CI runs.
+BENCHTIME ?= 1x
+BENCH_OUT ?= BENCH_PR.json
+# Pinned staticcheck release; CI installs exactly this version.
+STATICCHECK_VERSION ?= 2025.1
+
+.PHONY: all build test race bench bench-json bench-compare fmt vet staticcheck ci
 
 all: build
 
@@ -21,6 +33,18 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Full benchmark suite at the pinned -benchtime, captured as JSON
+# (name, ns/op, allocs, custom op-count metrics). CI uploads the file
+# as an artifact on every run, building the bench trajectory.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# Markdown comparison of $(BENCH_OUT) against BASELINE (a bench-json
+# document from main); exits non-zero on >2x regressions of the
+# emulated-disk phase-4 benchmarks.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(BASELINE) $(BENCH_OUT)
+
 # Fails when any file needs reformatting, printing the offenders.
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -29,4 +53,14 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt vet race bench
+# Runs the pinned staticcheck when installed; CI installs it first, so
+# there it always runs. Locally the target degrades to a pointer at the
+# install command instead of failing offline builds.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed — skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+ci: build fmt vet staticcheck race bench

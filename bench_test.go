@@ -367,51 +367,62 @@ func BenchmarkStaticFrameworkContrast(b *testing.B) {
 }
 
 // BenchmarkPipelinedPhase4 contrasts serial phase-4 execution with the
-// pipelined multi-slot executor on the on-disk configuration — the
-// paper's actual bottleneck (blocking partition load/unload I/O). All
+// three-stream pipelined executor on the on-disk configuration — the
+// paper's actual bottleneck (blocking partition and shard I/O). All
 // variants perform the identical load/unload op sequence for their
 // slot budget (reported as "ops"), so any wall-time difference is pure
 // I/O–compute overlap; "prefetched" counts the loads issued
-// asynchronously ahead of the scoring cursor.
+// asynchronously ahead of the scoring cursor and "async-wb" the
+// unloads written back behind it.
 //
 // The "hdd" group enforces the HDD model's seek+transfer latency on
-// every state access (core.Options.EmulateDisk; the emulated device
-// is serialized like a real single spindle), reproducing the paper's
-// latency-bound setting on hosts whose page cache hides real disk
-// cost. Prefetch overlaps load latency with scoring; a wider slot
-// budget both removes ops and lengthens the unload→reload hazard
-// distance, giving the prefetcher real lookahead room — composed they
-// cut phase-4 wall time ~25-35% on this workload. The "raw" group
-// runs at host speed, where page-cache-backed loads are a small slice
-// of phase 4 and the win is correspondingly small.
+// every state access and phase-4 shard read (core.Options.EmulateDisk;
+// the emulated device is serialized like a real single spindle),
+// reproducing the paper's latency-bound setting on hosts whose page
+// cache hides real disk cost. The ablation ladder adds one overlapped
+// stream at a time: load prefetch, then async write-back (which hides
+// the other half of the state traffic the prefetcher can't touch),
+// then shard read-ahead. A wider slot budget both removes ops and
+// lengthens the unload→reload hazard distance, giving the pipeline
+// real lookahead room. The "raw" group runs at host speed, where
+// page-cache-backed I/O is so cheap that the pipeline's goroutine and
+// synchronization overhead can exceed the I/O it hides — the honest
+// boundary of the technique, kept here so the trade-off stays visible.
 func BenchmarkPipelinedPhase4(b *testing.B) {
 	variants := []struct {
-		name          string
-		emulate       *disk.Model
-		users, parts  int
-		workers       int
-		slots         int
-		prefetchDepth int
+		name           string
+		emulate        *disk.Model
+		users, k       int
+		parts          int
+		workers        int
+		slots          int
+		prefetchDepth  int
+		asyncWriteback bool
+		shardPrefetch  int
 	}{
-		{"hdd/serial", &disk.HDD, 4000, 8, 2, 2, 0},
-		{"hdd/prefetch=2", &disk.HDD, 4000, 8, 2, 2, 2},
-		{"hdd/slots=4+prefetch=4", &disk.HDD, 4000, 8, 2, 4, 4},
-		{"raw/serial", nil, 4000, 32, 4, 2, 0},
-		{"raw/prefetch=2", nil, 4000, 32, 4, 2, 2},
+		{"hdd/serial", &disk.HDD, 4000, 16, 8, 2, 2, 0, false, 0},
+		{"hdd/prefetch=2", &disk.HDD, 4000, 16, 8, 2, 2, 2, false, 0},
+		{"hdd/prefetch=2+writeback", &disk.HDD, 4000, 16, 8, 2, 2, 2, true, 0},
+		{"hdd/prefetch=2+writeback+shard=2", &disk.HDD, 4000, 16, 8, 2, 2, 2, true, 2},
+		{"hdd/slots=4+full-pipeline", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4},
+		{"raw/serial", nil, 4000, 10, 32, 4, 2, 0, false, 0},
+		{"raw/full-pipeline", nil, 4000, 10, 32, 4, 2, 2, true, 2},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
 			store := benchStore(b, v.users)
 			eng, err := core.New(store, core.Options{
-				K:             10,
-				NumPartitions: v.parts,
-				Workers:       v.workers,
-				Slots:         v.slots,
-				PrefetchDepth: v.prefetchDepth,
-				OnDisk:        true,
-				EmulateDisk:   v.emulate,
-				ScratchDir:    b.TempDir(),
-				Seed:          1,
+				K:              v.k,
+				NumPartitions:  v.parts,
+				Workers:        v.workers,
+				Slots:          v.slots,
+				PrefetchDepth:  v.prefetchDepth,
+				AsyncWriteback: v.asyncWriteback,
+				ShardPrefetch:  v.shardPrefetch,
+				OnDisk:         true,
+				EmulateDisk:    v.emulate,
+				ScratchDir:     b.TempDir(),
+				Seed:           1,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -419,7 +430,7 @@ func BenchmarkPipelinedPhase4(b *testing.B) {
 			defer eng.Close()
 			b.ResetTimer()
 			var scoreMS float64
-			var ops, prefetched int64
+			var ops, prefetched, asyncWB int64
 			for i := 0; i < b.N; i++ {
 				st, err := eng.Iterate(context.Background())
 				if err != nil {
@@ -428,10 +439,12 @@ func BenchmarkPipelinedPhase4(b *testing.B) {
 				scoreMS += float64(st.Phases.Score.Microseconds()) / 1000
 				ops = st.Ops()
 				prefetched = st.PrefetchedLoads
+				asyncWB = st.AsyncUnloads
 			}
 			b.ReportMetric(scoreMS/float64(b.N), "p4-score-ms")
 			b.ReportMetric(float64(ops), "ops")
 			b.ReportMetric(float64(prefetched), "prefetched")
+			b.ReportMetric(float64(asyncWB), "async-wb")
 		})
 	}
 }

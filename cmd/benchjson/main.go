@@ -1,0 +1,255 @@
+// Command benchjson turns `go test -bench` output into a stable JSON
+// document and compares two such documents for CI regression gating.
+//
+// Encode mode (default) reads benchmark output on stdin and writes JSON
+// to stdout:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchjson > BENCH_PR.json
+//
+// Compare mode reads a baseline and a candidate document, prints a
+// Markdown comparison table (suitable for a GitHub job summary), and
+// exits non-zero when any benchmark whose name matches -critical
+// regressed by more than -threshold× in ns/op:
+//
+//	benchjson -compare baseline.json candidate.json
+//
+// The default critical set is the emulated-disk phase-4 pipeline
+// (BenchmarkPipelinedPhase4/hdd): those benchmarks sleep modeled device
+// time, so their wall clock is stable enough to gate on, unlike
+// host-speed microbenchmarks.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -cpu suffix (e.g. "BenchmarkPipelinedPhase4/hdd/serial-8").
+	Name string `json:"name"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op column.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem columns (0 when not
+	// recorded).
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every custom b.ReportMetric unit (ops, prefetched,
+	// async-wb, p4-score-ms, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the JSON file: run context plus all benchmarks.
+type Document struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	compare := flag.String("compare", "", "baseline JSON file; requires the candidate file as the positional argument")
+	critical := flag.String("critical", "BenchmarkPipelinedPhase4/hdd", "regexp of benchmark names whose ns/op regression fails the comparison")
+	threshold := flag.Float64("threshold", 2.0, "fail when a critical benchmark's ns/op grows by more than this factor")
+	flag.Parse()
+
+	if *compare == "" {
+		if err := encode(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare baseline.json needs exactly one candidate file argument")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*critical)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: bad -critical pattern:", err)
+		os.Exit(2)
+	}
+	old, err := readDocument(*compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	cur, err := readDocument(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	table, regressions := compareDocs(old, cur, re, *threshold)
+	fmt.Print(table)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d critical regression(s) beyond %.1fx:\n", len(regressions), *threshold)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  -", r)
+		}
+		os.Exit(1)
+	}
+}
+
+func encode(in io.Reader, out io.Writer) error {
+	doc, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		// An empty document would silently disable the regression gate
+		// (every comparison row reads "new"); refuse to produce one.
+		return fmt.Errorf("no benchmark result lines on stdin — did `go test -bench` fail?")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func readDocument(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output.
+// Lines that are not benchmark results (goos/pkg/PASS/ok) either feed
+// the context fields or are skipped.
+func parseBench(in io.Reader) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", b.Name, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// stripCPUSuffix removes the trailing -N GOMAXPROCS marker so runs on
+// hosts with different core counts still match up.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func stripCPUSuffix(name string) string { return cpuSuffix.ReplaceAllString(name, "") }
+
+// compareDocs renders a Markdown table of old vs new ns/op (plus the
+// "ops" metric when present, since the Table 1 accounting must not
+// drift silently) and collects critical regressions beyond threshold.
+func compareDocs(old, cur *Document, critical *regexp.Regexp, threshold float64) (string, []string) {
+	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[stripCPUSuffix(b.Name)] = b
+	}
+	names := make([]string, 0, len(cur.Benchmarks))
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		n := stripCPUSuffix(b.Name)
+		names = append(names, n)
+		curBy[n] = b
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	sb.WriteString("### Benchmark comparison vs main\n\n")
+	sb.WriteString("| Benchmark | main ns/op | PR ns/op | ratio | main ops | PR ops | |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|---|\n")
+	var regressions []string
+	for _, n := range names {
+		nb := curBy[n]
+		ob, ok := oldBy[n]
+		if !ok {
+			fmt.Fprintf(&sb, "| %s | — | %.0f | new | — | %s | |\n", n, nb.NsPerOp, opsCell(nb))
+			continue
+		}
+		ratio := 0.0
+		if ob.NsPerOp > 0 {
+			ratio = nb.NsPerOp / ob.NsPerOp
+		}
+		marker := ""
+		if critical.MatchString(n) {
+			marker = "gated"
+			if ratio > threshold {
+				marker = fmt.Sprintf("**FAIL > %.1fx**", threshold)
+				regressions = append(regressions, fmt.Sprintf("%s: %.0f → %.0f ns/op (%.2fx)", n, ob.NsPerOp, nb.NsPerOp, ratio))
+			}
+		}
+		fmt.Fprintf(&sb, "| %s | %.0f | %.0f | %.2fx | %s | %s | %s |\n",
+			n, ob.NsPerOp, nb.NsPerOp, ratio, opsCell(ob), opsCell(nb), marker)
+	}
+	for n := range oldBy {
+		if _, ok := curBy[n]; !ok {
+			fmt.Fprintf(&sb, "| %s | %.0f | — | removed | %s | — | |\n", n, oldBy[n].NsPerOp, opsCell(oldBy[n]))
+		}
+	}
+	sb.WriteString("\nGated benchmarks: `" + critical.String() + "` — the emulated-disk phase-4 pipeline, whose modeled device time makes wall clock stable enough to compare across runs.\n")
+	return sb.String(), regressions
+}
+
+func opsCell(b Benchmark) string {
+	v, ok := b.Metrics["ops"]
+	if !ok {
+		return "—"
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

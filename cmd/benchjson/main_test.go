@@ -1,0 +1,124 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: knnpc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelinedPhase4/hdd/serial-8         	       1	1834306852 ns/op	         0 async-wb	        68.00 ops	      1674 p4-score-ms	         0 prefetched
+BenchmarkPipelinedPhase4/hdd/prefetch=2-8     	       1	1617687604 ns/op	        68.00 ops	        33.00 prefetched
+BenchmarkTable1/wiki-Vote/Seq.-8              	       3	   1000000 ns/op	    211856 ops	     512 B/op	       9 allocs/op
+PASS
+ok  	knnpc	8.307s
+`
+
+func TestParseBench(t *testing.T) {
+	doc, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("context not captured: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkPipelinedPhase4/hdd/serial-8" || b.Iterations != 1 {
+		t.Errorf("first benchmark: %+v", b)
+	}
+	if b.NsPerOp != 1834306852 || b.Metrics["ops"] != 68 || b.Metrics["p4-score-ms"] != 1674 {
+		t.Errorf("first benchmark values: %+v", b)
+	}
+	tb := doc.Benchmarks[2]
+	if tb.BytesPerOp != 512 || tb.AllocsPerOp != 9 || tb.Metrics["ops"] != 211856 {
+		t.Errorf("benchmem columns: %+v", tb)
+	}
+}
+
+func benchDoc(nsSerial, nsPrefetch float64, ops float64) *Document {
+	return &Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkPipelinedPhase4/hdd/serial-8", NsPerOp: nsSerial, Metrics: map[string]float64{"ops": ops}},
+		{Name: "BenchmarkPipelinedPhase4/hdd/prefetch=2-8", NsPerOp: nsPrefetch, Metrics: map[string]float64{"ops": ops}},
+		{Name: "BenchmarkTable1/wiki-Vote/Seq.-8", NsPerOp: 1e6},
+	}}
+}
+
+func TestCompareDocsPassesWithinThreshold(t *testing.T) {
+	re := regexp.MustCompile("BenchmarkPipelinedPhase4/hdd")
+	table, regressions := compareDocs(benchDoc(1e9, 9e8, 68), benchDoc(1.5e9, 1.2e9, 68), re, 2.0)
+	if len(regressions) != 0 {
+		t.Fatalf("1.5x growth flagged: %v", regressions)
+	}
+	if !strings.Contains(table, "| 1.50x |") || !strings.Contains(table, "gated") {
+		t.Errorf("table missing ratio or gate marker:\n%s", table)
+	}
+}
+
+func TestCompareDocsFailsBeyondThreshold(t *testing.T) {
+	re := regexp.MustCompile("BenchmarkPipelinedPhase4/hdd")
+	// The serial hdd bench regresses 3x; the non-critical Table1 bench
+	// regresses 10x and must NOT be gated.
+	old := benchDoc(1e9, 9e8, 68)
+	cur := benchDoc(3e9, 9e8, 68)
+	cur.Benchmarks[2].NsPerOp = 1e7
+	table, regressions := compareDocs(old, cur, re, 2.0)
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the serial hdd bench", regressions)
+	}
+	if !strings.Contains(regressions[0], "hdd/serial") {
+		t.Errorf("wrong benchmark flagged: %v", regressions)
+	}
+	if !strings.Contains(table, "FAIL") {
+		t.Errorf("table missing FAIL marker:\n%s", table)
+	}
+}
+
+func TestCompareDocsMatchesAcrossCPUSuffix(t *testing.T) {
+	old := &Document{Benchmarks: []Benchmark{{Name: "BenchmarkPipelinedPhase4/hdd/serial-16", NsPerOp: 1e9}}}
+	cur := &Document{Benchmarks: []Benchmark{{Name: "BenchmarkPipelinedPhase4/hdd/serial-8", NsPerOp: 1.1e9}}}
+	table, regressions := compareDocs(old, cur, regexp.MustCompile("hdd"), 2.0)
+	if len(regressions) != 0 {
+		t.Fatalf("suffix mismatch broke pairing: %v", regressions)
+	}
+	if strings.Contains(table, "new") || strings.Contains(table, "removed") {
+		t.Errorf("benchmarks did not pair up across -cpu suffixes:\n%s", table)
+	}
+}
+
+func TestCompareDocsNewAndRemoved(t *testing.T) {
+	old := &Document{Benchmarks: []Benchmark{{Name: "BenchmarkGone-8", NsPerOp: 5}}}
+	cur := &Document{Benchmarks: []Benchmark{{Name: "BenchmarkNew-8", NsPerOp: 7}}}
+	table, regressions := compareDocs(old, cur, regexp.MustCompile("hdd"), 2.0)
+	if len(regressions) != 0 {
+		t.Fatalf("added/removed flagged as regression: %v", regressions)
+	}
+	if !strings.Contains(table, "new") || !strings.Contains(table, "removed") {
+		t.Errorf("table missing new/removed rows:\n%s", table)
+	}
+}
+
+func TestEncodeRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	err := encode(strings.NewReader("PASS\nok  \tknnpc\t0.1s\n"), &out)
+	if err == nil {
+		t.Fatal("benchmark-free input accepted — an empty document would disable the regression gate")
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	var out strings.Builder
+	if err := encode(strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name": "BenchmarkPipelinedPhase4/hdd/serial-8"`, `"ops": 68`, `"goos": "linux"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("JSON missing %s:\n%s", want, out.String())
+		}
+	}
+}

@@ -137,6 +137,24 @@ func run(out io.Writer, quick bool) error {
 	}
 	fmt.Fprintln(out)
 
+	fmt.Fprintln(out, "## FW-6 — three-stream phase-4 pipeline ablation (emulated HDD)")
+	fmt.Fprintln(out)
+	plUsers, plDepth, plWorkers := 2000, 2, 4
+	if quick {
+		plUsers, plDepth, plWorkers = 300, 1, 2
+	}
+	plPoints, err := experiments.PipelineSweep(ctx, plUsers, plDepth, plWorkers, "hdd")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "| Configuration | Phase-4 time | Load/unload ops | Prefetched loads | Async unloads | Shard bytes ahead |")
+	fmt.Fprintln(out, "|---|---|---|---|---|---|")
+	for _, p := range plPoints {
+		fmt.Fprintf(out, "| %s | %v | %d | %d | %d | %d |\n",
+			p.Label, p.ScoreTime, p.Ops, p.PrefetchedLoads, p.AsyncUnloads, p.PrefetchedShardBytes)
+	}
+	fmt.Fprintln(out)
+
 	fmt.Fprintln(out, "## Convergence — engine recall trajectory vs NN-Descent baseline")
 	fmt.Fprintln(out)
 	convUsers, convIters := 800, 10

@@ -18,6 +18,8 @@
 //	-workers     scoring goroutines (default 1)
 //	-slots       resident-partition budget S (default 2, the paper's model)
 //	-prefetch    async load lookahead depth; 0 = serial phase 4 (default 0)
+//	-writeback   write partition state back asynchronously (default false)
+//	-shardahead  tuple-shard read lookahead in pair steps; 0 = sync reads (default 0)
 //	-ondisk      use real files for partition state (default true)
 //	-emulate     enforce a disk model's latency on state I/O: "hdd", "ssd", "nvme" ("" = none)
 //	-scratch     scratch directory ("" = temp)
@@ -52,7 +54,8 @@ func main() {
 
 type config struct {
 	users, items, k, m, iters, workers int
-	slots, prefetch                    int
+	slots, prefetch, shardAhead        int
+	writeback                          bool
 	heuristic, partitioner, sim        string
 	emulate                            string
 	onDisk, profilesOnDisk, recall     bool
@@ -71,6 +74,8 @@ func parseFlags(args []string) config {
 	fs.IntVar(&cfg.workers, "workers", 1, "scoring goroutines")
 	fs.IntVar(&cfg.slots, "slots", 2, "resident-partition budget S")
 	fs.IntVar(&cfg.prefetch, "prefetch", 0, "async load lookahead depth (0 = serial phase 4)")
+	fs.BoolVar(&cfg.writeback, "writeback", false, "write partition state back asynchronously")
+	fs.IntVar(&cfg.shardAhead, "shardahead", 0, "tuple-shard read lookahead in pair steps (0 = sync reads)")
 	fs.StringVar(&cfg.heuristic, "heuristic", "Low-High", "PI traversal heuristic")
 	fs.StringVar(&cfg.partitioner, "partitioner", "greedy", "partitioning strategy")
 	fs.StringVar(&cfg.sim, "sim", "cosine", "similarity measure")
@@ -118,6 +123,8 @@ func run(out io.Writer, cfg config) error {
 		Workers:        cfg.workers,
 		Slots:          cfg.slots,
 		PrefetchDepth:  cfg.prefetch,
+		AsyncWriteback: cfg.writeback,
+		ShardPrefetch:  cfg.shardAhead,
 		OnDisk:         cfg.onDisk,
 		EmulateDisk:    emulate,
 		ProfilesOnDisk: cfg.profilesOnDisk,
@@ -129,18 +136,18 @@ func run(out io.Writer, cfg config) error {
 	}
 	defer eng.Close()
 
-	fmt.Fprintf(out, "engine: k=%d m=%d heuristic=%s partitioner=%s sim=%s workers=%d slots=%d prefetch=%d ondisk=%v\n\n",
-		cfg.k, cfg.m, h.Name(), p.Name(), sim.Name(), cfg.workers, cfg.slots, cfg.prefetch, cfg.onDisk)
-	fmt.Fprintln(out, "iter  phase1(part)  phase2(tuples)  phase3(pi)  phase4(score)  phase5(upd)  ops  prefetched  changed")
+	fmt.Fprintf(out, "engine: k=%d m=%d heuristic=%s partitioner=%s sim=%s workers=%d slots=%d prefetch=%d writeback=%v shardahead=%d ondisk=%v\n\n",
+		cfg.k, cfg.m, h.Name(), p.Name(), sim.Name(), cfg.workers, cfg.slots, cfg.prefetch, cfg.writeback, cfg.shardAhead, cfg.onDisk)
+	fmt.Fprintln(out, "iter  phase1(part)  phase2(tuples)  phase3(pi)  phase4(score)  phase5(upd)  ops  prefetched  async-wb  changed")
 
 	for i := 0; i < cfg.iters; i++ {
 		st, err := eng.Iterate(context.Background())
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%4d  %12v  %14v  %10v  %13v  %11v  %5d  %10d  %d\n",
+		fmt.Fprintf(out, "%4d  %12v  %14v  %10v  %13v  %11v  %5d  %10d  %8d  %d\n",
 			st.Iteration, st.Phases.Partition, st.Phases.Tuples, st.Phases.PIGraph,
-			st.Phases.Score, st.Phases.Update, st.Ops(), st.PrefetchedLoads, st.EdgeChanges)
+			st.Phases.Score, st.Phases.Update, st.Ops(), st.PrefetchedLoads, st.AsyncUnloads, st.EdgeChanges)
 		if st.EdgeChanges == 0 {
 			fmt.Fprintln(out, "converged")
 			break

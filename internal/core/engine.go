@@ -59,6 +59,26 @@ type Options struct {
 	// has no prefetch headroom and the iteration fails with
 	// ErrBudgetExceeded rather than silently exceeding the bound.
 	PrefetchDepth int
+	// AsyncWriteback completes the phase-4 pipeline on the unload side:
+	// an evicted partition's state is written back by a bounded
+	// background writer instead of blocking the scoring cursor. The
+	// cursor still evicts at the unload's tape position, so the
+	// Loads/Unloads accounting is identical; a reload of the same
+	// partition waits for the pending write (the symmetric hazard), and
+	// every write lands before the iteration returns. The evicted
+	// state's memory stays charged to MemoryBudget until its write
+	// completes, exactly like a prefetched load is charged from fetch
+	// time. The in-flight bound is max(1, PrefetchDepth), symmetric to
+	// the load side.
+	AsyncWriteback bool
+	// ShardPrefetch streams the third phase-4 I/O stream alongside
+	// partition state: up to this many upcoming pair/self steps have
+	// their tuple-shard spill bytes read (and de-duplicated) on
+	// background goroutines before the cursor needs them. 0 (default)
+	// reads every shard synchronously inside the pair step. Only
+	// effective with OnDisk (the in-memory table has no shard I/O to
+	// hide).
+	ShardPrefetch int
 	// OnDisk selects real file-backed partition state and tuple
 	// spills under ScratchDir; false keeps serialized state in memory
 	// (same code paths, no file traffic).
@@ -136,6 +156,7 @@ type Engine struct {
 	iostats  disk.IOStats
 	budget   *disk.Budget
 	scratch  *disk.Scratch
+	device   *disk.Device // emulated spindle shared by all state/shard I/O (nil = none)
 	iter     int
 	closed   bool
 }
@@ -168,6 +189,9 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 	if opts.PrefetchDepth < 0 {
 		return nil, fmt.Errorf("core: negative prefetch depth %d", opts.PrefetchDepth)
 	}
+	if opts.ShardPrefetch < 0 {
+		return nil, fmt.Errorf("core: negative shard prefetch %d", opts.ShardPrefetch)
+	}
 	if opts.EmulateDisk != nil && !opts.OnDisk {
 		return nil, fmt.Errorf("core: EmulateDisk requires OnDisk (the in-memory state store has no device to emulate)")
 	}
@@ -184,6 +208,9 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 		queue:    profile.NewUpdateQueue(),
 		g:        g,
 		budget:   disk.NewBudget(opts.MemoryBudget),
+	}
+	if opts.EmulateDisk != nil {
+		e.device = disk.NewDevice(*opts.EmulateDisk)
 	}
 	if opts.OnDisk || opts.ProfilesOnDisk {
 		scratch, err := disk.NewScratch(opts.ScratchDir)
@@ -345,7 +372,16 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 	}
 	stats.PIEdges = pi.NumEdges()
 	schedule := e.opts.Heuristic.Plan(pi)
-	execOpts := pigraph.ExecOptions{Slots: e.opts.Slots, PrefetchDepth: e.opts.PrefetchDepth}
+	execOpts := pigraph.ExecOptions{
+		Slots:         e.opts.Slots,
+		PrefetchDepth: e.opts.PrefetchDepth,
+		ShardAhead:    e.opts.ShardPrefetch,
+	}
+	if e.opts.AsyncWriteback {
+		// The in-flight write bound mirrors the load lookahead, so the
+		// two pipeline directions stay symmetric.
+		execOpts.WritebackDepth = max(1, e.opts.PrefetchDepth)
+	}
 	predicted, err := schedule.SimulateOpts(execOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 3 (simulate): %w", err)
@@ -358,9 +394,10 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 
 	// Phase 4: execute the schedule under the S-slot memory model,
 	// scoring shards and folding results into the resident partitions'
-	// accumulators. With PrefetchDepth > 0 the executor fetches
-	// upcoming partitions on background goroutines while the cursor
-	// scores, double-buffering disk I/O against computation.
+	// accumulators. The executor overlaps up to three I/O streams with
+	// the cursor's scoring: PrefetchDepth upcoming partition fetches,
+	// AsyncWriteback's bounded background write-backs, and
+	// ShardPrefetch tuple-shard reads.
 	start = time.Now()
 	exec := &phase4{
 		engine:   e,
@@ -371,7 +408,7 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 		resident: make(map[uint32]*partState, e.opts.Slots),
 		ctx:      ctx,
 	}
-	result, err := schedule.ExecuteOpts(pigraph.Callbacks{
+	cb := pigraph.Callbacks{
 		Load:    exec.load,
 		Unload:  exec.unload,
 		Pair:    exec.pair,
@@ -379,12 +416,24 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 		Fetch:   exec.fetch,
 		Commit:  exec.commit,
 		Discard: exec.discard,
-	}, execOpts)
+		Evict:   exec.evict,
+		Flush:   exec.flush,
+	}
+	prefetcher, _ := table.(tuples.ShardPrefetcher)
+	if prefetcher != nil {
+		exec.shards = prefetcher
+		cb.PairAhead = exec.pairAhead
+	}
+	result, err := schedule.ExecuteOpts(cb, execOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 4 (KNN computation): %w", err)
 	}
 	stats.Loads, stats.Unloads = result.Loads, result.Unloads
 	stats.PrefetchedLoads = result.PrefetchedLoads
+	stats.AsyncUnloads = result.AsyncUnloads
+	if prefetcher != nil {
+		stats.PrefetchedShardBytes = prefetcher.PrefetchedShardBytes()
+	}
 	stats.TuplesScored = exec.scored
 	if stats.Loads != stats.PredictedLoads || stats.Unloads != stats.PredictedUnloads {
 		return nil, fmt.Errorf("core: phase 4 measured %d/%d load/unload ops, simulator predicted %d/%d",
@@ -427,28 +476,32 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 
 func (e *Engine) newStateStore() stateStore {
 	if e.opts.OnDisk {
-		return newDiskStateStore(e.scratch, &e.iostats, e.opts.EmulateDisk)
+		return newDiskStateStore(e.scratch, &e.iostats, e.device)
 	}
 	return newMemStateStore()
 }
 
 func (e *Engine) newTable(assign *partition.Assignment) (tuples.Table, error) {
 	if e.opts.OnDisk {
-		return tuples.NewDiskTable(assign, e.scratch, &e.iostats, e.opts.TupleBatch), nil
+		t := tuples.NewDiskTable(assign, e.scratch, &e.iostats, e.opts.TupleBatch)
+		t.SetDevice(e.device) // shard reads queue on the same emulated spindle
+		return t, nil
 	}
 	return tuples.NewMemTable(assign), nil
 }
 
 // phase4 carries the mutable state of one schedule execution. All
 // fields except states are confined to the executor's cursor; fetch
-// runs on the executor's prefetch goroutines and touches only the
-// state store (whose Load is safe concurrently with Put/Unload of
-// other partitions) and the engine's atomic I/O counters.
+// runs on the executor's prefetch goroutines and flush on its
+// write-back goroutines — both touch only the state store (safe for
+// concurrent distinct-partition access), the memory budget, and the
+// engine's atomic I/O counters.
 type phase4 struct {
 	engine   *Engine
 	assign   *partition.Assignment
 	states   stateStore
 	table    tuples.Table
+	shards   tuples.ShardPrefetcher // nil when the table has no async path
 	scorer   knn.Scorer
 	resident map[uint32]*partState
 	scored   int64
@@ -505,18 +558,57 @@ func (p *phase4) load(id uint32) error {
 	return p.commit(id, st)
 }
 
-func (p *phase4) unload(id uint32) error {
+// evict removes a resident partition without writing it back — the
+// synchronous half of an asynchronous unload, run on the cursor at the
+// unload's tape position. The state's memory stays charged to the
+// budget until the matching flush lands: an in-flight write-back is
+// still occupying real memory, so releasing it early would let the
+// engine exceed the bound MemoryBudget enforces.
+func (p *phase4) evict(id uint32) (any, error) {
 	st, ok := p.resident[id]
 	if !ok {
-		return fmt.Errorf("core: unload of non-resident partition %d", id)
+		return nil, fmt.Errorf("core: evict of non-resident partition %d", id)
 	}
-	if err := p.states.Unload(st); err != nil {
+	delete(p.resident, id)
+	return st, nil
+}
+
+// flush writes an evicted partition back to the state store — the
+// asynchronous half, run on the executor's write-back goroutines
+// concurrently with cursor work and with fetches of other partitions.
+func (p *phase4) flush(id uint32, data any) error {
+	st, ok := data.(*partState)
+	if !ok {
+		return fmt.Errorf("core: flush of partition %d with unexpected payload %T", id, data)
+	}
+	err := p.states.Unload(st)
+	// Release even when the write failed: the state is no longer
+	// resident and the failed flush aborts the iteration, so keeping
+	// the reservation would poison every later iteration's budget.
+	p.engine.budget.Release(int64(st.byteSize()))
+	if err != nil {
 		return err
 	}
-	p.engine.budget.Release(int64(st.byteSize()))
 	p.engine.iostats.AddUnload()
-	delete(p.resident, id)
 	return nil
+}
+
+func (p *phase4) unload(id uint32) error {
+	st, err := p.evict(id)
+	if err != nil {
+		return fmt.Errorf("core: unload: %w", err)
+	}
+	return p.flush(id, st)
+}
+
+// pairAhead starts background reads of the tuple shards an upcoming
+// pair (or self visit, when a == b) will consume, so the cursor finds
+// them already read and de-duplicated.
+func (p *phase4) pairAhead(a, b uint32) {
+	p.shards.ShardAhead(a, b)
+	if a != b {
+		p.shards.ShardAhead(b, a)
+	}
 }
 
 // pair processes both directed shards of the unordered pair {a, b} as

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"knnpc/internal/disk"
@@ -159,8 +160,96 @@ func TestPipelineOptionValidation(t *testing.T) {
 	if _, err := New(store, Options{K: 3, PrefetchDepth: -1}); err == nil {
 		t.Error("PrefetchDepth=-1 accepted")
 	}
+	if _, err := New(store, Options{K: 3, ShardPrefetch: -1}); err == nil {
+		t.Error("ShardPrefetch=-1 accepted")
+	}
 	if _, err := New(store, Options{K: 3, EmulateDisk: &disk.HDD}); err == nil {
 		t.Error("EmulateDisk without OnDisk accepted")
+	}
+}
+
+// TestFullPipelineMatchesSerialEngine is the end-to-end invariant of
+// the three-stream pipeline, and the write-back hazard's engine-level
+// race test: across a Slots × PrefetchDepth matrix, an on-disk engine
+// with async write-back and shard prefetch must reproduce the serial
+// engine's graph trajectory bit for bit — a prefetched load of p
+// issued while p's async write is in flight that did NOT observe the
+// written state would diverge here — and the Loads/Unloads accounting
+// must be identical to the serial executor at every setting (the
+// engine additionally asserts measured == simulated internally every
+// iteration).
+func TestFullPipelineMatchesSerialEngine(t *testing.T) {
+	const users, iters = 250, 2
+	for _, slots := range []int{2, 4} {
+		for _, depth := range []int{1, 3} {
+			base := Options{K: 5, NumPartitions: 6, OnDisk: true, Slots: slots, TupleBatch: 64, Seed: 21}
+			serialStats, serialGraph := runEngine(t, base, users, iters)
+
+			full := base
+			full.PrefetchDepth = depth
+			full.AsyncWriteback = true
+			full.ShardPrefetch = depth
+			full.Workers = 2
+			fullStats, fullGraph := runEngine(t, full, users, iters)
+
+			name := fmt.Sprintf("slots=%d depth=%d", slots, depth)
+			if serialGraph.DiffEdges(fullGraph) != 0 {
+				t.Fatalf("%s: full pipeline produced a different KNN graph", name)
+			}
+			var asyncUnloads, shardBytes int64
+			for i := range serialStats {
+				s, p := serialStats[i], fullStats[i]
+				if s.Loads != p.Loads || s.Unloads != p.Unloads {
+					t.Fatalf("%s iter %d: pipeline %d/%d loads/unloads, serial %d/%d",
+						name, i, p.Loads, p.Unloads, s.Loads, s.Unloads)
+				}
+				if s.AsyncUnloads != 0 || s.PrefetchedShardBytes != 0 {
+					t.Fatalf("%s iter %d: serial engine reported async work: %d unloads, %d shard bytes",
+						name, i, s.AsyncUnloads, s.PrefetchedShardBytes)
+				}
+				if p.AsyncUnloads != p.Unloads {
+					t.Errorf("%s iter %d: %d of %d unloads async", name, i, p.AsyncUnloads, p.Unloads)
+				}
+				asyncUnloads += p.AsyncUnloads
+				shardBytes += p.PrefetchedShardBytes
+			}
+			if asyncUnloads == 0 {
+				t.Fatalf("%s: write-back never went async", name)
+			}
+			if shardBytes == 0 {
+				t.Fatalf("%s: no shard bytes were prefetched", name)
+			}
+		}
+	}
+}
+
+// TestAsyncWritebackChargesMemoryBudget: evicted state stays charged
+// to MemoryBudget until its background write lands, and everything is
+// released by the end of the iteration — a leak would poison the next
+// iteration's budget.
+func TestAsyncWritebackChargesMemoryBudget(t *testing.T) {
+	store := testStore(t, 120, 5)
+	eng, err := New(store, Options{
+		K: 4, NumPartitions: 6, OnDisk: true, ScratchDir: t.TempDir(),
+		PrefetchDepth: 2, AsyncWriteback: true, ShardPrefetch: 2,
+		MemoryBudget: 1 << 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	st, err := eng.Iterate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AsyncUnloads == 0 {
+		t.Fatal("no unloads went async")
+	}
+	if used := eng.budget.Used(); used != 0 {
+		t.Fatalf("%d budget bytes still reserved after iteration", used)
+	}
+	if eng.budget.Peak() == 0 {
+		t.Fatal("budget never charged")
 	}
 }
 

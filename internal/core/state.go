@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"time"
 
 	"knnpc/internal/disk"
 	"knnpc/internal/knn"
@@ -124,11 +123,12 @@ func newPartState(p *partition.Data, profiles canonicalProfiles, k int) (*partSt
 // disk store additionally pays real file I/O, counted in IOStats.
 //
 // Concurrency contract: pipelined phase 4 calls Load from prefetch
-// goroutines concurrently with Put/Unload running on the cursor, but
-// never for the same partition id at the same time (the executor
-// orders each load after the write-back that precedes it on the op
-// tape). Put, Unload, Collect and Cleanup are never concurrent with
-// each other.
+// goroutines and Unload from write-back goroutines, concurrently with
+// each other and with Put on the cursor — but never two operations on
+// the same partition id at the same time (the executor orders each
+// load after the write-back that precedes it on the op tape, and a
+// partition is reloaded before it can be unloaded again). Collect and
+// Cleanup run only after every in-flight operation has drained.
 type stateStore interface {
 	// Put persists a freshly built state (phase 1).
 	Put(st *partState) error
@@ -202,65 +202,40 @@ func (s *memStateStore) Cleanup() error {
 }
 
 // diskStateStore keeps one state file per partition under the scratch
-// directory, with all traffic counted in IOStats. A non-nil emulate
-// model additionally sleeps the modeled device time of each access, so
-// phase 4 experiences the latency of the paper's hardware class even
-// when the host's page cache absorbs the real I/O. Load is safe for
-// concurrent use with Put/Load of other partitions: distinct
-// partitions live in distinct files and the stats counters are atomic.
+// directory, with all traffic counted in IOStats. A non-nil device
+// additionally sleeps the modeled time of each access on the engine's
+// shared emulated spindle, so phase 4 experiences the latency of the
+// paper's hardware class even when the host's page cache absorbs the
+// real I/O. Load and Unload are safe for concurrent use with Put/Load
+// of other partitions: distinct partitions live in distinct files, the
+// stats counters are atomic, and the device serializes internally.
 type diskStateStore struct {
 	scratch *disk.Scratch
 	stats   *disk.IOStats
-	emulate *disk.Model
-	// devMu serializes the emulated device time: the modeled hardware
-	// is one spindle/controller, so concurrent accesses (prefetch
-	// goroutines racing the cursor's write-back) must queue for it
-	// rather than sleep in parallel — otherwise the emulated device
-	// would have unlimited internal parallelism and pipelined
-	// comparisons would overstate the win. Only the modeled sleep is
-	// serialized; the host's real file I/O still overlaps freely.
-	devMu sync.Mutex
-	// devDebt accumulates modeled time not yet slept. time.Sleep
-	// overshoots sub-millisecond requests badly (timer granularity),
-	// which would inflate fast models like NVMe several-fold; instead
-	// each access adds its modeled duration to the debt and the store
-	// sleeps only when ≥ 1ms is owed, crediting back the actually
-	// elapsed time, so aggregate device time stays exact.
-	devDebt time.Duration
-	known   map[uint32]bool
+	device  *disk.Device // nil = no emulated latency
+	// mu guards known: Put/Unload run on the cursor, but the async
+	// write-back goroutines call Unload concurrently with it.
+	mu    sync.Mutex
+	known map[uint32]bool
 }
 
-func newDiskStateStore(scratch *disk.Scratch, stats *disk.IOStats, emulate *disk.Model) *diskStateStore {
-	return &diskStateStore{scratch: scratch, stats: stats, emulate: emulate, known: make(map[uint32]bool)}
+func newDiskStateStore(scratch *disk.Scratch, stats *disk.IOStats, device *disk.Device) *diskStateStore {
+	return &diskStateStore{scratch: scratch, stats: stats, device: device, known: make(map[uint32]bool)}
 }
 
 func (s *diskStateStore) path(p uint32) string {
 	return s.scratch.Path(fmt.Sprintf("state-%d.bin", p))
 }
 
-// emulateAccess queues for the emulated device and holds it for the
-// modeled duration of one access (amortized across accesses to dodge
-// timer granularity — see devDebt).
-func (s *diskStateStore) emulateAccess(d time.Duration) {
-	s.devMu.Lock()
-	s.devDebt += d
-	if s.devDebt >= time.Millisecond {
-		start := time.Now()
-		time.Sleep(s.devDebt)
-		s.devDebt -= time.Since(start)
-	}
-	s.devMu.Unlock()
-}
-
 func (s *diskStateStore) Put(st *partState) error {
+	s.mu.Lock()
 	s.known[st.id] = true
+	s.mu.Unlock()
 	blob := st.encode()
 	if err := disk.WriteFile(s.stats, s.path(st.id), blob); err != nil {
 		return err
 	}
-	if s.emulate != nil {
-		s.emulateAccess(s.emulate.WriteTime(int64(len(blob))))
-	}
+	s.device.Write(int64(len(blob)))
 	return nil
 }
 
@@ -269,19 +244,19 @@ func (s *diskStateStore) Load(p uint32) (*partState, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.emulate != nil {
-		s.emulateAccess(s.emulate.ReadTime(int64(len(blob))))
-	}
+	s.device.Read(int64(len(blob)))
 	return decodePartState(blob)
 }
 
 func (s *diskStateStore) Unload(st *partState) error { return s.Put(st) }
 
 func (s *diskStateStore) Collect(emit func(st *partState) error) error {
+	s.mu.Lock()
 	ids := make([]uint32, 0, len(s.known))
 	for id := range s.known {
 		ids = append(ids, id)
 	}
+	s.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		st, err := s.Load(id)
@@ -296,6 +271,8 @@ func (s *diskStateStore) Collect(emit func(st *partState) error) error {
 }
 
 func (s *diskStateStore) Cleanup() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var firstErr error
 	for id := range s.known {
 		if err := disk.Remove(s.path(id)); err != nil && firstErr == nil {

@@ -53,6 +53,15 @@ type IterationStats struct {
 	// load is still counted once in Loads, so the Table 1 Ops metric
 	// is unaffected by pipelining.
 	PrefetchedLoads int64
+	// AsyncUnloads is the subset of Unloads whose write-back ran on a
+	// background goroutine behind the cursor (0 unless
+	// Options.AsyncWriteback). Like PrefetchedLoads, every async
+	// unload is still counted once in Unloads.
+	AsyncUnloads int64
+	// PrefetchedShardBytes is the volume of tuple-shard spill bytes
+	// read asynchronously ahead of the cursor (0 unless
+	// Options.ShardPrefetch > 0 on an on-disk table).
+	PrefetchedShardBytes int64
 	// EdgeChanges is the number of directed edges by which G(t+1)
 	// differs from G(t) — the convergence signal.
 	EdgeChanges int

@@ -1,0 +1,74 @@
+package disk
+
+import (
+	"sync"
+	"time"
+)
+
+// Device enforces a cost model's latency as wall time, emulating one
+// physical storage device shared by every I/O stream of the engine.
+// Concurrent accessors — the phase-4 cursor's loads, the background
+// write-back goroutines, and shard prefetch readers — queue for the
+// device rather than sleeping in parallel: the modeled hardware is a
+// single spindle/controller, so giving it unlimited internal
+// parallelism would overstate every pipelining win. Only the modeled
+// sleep is serialized; the host's real file I/O still overlaps freely.
+//
+// time.Sleep overshoots sub-millisecond requests badly (timer
+// granularity), which would inflate fast models like NVMe several-fold;
+// instead each access adds its modeled duration to a debt and the
+// device sleeps only when ≥ 1ms is owed, crediting back the actually
+// elapsed time, so aggregate device time stays exact.
+type Device struct {
+	model Model
+
+	mu   sync.Mutex
+	debt time.Duration
+}
+
+// NewDevice returns an emulated device for the model. A nil receiver is
+// valid everywhere and adds no latency, so callers plumb one pointer
+// without nil checks.
+func NewDevice(m Model) *Device {
+	return &Device{model: m}
+}
+
+// Model reports the device's cost model (the zero Model for a nil
+// device).
+func (d *Device) Model() Model {
+	if d == nil {
+		return Model{}
+	}
+	return d.model
+}
+
+// Read queues for the device and holds it for the modeled time of one
+// random read of n bytes.
+func (d *Device) Read(n int64) {
+	if d == nil {
+		return
+	}
+	d.access(d.model.ReadTime(n))
+}
+
+// Write queues for the device and holds it for the modeled time of one
+// random write of n bytes.
+func (d *Device) Write(n int64) {
+	if d == nil {
+		return
+	}
+	d.access(d.model.WriteTime(n))
+}
+
+// access serializes the modeled duration of one access (amortized
+// across accesses to dodge timer granularity — see the type comment).
+func (d *Device) access(t time.Duration) {
+	d.mu.Lock()
+	d.debt += t
+	if d.debt >= time.Millisecond {
+		start := time.Now()
+		time.Sleep(d.debt)
+		d.debt -= time.Since(start)
+	}
+	d.mu.Unlock()
+}

@@ -297,3 +297,31 @@ func TestScratchCallerOwnedPreserved(t *testing.T) {
 		t.Error("caller-owned dir must survive Close")
 	}
 }
+
+// TestDeviceNilAndDebt: a nil Device is a no-op everywhere (callers
+// plumb one pointer without nil checks), and a real device amortizes
+// sub-millisecond accesses through its debt instead of sleeping each
+// one — total modeled time stays proportional to the work.
+func TestDeviceNilAndDebt(t *testing.T) {
+	var nilDev *Device
+	nilDev.Read(1 << 20)  // must not panic
+	nilDev.Write(1 << 20) // must not panic
+
+	dev := NewDevice(Model{Name: "test", SeekLatency: 100 * time.Microsecond, ReadBandwidth: 1 << 30, WriteBandwidth: 1 << 30})
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		dev.Read(0)
+	}
+	elapsed := time.Since(start)
+	// 20 seeks × 100µs = 2ms of modeled time; debt batching must keep
+	// the real elapsed time in that ballpark, not 20 × a timer tick.
+	if elapsed < time.Millisecond {
+		t.Errorf("20 modeled seeks took %v, expected ≥ 1ms of enforced latency", elapsed)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Errorf("20 modeled seeks took %v — debt amortization is not working", elapsed)
+	}
+	if dev.Model().Name != "test" {
+		t.Errorf("Model() = %q", dev.Model().Name)
+	}
+}

@@ -86,6 +86,12 @@ type SweepPoint struct {
 	// PrefetchedLoads is the last iteration's asynchronously issued
 	// loads (0 when running serial).
 	PrefetchedLoads int64
+	// AsyncUnloads is the last iteration's background write-backs
+	// (0 without AsyncWriteback).
+	AsyncUnloads int64
+	// PrefetchedShardBytes is the last iteration's tuple-shard volume
+	// read ahead of the cursor (0 without ShardPrefetch).
+	PrefetchedShardBytes int64
 	// IO is the I/O delta of the last iteration.
 	IO disk.Snapshot
 }
@@ -97,12 +103,16 @@ type EngineConfig struct {
 	K          int
 	Partitions int
 	Workers    int
-	// Slots and PrefetchDepth configure phase-4 execution: S resident
-	// partitions (0 = the paper's 2) and the async load lookahead
-	// (0 = serial).
-	Slots         int
-	PrefetchDepth int
-	OnDisk        bool
+	// Slots, PrefetchDepth, AsyncWriteback and ShardPrefetch configure
+	// phase-4 execution: S resident partitions (0 = the paper's 2),
+	// the async load lookahead (0 = serial loads), background
+	// write-back of evicted state, and the tuple-shard read lookahead
+	// (0 = synchronous shard reads).
+	Slots          int
+	PrefetchDepth  int
+	AsyncWriteback bool
+	ShardPrefetch  int
+	OnDisk         bool
 	// EmulateDisk enforces the named disk model's latency on state
 	// I/O ("" = none) so latency-bound comparisons are host-neutral.
 	EmulateDisk string
@@ -127,14 +137,16 @@ func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
 		return point, err
 	}
 	eng, err := core.New(profile.NewStoreFromVectors(vecs), core.Options{
-		K:             cfg.K,
-		NumPartitions: cfg.Partitions,
-		Workers:       cfg.Workers,
-		Slots:         cfg.Slots,
-		PrefetchDepth: cfg.PrefetchDepth,
-		OnDisk:        cfg.OnDisk,
-		EmulateDisk:   emulate,
-		Seed:          cfg.Seed,
+		K:              cfg.K,
+		NumPartitions:  cfg.Partitions,
+		Workers:        cfg.Workers,
+		Slots:          cfg.Slots,
+		PrefetchDepth:  cfg.PrefetchDepth,
+		AsyncWriteback: cfg.AsyncWriteback,
+		ShardPrefetch:  cfg.ShardPrefetch,
+		OnDisk:         cfg.OnDisk,
+		EmulateDisk:    emulate,
+		Seed:           cfg.Seed,
 	})
 	if err != nil {
 		return point, err
@@ -151,6 +163,8 @@ func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
 		score += st.Phases.Score
 		point.Ops = st.Ops()
 		point.PrefetchedLoads = st.PrefetchedLoads
+		point.AsyncUnloads = st.AsyncUnloads
+		point.PrefetchedShardBytes = st.PrefetchedShardBytes
 		point.IO = st.IO
 	}
 	point.IterTime = total / time.Duration(cfg.Iterations)
@@ -228,6 +242,54 @@ func PrefetchSweep(ctx context.Context, users int, depths []int, workers int, mo
 		p, err := RunEngine(ctx, EngineConfig{
 			Label: label, Users: users,
 			K: 10, Partitions: 8, Workers: workers, PrefetchDepth: d,
+			OnDisk: true, EmulateDisk: model, Iterations: 2, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// PipelineStage is one configuration of the FW-6 pipeline ablation.
+type PipelineStage struct {
+	Label          string
+	PrefetchDepth  int
+	AsyncWriteback bool
+	ShardPrefetch  int
+}
+
+// PipelineStages returns the FW-6 ablation ladder: each stage enables
+// one more of the three overlapped phase-4 I/O streams, so the table
+// attributes the win stream by stream.
+func PipelineStages(depth int) []PipelineStage {
+	return []PipelineStage{
+		{Label: "serial"},
+		{Label: fmt.Sprintf("prefetch=%d", depth), PrefetchDepth: depth},
+		{Label: fmt.Sprintf("prefetch=%d+writeback", depth), PrefetchDepth: depth, AsyncWriteback: true},
+		{Label: fmt.Sprintf("prefetch=%d+writeback+shardahead=%d", depth, depth),
+			PrefetchDepth: depth, AsyncWriteback: true, ShardPrefetch: depth},
+	}
+}
+
+// PipelineSweep runs the FW-6 ablation: the same on-disk workload under
+// an emulated disk model, adding one pipelined I/O stream per stage
+// (load prefetch, then async write-back, then shard read-ahead). Every
+// stage performs the identical Loads/Unloads op sequence; phase-4 time
+// differences are pure I/O–compute overlap.
+func PipelineSweep(ctx context.Context, users, depth, workers int, model string) ([]SweepPoint, error) {
+	stages := PipelineStages(depth)
+	points := make([]SweepPoint, 0, len(stages))
+	for _, st := range stages {
+		label := st.Label
+		if model != "" {
+			label += "/" + model
+		}
+		p, err := RunEngine(ctx, EngineConfig{
+			Label: label, Users: users,
+			K: 10, Partitions: 8, Workers: workers,
+			PrefetchDepth: st.PrefetchDepth, AsyncWriteback: st.AsyncWriteback, ShardPrefetch: st.ShardPrefetch,
 			OnDisk: true, EmulateDisk: model, Iterations: 2, Seed: 1,
 		})
 		if err != nil {

@@ -23,13 +23,15 @@ type Callbacks struct {
 	// PrefetchDepth > 0). Fetch reads partition p off the storage
 	// medium WITHOUT making it resident; the executor may run it on a
 	// background goroutine concurrently with Pair/Self/Unload of other
-	// partitions (never concurrently with an Unload of p itself — the
-	// executor orders fetches after the write-back that precedes them
-	// on the tape). Commit makes the fetched value resident; it runs on
-	// the executor's cursor, serialized with every other callback.
+	// partitions (never concurrently with a write-back of p itself —
+	// the executor orders each fetch after the completion of the
+	// write-back that precedes it on the tape, even when that write
+	// runs asynchronously). Commit makes the fetched value resident; it
+	// runs on the executor's cursor, serialized with every other
+	// cursor-side callback.
 	//
 	// When either is nil, or PrefetchDepth is 0, every load falls back
-	// to the synchronous Load callback and execution is fully serial.
+	// to the synchronous Load callback.
 	Fetch  func(p uint32) (any, error)
 	Commit func(p uint32, data any) error
 	// Discard releases a successfully fetched value that will never be
@@ -38,34 +40,93 @@ type Callbacks struct {
 	// execution aborts early. Callers that charge resources in Fetch
 	// (memory budgets, pinned buffers) release them here.
 	Discard func(p uint32, data any)
+
+	// Evict and Flush split Unload into a synchronous half and an
+	// asynchronous half — the write-back analogue of Fetch/Commit —
+	// for ExecOptions with WritebackDepth > 0. Evict removes partition
+	// p from residency and returns the payload to be written back; it
+	// runs on the executor's cursor at the unload's tape position, so
+	// the Loads/Unloads accounting is untouched. Flush writes the
+	// evicted payload to the storage medium; the executor runs it on a
+	// background goroutine, bounded to WritebackDepth writes in flight,
+	// concurrently with any cursor work and with fetches of OTHER
+	// partitions. A load of p never observes a pending flush of p (the
+	// write-back hazard): the executor blocks that load — or its
+	// background fetch — until the flush lands, and surfaces the
+	// flush's error there. Every flush completes before ExecuteOpts
+	// returns.
+	//
+	// When either is nil, or WritebackDepth is 0, every unload falls
+	// back to the synchronous Unload callback.
+	Evict func(p uint32) (any, error)
+	Flush func(p uint32, data any) error
+
+	// PairAhead announces, on the executor's cursor, that the tuple
+	// shards of the unordered pair {a, b} (or of a's self-shard when
+	// a == b) will be processed soon — at most ExecOptions.ShardAhead
+	// pair/self steps ahead of the corresponding Pair/Self call.
+	// Implementations typically start an asynchronous shard read and
+	// return immediately; shard data is written before execution
+	// starts, so there is no hazard to order against. Nil disables the
+	// announcements.
+	PairAhead func(a, b uint32)
 }
 
 // ExecOptions tunes schedule execution. The zero value reproduces the
-// paper's setting: two memory slots, fully serial I/O.
+// paper's setting: two memory slots, fully serial I/O. None of the
+// pipelining knobs ever change the Loads/Unloads accounting — the op
+// tape is fixed by Slots alone; they only overlap I/O with computation.
 type ExecOptions struct {
 	// Slots is the memory budget S: at most S partitions resident at
 	// once (0 defaults to 2, the paper's model; values below 2 are an
 	// error — a pair needs both endpoints resident).
 	Slots int
-	// PrefetchDepth is the asynchronous lookahead: how many upcoming
-	// partition loads may be in flight (fetched on background
+	// PrefetchDepth is the asynchronous load lookahead: how many
+	// upcoming partition loads may be in flight (fetched on background
 	// goroutines) ahead of the scoring cursor. 0 (the default) is
-	// serial execution. Prefetching changes wall time only, never the
-	// Loads/Unloads accounting — the op tape is fixed by Slots alone.
-	// Each in-flight fetch transiently holds one partition beyond the
-	// S resident slots.
+	// serial loading. Each in-flight fetch transiently holds one
+	// partition beyond the S resident slots.
 	PrefetchDepth int
+	// WritebackDepth is the asynchronous write-back bound: how many
+	// evicted partitions may be in flight to storage behind the cursor
+	// (flushed on background goroutines). 0 (the default) is serial
+	// unloading. Each in-flight write transiently holds one partition's
+	// payload beyond the S resident slots, symmetric to PrefetchDepth.
+	WritebackDepth int
+	// ShardAhead is the tuple-shard read lookahead: how many upcoming
+	// pair/self steps are announced through Callbacks.PairAhead before
+	// the cursor reaches them, so their shard bytes can be read off
+	// storage concurrently with scoring. 0 (the default) disables the
+	// announcements.
+	ShardAhead int
+}
+
+// Validate rejects nonsensical budgets with a descriptive error: the
+// executor never silently clamps an out-of-range option. Slots may be 0
+// (the documented "default to 2"); 1 or negative is an error because a
+// pair needs both endpoints resident.
+func (o ExecOptions) Validate() error {
+	if o.Slots != 0 && o.Slots < 2 {
+		return fmt.Errorf("pigraph: ExecOptions.Slots = %d; need at least 2 resident partitions to process a pair (0 selects the default of 2)", o.Slots)
+	}
+	if o.PrefetchDepth < 0 {
+		return fmt.Errorf("pigraph: ExecOptions.PrefetchDepth = %d; the async load lookahead cannot be negative (0 disables prefetching)", o.PrefetchDepth)
+	}
+	if o.WritebackDepth < 0 {
+		return fmt.Errorf("pigraph: ExecOptions.WritebackDepth = %d; the async write-back bound cannot be negative (0 disables async write-back)", o.WritebackDepth)
+	}
+	if o.ShardAhead < 0 {
+		return fmt.Errorf("pigraph: ExecOptions.ShardAhead = %d; the shard read lookahead cannot be negative (0 disables shard announcements)", o.ShardAhead)
+	}
+	return nil
 }
 
 func (o ExecOptions) withDefaults() (ExecOptions, error) {
+	if err := o.Validate(); err != nil {
+		return o, err
+	}
 	if o.Slots == 0 {
 		o.Slots = 2
-	}
-	if o.Slots < 2 {
-		return o, fmt.Errorf("pigraph: need at least 2 slots, got %d", o.Slots)
-	}
-	if o.PrefetchDepth < 0 {
-		return o, fmt.Errorf("pigraph: negative prefetch depth %d", o.PrefetchDepth)
 	}
 	return o, nil
 }
@@ -83,6 +144,11 @@ type Result struct {
 	// stays comparable across execution modes: Ops counts every load
 	// exactly once whether it was prefetched or not.
 	PrefetchedLoads int64
+	// AsyncUnloads is the subset of Unloads whose write-back was issued
+	// asynchronously behind the cursor (always 0 unless WritebackDepth
+	// is set). Like PrefetchedLoads, it never changes the Ops metric:
+	// every unload is counted exactly once at its tape position.
+	AsyncUnloads int64
 }
 
 // Ops reports Loads + Unloads, Table 1's metric.
@@ -209,10 +275,12 @@ func (s *Schedule) Execute(cb Callbacks) (Result, error) {
 }
 
 // ExecuteOpts walks the schedule under an S-slot memory model,
-// optionally pipelining partition loads ahead of the scoring cursor
-// (see ExecOptions). For any fixed Slots the callback sequence — and
-// therefore the Loads/Unloads accounting — is identical for every
-// PrefetchDepth; prefetching only overlaps the I/O with computation.
+// optionally pipelining any of phase 4's three I/O streams against the
+// scoring cursor (see ExecOptions): partition loads ahead of it,
+// partition write-backs behind it, and tuple-shard reads alongside it.
+// For any fixed Slots the cursor's op sequence — and therefore the
+// Loads/Unloads accounting — is identical at every pipelining setting;
+// the streams only overlap I/O with computation.
 func (s *Schedule) ExecuteOpts(cb Callbacks, opts ExecOptions) (Result, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
@@ -222,8 +290,11 @@ func (s *Schedule) ExecuteOpts(cb Callbacks, opts ExecOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if opts.PrefetchDepth > 0 && cb.Fetch != nil && cb.Commit != nil {
-		return runPipelined(tape, cb, opts.PrefetchDepth)
+	usePrefetch := opts.PrefetchDepth > 0 && cb.Fetch != nil && cb.Commit != nil
+	useWriteback := opts.WritebackDepth > 0 && cb.Evict != nil && cb.Flush != nil
+	useShardAhead := opts.ShardAhead > 0 && cb.PairAhead != nil
+	if usePrefetch || useWriteback || useShardAhead {
+		return runPipelined(tape, cb, opts, usePrefetch, useWriteback, useShardAhead)
 	}
 	return runSerial(tape, cb)
 }
@@ -247,12 +318,37 @@ type future struct {
 	err  error
 }
 
-// runPipelined replays the tape with up to depth partition fetches in
-// flight ahead of the cursor. A fetch for the load at tape index i is
-// only issued once the latest unload of the same partition before i has
-// executed (the write-back hazard): fetching earlier would read stale
-// bytes.
-func runPipelined(tape []op, cb Callbacks, depth int) (Result, error) {
+// writeback is one in-flight background flush of an evicted partition.
+type writeback struct {
+	p    uint32
+	done chan struct{}
+	err  error
+}
+
+// runPipelined replays the tape with up to three I/O streams overlapped
+// against the cursor's compute work:
+//
+//   - up to PrefetchDepth partition fetches in flight ahead of the
+//     cursor. A fetch for the load at tape index i is only issued once
+//     the latest unload of the same partition before i has executed,
+//     and the fetch goroutine additionally waits for that unload's
+//     asynchronous flush to land (the write-back hazard): fetching
+//     earlier would read stale bytes.
+//   - up to WritebackDepth evicted partitions in flight to storage
+//     behind the cursor. Residency changes at the unload's tape
+//     position (Evict, on the cursor), so the accounting is untouched;
+//     only the flush overlaps.
+//   - tuple-shard announcements up to ShardAhead pair/self steps ahead
+//     of the cursor, so shard bytes stream in alongside partition
+//     state.
+//
+// Every flush completes — and every fetch is consumed or discarded —
+// before the function returns, on success and on error alike.
+//
+// The three use* flags say which streams are actually enabled (option
+// set AND callbacks present); ExecuteOpts computes them once so entry
+// condition and stream selection cannot drift apart.
+func runPipelined(tape []op, cb Callbacks, opts ExecOptions, usePrefetch, useWriteback, useShardAhead bool) (Result, error) {
 	// hazard[i], for a load op at index i, is the index of the latest
 	// unload of the same partition before i (-1 if none).
 	hazard := make(map[int]int)
@@ -274,25 +370,68 @@ func runPipelined(tape []op, cb Callbacks, depth int) (Result, error) {
 	outstanding := 0
 	scan := 0 // next tape index to consider for prefetch
 
-	// drainFutures waits out every issued-but-unconsumed fetch so no
-	// goroutine outlives the call (they touch caller state via Fetch),
-	// handing successfully fetched values back through Discard.
-	drainFutures := func() {
+	writes := make(map[int]*writeback) // keyed by unload op tape index
+	writeQueue := make([]int, 0, opts.WritebackDepth)
+
+	shardAnnounced := make(map[int]bool) // pair/self tape indexes announced
+	shardsAhead := 0
+	shardScan := 0 // next tape index to consider for announcement
+
+	// drainAll waits out every issued-but-unconsumed fetch (handing
+	// successfully fetched values back through Discard) and every
+	// in-flight flush, so no goroutine outlives the call. It returns
+	// the first flush error not yet surfaced — on the success path the
+	// caller must fail the run with it, since the store now holds stale
+	// bytes for that partition.
+	drainAll := func() error {
 		for _, f := range futures {
 			<-f.done
 			if f.err == nil && cb.Discard != nil {
 				cb.Discard(f.p, f.data)
 			}
 		}
+		var firstErr error
+		for _, wb := range writes {
+			<-wb.done
+			if wb.err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("pigraph: write-back %d: %w", wb.p, wb.err)
+			}
+		}
+		return firstErr
 	}
 
 	var r Result
 	for cursor, o := range tape {
+		// Announce upcoming tuple shards, keeping at most ShardAhead
+		// pair/self steps announced-but-unprocessed. The scan may have
+		// stalled exactly at the cursor (window saturated by the
+		// preceding steps); announcing at the cursor's own position is
+		// still "before Pair/Self runs", so every step is announced
+		// exactly once.
+		for useShardAhead && shardsAhead < opts.ShardAhead && shardScan < len(tape) {
+			if shardScan < cursor {
+				shardScan = cursor
+				continue
+			}
+			switch tape[shardScan].kind {
+			case opPair:
+				cb.PairAhead(tape[shardScan].a, tape[shardScan].b)
+				shardAnnounced[shardScan] = true
+				shardsAhead++
+			case opSelf:
+				cb.PairAhead(tape[shardScan].a, tape[shardScan].a)
+				shardAnnounced[shardScan] = true
+				shardsAhead++
+			}
+			shardScan++
+		}
+
 		// Top up the prefetch window: issue fetches for upcoming loads,
 		// stopping at the first load whose write-back hazard has not yet
-		// executed (ops before cursor have executed; cursor's own op has
-		// not).
-		for outstanding < depth && scan < len(tape) {
+		// reached the cursor (ops before cursor have executed; cursor's
+		// own op has not). An executed-but-still-flushing write-back is
+		// no obstacle — the fetch goroutine waits for the flush itself.
+		for usePrefetch && outstanding < opts.PrefetchDepth && scan < len(tape) {
 			if tape[scan].kind != opLoad {
 				scan++
 				continue
@@ -302,7 +441,7 @@ func runPipelined(tape []op, cb Callbacks, depth int) (Result, error) {
 				continue
 			}
 			if h := hazard[scan]; h >= cursor {
-				break // pending write-back of the same partition
+				break // the eviction itself is still ahead of the cursor
 			}
 			if scan == cursor {
 				// Fetching the op the cursor is about to execute gains
@@ -311,27 +450,90 @@ func runPipelined(tape []op, cb Callbacks, depth int) (Result, error) {
 				continue
 			}
 			f := &future{p: tape[scan].a, done: make(chan struct{})}
+			var wb *writeback
+			if h := hazard[scan]; h >= 0 {
+				wb = writes[h]
+			}
 			futures[scan] = f
 			outstanding++
 			go func() {
 				defer close(f.done)
+				if wb != nil {
+					<-wb.done
+					if wb.err != nil {
+						f.err = fmt.Errorf("awaiting write-back: %w", wb.err)
+						return
+					}
+				}
 				f.data, f.err = cb.Fetch(f.p)
 			}()
 			scan++
 		}
 
-		f := futures[cursor]
-		if f != nil {
-			<-f.done
-			delete(futures, cursor)
-			outstanding--
-		}
-		if err := applyOp(&r, o, cb, f); err != nil {
-			drainFutures()
-			return r, err
+		switch {
+		case o.kind == opUnload && useWriteback:
+			// Bounded background writer: admit the new write only after
+			// the oldest in-flight one lands.
+			for len(writeQueue) >= opts.WritebackDepth {
+				oldest := writes[writeQueue[0]]
+				writeQueue = writeQueue[1:]
+				<-oldest.done
+				if oldest.err != nil {
+					_ = drainAll()
+					return r, fmt.Errorf("pigraph: write-back %d: %w", oldest.p, oldest.err)
+				}
+			}
+			r.Unloads++
+			r.AsyncUnloads++
+			data, err := cb.Evict(o.a)
+			if err != nil {
+				_ = drainAll()
+				return r, fmt.Errorf("pigraph: evict %d: %w", o.a, err)
+			}
+			wb := &writeback{p: o.a, done: make(chan struct{})}
+			writes[cursor] = wb
+			writeQueue = append(writeQueue, cursor)
+			go func() {
+				defer close(wb.done)
+				wb.err = cb.Flush(wb.p, data)
+			}()
+
+		case o.kind == opLoad:
+			f := futures[cursor]
+			if f != nil {
+				<-f.done
+				delete(futures, cursor)
+				outstanding--
+			} else if h := hazard[cursor]; h >= 0 {
+				// Synchronous load with a possibly-pending write-back of
+				// the same partition: wait for the flush before reading.
+				if wb := writes[h]; wb != nil {
+					<-wb.done
+					if wb.err != nil {
+						_ = drainAll()
+						return r, fmt.Errorf("pigraph: load %d awaiting write-back: %w", o.a, wb.err)
+					}
+				}
+			}
+			if err := applyOp(&r, o, cb, f); err != nil {
+				_ = drainAll()
+				return r, err
+			}
+
+		default:
+			if shardAnnounced[cursor] {
+				delete(shardAnnounced, cursor)
+				shardsAhead--
+			}
+			if err := applyOp(&r, o, cb, nil); err != nil {
+				_ = drainAll()
+				return r, err
+			}
 		}
 	}
-	drainFutures()
+	if err := drainAll(); err != nil {
+		return r, err
+	}
 	return r, nil
 }
 
@@ -370,6 +572,14 @@ func applyOp(r *Result, o op, cb Callbacks, f *future) error {
 		if cb.Unload != nil {
 			if err := cb.Unload(o.a); err != nil {
 				return fmt.Errorf("pigraph: unload %d: %w", o.a, err)
+			}
+		} else if cb.Evict != nil && cb.Flush != nil {
+			data, err := cb.Evict(o.a)
+			if err != nil {
+				return fmt.Errorf("pigraph: evict %d: %w", o.a, err)
+			}
+			if err := cb.Flush(o.a, data); err != nil {
+				return fmt.Errorf("pigraph: flush %d: %w", o.a, err)
 			}
 		}
 	case opPair:

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // event records one callback invocation for trace comparison. A
@@ -256,17 +257,22 @@ func TestSimulateOptsReturnsValidationError(t *testing.T) {
 }
 
 // fakeStore simulates the engine's partition store for pipelined
-// execution: Unload writes a new version of the partition's payload,
-// Fetch reads the current version. If the executor ever fetched ahead
-// of a pending write-back (the stale-read hazard) or ran two
-// fetches of one partition concurrently with its unload, the versions
-// observed at commit time would disagree with serial execution.
+// execution: Unload (or the asynchronous Evict/Flush pair) writes a new
+// version of the partition's payload, Fetch reads the current version.
+// If the executor ever fetched ahead of a pending write-back (the
+// stale-read hazard) or ran two fetches of one partition concurrently
+// with its unload, the versions observed at commit time would disagree
+// with serial execution. flushDelay widens the write-in-flight window
+// so the hazard is actually exercised, not just possible.
 type fakeStore struct {
-	mu       sync.Mutex
-	version  map[uint32]int
-	resident map[uint32]int // version each resident partition was loaded with
-	inFetch  atomic.Int32
-	maxFetch int32 // guarded by mu
+	mu         sync.Mutex
+	version    map[uint32]int
+	resident   map[uint32]int // version each resident partition was loaded with
+	inFetch    atomic.Int32
+	maxFetch   int32 // guarded by mu
+	inFlush    atomic.Int32
+	maxFlush   int32 // guarded by mu
+	flushDelay time.Duration
 }
 
 func newFakeStore() *fakeStore {
@@ -290,6 +296,30 @@ func (fs *fakeStore) callbacks(committed *[]event) Callbacks {
 			}
 			delete(fs.resident, p)
 			fs.version[p]++ // write-back produces a new on-disk version
+			return nil
+		},
+		Evict: func(p uint32) (any, error) {
+			fs.mu.Lock()
+			defer fs.mu.Unlock()
+			if _, ok := fs.resident[p]; !ok {
+				return nil, fmt.Errorf("evict of non-resident %d", p)
+			}
+			delete(fs.resident, p)
+			return int(p), nil
+		},
+		Flush: func(p uint32, data any) error {
+			n := fs.inFlush.Add(1)
+			defer fs.inFlush.Add(-1)
+			if data.(int) != int(p) {
+				return fmt.Errorf("flush of %d handed payload %v", p, data)
+			}
+			time.Sleep(fs.flushDelay) // the write is in flight: stale window
+			fs.mu.Lock()
+			if n > fs.maxFlush {
+				fs.maxFlush = n
+			}
+			fs.version[p]++ // only now does the disk hold the new version
+			fs.mu.Unlock()
 			return nil
 		},
 		Fetch: func(p uint32) (any, error) {
@@ -426,14 +456,226 @@ func TestPipelinedPropagatesErrors(t *testing.T) {
 	}
 }
 
-// TestExecOptionsValidation rejects nonsensical budgets.
+// TestExecOptionsValidation is the table test of the option validator:
+// out-of-range budgets are rejected with a descriptive error (never
+// silently clamped), and the same answer comes back from Validate,
+// ExecuteOpts and SimulateOpts.
 func TestExecOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    ExecOptions
+		wantErr bool
+	}{
+		{"zero value (documented defaults)", ExecOptions{}, false},
+		{"paper setting", ExecOptions{Slots: 2}, false},
+		{"full pipeline", ExecOptions{Slots: 4, PrefetchDepth: 3, WritebackDepth: 2, ShardAhead: 2}, false},
+		{"one slot", ExecOptions{Slots: 1}, true},
+		{"negative slots", ExecOptions{Slots: -2}, true},
+		{"negative prefetch depth", ExecOptions{PrefetchDepth: -1}, true},
+		{"negative write-back depth", ExecOptions{WritebackDepth: -1}, true},
+		{"negative shard lookahead", ExecOptions{ShardAhead: -3}, true},
+	}
 	g := randomPI(t, 2, 6, 10)
 	s := Sequential{}.Plan(g)
-	if _, err := s.ExecuteOpts(Callbacks{}, ExecOptions{Slots: 1}); err == nil {
-		t.Error("Slots=1 accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if gotErr := err != nil; gotErr != tc.wantErr {
+				t.Fatalf("Validate() = %v, want error: %v", err, tc.wantErr)
+			}
+			if err != nil && len(err.Error()) < 40 {
+				t.Errorf("error %q is not descriptive", err)
+			}
+			if _, execErr := s.ExecuteOpts(Callbacks{}, tc.opts); (execErr != nil) != tc.wantErr {
+				t.Errorf("ExecuteOpts error = %v, want error: %v", execErr, tc.wantErr)
+			}
+			if _, simErr := s.SimulateOpts(tc.opts); (simErr != nil) != (tc.opts.Slots != 0 && tc.opts.Slots < 2) {
+				t.Errorf("SimulateOpts error = %v (simulation validates Slots only)", simErr)
+			}
+		})
 	}
-	if _, err := s.ExecuteOpts(Callbacks{}, ExecOptions{PrefetchDepth: -1}); err == nil {
-		t.Error("PrefetchDepth=-1 accepted")
+}
+
+// TestAsyncWritebackMatchesSerial sweeps the full pipelining matrix —
+// slots × prefetch depth × write-back bound — against the versioned
+// fake store: the Loads/Unloads accounting must equal the serial
+// executor's for the same slot budget, every commit must observe the
+// freshest write-back, and the committed version sequence must be
+// identical to serial execution. The flush delay keeps writes in
+// flight while the cursor races ahead, so the symmetric hazard is
+// genuinely exercised (run under -race in CI).
+func TestAsyncWritebackMatchesSerial(t *testing.T) {
+	g := randomPI(t, 11, 18, 60)
+	for _, h := range AllHeuristics() {
+		s := h.Plan(g)
+		for _, slots := range []int{2, 3, 4} {
+			serialStore := newFakeStore()
+			var serialEvents []event
+			serialCB := serialStore.callbacks(&serialEvents)
+			serialCB.Fetch, serialCB.Commit, serialCB.Evict, serialCB.Flush = nil, nil, nil, nil
+			serialRes, err := s.ExecuteOpts(serialCB, ExecOptions{Slots: slots})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, depth := range []int{0, 1, 3} {
+				for _, wbDepth := range []int{1, 2} {
+					name := fmt.Sprintf("%s slots=%d depth=%d wb=%d", h.Name(), slots, depth, wbDepth)
+					store := newFakeStore()
+					store.flushDelay = 100 * time.Microsecond
+					var events []event
+					cb := store.callbacks(&events)
+					cb.Load, cb.Unload = nil, nil // force the async halves
+					res, err := s.ExecuteOpts(cb, ExecOptions{Slots: slots, PrefetchDepth: depth, WritebackDepth: wbDepth})
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if res.Loads != serialRes.Loads || res.Unloads != serialRes.Unloads {
+						t.Fatalf("%s: %d/%d loads/unloads, serial %d/%d",
+							name, res.Loads, res.Unloads, serialRes.Loads, serialRes.Unloads)
+					}
+					if res.AsyncUnloads == 0 || res.AsyncUnloads != res.Unloads {
+						t.Errorf("%s: %d of %d unloads async", name, res.AsyncUnloads, res.Unloads)
+					}
+					if len(events) != len(serialEvents) {
+						t.Fatalf("%s: %d load events, serial %d", name, len(events), len(serialEvents))
+					}
+					for i := range events {
+						if events[i] != serialEvents[i] {
+							t.Fatalf("%s: load event %d = %+v, serial %+v", name, i, events[i], serialEvents[i])
+						}
+					}
+					if store.maxFlush > int32(wbDepth) {
+						t.Errorf("%s: observed %d concurrent flushes", name, store.maxFlush)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrefetchWaitsForInFlightWriteback pins the satellite hazard: a
+// prefetched load of p issued while p's asynchronous write is still in
+// flight must observe the written state. The schedule thrashes two of
+// three partitions through two slots, so reloads follow their
+// write-backs closely; the long flush delay guarantees the write is
+// still in flight when the executor wants the reload, and the fake
+// store's version check in Commit fails if the fetch did not wait.
+func TestPrefetchWaitsForInFlightWriteback(t *testing.T) {
+	s := &Schedule{
+		NumPartitions: 3,
+		Visits: []Visit{
+			{Primary: 0, Peers: []uint32{1, 2}},
+			{Primary: 1, Peers: []uint32{2}},
+			{Primary: 0, Peers: []uint32{1}},
+			{Primary: 2, Peers: []uint32{0}},
+			{Primary: 1, Peers: []uint32{0}},
+		},
+	}
+	store := newFakeStore()
+	store.flushDelay = 2 * time.Millisecond
+	var events []event
+	cb := store.callbacks(&events)
+	cb.Load, cb.Unload = nil, nil
+	res, err := s.ExecuteOpts(cb, ExecOptions{Slots: 2, PrefetchDepth: 2, WritebackDepth: 2})
+	if err != nil {
+		t.Fatal(err) // a stale read surfaces here as a Commit error
+	}
+	if res.PrefetchedLoads == 0 {
+		t.Fatal("no loads were prefetched — the hazard was never exercised")
+	}
+	if res.AsyncUnloads == 0 {
+		t.Fatal("no unloads were async — the hazard was never exercised")
+	}
+}
+
+// TestWritebackPropagatesErrors: a failing flush surfaces as the
+// execution's error — at the bounded-writer admission, at the load
+// that waits on it, or at the final drain — and no goroutine or
+// un-discarded fetch is left behind.
+func TestWritebackPropagatesErrors(t *testing.T) {
+	g := randomPI(t, 7, 14, 40)
+	s := DegreeLowHigh().Plan(g)
+	boom := errors.New("flush boom")
+
+	var flushes, committed, discarded atomic.Int64
+	var fetched atomic.Int64
+	cb := Callbacks{
+		Evict: func(p uint32) (any, error) { return int(p), nil },
+		Flush: func(p uint32, data any) error {
+			if flushes.Add(1) > 2 {
+				return boom
+			}
+			return nil
+		},
+		Fetch:   func(p uint32) (any, error) { fetched.Add(1); return int(p), nil },
+		Commit:  func(p uint32, data any) error { committed.Add(1); return nil },
+		Discard: func(p uint32, data any) { discarded.Add(1) },
+	}
+	_, err := s.ExecuteOpts(cb, ExecOptions{Slots: 2, PrefetchDepth: 2, WritebackDepth: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if committed.Load()+discarded.Load() != fetched.Load() {
+		t.Errorf("%d fetched, %d committed + %d discarded", fetched.Load(), committed.Load(), discarded.Load())
+	}
+}
+
+// TestShardAheadAnnouncements: with ShardAhead = w, every pair/self is
+// announced exactly once before the cursor processes it, and never
+// more than w pair/self steps early.
+func TestShardAheadAnnouncements(t *testing.T) {
+	g := randomPI(t, 13, 25, 110)
+	s := DegreeHighLow().Plan(g)
+	for _, w := range []int{1, 2, 5} {
+		type pairKey struct{ a, b uint32 }
+		announced := make(map[pairKey]int) // pending announcements per pair
+		ahead := 0
+		maxAhead := 0
+		var processed, announcedTotal int64
+		key := func(a, b uint32) pairKey {
+			if a > b {
+				a, b = b, a
+			}
+			return pairKey{a, b}
+		}
+		consume := func(a, b uint32) error {
+			k := key(a, b)
+			if announced[k] == 0 {
+				return fmt.Errorf("pair {%d,%d} processed without announcement", a, b)
+			}
+			announced[k]--
+			ahead--
+			processed++
+			return nil
+		}
+		cb := Callbacks{
+			PairAhead: func(a, b uint32) {
+				announced[key(a, b)]++
+				announcedTotal++
+				ahead++
+				if ahead > maxAhead {
+					maxAhead = ahead
+				}
+			},
+			Pair: func(a, b uint32) error { return consume(a, b) },
+			Self: func(p uint32) error { return consume(p, p) },
+		}
+		res, err := s.ExecuteOpts(cb, ExecOptions{Slots: 2, ShardAhead: w})
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if announcedTotal != res.Pairs+res.Selfs {
+			t.Errorf("w=%d: %d announcements for %d pair/self steps", w, announcedTotal, res.Pairs+res.Selfs)
+		}
+		if processed != res.Pairs+res.Selfs {
+			t.Errorf("w=%d: consumed %d of %d steps", w, processed, res.Pairs+res.Selfs)
+		}
+		if maxAhead > w {
+			t.Errorf("w=%d: window grew to %d", w, maxAhead)
+		}
+		if res.Loads == 0 || res.PrefetchedLoads != 0 || res.AsyncUnloads != 0 {
+			t.Errorf("w=%d: shard-ahead-only run miscounted: %+v", w, res)
+		}
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"knnpc/internal/disk"
 	"knnpc/internal/partition"
@@ -17,17 +19,37 @@ import (
 // shard-at-a-time when phase 4 reads the shard — exactly the moment the
 // two owning partitions are resident anyway, so peak memory stays
 // bounded by a single shard rather than the whole tuple set.
+//
+// Concurrency contract: Add runs in phase 2, strictly before any Shard
+// or ShardAhead call, and is not safe concurrently with them. Shard and
+// ShardAhead are called from the phase-4 executor's cursor goroutine;
+// the asynchronous read issued by ShardAhead runs on a background
+// goroutine that touches only state it owns (the shard's writer, spill
+// file and pending buffer are handed over at issue time).
 type DiskTable struct {
 	assign  *partition.Assignment
 	scratch *disk.Scratch
 	stats   *disk.IOStats
+	device  *disk.Device // nil = no emulated latency on shard reads
 	batch   int
 
 	writers map[ShardID]*disk.RecordWriter
 	pending map[ShardID][]uint64
 	counts  map[ShardID]int64
 	added   int64
+
+	mu      sync.Mutex // guards futures and closed against Close-while-in-flight
+	futures map[ShardID]*shardFuture
 	closed  bool
+
+	prefetchedBytes atomic.Int64
+}
+
+// shardFuture is one in-flight asynchronous shard read.
+type shardFuture struct {
+	done   chan struct{}
+	tuples []Tuple
+	err    error
 }
 
 // defaultBatch is how many tuples accumulate in memory per shard before
@@ -48,8 +70,16 @@ func NewDiskTable(assign *partition.Assignment, scratch *disk.Scratch, stats *di
 		writers: make(map[ShardID]*disk.RecordWriter),
 		pending: make(map[ShardID][]uint64),
 		counts:  make(map[ShardID]int64),
+		futures: make(map[ShardID]*shardFuture),
 	}
 }
+
+// SetDevice attaches an emulated storage device: every shard spill read
+// then pays the device's modeled latency (queued with all other users
+// of the same device), making shard I/O part of the latency-bound
+// phase-4 picture that EmulateDisk reproduces. Phase-2 spill writes are
+// deliberately exempt — the emulation targets the phase-4 pipeline.
+func (t *DiskTable) SetDevice(d *disk.Device) { t.device = d }
 
 // Add implements Table.
 func (t *DiskTable) Add(s, d uint32) error {
@@ -108,30 +138,38 @@ func (t *DiskTable) ShardCounts() map[ShardID]int64 {
 	return out
 }
 
-// Shard implements Table: it drains the shard's spill file, de-
-// duplicates by sort-unique, and deletes the file (each shard is read
-// exactly once, by the PI-edge that owns it).
-func (t *DiskTable) Shard(i, j uint32) ([]Tuple, error) {
-	id := ShardID{I: i, J: j}
-	if t.counts[id] == 0 {
-		return nil, nil
-	}
-	keys := make([]uint64, 0, t.counts[id])
-
-	// Unflushed tail first.
-	for _, k := range t.pending[id] {
-		keys = append(keys, k)
-	}
+// take detaches shard id's consumption state — unflushed tail, spill
+// writer and raw count — transferring ownership to the caller. Each
+// shard is taken at most once (Shard may be called at most once per
+// shard, and ShardAhead dedupes against in-flight futures).
+func (t *DiskTable) take(id ShardID) (pending []uint64, w *disk.RecordWriter, count int64) {
+	pending = t.pending[id]
 	delete(t.pending, id)
+	w = t.writers[id]
+	delete(t.writers, id)
+	count = t.counts[id]
+	delete(t.counts, id)
+	return pending, w, count
+}
 
-	if w, ok := t.writers[id]; ok {
+// readShard drains one taken shard: it finishes the spill file, reads
+// it back, deletes it, merges the unflushed tail, and de-duplicates by
+// sort-unique. It touches no table state beyond the handed-over writer
+// (plus the shared stats/device, which are concurrency-safe), so it may
+// run on a background goroutine. It returns the shard's tuples and the
+// spill bytes read from disk.
+func (t *DiskTable) readShard(id ShardID, pending []uint64, w *disk.RecordWriter, count int64) ([]Tuple, int64, error) {
+	keys := make([]uint64, 0, count)
+	keys = append(keys, pending...)
+
+	var spillBytes int64
+	if w != nil {
 		if err := w.Close(); err != nil {
-			return nil, fmt.Errorf("tuples: finish spill (%d,%d): %w", i, j, err)
+			return nil, 0, fmt.Errorf("tuples: finish spill (%d,%d): %w", id.I, id.J, err)
 		}
-		delete(t.writers, id)
 		r, err := disk.OpenRecordFile(t.stats, t.shardPath(id))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		for {
 			rec, err := r.Next()
@@ -140,24 +178,25 @@ func (t *DiskTable) Shard(i, j uint32) ([]Tuple, error) {
 			}
 			if err != nil {
 				r.Close()
-				return nil, fmt.Errorf("tuples: read spill (%d,%d): %w", i, j, err)
+				return nil, 0, fmt.Errorf("tuples: read spill (%d,%d): %w", id.I, id.J, err)
 			}
 			if len(rec)%8 != 0 {
 				r.Close()
-				return nil, fmt.Errorf("tuples: spill (%d,%d) has ragged record of %d bytes", i, j, len(rec))
+				return nil, 0, fmt.Errorf("tuples: spill (%d,%d) has ragged record of %d bytes", id.I, id.J, len(rec))
 			}
+			spillBytes += int64(len(rec))
 			for off := 0; off < len(rec); off += 8 {
 				keys = append(keys, binary.LittleEndian.Uint64(rec[off:]))
 			}
 		}
 		if err := r.Close(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if err := disk.Remove(t.shardPath(id)); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
+		t.device.Read(spillBytes)
 	}
-	delete(t.counts, id)
 
 	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
 	out := make([]Tuple, 0, len(keys))
@@ -169,17 +208,88 @@ func (t *DiskTable) Shard(i, j uint32) ([]Tuple, error) {
 		prev = k
 		out = append(out, unpack(k))
 	}
-	return out, nil
+	return out, spillBytes, nil
 }
 
-// Close implements Table: it closes and removes any remaining spill
-// files.
+// ShardAhead starts reading shard (i, j) on a background goroutine, so
+// the later Shard call for the same pair returns the already-read (and
+// already de-duplicated) tuples instead of blocking the phase-4 cursor
+// on spill I/O and sorting. The pair sequence is fixed by the op tape,
+// so the executor knows which shards are needed next; shards are only
+// written in phase 2, so there is no write-back hazard to order
+// against. Announcing an empty, unknown, already-announced or
+// already-consumed shard is a no-op.
+func (t *DiskTable) ShardAhead(i, j uint32) {
+	id := ShardID{I: i, J: j}
+	t.mu.Lock()
+	if t.closed || t.futures[id] != nil || t.counts[id] == 0 {
+		t.mu.Unlock()
+		return
+	}
+	pending, w, count := t.take(id)
+	f := &shardFuture{done: make(chan struct{})}
+	t.futures[id] = f
+	t.mu.Unlock()
+
+	go func() {
+		defer close(f.done)
+		var n int64
+		f.tuples, n, f.err = t.readShard(id, pending, w, count)
+		t.prefetchedBytes.Add(n)
+	}()
+}
+
+// PrefetchedShardBytes reports the cumulative spill bytes read through
+// the asynchronous ShardAhead path.
+func (t *DiskTable) PrefetchedShardBytes() int64 { return t.prefetchedBytes.Load() }
+
+// Shard implements Table: it drains the shard's spill file, de-
+// duplicates by sort-unique, and deletes the file (each shard is read
+// exactly once, by the PI-edge that owns it). A shard announced with
+// ShardAhead is served from the in-flight read instead — waiting for it
+// if necessary.
+func (t *DiskTable) Shard(i, j uint32) ([]Tuple, error) {
+	id := ShardID{I: i, J: j}
+	t.mu.Lock()
+	if f := t.futures[id]; f != nil {
+		delete(t.futures, id)
+		t.mu.Unlock()
+		<-f.done
+		return f.tuples, f.err
+	}
+	if t.counts[id] == 0 {
+		t.mu.Unlock()
+		return nil, nil
+	}
+	pending, w, count := t.take(id)
+	t.mu.Unlock()
+	ts, _, err := t.readShard(id, pending, w, count)
+	return ts, err
+}
+
+// Close implements Table: it waits out any in-flight shard reads, then
+// closes and removes any remaining spill files.
 func (t *DiskTable) Close() error {
+	t.mu.Lock()
 	if t.closed {
+		t.mu.Unlock()
 		return nil
 	}
 	t.closed = true
+	inflight := t.futures
+	t.futures = nil
+	t.mu.Unlock()
+
+	// Abandoned read-aheads (an aborted phase 4 never consumed them)
+	// own their writers and spill files; wait for each so no goroutine
+	// outlives the table and no file outlives the read.
 	var firstErr error
+	for _, f := range inflight {
+		<-f.done
+		if f.err != nil && firstErr == nil {
+			firstErr = f.err
+		}
+	}
 	for id, w := range t.writers {
 		if err := w.Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -194,3 +304,4 @@ func (t *DiskTable) Close() error {
 }
 
 var _ Table = (*DiskTable)(nil)
+var _ ShardPrefetcher = (*DiskTable)(nil)

@@ -89,6 +89,23 @@ type Table interface {
 	Close() error
 }
 
+// ShardPrefetcher is the optional asynchronous read-ahead surface of a
+// Table. The phase-4 executor knows the pair sequence from its op tape,
+// so it announces upcoming shards through ShardAhead; implementations
+// start reading (and de-duplicating) the shard on a background
+// goroutine so the matching Shard call finds the data ready. Tables
+// without a useful async path (the in-memory table) simply don't
+// implement it.
+type ShardPrefetcher interface {
+	// ShardAhead begins an asynchronous read of shard (i, j). It must
+	// be safe to announce any shard at most once before its Shard call,
+	// including empty or unknown shards (a no-op).
+	ShardAhead(i, j uint32)
+	// PrefetchedShardBytes reports the cumulative bytes read through
+	// the asynchronous path.
+	PrefetchedShardBytes() int64
+}
+
 // ShardID names a directed partition pair: tuples (s, d) with
 // partition(s) = I and partition(d) = J.
 type ShardID struct {

@@ -357,3 +357,108 @@ func TestEmptyShardIsEmpty(t *testing.T) {
 		})
 	}
 }
+
+// shardAheadFixture builds a mem + disk table pair over a random
+// two-hop workload, with a tiny spill batch so shard prefetch has real
+// file bytes to read.
+func shardAheadFixture(t *testing.T, seed int64, n, m int) (*MemTable, *DiskTable, *partition.Assignment) {
+	t.Helper()
+	g, err := dataset.UniformRandom(n, 4*n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := (partition.Hash{}).Partition(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := disk.NewScratch(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats disk.IOStats
+	mem := NewMemTable(a)
+	dsk := NewDiskTable(a, scratch, &stats, 4)
+	for _, p := range partition.Build(g, a) {
+		if err := GenerateBridge(p, func(s, d uint32) error {
+			if err := mem.Add(s, d); err != nil {
+				return err
+			}
+			return dsk.Add(s, d)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mem, dsk, a
+}
+
+// TestShardAheadMatchesSynchronousShard: announcing a shard and then
+// reading it returns exactly the bytes a synchronous Shard would have,
+// on every shard of the table, and the async path reports the spill
+// bytes it read.
+func TestShardAheadMatchesSynchronousShard(t *testing.T) {
+	const m = 3
+	mem, dsk, _ := shardAheadFixture(t, 7, 40, m)
+	defer mem.Close()
+	defer dsk.Close()
+
+	// Announce everything up front — maximum concurrency.
+	for i := uint32(0); i < m; i++ {
+		for j := uint32(0); j < m; j++ {
+			dsk.ShardAhead(i, j)
+			dsk.ShardAhead(i, j) // double announce must be a no-op
+		}
+	}
+	for i := uint32(0); i < m; i++ {
+		for j := uint32(0); j < m; j++ {
+			want, err := mem.Shard(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := dsk.Shard(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("shard (%d,%d): async %v, sync %v", i, j, got, want)
+			}
+		}
+	}
+	if dsk.PrefetchedShardBytes() == 0 {
+		t.Error("no spill bytes attributed to the async path")
+	}
+}
+
+// TestShardAheadUnknownShardIsNoop: announcing shards that never
+// received a tuple (or out-of-range partitions) neither errors nor
+// leaks goroutines, and their Shard still reports empty.
+func TestShardAheadUnknownShardIsNoop(t *testing.T) {
+	mem, dsk, _ := shardAheadFixture(t, 9, 12, 2)
+	defer mem.Close()
+	defer dsk.Close()
+	dsk.ShardAhead(17, 23)
+	if ts, err := dsk.Shard(17, 23); err != nil || ts != nil {
+		t.Fatalf("unknown shard returned %v, %v", ts, err)
+	}
+	if dsk.PrefetchedShardBytes() != 0 {
+		t.Errorf("no-op announcements read %d bytes", dsk.PrefetchedShardBytes())
+	}
+}
+
+// TestCloseDrainsInFlightShardReads: closing the table with announced
+// but never-consumed shards (an aborted phase 4) waits out the reads
+// and removes every spill file.
+func TestCloseDrainsInFlightShardReads(t *testing.T) {
+	mem, dsk, _ := shardAheadFixture(t, 11, 40, 3)
+	defer mem.Close()
+	for i := uint32(0); i < 3; i++ {
+		for j := uint32(0); j < 3; j++ {
+			dsk.ShardAhead(i, j)
+		}
+	}
+	if err := dsk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dsk.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+}

@@ -77,6 +77,20 @@ type Config struct {
 	// in-flight fetch transiently holds one partition beyond Slots,
 	// charged against MemoryBudgetBytes while in flight.
 	PrefetchDepth int
+	// AsyncWriteback completes the pipeline's unload side: evicted
+	// partition state is written back by a bounded background writer
+	// instead of blocking the scoring cursor. Accounting is unchanged
+	// (every unload still counts once); a reload of the same partition
+	// waits for its pending write, and evicted state stays charged
+	// against MemoryBudgetBytes until the write lands. false (default)
+	// reproduces the paper's blocking write-back.
+	AsyncWriteback bool
+	// ShardPrefetch overlaps the third phase-4 I/O stream: up to this
+	// many upcoming partition pairs have their candidate-tuple shard
+	// bytes read (and de-duplicated) in the background before the
+	// cursor scores them. 0 (default) reads each shard synchronously.
+	// Only effective with OnDisk.
+	ShardPrefetch int
 	// OnDisk stores partition state and tuple spills in real files
 	// under ScratchDir ("" = private temp dir), exercising the
 	// out-of-core path. When false, state is serialized in memory
@@ -113,6 +127,8 @@ func (c Config) engineOptions() (core.Options, error) {
 		Workers:          c.Workers,
 		Slots:            c.Slots,
 		PrefetchDepth:    c.PrefetchDepth,
+		AsyncWriteback:   c.AsyncWriteback,
+		ShardPrefetch:    c.ShardPrefetch,
 		OnDisk:           c.OnDisk,
 		ProfilesOnDisk:   c.ProfilesOnDisk,
 		ScratchDir:       c.ScratchDir,
@@ -171,6 +187,12 @@ type Report struct {
 	// PrefetchedLoads is the subset of loads issued asynchronously
 	// ahead of the scoring cursor (0 unless Config.PrefetchDepth > 0).
 	PrefetchedLoads int64
+	// AsyncUnloads is the subset of unloads whose write-back ran in the
+	// background (0 unless Config.AsyncWriteback).
+	AsyncUnloads int64
+	// PrefetchedShardBytes is the tuple-shard spill volume read ahead
+	// of the cursor (0 unless Config.ShardPrefetch > 0 with OnDisk).
+	PrefetchedShardBytes int64
 	// EdgeChanges counts directed-edge differences between G(t) and
 	// G(t+1); zero means the graph has converged.
 	EdgeChanges int
@@ -181,18 +203,20 @@ type Report struct {
 
 func reportFrom(st *core.IterationStats) Report {
 	return Report{
-		Iteration:       st.Iteration,
-		Duration:        st.Phases.Total(),
-		PhasePartition:  st.Phases.Partition,
-		PhaseTuples:     st.Phases.Tuples,
-		PhasePIGraph:    st.Phases.PIGraph,
-		PhaseScore:      st.Phases.Score,
-		PhaseUpdate:     st.Phases.Update,
-		TuplesScored:    st.TuplesScored,
-		LoadUnloadOps:   st.Ops(),
-		PrefetchedLoads: st.PrefetchedLoads,
-		EdgeChanges:     st.EdgeChanges,
-		UpdatesApplied:  st.UpdatesApplied,
+		Iteration:            st.Iteration,
+		Duration:             st.Phases.Total(),
+		PhasePartition:       st.Phases.Partition,
+		PhaseTuples:          st.Phases.Tuples,
+		PhasePIGraph:         st.Phases.PIGraph,
+		PhaseScore:           st.Phases.Score,
+		PhaseUpdate:          st.Phases.Update,
+		TuplesScored:         st.TuplesScored,
+		LoadUnloadOps:        st.Ops(),
+		PrefetchedLoads:      st.PrefetchedLoads,
+		AsyncUnloads:         st.AsyncUnloads,
+		PrefetchedShardBytes: st.PrefetchedShardBytes,
+		EdgeChanges:          st.EdgeChanges,
+		UpdatesApplied:       st.UpdatesApplied,
 	}
 }
 

@@ -234,6 +234,8 @@ func TestSystemPipelined(t *testing.T) {
 	cfg.OnDisk = true
 	cfg.Workers = 3
 	cfg.PrefetchDepth = 2
+	cfg.AsyncWriteback = true
+	cfg.ShardPrefetch = 2
 	pipe, err := New(profiles, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -247,19 +249,24 @@ func TestSystemPipelined(t *testing.T) {
 	if len(serialReports) != len(pipeReports) {
 		t.Fatalf("serial converged in %d iterations, pipelined in %d", len(serialReports), len(pipeReports))
 	}
-	var prefetched int64
+	var prefetched, asyncUnloads int64
 	for i := range serialReports {
 		s, p := serialReports[i], pipeReports[i]
 		if s.LoadUnloadOps != p.LoadUnloadOps {
 			t.Fatalf("iter %d: ops %d vs %d", i, p.LoadUnloadOps, s.LoadUnloadOps)
 		}
-		if s.PrefetchedLoads != 0 {
-			t.Fatalf("iter %d: serial run prefetched %d loads", i, s.PrefetchedLoads)
+		if s.PrefetchedLoads != 0 || s.AsyncUnloads != 0 {
+			t.Fatalf("iter %d: serial run reported async work (%d prefetched, %d async unloads)",
+				i, s.PrefetchedLoads, s.AsyncUnloads)
 		}
 		prefetched += p.PrefetchedLoads
+		asyncUnloads += p.AsyncUnloads
 	}
 	if prefetched == 0 {
 		t.Error("pipelined run never prefetched a load")
+	}
+	if asyncUnloads == 0 {
+		t.Error("pipelined run never wrote back asynchronously")
 	}
 	for u := uint32(0); u < 60; u++ {
 		sn, pn := serial.Neighbors(u), pipe.Neighbors(u)
