@@ -15,7 +15,7 @@ BENCH_OUT ?= BENCH_PR.json
 # Pinned staticcheck release; CI installs exactly this version.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race bench bench-json bench-compare fmt vet staticcheck ci
+.PHONY: all build test race race-phase4 bench bench-json bench-compare fmt vet staticcheck ci
 
 all: build
 
@@ -27,6 +27,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused, uncached -race pass over the phase-4 concurrency surface:
+# the sharded-tape executor and ownership layer at workers=4, the
+# executor error-path drains, DiskTable Close-vs-ShardAhead, the
+# emulated device's debt accounting, and mid-run cancellation. `race`
+# already runs these once; this target re-runs them with -count=1 so
+# CI exercises the racy interleavings fresh on every push.
+race-phase4:
+	$(GO) test -race -count=1 \
+		-run 'Worker|Sharded|Parallel|Split|Cancel|Close|Device|Pipelined|MidTape|Commit' \
+		./internal/pigraph ./internal/core ./internal/tuples ./internal/disk
 
 # One pass of every benchmark — a smoke run proving the harness works,
 # not a measurement (use `go test -bench=. -benchmem` for numbers).
@@ -63,4 +74,4 @@ staticcheck:
 		echo "staticcheck not installed — skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
-ci: build fmt vet staticcheck race bench
+ci: build fmt vet staticcheck race race-phase4 bench

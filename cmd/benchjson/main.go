@@ -13,10 +13,11 @@
 //
 //	benchjson -compare baseline.json candidate.json
 //
-// The default critical set is the emulated-disk phase-4 pipeline
-// (BenchmarkPipelinedPhase4/hdd): those benchmarks sleep modeled device
-// time, so their wall clock is stable enough to gate on, unlike
-// host-speed microbenchmarks.
+// The default critical set is the emulated-disk phase-4 pipeline —
+// the single-cursor ablation ladder (BenchmarkPipelinedPhase4/hdd) and
+// the sharded-tape worker rungs (BenchmarkPipelinedPhase4/workers):
+// those benchmarks sleep modeled device time, so their wall clock is
+// stable enough to gate on, unlike host-speed microbenchmarks.
 package main
 
 import (
@@ -58,9 +59,14 @@ type Document struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// defaultCritical names the benchmark groups the CI regression gate
+// covers: every emulated-disk phase-4 group — the hdd ablation ladder
+// and the multi-worker "workers" rungs — and nothing host-speed.
+const defaultCritical = "BenchmarkPipelinedPhase4/(hdd|workers)"
+
 func main() {
 	compare := flag.String("compare", "", "baseline JSON file; requires the candidate file as the positional argument")
-	critical := flag.String("critical", "BenchmarkPipelinedPhase4/hdd", "regexp of benchmark names whose ns/op regression fails the comparison")
+	critical := flag.String("critical", defaultCritical, "regexp of benchmark names whose ns/op regression fails the comparison")
 	threshold := flag.Float64("threshold", 2.0, "fail when a critical benchmark's ns/op grows by more than this factor")
 	flag.Parse()
 

@@ -79,6 +79,38 @@ func TestCompareDocsFailsBeyondThreshold(t *testing.T) {
 	}
 }
 
+// TestDefaultCriticalCoversWorkersGroup pins the CI gate's scope: the
+// default pattern must gate both emulated-disk groups — the hdd
+// ablation ladder AND the sharded-tape workers rungs — while leaving
+// host-speed benchmarks ungated, and a >2x regression of a workers
+// rung must fail the comparison.
+func TestDefaultCriticalCoversWorkersGroup(t *testing.T) {
+	re := regexp.MustCompile(defaultCritical)
+	for name, want := range map[string]bool{
+		"BenchmarkPipelinedPhase4/hdd/serial":                true,
+		"BenchmarkPipelinedPhase4/hdd/slots=4+full-pipeline": true,
+		"BenchmarkPipelinedPhase4/workers/2":                 true,
+		"BenchmarkPipelinedPhase4/workers/4":                 true,
+		"BenchmarkPipelinedPhase4/raw/serial":                false,
+		"BenchmarkTable1/wiki-Vote/Seq.":                     false,
+	} {
+		if re.MatchString(name) != want {
+			t.Errorf("default critical pattern matches %q = %v, want %v", name, !want, want)
+		}
+	}
+
+	old := &Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkPipelinedPhase4/workers/2-8", NsPerOp: 1.3e9, Metrics: map[string]float64{"ops": 56}},
+	}}
+	cur := &Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkPipelinedPhase4/workers/2-8", NsPerOp: 3e9, Metrics: map[string]float64{"ops": 56}},
+	}}
+	_, regressions := compareDocs(old, cur, re, 2.0)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "workers/2") {
+		t.Fatalf("workers regression not gated: %v", regressions)
+	}
+}
+
 func TestCompareDocsMatchesAcrossCPUSuffix(t *testing.T) {
 	old := &Document{Benchmarks: []Benchmark{{Name: "BenchmarkPipelinedPhase4/hdd/serial-16", NsPerOp: 1e9}}}
 	cur := &Document{Benchmarks: []Benchmark{{Name: "BenchmarkPipelinedPhase4/hdd/serial-8", NsPerOp: 1.1e9}}}

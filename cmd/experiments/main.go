@@ -9,6 +9,11 @@
 //	experiments [-quick]
 //
 //	-quick shrinks the sweeps for a fast smoke run.
+//
+// The sweeps cover the paper's Table 1, the Figure 1 phase breakdown,
+// and FW-1..FW-7 (graph size, memory, disk models, scoring threads,
+// prefetch depth, the three-stream pipeline ablation, and sharded-tape
+// phase-4 workers).
 package main
 
 import (
@@ -152,6 +157,24 @@ func run(out io.Writer, quick bool) error {
 	for _, p := range plPoints {
 		fmt.Fprintf(out, "| %s | %v | %d | %d | %d | %d |\n",
 			p.Label, p.ScoreTime, p.Ops, p.PrefetchedLoads, p.AsyncUnloads, p.PrefetchedShardBytes)
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "## FW-7 — sharded-tape phase-4 workers (emulated HDD)")
+	fmt.Fprintln(out)
+	ewUsers, ewCounts := 2000, []int{1, 2, 4}
+	if quick {
+		ewUsers, ewCounts = 300, []int{1, 2}
+	}
+	ewPoints, err := experiments.ExecWorkerSweep(ctx, ewUsers, ewCounts, "hdd")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "| Configuration | Phase-4 time | Summed load/unload ops | Prefetched loads | Async unloads |")
+	fmt.Fprintln(out, "|---|---|---|---|---|")
+	for _, p := range ewPoints {
+		fmt.Fprintf(out, "| %s | %v | %d | %d | %d |\n",
+			p.Label, p.ScoreTime, p.Ops, p.PrefetchedLoads, p.AsyncUnloads)
 	}
 	fmt.Fprintln(out)
 

@@ -18,6 +18,9 @@ func TestRunQuickProducesAllSections(t *testing.T) {
 		"## FW-2",
 		"## FW-3",
 		"## FW-4",
+		"## FW-5",
+		"## FW-6",
+		"## FW-7",
 	} {
 		if !strings.Contains(out, section) {
 			t.Errorf("output missing section %q", section)

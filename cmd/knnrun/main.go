@@ -16,7 +16,8 @@
 //	-partitioner "greedy", "range", or "hash"
 //	-sim         "cosine", "jaccard", "dice", "overlap"
 //	-workers     scoring goroutines (default 1)
-//	-slots       resident-partition budget S (default 2, the paper's model)
+//	-execworkers phase-4 tape workers: shard the traversal plan across this many executors (default 1)
+//	-slots       resident-partition budget S per worker (default 2, the paper's model)
 //	-prefetch    async load lookahead depth; 0 = serial phase 4 (default 0)
 //	-writeback   write partition state back asynchronously (default false)
 //	-shardahead  tuple-shard read lookahead in pair steps; 0 = sync reads (default 0)
@@ -54,6 +55,7 @@ func main() {
 
 type config struct {
 	users, items, k, m, iters, workers int
+	execWorkers                        int
 	slots, prefetch, shardAhead        int
 	writeback                          bool
 	heuristic, partitioner, sim        string
@@ -72,7 +74,8 @@ func parseFlags(args []string) config {
 	fs.IntVar(&cfg.m, "m", 8, "number of partitions")
 	fs.IntVar(&cfg.iters, "iters", 5, "maximum iterations")
 	fs.IntVar(&cfg.workers, "workers", 1, "scoring goroutines")
-	fs.IntVar(&cfg.slots, "slots", 2, "resident-partition budget S")
+	fs.IntVar(&cfg.execWorkers, "execworkers", 1, "phase-4 tape workers (shard the traversal plan across this many executors)")
+	fs.IntVar(&cfg.slots, "slots", 2, "resident-partition budget S per worker")
 	fs.IntVar(&cfg.prefetch, "prefetch", 0, "async load lookahead depth (0 = serial phase 4)")
 	fs.BoolVar(&cfg.writeback, "writeback", false, "write partition state back asynchronously")
 	fs.IntVar(&cfg.shardAhead, "shardahead", 0, "tuple-shard read lookahead in pair steps (0 = sync reads)")
@@ -121,6 +124,7 @@ func run(out io.Writer, cfg config) error {
 		Heuristic:      h,
 		Similarity:     sim,
 		Workers:        cfg.workers,
+		ExecWorkers:    cfg.execWorkers,
 		Slots:          cfg.slots,
 		PrefetchDepth:  cfg.prefetch,
 		AsyncWriteback: cfg.writeback,
@@ -136,8 +140,8 @@ func run(out io.Writer, cfg config) error {
 	}
 	defer eng.Close()
 
-	fmt.Fprintf(out, "engine: k=%d m=%d heuristic=%s partitioner=%s sim=%s workers=%d slots=%d prefetch=%d writeback=%v shardahead=%d ondisk=%v\n\n",
-		cfg.k, cfg.m, h.Name(), p.Name(), sim.Name(), cfg.workers, cfg.slots, cfg.prefetch, cfg.writeback, cfg.shardAhead, cfg.onDisk)
+	fmt.Fprintf(out, "engine: k=%d m=%d heuristic=%s partitioner=%s sim=%s workers=%d execworkers=%d slots=%d prefetch=%d writeback=%v shardahead=%d ondisk=%v\n\n",
+		cfg.k, cfg.m, h.Name(), p.Name(), sim.Name(), cfg.workers, cfg.execWorkers, cfg.slots, cfg.prefetch, cfg.writeback, cfg.shardAhead, cfg.onDisk)
 	fmt.Fprintln(out, "iter  phase1(part)  phase2(tuples)  phase3(pi)  phase4(score)  phase5(upd)  ops  prefetched  async-wb  changed")
 
 	for i := 0; i < cfg.iters; i++ {

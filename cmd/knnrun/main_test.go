@@ -52,6 +52,23 @@ func TestRunOnDisk(t *testing.T) {
 	}
 }
 
+func TestRunExecWorkers(t *testing.T) {
+	cfg := smallConfig()
+	cfg.execWorkers = 3
+	cfg.onDisk = true
+	cfg.scratch = t.TempDir()
+	cfg.prefetch = 2
+	cfg.writeback = true
+	cfg.shardAhead = 2
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "execworkers=3") {
+		t.Error("header should echo the phase-4 worker count")
+	}
+}
+
 func TestRunRejectsBadNames(t *testing.T) {
 	for _, mutate := range []func(*config){
 		func(c *config) { c.heuristic = "nope" },

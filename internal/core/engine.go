@@ -13,6 +13,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"knnpc/internal/disk"
@@ -40,8 +42,32 @@ type Options struct {
 	Heuristic pigraph.Heuristic
 	// Similarity is sim(s,d) (default profile.Cosine).
 	Similarity profile.Similarity
-	// Workers parallelizes phase-4 scoring (default 1).
+	// Workers parallelizes similarity scoring within one pair batch
+	// (default 1). It never changes results — scores land in a slice
+	// indexed by tuple position.
 	Workers int
+	// ExecWorkers shards the phase-4 op tape itself: the schedule's
+	// visit sequence is split into that many contiguous segments at
+	// pair boundaries and each segment runs on its own executor
+	// goroutine with its own Slots-slot LRU budget over the shared
+	// state store (default 1, the single-cursor execution). Workers
+	// that hold the same partition concurrently share one in-memory
+	// instance through a per-partition ownership layer, and accumulator
+	// folds serialize per partition, so the scored output is identical
+	// to serial execution at every worker count. The Loads/Unloads
+	// accounting generalizes deterministically: per-worker counts
+	// depend only on (Slots, ExecWorkers) and sum to the totals the
+	// phase-3 simulator predicts — asserted every iteration —
+	// with ExecWorkers=1 reproducing the single-cursor counts bit for
+	// bit. Each worker runs the full pipelined executor, so
+	// PrefetchDepth/AsyncWriteback/ShardPrefetch apply per worker —
+	// and so does the residency footprint: MemoryBudget must be sized
+	// for the worst case of ExecWorkers × (Slots + in-flight staging)
+	// partitions, because instance sharing across workers depends on
+	// scheduling and cannot be counted on. A budget sized for the
+	// single-cursor guidance can fail an ExecWorkers>1 iteration with
+	// ErrBudgetExceeded on some runs and not others.
+	ExecWorkers int
 	// Slots is the phase-4 memory budget S: at most S partitions
 	// resident at once (default 2, the paper's model; must be ≥ 2).
 	// The phase-3 simulator predicts, and the engine asserts, the
@@ -136,6 +162,9 @@ func (o *Options) applyDefaults() {
 	if o.Workers == 0 {
 		o.Workers = 1
 	}
+	if o.ExecWorkers == 0 {
+		o.ExecWorkers = 1
+	}
 	if o.Slots == 0 {
 		o.Slots = 2
 	}
@@ -188,6 +217,9 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 	}
 	if opts.PrefetchDepth < 0 {
 		return nil, fmt.Errorf("core: negative prefetch depth %d", opts.PrefetchDepth)
+	}
+	if opts.ExecWorkers < 0 {
+		return nil, fmt.Errorf("core: negative phase-4 worker count %d", opts.ExecWorkers)
 	}
 	if opts.ShardPrefetch < 0 {
 		return nil, fmt.Errorf("core: negative shard prefetch %d", opts.ShardPrefetch)
@@ -376,6 +408,7 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 		Slots:         e.opts.Slots,
 		PrefetchDepth: e.opts.PrefetchDepth,
 		ShardAhead:    e.opts.ShardPrefetch,
+		Workers:       e.opts.ExecWorkers,
 	}
 	if e.opts.AsyncWriteback {
 		// The in-flight write bound mirrors the load lookahead, so the
@@ -392,49 +425,56 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 		return nil, fmt.Errorf("core: canceled after phase 3: %w", err)
 	}
 
-	// Phase 4: execute the schedule under the S-slot memory model,
-	// scoring shards and folding results into the resident partitions'
-	// accumulators. The executor overlaps up to three I/O streams with
-	// the cursor's scoring: PrefetchDepth upcoming partition fetches,
-	// AsyncWriteback's bounded background write-backs, and
-	// ShardPrefetch tuple-shard reads.
+	// Phase 4: execute the schedule under the S-slot memory model —
+	// sharded across ExecWorkers tape segments — scoring shards and
+	// folding results into the owning partitions' accumulators through
+	// the per-partition ownership layer. Each worker's executor
+	// overlaps up to three I/O streams with its scoring cursor:
+	// PrefetchDepth upcoming partition fetches, AsyncWriteback's
+	// bounded background write-backs, and ShardPrefetch tuple-shard
+	// reads.
 	start = time.Now()
-	exec := &phase4{
-		engine:   e,
-		assign:   assign,
-		states:   states,
-		table:    table,
-		scorer:   knn.Scorer{Sim: e.opts.Similarity, Workers: e.opts.Workers},
-		resident: make(map[uint32]*partState, e.opts.Slots),
-		ctx:      ctx,
-	}
-	cb := pigraph.Callbacks{
-		Load:    exec.load,
-		Unload:  exec.unload,
-		Pair:    exec.pair,
-		Self:    exec.self,
-		Fetch:   exec.fetch,
-		Commit:  exec.commit,
-		Discard: exec.discard,
-		Evict:   exec.evict,
-		Flush:   exec.flush,
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	shared := &phase4Shared{
+		engine: e,
+		assign: assign,
+		owner:  newPartOwner(e.opts.NumPartitions, states, e.budget, &e.iostats),
+		table:  table,
+		ctx:    runCtx,
+		cancel: cancelRun,
 	}
 	prefetcher, _ := table.(tuples.ShardPrefetcher)
-	if prefetcher != nil {
-		exec.shards = prefetcher
-		cb.PairAhead = exec.pairAhead
-	}
-	result, err := schedule.ExecuteOpts(cb, execOpts)
+	shared.shards = prefetcher
+	result, perWorker, err := schedule.ExecuteParallel(shared.workerCallbacks, execOpts)
 	if err != nil {
+		// Workers that aborted mid-tape still hold references to their
+		// resident partitions; return that staged memory to the budget
+		// (the next Iterate rebuilds all state from phase 1).
+		shared.owner.abort()
+		// Prefer the first real callback error over the executor's view:
+		// sibling workers cancelled by it report a secondary
+		// "canceled" error that would otherwise mask the cause.
+		if first := shared.firstErr(); first != nil {
+			err = first
+		}
 		return nil, fmt.Errorf("core: phase 4 (KNN computation): %w", err)
 	}
 	stats.Loads, stats.Unloads = result.Loads, result.Unloads
 	stats.PrefetchedLoads = result.PrefetchedLoads
 	stats.AsyncUnloads = result.AsyncUnloads
+	stats.ExecWorkers = len(perWorker)
+	stats.WorkerOps = make([]int64, len(perWorker))
+	for w, r := range perWorker {
+		stats.WorkerOps[w] = r.Ops()
+	}
 	if prefetcher != nil {
 		stats.PrefetchedShardBytes = prefetcher.PrefetchedShardBytes()
 	}
-	stats.TuplesScored = exec.scored
+	stats.TuplesScored = shared.scored.Load()
+	// The totals are the field-wise sum of perWorker by construction,
+	// so this one check covers the whole worker breakdown: predicted
+	// comes from independently simulating each segment's tape.
 	if stats.Loads != stats.PredictedLoads || stats.Unloads != stats.PredictedUnloads {
 		return nil, fmt.Errorf("core: phase 4 measured %d/%d load/unload ops, simulator predicted %d/%d",
 			stats.Loads, stats.Unloads, stats.PredictedLoads, stats.PredictedUnloads)
@@ -490,186 +530,266 @@ func (e *Engine) newTable(assign *partition.Assignment) (tuples.Table, error) {
 	return tuples.NewMemTable(assign), nil
 }
 
-// phase4 carries the mutable state of one schedule execution. All
-// fields except states are confined to the executor's cursor; fetch
-// runs on the executor's prefetch goroutines and flush on its
-// write-back goroutines — both touch only the state store (safe for
-// concurrent distinct-partition access), the memory budget, and the
-// engine's atomic I/O counters.
-type phase4 struct {
-	engine   *Engine
-	assign   *partition.Assignment
-	states   stateStore
-	table    tuples.Table
-	shards   tuples.ShardPrefetcher // nil when the table has no async path
+// phase4Shared carries the state one schedule execution shares across
+// its tape workers: the partition ownership layer (which serializes
+// same-partition store I/O and accumulator folds), the tuple table,
+// and the run's failure signal. The first callback error cancels the
+// run's context so sibling workers abort promptly instead of grinding
+// their remaining tape; user cancellation arrives through the same
+// context.
+type phase4Shared struct {
+	engine *Engine
+	assign *partition.Assignment
+	owner  *partOwner
+	table  tuples.Table
+	shards tuples.ShardPrefetcher // nil when the table has no async path
+	scored atomic.Int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	failMu sync.Mutex
+	failed error
+}
+
+// fail records the run's first real error and cancels every sibling
+// worker. It returns err unchanged so callers can `return s.fail(err)`.
+func (s *phase4Shared) fail(err error) error {
+	s.failMu.Lock()
+	if s.failed == nil {
+		s.failed = err
+	}
+	s.failMu.Unlock()
+	s.cancel()
+	return err
+}
+
+// firstErr reports the first real callback error (nil if the failure
+// came from elsewhere, e.g. option validation inside the executor).
+func (s *phase4Shared) firstErr() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failed
+}
+
+// ctxErr surfaces run cancellation — by the user's context or by a
+// sibling worker's failure — as a callback error.
+func (s *phase4Shared) ctxErr() error {
+	if err := s.ctx.Err(); err != nil {
+		return s.fail(fmt.Errorf("canceled: %w", err))
+	}
+	return nil
+}
+
+// workerCallbacks builds the callback set of one tape worker — the
+// factory ExecuteParallel calls once per worker before any of them
+// start.
+func (s *phase4Shared) workerCallbacks(int) pigraph.Callbacks {
+	w := &phase4Worker{
+		shared:   s,
+		scorer:   knn.Scorer{Sim: s.engine.opts.Similarity, Workers: s.engine.opts.Workers},
+		resident: make(map[uint32]*partState, s.engine.opts.Slots),
+	}
+	cb := pigraph.Callbacks{
+		Load:    w.load,
+		Unload:  w.unload,
+		Pair:    w.pair,
+		Self:    w.self,
+		Fetch:   w.fetch,
+		Commit:  w.commit,
+		Discard: w.discard,
+		Evict:   w.evict,
+		Flush:   w.flush,
+	}
+	if s.shards != nil {
+		cb.PairAhead = w.pairAhead
+	}
+	return cb
+}
+
+// phase4Worker is one tape worker's executor state. The resident map
+// is confined to the worker's cursor (the scorer's goroutines only
+// read it while the cursor blocks in Score); everything cross-worker —
+// partition instances, accumulator folds, the scored tally — goes
+// through phase4Shared.
+type phase4Worker struct {
+	shared   *phase4Shared
 	scorer   knn.Scorer
 	resident map[uint32]*partState
-	scored   int64
-	ctx      context.Context
 }
 
-// fetch reads partition id off the state store without making it
-// resident — the asynchronous half of a pipelined load. It may run
-// concurrently with unloads of other partitions (never of id itself;
-// the executor orders fetches after the matching write-back). The
-// state's memory is charged to the budget here, the moment it is
-// allocated, so in-flight prefetches count against the bound the
-// budget exists to enforce; an abandoned prefetch is released through
+// fetch materializes partition id without making it resident — the
+// asynchronous half of a pipelined load. It may run concurrently with
+// this worker's unloads of other partitions (never of id itself; the
+// executor orders fetches after the matching write-back) and with
+// anything other workers do — the ownership layer serializes
+// same-partition store access across workers and shares the in-memory
+// instance when another worker already holds id. The state's memory is
+// charged to the budget at first acquire, so in-flight prefetches
+// count against the bound; an abandoned prefetch is released through
 // discard.
-func (p *phase4) fetch(id uint32) (any, error) {
-	if err := p.ctx.Err(); err != nil {
-		return nil, fmt.Errorf("canceled: %w", err)
+func (w *phase4Worker) fetch(id uint32) (any, error) {
+	if err := w.shared.ctxErr(); err != nil {
+		return nil, err
 	}
-	st, err := p.states.Load(id)
+	st, err := w.shared.owner.acquire(id)
 	if err != nil {
-		return nil, err
-	}
-	if err := p.engine.budget.Reserve(int64(st.byteSize())); err != nil {
-		return nil, err
+		return nil, w.shared.fail(err)
 	}
 	return st, nil
 }
 
-// commit makes a fetched partition resident — the synchronous half,
-// run on the cursor (the budget was already charged in fetch).
-func (p *phase4) commit(id uint32, data any) error {
+// commit makes a fetched partition resident in this worker — the
+// synchronous half, run on the worker's cursor (the ownership
+// reference was already taken in fetch).
+func (w *phase4Worker) commit(id uint32, data any) error {
 	st, ok := data.(*partState)
 	if !ok {
-		return fmt.Errorf("core: commit of partition %d with unexpected payload %T", id, data)
+		return w.shared.fail(fmt.Errorf("core: commit of partition %d with unexpected payload %T", id, data))
 	}
-	p.engine.iostats.AddLoad()
-	p.resident[id] = st
+	w.resident[id] = st
 	return nil
 }
 
-// discard releases a prefetched partition the aborted execution will
-// never commit.
-func (p *phase4) discard(_ uint32, data any) {
-	if st, ok := data.(*partState); ok {
-		p.engine.budget.Release(int64(st.byteSize()))
-	}
+// discard drops the ownership reference of a fetched partition the
+// aborted execution will never commit — without a write-back, since
+// the run's result is discarded.
+func (w *phase4Worker) discard(id uint32, _ any) {
+	_ = w.shared.owner.release(id, false)
 }
 
-func (p *phase4) load(id uint32) error {
-	st, err := p.fetch(id)
+func (w *phase4Worker) load(id uint32) error {
+	st, err := w.fetch(id)
 	if err != nil {
 		return err
 	}
-	return p.commit(id, st)
+	return w.commit(id, st)
 }
 
-// evict removes a resident partition without writing it back — the
-// synchronous half of an asynchronous unload, run on the cursor at the
-// unload's tape position. The state's memory stays charged to the
-// budget until the matching flush lands: an in-flight write-back is
-// still occupying real memory, so releasing it early would let the
-// engine exceed the bound MemoryBudget enforces.
-func (p *phase4) evict(id uint32) (any, error) {
-	st, ok := p.resident[id]
+// evict removes a resident partition from this worker without writing
+// it back — the synchronous half of an asynchronous unload, run on the
+// cursor at the unload's tape position. The ownership reference (and
+// its budget charge) is held until the matching flush lands: an
+// in-flight write-back still occupies real memory.
+func (w *phase4Worker) evict(id uint32) (any, error) {
+	st, ok := w.resident[id]
 	if !ok {
-		return nil, fmt.Errorf("core: evict of non-resident partition %d", id)
+		return nil, w.shared.fail(fmt.Errorf("core: evict of non-resident partition %d", id))
 	}
-	delete(p.resident, id)
+	delete(w.resident, id)
 	return st, nil
 }
 
-// flush writes an evicted partition back to the state store — the
-// asynchronous half, run on the executor's write-back goroutines
-// concurrently with cursor work and with fetches of other partitions.
-func (p *phase4) flush(id uint32, data any) error {
-	st, ok := data.(*partState)
-	if !ok {
-		return fmt.Errorf("core: flush of partition %d with unexpected payload %T", id, data)
+// flush drops the evicted partition's ownership reference — the
+// asynchronous half, run on the executor's write-back goroutines. The
+// last worker to let go performs the real store write, carrying every
+// worker's folds.
+func (w *phase4Worker) flush(id uint32, _ any) error {
+	if err := w.shared.owner.release(id, true); err != nil {
+		return w.shared.fail(err)
 	}
-	err := p.states.Unload(st)
-	// Release even when the write failed: the state is no longer
-	// resident and the failed flush aborts the iteration, so keeping
-	// the reservation would poison every later iteration's budget.
-	p.engine.budget.Release(int64(st.byteSize()))
-	if err != nil {
-		return err
-	}
-	p.engine.iostats.AddUnload()
 	return nil
 }
 
-func (p *phase4) unload(id uint32) error {
-	st, err := p.evict(id)
-	if err != nil {
+func (w *phase4Worker) unload(id uint32) error {
+	if _, err := w.evict(id); err != nil {
 		return fmt.Errorf("core: unload: %w", err)
 	}
-	return p.flush(id, st)
+	return w.flush(id, nil)
 }
 
 // pairAhead starts background reads of the tuple shards an upcoming
 // pair (or self visit, when a == b) will consume, so the cursor finds
 // them already read and de-duplicated.
-func (p *phase4) pairAhead(a, b uint32) {
-	p.shards.ShardAhead(a, b)
+func (w *phase4Worker) pairAhead(a, b uint32) {
+	w.shared.shards.ShardAhead(a, b)
 	if a != b {
-		p.shards.ShardAhead(b, a)
+		w.shared.shards.ShardAhead(b, a)
 	}
 }
 
 // pair processes both directed shards of the unordered pair {a, b} as
-// one scoring batch: combining (a,b) and (b,a) gives the worker
+// one scoring batch: combining (a,b) and (b,a) gives the scoring
 // fan-out the largest possible parallel unit, so CPU parallelism and
 // prefetch I/O overlap compose. Tuple order (forward shard then
 // reverse) matches the former per-shard processing, keeping
-// accumulator tie-breaking identical.
-func (p *phase4) pair(a, b uint32) error {
-	fwd, err := p.table.Shard(a, b)
-	if err != nil {
+// accumulator tie-breaking identical. No pair spans tape workers, so
+// each shard is consumed exactly once.
+func (w *phase4Worker) pair(a, b uint32) error {
+	if err := w.shared.ctxErr(); err != nil {
 		return err
 	}
-	rev, err := p.table.Shard(b, a)
+	fwd, err := w.shared.table.Shard(a, b)
 	if err != nil {
-		return err
+		return w.shared.fail(err)
+	}
+	rev, err := w.shared.table.Shard(b, a)
+	if err != nil {
+		return w.shared.fail(err)
 	}
 	switch {
 	case len(rev) == 0:
-		return p.scoreTuples(fwd)
+		return w.scoreTuples(fwd)
 	case len(fwd) == 0:
-		return p.scoreTuples(rev)
+		return w.scoreTuples(rev)
 	default:
 		batch := make([]tuples.Tuple, 0, len(fwd)+len(rev))
 		batch = append(batch, fwd...)
 		batch = append(batch, rev...)
-		return p.scoreTuples(batch)
+		return w.scoreTuples(batch)
 	}
 }
 
-func (p *phase4) self(id uint32) error {
-	ts, err := p.table.Shard(id, id)
-	if err != nil {
+func (w *phase4Worker) self(id uint32) error {
+	if err := w.shared.ctxErr(); err != nil {
 		return err
 	}
-	return p.scoreTuples(ts)
+	ts, err := w.shared.table.Shard(id, id)
+	if err != nil {
+		return w.shared.fail(err)
+	}
+	return w.scoreTuples(ts)
 }
 
-func (p *phase4) scoreTuples(ts []tuples.Tuple) error {
+func (w *phase4Worker) scoreTuples(ts []tuples.Tuple) error {
 	if len(ts) == 0 {
 		return nil
 	}
-	scores, err := p.scorer.Score(ts, p.lookup)
+	scores, err := w.scorer.Score(ts, w.lookup)
 	if err != nil {
-		return err
+		return w.shared.fail(err)
 	}
-	for idx, t := range ts {
-		owner, ok := p.resident[p.assign.Of(t.S)]
-		if !ok {
-			return fmt.Errorf("core: partition of source %d not resident", t.S)
+	// Fold in runs of same-partition sources (a batch is the forward
+	// shard then the reverse, so sources form at most a few runs),
+	// taking each owning partition's fold lock once per run: TopK
+	// pushes use a total order over (score, id), so the fold result is
+	// identical no matter how the workers' runs interleave.
+	for lo := 0; lo < len(ts); {
+		pid := w.shared.assign.Of(ts[lo].S)
+		hi := lo + 1
+		for hi < len(ts) && w.shared.assign.Of(ts[hi].S) == pid {
+			hi++
 		}
-		owner.accs[t.S].Push(t.D, scores[idx])
+		owner, ok := w.resident[pid]
+		if !ok {
+			return w.shared.fail(fmt.Errorf("core: partition %d of source %d not resident", pid, ts[lo].S))
+		}
+		if err := w.shared.owner.fold(pid, func() {
+			for i := lo; i < hi; i++ {
+				owner.accs[ts[i].S].Push(ts[i].D, scores[i])
+			}
+		}); err != nil {
+			return w.shared.fail(err)
+		}
+		lo = hi
 	}
-	p.scored += int64(len(ts))
+	w.shared.scored.Add(int64(len(ts)))
 	return nil
 }
 
-func (p *phase4) lookup(u uint32) (profile.Vector, error) {
-	st, ok := p.resident[p.assign.Of(u)]
+func (w *phase4Worker) lookup(u uint32) (profile.Vector, error) {
+	st, ok := w.resident[w.shared.assign.Of(u)]
 	if !ok {
-		return profile.Vector{}, fmt.Errorf("core: partition %d of user %d not resident", p.assign.Of(u), u)
+		return profile.Vector{}, fmt.Errorf("core: partition %d of user %d not resident", w.shared.assign.Of(u), u)
 	}
 	return st.lookup(u)
 }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"knnpc/internal/disk"
+)
+
+// partOwner is the per-partition ownership layer of multi-worker
+// phase 4: the one place where the W sharded tape executors meet. Each
+// worker's op tape loads and unloads partitions independently, but the
+// store must never see two operations on the same partition at once
+// and two workers must never fold into the same accumulator
+// concurrently — partOwner guarantees both with one guard per
+// partition.
+//
+// Residency is reference-counted: the first worker to acquire a
+// partition pays the real store read (and the memory-budget charge);
+// workers that acquire it while it is already live attach to the same
+// in-memory instance for free. Releases are symmetric — only the last
+// reference writes the instance back and returns its budget. Sharing
+// one instance is what makes concurrent folds correct: every worker's
+// accumulator pushes land in the same TopK (under the partition's fold
+// lock), so no write-back can overwrite another worker's folds. The
+// executor-level Loads/Unloads accounting is untouched: each worker's
+// tape counts its own ops whether the acquire attached or read.
+type partOwner struct {
+	states stateStore
+	budget *disk.Budget
+	stats  *disk.IOStats
+	guards []partGuard
+}
+
+type partGuard struct {
+	// mu serializes acquire/release — including the store I/O they
+	// perform — for this partition. Cross-partition operations never
+	// contend.
+	mu   sync.Mutex
+	refs int
+	st   *partState
+	// fold serializes accumulator pushes into the shared instance. It
+	// is separate from mu so a fold never waits behind another
+	// partition holder's store I/O: folds only happen while the folder
+	// holds a reference, which excludes the refs==0 store operations.
+	fold sync.Mutex
+}
+
+func newPartOwner(numPartitions int, states stateStore, budget *disk.Budget, stats *disk.IOStats) *partOwner {
+	return &partOwner{
+		states: states,
+		budget: budget,
+		stats:  stats,
+		guards: make([]partGuard, numPartitions),
+	}
+}
+
+func (o *partOwner) guard(id uint32) (*partGuard, error) {
+	if int(id) >= len(o.guards) {
+		return nil, fmt.Errorf("core: partition %d out of range [0,%d)", id, len(o.guards))
+	}
+	return &o.guards[id], nil
+}
+
+// acquire materializes partition id, attaching to the live shared
+// instance when another worker already holds it and reading the store
+// (charging the memory budget) otherwise. Every acquire must be paired
+// with exactly one release.
+func (o *partOwner) acquire(id uint32) (*partState, error) {
+	g, err := o.guard(id)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.refs > 0 {
+		g.refs++
+		return g.st, nil
+	}
+	st, err := o.states.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.budget.Reserve(int64(st.byteSize())); err != nil {
+		return nil, err
+	}
+	o.stats.AddLoad()
+	g.st, g.refs = st, 1
+	return st, nil
+}
+
+// release drops one reference to partition id. The last reference
+// writes the instance back to the store and returns its memory-budget
+// charge; with writeBack false (the discard path of an aborted run,
+// where the iteration's result is thrown away anyway) the instance is
+// dropped without the write. Earlier releases are free: the write-back
+// is deferred to the final holder so it carries every worker's folds.
+func (o *partOwner) release(id uint32, writeBack bool) error {
+	g, err := o.guard(id)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.refs <= 0 {
+		return fmt.Errorf("core: release of partition %d with no outstanding reference", id)
+	}
+	g.refs--
+	if g.refs > 0 {
+		return nil
+	}
+	st := g.st
+	g.st = nil
+	var unloadErr error
+	if writeBack {
+		unloadErr = o.states.Unload(st)
+	}
+	// Release the budget even when the write failed: the state is no
+	// longer resident and the failed write aborts the iteration, so
+	// keeping the reservation would poison every later iteration.
+	o.budget.Release(int64(st.byteSize()))
+	if unloadErr != nil {
+		return unloadErr
+	}
+	if writeBack {
+		o.stats.AddUnload()
+	}
+	return nil
+}
+
+// fold runs fn with partition id's fold lock held, so concurrent
+// workers' accumulator pushes into the shared instance serialize.
+func (o *partOwner) fold(id uint32, fn func()) error {
+	g, err := o.guard(id)
+	if err != nil {
+		return err
+	}
+	g.fold.Lock()
+	fn()
+	g.fold.Unlock()
+	return nil
+}
+
+// abort force-drops every reference still held after a failed
+// execution, returning the staged memory to the budget without writing
+// anything back (the iteration's result is discarded; the next Iterate
+// rebuilds all partition state from phase 1). It must only run after
+// every worker has returned.
+func (o *partOwner) abort() {
+	for i := range o.guards {
+		g := &o.guards[i]
+		g.mu.Lock()
+		if g.refs > 0 {
+			o.budget.Release(int64(g.st.byteSize()))
+			g.refs, g.st = 0, nil
+		}
+		g.mu.Unlock()
+	}
+}

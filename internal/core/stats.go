@@ -62,6 +62,14 @@ type IterationStats struct {
 	// read asynchronously ahead of the cursor (0 unless
 	// Options.ShardPrefetch > 0 on an on-disk table).
 	PrefetchedShardBytes int64
+	// ExecWorkers is the number of tape segments phase 4 actually ran
+	// (Options.ExecWorkers, capped at the schedule's step count; 1 for
+	// single-cursor execution). WorkerOps breaks the Loads+Unloads
+	// total down per worker; the engine asserts the breakdown sums
+	// exactly to Ops(), which in turn equals the phase-3 prediction for
+	// the configured (Slots, ExecWorkers).
+	ExecWorkers int
+	WorkerOps   []int64
 	// EdgeChanges is the number of directed edges by which G(t+1)
 	// differs from G(t) — the convergence signal.
 	EdgeChanges int

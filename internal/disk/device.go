@@ -22,8 +22,10 @@ import (
 type Device struct {
 	model Model
 
-	mu   sync.Mutex
-	debt time.Duration
+	mu      sync.Mutex
+	debt    time.Duration
+	modeled time.Duration // total duration ever charged
+	slept   time.Duration // total wall time actually slept
 }
 
 // NewDevice returns an emulated device for the model. A nil receiver is
@@ -62,13 +64,42 @@ func (d *Device) Write(n int64) {
 
 // access serializes the modeled duration of one access (amortized
 // across accesses to dodge timer granularity — see the type comment).
+// Both the debt bookkeeping and the sleep run under the mutex: the
+// sleep IS the device being busy, so concurrent accessors queue behind
+// it, and because the elapsed time is measured and credited inside the
+// same critical section, no two accessors can ever observe (and
+// credit) the same elapsed wall time twice. The invariant, preserved
+// verbatim under any number of concurrent accessors, is
+//
+//	modeled == slept + debt
+//
+// which is what keeps aggregate modeled device time exact (±1ms of
+// never-yet-slept debt) — see Accounting and the concurrency test.
 func (d *Device) access(t time.Duration) {
 	d.mu.Lock()
+	d.modeled += t
 	d.debt += t
 	if d.debt >= time.Millisecond {
 		start := time.Now()
 		time.Sleep(d.debt)
-		d.debt -= time.Since(start)
+		elapsed := time.Since(start)
+		d.slept += elapsed
+		d.debt -= elapsed
 	}
 	d.mu.Unlock()
+}
+
+// Accounting reports the device's cumulative bookkeeping: the total
+// modeled duration ever charged, the wall time actually slept, and the
+// outstanding debt (negative when a sleep overshot; the overshoot is
+// credited against future accesses so the aggregate stays exact). For
+// any consistent snapshot, modeled == slept + debt. A nil device
+// reports zeros.
+func (d *Device) Accounting() (modeled, slept, debt time.Duration) {
+	if d == nil {
+		return 0, 0, 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.modeled, d.slept, d.debt
 }

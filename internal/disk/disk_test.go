@@ -325,3 +325,59 @@ func TestDeviceNilAndDebt(t *testing.T) {
 		t.Errorf("Model() = %q", dev.Model().Name)
 	}
 }
+
+// TestDeviceDebtExactUnderConcurrency is the satellite accounting
+// test: N goroutines hammering Read/Write concurrently — the multi-
+// worker phase-4 access pattern — must leave aggregate modeled device
+// time exact to within the 1ms sleep granularity. Two properties pin
+// it: the books must balance exactly (modeled == slept + debt; a
+// credit-back that double-counted elapsed time across concurrent
+// sleeps would break this identity), and the hammer's wall time must
+// cover the modeled total minus the one never-slept sub-millisecond
+// residue (a device that let concurrent accessors sleep in parallel,
+// or credited one accessor's sleep to another, would finish early).
+func TestDeviceDebtExactUnderConcurrency(t *testing.T) {
+	model := Model{Name: "test", SeekLatency: 200 * time.Microsecond, ReadBandwidth: 1 << 30, WriteBandwidth: 1 << 30}
+	dev := NewDevice(model)
+	const goroutines, accesses = 8, 40
+	perOp := model.SeekLatency // zero-byte ops cost exactly one seek
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < accesses; i++ {
+				if (g+i)%2 == 0 {
+					dev.Read(0)
+				} else {
+					dev.Write(0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	modeled, slept, debt := dev.Accounting()
+	want := time.Duration(goroutines*accesses) * perOp
+	if modeled != want {
+		t.Fatalf("modeled %v, want %v (%d×%d accesses of %v)", modeled, want, goroutines, accesses, perOp)
+	}
+	if slept+debt != modeled {
+		t.Fatalf("books do not balance: slept %v + debt %v != modeled %v (elapsed time credited more than once?)",
+			slept, debt, modeled)
+	}
+	if debt >= time.Millisecond {
+		t.Fatalf("final debt %v at or above the sleep granularity was never slept", debt)
+	}
+	if min := modeled - time.Millisecond; elapsed < min {
+		t.Fatalf("hammer finished in %v, modeled total is %v — the device under-slept", elapsed, modeled)
+	}
+
+	var nilDev *Device
+	if m, s, d := nilDev.Accounting(); m != 0 || s != 0 || d != 0 {
+		t.Errorf("nil device reported accounting %v/%v/%v", m, s, d)
+	}
+}

@@ -103,6 +103,9 @@ type EngineConfig struct {
 	K          int
 	Partitions int
 	Workers    int
+	// ExecWorkers shards the phase-4 op tape across that many executor
+	// goroutines (0/1 = the single-cursor execution).
+	ExecWorkers int
 	// Slots, PrefetchDepth, AsyncWriteback and ShardPrefetch configure
 	// phase-4 execution: S resident partitions (0 = the paper's 2),
 	// the async load lookahead (0 = serial loads), background
@@ -140,6 +143,7 @@ func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
 		K:              cfg.K,
 		NumPartitions:  cfg.Partitions,
 		Workers:        cfg.Workers,
+		ExecWorkers:    cfg.ExecWorkers,
 		Slots:          cfg.Slots,
 		PrefetchDepth:  cfg.PrefetchDepth,
 		AsyncWriteback: cfg.AsyncWriteback,
@@ -290,6 +294,33 @@ func PipelineSweep(ctx context.Context, users, depth, workers int, model string)
 			Label: label, Users: users,
 			K: 10, Partitions: 8, Workers: workers,
 			PrefetchDepth: st.PrefetchDepth, AsyncWriteback: st.AsyncWriteback, ShardPrefetch: st.ShardPrefetch,
+			OnDisk: true, EmulateDisk: model, Iterations: 2, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// ExecWorkerSweep runs the FW-7 sweep: phase-4 execution sharded
+// across W tape workers (full three-stream pipeline per worker, wider
+// slot budget so the segments have real lookahead room) on the same
+// emulated-disk workload. Totals stay deterministic per (Slots, W) —
+// each point reports its summed op count — while wall time shows how
+// much scoring the shared-spindle device leaves overlappable.
+func ExecWorkerSweep(ctx context.Context, users int, workerCounts []int, model string) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		label := fmt.Sprintf("execworkers=%d", w)
+		if model != "" {
+			label += "/" + model
+		}
+		p, err := RunEngine(ctx, EngineConfig{
+			Label: label, Users: users,
+			K: 10, Partitions: 8, Workers: 2, ExecWorkers: w,
+			Slots: 4, PrefetchDepth: 2, AsyncWriteback: true, ShardPrefetch: 2,
 			OnDisk: true, EmulateDisk: model, Iterations: 2, Seed: 1,
 		})
 		if err != nil {

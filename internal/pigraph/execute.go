@@ -37,8 +37,11 @@ type Callbacks struct {
 	// Discard releases a successfully fetched value that will never be
 	// committed — it is called (on the executor's goroutine, after the
 	// fetch completes) for each in-flight prefetch abandoned when
-	// execution aborts early. Callers that charge resources in Fetch
-	// (memory budgets, pinned buffers) release them here.
+	// execution aborts early, and for a fetched value whose Commit
+	// returned an error (a failed commit leaves the value un-committed,
+	// so its staged resources must still be released). Callers that
+	// charge resources in Fetch (memory budgets, pinned buffers)
+	// release them here.
 	Discard func(p uint32, data any)
 
 	// Evict and Flush split Unload into a synchronous half and an
@@ -99,6 +102,15 @@ type ExecOptions struct {
 	// storage concurrently with scoring. 0 (the default) disables the
 	// announcements.
 	ShardAhead int
+	// Workers shards the op tape itself: the schedule's visit sequence
+	// is cut into that many contiguous segments at pair boundaries (see
+	// Schedule.Split) and each segment runs on its own goroutine with
+	// its own Slots-slot LRU budget. 0 or 1 (the default) is the
+	// single-cursor execution; the accounting invariant generalizes:
+	// for a fixed (Slots, Workers) the per-worker tapes — and therefore
+	// the per-worker and summed Loads/Unloads — are deterministic, and
+	// Workers=1 reproduces the single-cursor counts bit for bit.
+	Workers int
 }
 
 // Validate rejects nonsensical budgets with a descriptive error: the
@@ -118,6 +130,9 @@ func (o ExecOptions) Validate() error {
 	if o.ShardAhead < 0 {
 		return fmt.Errorf("pigraph: ExecOptions.ShardAhead = %d; the shard read lookahead cannot be negative (0 disables shard announcements)", o.ShardAhead)
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("pigraph: ExecOptions.Workers = %d; the tape worker count cannot be negative (0 selects the single-cursor default)", o.Workers)
+	}
 	return nil
 }
 
@@ -127,6 +142,9 @@ func (o ExecOptions) withDefaults() (ExecOptions, error) {
 	}
 	if o.Slots == 0 {
 		o.Slots = 2
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
 	}
 	return o, nil
 }
@@ -153,6 +171,17 @@ type Result struct {
 
 // Ops reports Loads + Unloads, Table 1's metric.
 func (r Result) Ops() int64 { return r.Loads + r.Unloads }
+
+// Add accumulates o into r — used to sum per-worker results into the
+// totals of a sharded execution.
+func (r *Result) Add(o Result) {
+	r.Loads += o.Loads
+	r.Unloads += o.Unloads
+	r.Pairs += o.Pairs
+	r.Selfs += o.Selfs
+	r.PrefetchedLoads += o.PrefetchedLoads
+	r.AsyncUnloads += o.AsyncUnloads
+}
 
 // opKind discriminates the entries of the op tape.
 type opKind uint8
@@ -281,11 +310,28 @@ func (s *Schedule) Execute(cb Callbacks) (Result, error) {
 // For any fixed Slots the cursor's op sequence — and therefore the
 // Loads/Unloads accounting — is identical at every pipelining setting;
 // the streams only overlap I/O with computation.
+//
+// With Workers > 1 the call delegates to ExecuteParallel, handing the
+// SAME Callbacks to every worker: the callbacks must then be safe for
+// concurrent use (the zero Callbacks of a simulation trivially are;
+// real executors should use ExecuteParallel's per-worker factory
+// instead).
 func (s *Schedule) ExecuteOpts(cb Callbacks, opts ExecOptions) (Result, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
+	if opts.Workers > 1 {
+		total, _, err := s.ExecuteParallel(func(int) Callbacks { return cb }, opts)
+		return total, err
+	}
+	return s.executeSegment(cb, opts)
+}
+
+// executeSegment runs one already-validated single-cursor execution of
+// the schedule — the shared tail of ExecuteOpts and of each
+// ExecuteParallel worker.
+func (s *Schedule) executeSegment(cb Callbacks, opts ExecOptions) (Result, error) {
 	tape, err := s.plan(opts.Slots)
 	if err != nil {
 		return Result{}, err
@@ -550,6 +596,12 @@ func applyOp(r *Result, o op, cb Callbacks, f *future) error {
 			}
 			r.PrefetchedLoads++
 			if err := cb.Commit(o.a, f.data); err != nil {
+				// The value was fetched but never became resident: hand
+				// it back so staged resources (memory budget charges)
+				// are released before the error aborts the run.
+				if cb.Discard != nil {
+					cb.Discard(o.a, f.data)
+				}
 				return fmt.Errorf("pigraph: commit %d: %w", o.a, err)
 			}
 			return nil
@@ -564,6 +616,9 @@ func applyOp(r *Result, o op, cb Callbacks, f *future) error {
 				return fmt.Errorf("pigraph: fetch %d: %w", o.a, err)
 			}
 			if err := cb.Commit(o.a, data); err != nil {
+				if cb.Discard != nil {
+					cb.Discard(o.a, data)
+				}
 				return fmt.Errorf("pigraph: commit %d: %w", o.a, err)
 			}
 		}
@@ -611,12 +666,14 @@ func (s *Schedule) Simulate() Result {
 	return r
 }
 
-// SimulateOpts counts the operations of an S-slot execution without
-// side effects. PrefetchDepth is irrelevant here: the tape, and hence
-// the counts, depend only on Slots. The only possible error is invalid
-// options.
+// SimulateOpts counts the operations of an (S-slot, W-worker)
+// execution without side effects. The pipelining depths are irrelevant
+// here: the tapes, and hence the counts, depend only on Slots and
+// Workers (each worker plans its own segment from an empty slot state,
+// so totals are the exact sum of the per-worker tapes). The only
+// possible error is invalid options.
 func (s *Schedule) SimulateOpts(opts ExecOptions) (Result, error) {
-	return s.ExecuteOpts(Callbacks{}, ExecOptions{Slots: opts.Slots})
+	return s.ExecuteOpts(Callbacks{}, ExecOptions{Slots: opts.Slots, Workers: opts.Workers})
 }
 
 // Validate checks that the schedule covers the PI graph exactly: every

@@ -469,11 +469,13 @@ func TestExecOptionsValidation(t *testing.T) {
 		{"zero value (documented defaults)", ExecOptions{}, false},
 		{"paper setting", ExecOptions{Slots: 2}, false},
 		{"full pipeline", ExecOptions{Slots: 4, PrefetchDepth: 3, WritebackDepth: 2, ShardAhead: 2}, false},
+		{"sharded tape", ExecOptions{Slots: 2, Workers: 4}, false},
 		{"one slot", ExecOptions{Slots: 1}, true},
 		{"negative slots", ExecOptions{Slots: -2}, true},
 		{"negative prefetch depth", ExecOptions{PrefetchDepth: -1}, true},
 		{"negative write-back depth", ExecOptions{WritebackDepth: -1}, true},
 		{"negative shard lookahead", ExecOptions{ShardAhead: -3}, true},
+		{"negative workers", ExecOptions{Workers: -2}, true},
 	}
 	g := randomPI(t, 2, 6, 10)
 	s := Sequential{}.Plan(g)
@@ -489,8 +491,9 @@ func TestExecOptionsValidation(t *testing.T) {
 			if _, execErr := s.ExecuteOpts(Callbacks{}, tc.opts); (execErr != nil) != tc.wantErr {
 				t.Errorf("ExecuteOpts error = %v, want error: %v", execErr, tc.wantErr)
 			}
-			if _, simErr := s.SimulateOpts(tc.opts); (simErr != nil) != (tc.opts.Slots != 0 && tc.opts.Slots < 2) {
-				t.Errorf("SimulateOpts error = %v (simulation validates Slots only)", simErr)
+			wantSimErr := (tc.opts.Slots != 0 && tc.opts.Slots < 2) || tc.opts.Workers < 0
+			if _, simErr := s.SimulateOpts(tc.opts); (simErr != nil) != wantSimErr {
+				t.Errorf("SimulateOpts error = %v (simulation validates Slots and Workers only)", simErr)
 			}
 		})
 	}
@@ -618,6 +621,128 @@ func TestWritebackPropagatesErrors(t *testing.T) {
 	}
 	if committed.Load()+discarded.Load() != fetched.Load() {
 		t.Errorf("%d fetched, %d committed + %d discarded", fetched.Load(), committed.Load(), discarded.Load())
+	}
+}
+
+// TestCommitFailureDiscardsStagedFetch pins the staged-memory half of
+// the error-path contract: a load whose Commit fails must hand the
+// fetched value back through Discard before the error aborts the run —
+// otherwise the resources Fetch charged (the engine's memory budget)
+// leak into every later iteration.
+func TestCommitFailureDiscardsStagedFetch(t *testing.T) {
+	g := randomPI(t, 31, 14, 44)
+	s := DegreeLowHigh().Plan(g)
+	boom := errors.New("commit boom")
+
+	for _, depth := range []int{0, 3} { // 0 exercises the serial fetch/commit fallback
+		var fetched, committed, discarded atomic.Int64
+		cb := Callbacks{
+			Fetch: func(p uint32) (any, error) { fetched.Add(1); return int(p), nil },
+			Commit: func(p uint32, data any) error {
+				if committed.Load() >= 2 {
+					return boom
+				}
+				committed.Add(1)
+				return nil
+			},
+			Discard: func(p uint32, data any) {
+				discarded.Add(1)
+				if data.(int) != int(p) {
+					t.Errorf("discard of %d handed payload %v", p, data)
+				}
+			},
+		}
+		opts := ExecOptions{Slots: 2, PrefetchDepth: depth}
+		if depth > 0 {
+			opts.WritebackDepth = 1
+			cb.Evict = func(p uint32) (any, error) { return int(p), nil }
+			cb.Flush = func(p uint32, data any) error { return nil }
+		}
+		_, err := s.ExecuteOpts(cb, opts)
+		if !errors.Is(err, boom) {
+			t.Fatalf("depth=%d: err = %v, want %v", depth, err, boom)
+		}
+		if committed.Load()+discarded.Load() != fetched.Load() {
+			t.Errorf("depth=%d: %d fetched, %d committed + %d discarded — the failed commit leaked its payload",
+				depth, fetched.Load(), committed.Load(), discarded.Load())
+		}
+	}
+}
+
+// TestMidTapeErrorDrainsPipeline injects a failure into each of the
+// three cursor-side step kinds (Pair, Self, and the write-back Flush)
+// mid-tape with the full pipeline running, and asserts the executor
+// returns only after every background goroutine has drained: no fetch
+// or flush is still in flight, every successfully fetched value was
+// committed or discarded, and every started flush finished.
+func TestMidTapeErrorDrainsPipeline(t *testing.T) {
+	g := randomPI(t, 47, 16, 60)
+	// UniformRandom graphs rarely carry self-loops; give every
+	// partition a self-shard so the "self" injection point exists.
+	for i := uint32(0); int(i) < g.NumPartitions(); i++ {
+		if err := g.AddShard(i, i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := DegreeHighLow().Plan(g)
+	boom := errors.New("mid-tape boom")
+
+	for _, kind := range []string{"pair", "self", "flush"} {
+		var fetched, committed, discarded atomic.Int64
+		var flushStarted, flushDone atomic.Int64
+		var inFlightFetch, inFlightFlush atomic.Int32
+		var steps atomic.Int64
+		fail := func() bool { return steps.Add(1) > 3 }
+		cb := Callbacks{
+			Fetch: func(p uint32) (any, error) {
+				inFlightFetch.Add(1)
+				defer inFlightFetch.Add(-1)
+				fetched.Add(1)
+				return int(p), nil
+			},
+			Commit:  func(p uint32, data any) error { committed.Add(1); return nil },
+			Discard: func(p uint32, data any) { discarded.Add(1) },
+			Evict:   func(p uint32) (any, error) { return int(p), nil },
+			Flush: func(p uint32, data any) error {
+				inFlightFlush.Add(1)
+				defer inFlightFlush.Add(-1)
+				flushStarted.Add(1)
+				defer flushDone.Add(1)
+				if kind == "flush" && fail() {
+					return boom
+				}
+				return nil
+			},
+			Pair: func(a, b uint32) error {
+				if kind == "pair" && fail() {
+					return boom
+				}
+				return nil
+			},
+			Self: func(p uint32) error {
+				if kind == "self" && fail() {
+					return boom
+				}
+				return nil
+			},
+			PairAhead: func(a, b uint32) {},
+		}
+		_, err := s.ExecuteOpts(cb, ExecOptions{Slots: 2, PrefetchDepth: 3, WritebackDepth: 2, ShardAhead: 2})
+		if !errors.Is(err, boom) {
+			t.Fatalf("%s: err = %v, want %v", kind, err, boom)
+		}
+		if n := inFlightFetch.Load(); n != 0 {
+			t.Errorf("%s: %d fetches still in flight after return", kind, n)
+		}
+		if n := inFlightFlush.Load(); n != 0 {
+			t.Errorf("%s: %d flushes still in flight after return", kind, n)
+		}
+		if flushStarted.Load() != flushDone.Load() {
+			t.Errorf("%s: %d flushes started, %d finished", kind, flushStarted.Load(), flushDone.Load())
+		}
+		if committed.Load()+discarded.Load() != fetched.Load() {
+			t.Errorf("%s: %d fetched, %d committed + %d discarded", kind, fetched.Load(), committed.Load(), discarded.Load())
+		}
 	}
 }
 

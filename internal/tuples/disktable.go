@@ -247,10 +247,16 @@ func (t *DiskTable) PrefetchedShardBytes() int64 { return t.prefetchedBytes.Load
 // duplicates by sort-unique, and deletes the file (each shard is read
 // exactly once, by the PI-edge that owns it). A shard announced with
 // ShardAhead is served from the in-flight read instead — waiting for it
-// if necessary.
+// if necessary. Calling Shard on a closed table is an error: the spill
+// files are gone, so silently returning an empty shard would hide lost
+// tuples.
 func (t *DiskTable) Shard(i, j uint32) ([]Tuple, error) {
 	id := ShardID{I: i, J: j}
 	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("tuples: read of shard (%d,%d) after Close", i, j)
+	}
 	if f := t.futures[id]; f != nil {
 		delete(t.futures, id)
 		t.mu.Unlock()
@@ -268,7 +274,11 @@ func (t *DiskTable) Shard(i, j uint32) ([]Tuple, error) {
 }
 
 // Close implements Table: it waits out any in-flight shard reads, then
-// closes and removes any remaining spill files.
+// closes and removes any remaining spill files. All consumption state
+// is detached under the mutex BEFORE it is torn down, so a Shard or
+// ShardAhead racing with Close either completes against its own taken
+// state or observes the closed flag — never a half-dismantled map or a
+// writer Close is about to close under it.
 func (t *DiskTable) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -277,12 +287,18 @@ func (t *DiskTable) Close() error {
 	}
 	t.closed = true
 	inflight := t.futures
+	writers := t.writers
 	t.futures = nil
+	t.writers = nil
+	t.pending = nil
+	t.counts = nil
 	t.mu.Unlock()
 
 	// Abandoned read-aheads (an aborted phase 4 never consumed them)
 	// own their writers and spill files; wait for each so no goroutine
-	// outlives the table and no file outlives the read.
+	// outlives the table and no file outlives the read — and keep their
+	// errors: a failed background read that nobody consumed must still
+	// surface somewhere.
 	var firstErr error
 	for _, f := range inflight {
 		<-f.done
@@ -290,7 +306,7 @@ func (t *DiskTable) Close() error {
 			firstErr = f.err
 		}
 	}
-	for id, w := range t.writers {
+	for id, w := range writers {
 		if err := w.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -298,8 +314,6 @@ func (t *DiskTable) Close() error {
 			firstErr = err
 		}
 	}
-	t.writers = nil
-	t.pending = nil
 	return firstErr
 }
 

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -441,6 +442,60 @@ func TestShardAheadUnknownShardIsNoop(t *testing.T) {
 	}
 	if dsk.PrefetchedShardBytes() != 0 {
 		t.Errorf("no-op announcements read %d bytes", dsk.PrefetchedShardBytes())
+	}
+}
+
+// TestCloseRacesShardAhead is the satellite race test: readers issue
+// ShardAhead announcements and consume shards from several goroutines
+// while Close lands in the middle. Run under -race in CI: before the
+// fix, Close tore down the writers map outside the mutex while a
+// concurrent Shard was taking from it, so a late read could touch a
+// writer Close had already closed (or a removed spill file) — or race
+// on the map itself. After Close every Shard must either have
+// completed against state it took earlier or report a "after Close"
+// error; it must never silently return an empty shard.
+func TestCloseRacesShardAhead(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		mem, dsk, _ := shardAheadFixture(t, 100+seed, 60, 4)
+		mem.Close()
+
+		start := make(chan struct{})
+		done := make(chan error, 2)
+		// Each reader owns a disjoint half of the shard space (Shard is
+		// consume-once), announcing ahead and consuming like a phase-4
+		// worker cursor.
+		reader := func(iBase uint32) {
+			<-start
+			for k := uint32(0); k < 8; k++ {
+				i, j := iBase+k/4, k%4
+				dsk.ShardAhead(i, j)
+				if _, err := dsk.Shard(i, j); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}
+		go reader(0)
+		go reader(2)
+		closed := make(chan error, 1)
+		go func() {
+			<-start
+			closed <- dsk.Close()
+		}()
+		close(start)
+
+		if err := <-closed; err != nil {
+			t.Fatalf("seed %d: Close: %v", seed, err)
+		}
+		for r := 0; r < 2; r++ {
+			if err := <-done; err != nil && !strings.Contains(err.Error(), "after Close") {
+				t.Fatalf("seed %d: reader saw unexpected error: %v", seed, err)
+			}
+		}
+		if _, err := dsk.Shard(0, 1); err == nil {
+			t.Fatalf("seed %d: Shard on a closed table returned no error", seed)
+		}
 	}
 }
 

@@ -62,8 +62,25 @@ type Config struct {
 	// Similarity is "cosine" (default), "jaccard", "dice" or
 	// "overlap".
 	Similarity string
-	// Workers parallelizes similarity scoring (default 1).
+	// Workers parallelizes similarity scoring within one candidate
+	// batch (default 1). Never changes results.
 	Workers int
+	// ExecWorkers shards phase-4 execution itself: the iteration's
+	// traversal plan is split into that many contiguous tape segments
+	// (cut so no partition pair spans workers) and each segment runs on
+	// its own executor goroutine with its own Slots-partition memory
+	// budget over the shared state store (default 1, the paper's
+	// single-cursor execution). Results are identical at every worker
+	// count; the per-iteration load/unload accounting stays
+	// deterministic for a fixed (Slots, ExecWorkers) — per-worker
+	// counts sum to the reported totals, and ExecWorkers=1 reproduces
+	// the single-cursor counts bit for bit. PrefetchDepth,
+	// AsyncWriteback and ShardPrefetch apply per worker, and so does
+	// the memory footprint: size MemoryBudgetBytes for ExecWorkers ×
+	// (Slots + in-flight staging) partitions — workers share resident
+	// instances opportunistically, but how often they overlap depends
+	// on scheduling, so the worst case is what the budget must cover.
+	ExecWorkers int
 	// Slots is the phase-4 memory budget: at most this many partitions
 	// resident at once (default 2, the paper's model; must be ≥ 2).
 	// The load/unload accounting reported per iteration always matches
@@ -125,6 +142,7 @@ func (c Config) engineOptions() (core.Options, error) {
 		K:                c.K,
 		NumPartitions:    c.Partitions,
 		Workers:          c.Workers,
+		ExecWorkers:      c.ExecWorkers,
 		Slots:            c.Slots,
 		PrefetchDepth:    c.PrefetchDepth,
 		AsyncWriteback:   c.AsyncWriteback,
@@ -193,6 +211,11 @@ type Report struct {
 	// PrefetchedShardBytes is the tuple-shard spill volume read ahead
 	// of the cursor (0 unless Config.ShardPrefetch > 0 with OnDisk).
 	PrefetchedShardBytes int64
+	// ExecWorkers is the number of tape segments phase 4 ran (1 for
+	// single-cursor execution); WorkerOps breaks LoadUnloadOps down per
+	// worker and always sums to it exactly.
+	ExecWorkers int
+	WorkerOps   []int64
 	// EdgeChanges counts directed-edge differences between G(t) and
 	// G(t+1); zero means the graph has converged.
 	EdgeChanges int
@@ -215,6 +238,8 @@ func reportFrom(st *core.IterationStats) Report {
 		PrefetchedLoads:      st.PrefetchedLoads,
 		AsyncUnloads:         st.AsyncUnloads,
 		PrefetchedShardBytes: st.PrefetchedShardBytes,
+		ExecWorkers:          st.ExecWorkers,
+		WorkerOps:            append([]int64(nil), st.WorkerOps...),
 		EdgeChanges:          st.EdgeChanges,
 		UpdatesApplied:       st.UpdatesApplied,
 	}

@@ -281,6 +281,89 @@ func TestSystemPipelined(t *testing.T) {
 	}
 }
 
+// TestSystemShardedWorkers: Config.ExecWorkers shards phase 4 across
+// executor goroutines without changing a single neighbor, the reported
+// per-worker op counts sum exactly to LoadUnloadOps, and the totals
+// are deterministic (a second identical run reports the same ops).
+func TestSystemShardedWorkers(t *testing.T) {
+	profiles := testProfiles(t, 80)
+	base := Config{K: 4, Partitions: 6, Seed: 5}
+
+	serial, err := New(profiles, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	serialReports, err := serial.Run(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.OnDisk = true
+	cfg.ExecWorkers = 4
+	cfg.Workers = 2
+	cfg.PrefetchDepth = 1
+	cfg.AsyncWriteback = true
+	cfg.ShardPrefetch = 1
+	sharded, err := New(profiles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	shardReports, err := sharded.Run(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serialReports) != len(shardReports) {
+		t.Fatalf("serial converged in %d iterations, sharded in %d", len(serialReports), len(shardReports))
+	}
+	for i := range shardReports {
+		r := shardReports[i]
+		if r.ExecWorkers != 4 {
+			t.Errorf("iter %d: ran %d tape workers, want 4", i, r.ExecWorkers)
+		}
+		var sum int64
+		for _, ops := range r.WorkerOps {
+			sum += ops
+		}
+		if sum != r.LoadUnloadOps {
+			t.Errorf("iter %d: per-worker ops sum %d, total %d", i, sum, r.LoadUnloadOps)
+		}
+		if r.LoadUnloadOps < serialReports[i].LoadUnloadOps {
+			t.Errorf("iter %d: sharded ops %d below single-cursor %d", i, r.LoadUnloadOps, serialReports[i].LoadUnloadOps)
+		}
+	}
+	for u := uint32(0); u < 80; u++ {
+		sn, pn := serial.Neighbors(u), sharded.Neighbors(u)
+		if len(sn) != len(pn) {
+			t.Fatalf("user %d: %d vs %d neighbors", u, len(pn), len(sn))
+		}
+		for i := range sn {
+			if sn[i] != pn[i] {
+				t.Fatalf("user %d: neighbors diverge (%v vs %v)", u, pn, sn)
+			}
+		}
+	}
+
+	again, err := New(profiles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	againReports, err := again.Run(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shardReports {
+		if againReports[i].LoadUnloadOps != shardReports[i].LoadUnloadOps {
+			t.Errorf("iter %d: ops %d vs %d across identical sharded runs",
+				i, againReports[i].LoadUnloadOps, shardReports[i].LoadUnloadOps)
+		}
+	}
+}
+
 func TestExactNeighbors(t *testing.T) {
 	profiles := testProfiles(t, 25)
 	truth, err := ExactNeighbors(profiles, Config{K: 4, Workers: 2})
