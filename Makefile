@@ -15,7 +15,7 @@ BENCH_OUT ?= BENCH_PR.json
 # Pinned staticcheck release; CI installs exactly this version.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race race-phase4 bench bench-json bench-compare fmt vet staticcheck ci
+.PHONY: all build test race race-phase4 bench bench-json bench-compare e2e-netstore fmt vet staticcheck ci
 
 all: build
 
@@ -36,8 +36,14 @@ race:
 # CI exercises the racy interleavings fresh on every push.
 race-phase4:
 	$(GO) test -race -count=1 \
-		-run 'Worker|Sharded|Parallel|Split|Cancel|Close|Device|Pipelined|MidTape|Commit' \
-		./internal/pigraph ./internal/core ./internal/tuples ./internal/disk
+		-run 'Worker|Sharded|Parallel|Split|Cancel|Close|Device|Pipelined|MidTape|Commit|NetStore|NetOwner|Lease|Torn|Shard' \
+		./internal/pigraph ./internal/core ./internal/tuples ./internal/disk ./internal/netstore
+
+# End-to-end proof of the network state store: launches cmd/statestore
+# with 2 shards, runs knnrun once in-process and once with -netstore on
+# the same preset topology, and diffs the emitted graphs byte for byte.
+e2e-netstore:
+	./scripts/e2e_netstore.sh
 
 # One pass of every benchmark — a smoke run proving the harness works,
 # not a measurement (use `go test -bench=. -benchmem` for numbers).
@@ -74,4 +80,4 @@ staticcheck:
 		echo "staticcheck not installed — skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
-ci: build fmt vet staticcheck race race-phase4 bench
+ci: build fmt vet staticcheck race race-phase4 e2e-netstore bench

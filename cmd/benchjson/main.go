@@ -14,10 +14,14 @@
 //	benchjson -compare baseline.json candidate.json
 //
 // The default critical set is the emulated-disk phase-4 pipeline —
-// the single-cursor ablation ladder (BenchmarkPipelinedPhase4/hdd) and
-// the sharded-tape worker rungs (BenchmarkPipelinedPhase4/workers):
-// those benchmarks sleep modeled device time, so their wall clock is
-// stable enough to gate on, unlike host-speed microbenchmarks.
+// the single-cursor ablation ladder (BenchmarkPipelinedPhase4/hdd),
+// the sharded-tape worker rungs (BenchmarkPipelinedPhase4/workers),
+// and the network-store shard sweep
+// (BenchmarkPipelinedPhase4/netstore, workers 2/4 over 1/2/4 shards —
+// so a shard-routing or lease-path regression fails PRs the same way
+// an hdd/workers one does): those benchmarks sleep modeled device
+// time, so their wall clock is stable enough to gate on, unlike
+// host-speed microbenchmarks.
 package main
 
 import (
@@ -60,9 +64,10 @@ type Document struct {
 }
 
 // defaultCritical names the benchmark groups the CI regression gate
-// covers: every emulated-disk phase-4 group — the hdd ablation ladder
-// and the multi-worker "workers" rungs — and nothing host-speed.
-const defaultCritical = "BenchmarkPipelinedPhase4/(hdd|workers)"
+// covers: every emulated-disk phase-4 group — the hdd ablation ladder,
+// the multi-worker "workers" rungs, and the network-store "netstore"
+// shard rungs — and nothing host-speed.
+const defaultCritical = "BenchmarkPipelinedPhase4/(hdd|workers|netstore)"
 
 func main() {
 	compare := flag.String("compare", "", "baseline JSON file; requires the candidate file as the positional argument")
@@ -248,7 +253,7 @@ func compareDocs(old, cur *Document, critical *regexp.Regexp, threshold float64)
 			fmt.Fprintf(&sb, "| %s | %.0f | — | removed | %s | — | |\n", n, oldBy[n].NsPerOp, opsCell(oldBy[n]))
 		}
 	}
-	sb.WriteString("\nGated benchmarks: `" + critical.String() + "` — the emulated-disk phase-4 pipeline, whose modeled device time makes wall clock stable enough to compare across runs.\n")
+	sb.WriteString("\nGated benchmarks: `" + critical.String() + "` — the emulated-disk phase-4 pipeline (single-cursor, multi-worker, and network-store groups), whose modeled device time makes wall clock stable enough to compare across runs.\n")
 	return sb.String(), regressions
 }
 

@@ -87,12 +87,14 @@ func TestCompareDocsFailsBeyondThreshold(t *testing.T) {
 func TestDefaultCriticalCoversWorkersGroup(t *testing.T) {
 	re := regexp.MustCompile(defaultCritical)
 	for name, want := range map[string]bool{
-		"BenchmarkPipelinedPhase4/hdd/serial":                true,
-		"BenchmarkPipelinedPhase4/hdd/slots=4+full-pipeline": true,
-		"BenchmarkPipelinedPhase4/workers/2":                 true,
-		"BenchmarkPipelinedPhase4/workers/4":                 true,
-		"BenchmarkPipelinedPhase4/raw/serial":                false,
-		"BenchmarkTable1/wiki-Vote/Seq.":                     false,
+		"BenchmarkPipelinedPhase4/hdd/serial":                  true,
+		"BenchmarkPipelinedPhase4/hdd/slots=4+full-pipeline":   true,
+		"BenchmarkPipelinedPhase4/workers/2":                   true,
+		"BenchmarkPipelinedPhase4/workers/4":                   true,
+		"BenchmarkPipelinedPhase4/netstore/workers=2/shards=1": true,
+		"BenchmarkPipelinedPhase4/netstore/workers=4/shards=4": true,
+		"BenchmarkPipelinedPhase4/raw/serial":                  false,
+		"BenchmarkTable1/wiki-Vote/Seq.":                       false,
 	} {
 		if re.MatchString(name) != want {
 			t.Errorf("default critical pattern matches %q = %v, want %v", name, !want, want)

@@ -11,9 +11,9 @@
 //	-quick shrinks the sweeps for a fast smoke run.
 //
 // The sweeps cover the paper's Table 1, the Figure 1 phase breakdown,
-// and FW-1..FW-7 (graph size, memory, disk models, scoring threads,
-// prefetch depth, the three-stream pipeline ablation, and sharded-tape
-// phase-4 workers).
+// and FW-1..FW-8 (graph size, memory, disk models, scoring threads,
+// prefetch depth, the three-stream pipeline ablation, sharded-tape
+// phase-4 workers, and the network-store shard-count sweep).
 package main
 
 import (
@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"knnpc/internal/dataset"
 	"knnpc/internal/experiments"
@@ -175,6 +177,31 @@ func run(out io.Writer, quick bool) error {
 	for _, p := range ewPoints {
 		fmt.Fprintf(out, "| %s | %v | %d | %d | %d |\n",
 			p.Label, p.ScoreTime, p.Ops, p.PrefetchedLoads, p.AsyncUnloads)
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "## FW-8 — network-store shard count (per-shard spindles vs the shared one)")
+	fmt.Fprintln(out)
+	nsUsers, nsWorkers, nsShards := 2000, 4, []int{1, 2, 4}
+	if quick {
+		nsUsers, nsWorkers, nsShards = 300, 2, []int{1, 2}
+	}
+	nsPoints, err := experiments.NetstoreSweep(ctx, nsUsers, nsWorkers, nsShards, "hdd")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "| Configuration | Phase-4 time | Summed load/unload ops | Per-shard device time (modeled) |")
+	fmt.Fprintln(out, "|---|---|---|---|")
+	for _, p := range nsPoints {
+		devices := "—"
+		if len(p.Devices) > 0 {
+			parts := make([]string, 0, len(p.Devices))
+			for _, d := range p.Devices {
+				parts = append(parts, fmt.Sprintf("%s %v", d.Name, d.Modeled.Round(time.Millisecond)))
+			}
+			devices = strings.Join(parts, ", ")
+		}
+		fmt.Fprintf(out, "| %s | %v | %d | %s |\n", p.Label, p.ScoreTime, p.Ops, devices)
 	}
 	fmt.Fprintln(out)
 

@@ -23,22 +23,34 @@
 //	-shardahead  tuple-shard read lookahead in pair steps; 0 = sync reads (default 0)
 //	-ondisk      use real files for partition state (default true)
 //	-emulate     enforce a disk model's latency on state I/O: "hdd", "ssd", "nvme" ("" = none)
+//	-netstore    run phase 4 over the sharded network state store:
+//	             "shards=N" starts an in-process loopback cluster of N
+//	             shards (one emulated spindle each under -emulate), or a
+//	             comma-separated address list connects to cmd/statestore
+//	             servers (addr i = shard i)
+//	-dumpgraph   write the final KNN graph to this file, one sorted
+//	             neighbor line per user — deterministic, so two runs
+//	             (e.g. in-process vs -netstore) can be diffed byte for byte
 //	-scratch     scratch directory ("" = temp)
 //	-seed        RNG seed
 //	-recall      also compute exact KNN and report recall (O(n²))
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"knnpc/internal/core"
 	"knnpc/internal/dataset"
 	"knnpc/internal/disk"
 	"knnpc/internal/exact"
+	"knnpc/internal/graph"
 	"knnpc/internal/knn"
 	"knnpc/internal/partition"
 	"knnpc/internal/pigraph"
@@ -60,6 +72,8 @@ type config struct {
 	writeback                          bool
 	heuristic, partitioner, sim        string
 	emulate                            string
+	netstore                           string
+	dumpGraph                          string
 	onDisk, profilesOnDisk, recall     bool
 	scratch                            string
 	seed                               int64
@@ -84,6 +98,8 @@ func parseFlags(args []string) config {
 	fs.StringVar(&cfg.sim, "sim", "cosine", "similarity measure")
 	fs.BoolVar(&cfg.onDisk, "ondisk", true, "use real files for partition state")
 	fs.StringVar(&cfg.emulate, "emulate", "", "enforce a disk model's latency on state I/O: hdd, ssd, nvme (empty = none)")
+	fs.StringVar(&cfg.netstore, "netstore", "", `sharded network state store: "shards=N" (loopback cluster) or a comma-separated statestore address list (empty = in-process store)`)
+	fs.StringVar(&cfg.dumpGraph, "dumpgraph", "", "write the final KNN graph to this file (deterministic text, diffable across runs)")
 	fs.BoolVar(&cfg.profilesOnDisk, "profilesondisk", false, "keep the canonical profile collection on disk too")
 	fs.BoolVar(&cfg.recall, "recall", false, "also compute exact KNN and report recall (O(n²))")
 	fs.StringVar(&cfg.scratch, "scratch", "", "scratch directory (empty = temp)")
@@ -109,6 +125,10 @@ func run(out io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
+	netShards, netAddrs, err := parseNetStore(cfg.netstore)
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(out, "generating %d users × %d items (clustered ratings)...\n", cfg.users, cfg.items)
 	vecs, _, err := dataset.RatingsProfiles(cfg.users, cfg.items, 25, 8, cfg.seed)
@@ -129,6 +149,8 @@ func run(out io.Writer, cfg config) error {
 		PrefetchDepth:  cfg.prefetch,
 		AsyncWriteback: cfg.writeback,
 		ShardPrefetch:  cfg.shardAhead,
+		NetStoreShards: netShards,
+		NetStoreAddrs:  netAddrs,
 		OnDisk:         cfg.onDisk,
 		EmulateDisk:    emulate,
 		ProfilesOnDisk: cfg.profilesOnDisk,
@@ -140,8 +162,15 @@ func run(out io.Writer, cfg config) error {
 	}
 	defer eng.Close()
 
-	fmt.Fprintf(out, "engine: k=%d m=%d heuristic=%s partitioner=%s sim=%s workers=%d execworkers=%d slots=%d prefetch=%d writeback=%v shardahead=%d ondisk=%v\n\n",
-		cfg.k, cfg.m, h.Name(), p.Name(), sim.Name(), cfg.workers, cfg.execWorkers, cfg.slots, cfg.prefetch, cfg.writeback, cfg.shardAhead, cfg.onDisk)
+	netDesc := "off"
+	switch {
+	case netShards > 0:
+		netDesc = fmt.Sprintf("loopback/%d-shards", netShards)
+	case len(netAddrs) > 0:
+		netDesc = fmt.Sprintf("external/%d-shards", len(netAddrs))
+	}
+	fmt.Fprintf(out, "engine: k=%d m=%d heuristic=%s partitioner=%s sim=%s workers=%d execworkers=%d slots=%d prefetch=%d writeback=%v shardahead=%d ondisk=%v netstore=%s\n\n",
+		cfg.k, cfg.m, h.Name(), p.Name(), sim.Name(), cfg.workers, cfg.execWorkers, cfg.slots, cfg.prefetch, cfg.writeback, cfg.shardAhead, cfg.onDisk, netDesc)
 	fmt.Fprintln(out, "iter  phase1(part)  phase2(tuples)  phase3(pi)  phase4(score)  phase5(upd)  ops  prefetched  async-wb  changed")
 
 	for i := 0; i < cfg.iters; i++ {
@@ -166,6 +195,16 @@ func run(out io.Writer, cfg config) error {
 		fmt.Fprintf(out, "modeled disk time on %-5s %12v  (throughput %.1f MiB/s)\n",
 			m.Name+":", m.EstimateTime(iost), m.Throughput(iost)/(1<<20))
 	}
+	for _, d := range iost.Devices {
+		fmt.Fprintf(out, "emulated spindle %-8s modeled %12v  slept %12v\n", d.Name+":", d.Modeled, d.Slept)
+	}
+
+	if cfg.dumpGraph != "" {
+		if err := dumpGraph(cfg.dumpGraph, eng.Graph()); err != nil {
+			return fmt.Errorf("dump graph: %w", err)
+		}
+		fmt.Fprintf(out, "graph dumped to %s\n", cfg.dumpGraph)
+	}
 
 	if cfg.recall {
 		fmt.Fprintln(out, "\ncomputing exact KNN for recall (O(n²))...")
@@ -176,4 +215,51 @@ func run(out io.Writer, cfg config) error {
 		fmt.Fprintf(out, "recall vs exact: %.4f\n", knn.Recall(eng.Graph(), truth))
 	}
 	return nil
+}
+
+// parseNetStore interprets the -netstore flag: "" = in-process store,
+// "shards=N" = loopback cluster of N shards, anything else = a
+// comma-separated statestore address list in shard order.
+func parseNetStore(v string) (shards int, addrs []string, err error) {
+	if v == "" {
+		return 0, nil, nil
+	}
+	if n, ok := strings.CutPrefix(v, "shards="); ok {
+		shards, err := strconv.Atoi(n)
+		if err != nil || shards <= 0 {
+			return 0, nil, fmt.Errorf("bad -netstore %q: want shards=N with positive N", v)
+		}
+		return shards, nil, nil
+	}
+	for _, a := range strings.Split(v, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return 0, nil, fmt.Errorf("bad -netstore %q: empty address in list", v)
+		}
+		addrs = append(addrs, a)
+	}
+	return 0, addrs, nil
+}
+
+// dumpGraph writes one line per user — "u: n1 n2 ..." with neighbors in
+// the graph's sorted order — so equal graphs produce byte-identical
+// files regardless of how they were computed.
+func dumpGraph(path string, g *graph.KNN) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for u := 0; u < g.NumNodes(); u++ {
+		fmt.Fprintf(w, "%d:", u)
+		for _, v := range g.Neighbors(uint32(u)) {
+			fmt.Fprintf(w, " %d", v)
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

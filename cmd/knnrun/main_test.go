@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -88,5 +89,59 @@ func TestParseFlags(t *testing.T) {
 	cfg := parseFlags([]string{"-users", "42", "-k", "3", "-heuristic", "Seq.", "-ondisk=false"})
 	if cfg.users != 42 || cfg.k != 3 || cfg.heuristic != "Seq." || cfg.onDisk {
 		t.Errorf("parseFlags wrong: %+v", cfg)
+	}
+}
+
+// TestRunNetstoreLoopbackMatchesInProcess is the e2e contract knnrun's
+// -dumpgraph exists for: the in-process run and the -netstore shards=N
+// run emit byte-identical graph dumps.
+func TestRunNetstoreLoopbackMatchesInProcess(t *testing.T) {
+	dir := t.TempDir()
+	ref := smallConfig()
+	ref.dumpGraph = dir + "/inproc.graph"
+	var buf bytes.Buffer
+	if err := run(&buf, ref); err != nil {
+		t.Fatal(err)
+	}
+
+	net := smallConfig()
+	net.netstore = "shards=2"
+	net.execWorkers = 2
+	net.dumpGraph = dir + "/netstore.graph"
+	buf.Reset()
+	if err := run(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "netstore=loopback/2-shards") {
+		t.Errorf("header should echo the netstore mode:\n%s", buf.String())
+	}
+
+	a, err := os.ReadFile(ref.dumpGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(net.dumpGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatalf("graph dumps differ (in-process %d bytes, netstore %d bytes)", len(a), len(b))
+	}
+}
+
+func TestParseNetStore(t *testing.T) {
+	if s, a, err := parseNetStore(""); s != 0 || a != nil || err != nil {
+		t.Errorf("empty: %d %v %v", s, a, err)
+	}
+	if s, a, err := parseNetStore("shards=4"); s != 4 || a != nil || err != nil {
+		t.Errorf("shards=4: %d %v %v", s, a, err)
+	}
+	if s, a, err := parseNetStore("h1:1, h2:2"); s != 0 || len(a) != 2 || a[1] != "h2:2" || err != nil {
+		t.Errorf("addr list: %d %v %v", s, a, err)
+	}
+	for _, bad := range []string{"shards=0", "shards=-1", "shards=x", "a,,b"} {
+		if _, _, err := parseNetStore(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
 	}
 }

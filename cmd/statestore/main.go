@@ -1,0 +1,92 @@
+// Command statestore serves one or more shards of the phase-4 network
+// state store (internal/netstore). Each listed listen address becomes
+// one shard owning a contiguous partition range; give every shard its
+// own process/machine/disk in production, or list several addresses to
+// host a small cluster in one process (each shard still gets its own
+// emulated spindle).
+//
+// Usage:
+//
+//	statestore -listen 127.0.0.1:7701,127.0.0.1:7702 -partitions 8 [-emulate hdd]
+//
+//	-listen     comma-separated listen addresses, one per shard, in
+//	            shard order (the same order knnrun -netstore expects)
+//	-partitions the engine's partition count m (must match the client)
+//	-emulate    per-shard emulated device model: "hdd", "ssd", "nvme"
+//	            ("" = serve at host speed)
+//
+// The process prints one "shard i/N partitions [lo,hi) listening on
+// addr" line per shard and a final "ready" line once every listener is
+// bound, then serves until SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"knnpc/internal/disk"
+	"knnpc/internal/netstore"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:], waitForSignal()); err != nil {
+		fmt.Fprintln(os.Stderr, "statestore:", err)
+		os.Exit(1)
+	}
+}
+
+// waitForSignal returns a channel that closes on SIGINT/SIGTERM.
+func waitForSignal() <-chan struct{} {
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(done)
+	}()
+	return done
+}
+
+// run starts the shards, announces readiness on out, and serves until
+// stop closes — separated from main so tests can drive it.
+func run(out io.Writer, args []string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("statestore", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7701", "comma-separated listen addresses, one per shard, in shard order")
+	partitions := fs.Int("partitions", 8, "engine partition count m")
+	emulate := fs.String("emulate", "", "emulated device model per shard: hdd, ssd, nvme (empty = host speed)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := disk.ResolveModel(*emulate)
+	if err != nil {
+		return err
+	}
+	var addrs []string
+	for _, a := range strings.Split(*listen, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			// A silently dropped (or worse, default-bound) shard would
+			// shift every later shard's partition range.
+			return fmt.Errorf("empty address in -listen %q", *listen)
+		}
+		addrs = append(addrs, a)
+	}
+	cluster, err := netstore.StartClusterAt(addrs, *partitions, model)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	for i, srv := range cluster.Servers() {
+		lo, hi := srv.Range()
+		fmt.Fprintf(out, "statestore: shard %d/%d partitions [%d,%d) listening on %s\n", i, len(addrs), lo, hi, srv.Addr())
+	}
+	fmt.Fprintln(out, "statestore: ready")
+	<-stop
+	fmt.Fprintln(out, "statestore: shutting down")
+	return nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"knnpc/internal/netstore"
+)
+
+// TestRunServesUntilStopped: run binds every shard, announces ranges
+// and readiness, answers protocol requests, and shuts down when told.
+func TestRunServesUntilStopped(t *testing.T) {
+	var out safeBuffer
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run(&out, []string{"-listen", "127.0.0.1:0,127.0.0.1:0", "-partitions", "8"}, stop)
+	}()
+
+	// Wait for readiness and scrape the bound addresses.
+	var addrs []string
+	deadline := time.After(5 * time.Second)
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	for len(addrs) < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("server never became ready; output:\n%s", out.String())
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, out.String())
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+		addrs = addrs[:0]
+		sc := bufio.NewScanner(strings.NewReader(out.String()))
+		ready := false
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				addrs = append(addrs, m[1])
+			}
+			if strings.Contains(sc.Text(), "ready") {
+				ready = true
+			}
+		}
+		if !ready {
+			addrs = addrs[:0]
+		}
+	}
+	if !strings.Contains(out.String(), "shard 0/2 partitions [0,4)") ||
+		!strings.Contains(out.String(), "shard 1/2 partitions [4,8)") {
+		t.Fatalf("range announcements wrong:\n%s", out.String())
+	}
+
+	client, err := netstore.Dial(addrs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.PutBase(5, []byte("via-binary")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get(5)
+	if err != nil || string(got) != "via-binary" {
+		t.Fatalf("round trip through the binary's shards: %q, %v", got, err)
+	}
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+}
+
+// TestRunRejectsBadFlags: unknown models and unbindable addresses fail
+// with real errors instead of serving a half-up cluster.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out safeBuffer
+	stop := make(chan struct{})
+	close(stop)
+	if err := run(&out, []string{"-emulate", "floppy"}, stop); err == nil {
+		t.Error("unknown disk model accepted")
+	}
+	if err := run(&out, []string{"-listen", "256.256.256.256:1"}, stop); err == nil {
+		t.Error("unbindable address accepted")
+	}
+	if err := run(&out, []string{"-listen", "127.0.0.1:0,127.0.0.1:0,127.0.0.1:0", "-partitions", "2"}, stop); err == nil {
+		t.Error("more shards than partitions accepted")
+	}
+}
+
+// safeBuffer is a mutex-guarded bytes.Buffer: run writes to it
+// concurrently with the polling reader.
+type safeBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *safeBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunRejectsEmptyListenEntry: a trailing/doubled comma must fail
+// loudly — a silently dropped or default-bound shard would shift every
+// later shard's partition range.
+func TestRunRejectsEmptyListenEntry(t *testing.T) {
+	var out safeBuffer
+	stop := make(chan struct{})
+	close(stop)
+	for _, bad := range []string{"127.0.0.1:0,", ",127.0.0.1:0", "127.0.0.1:0,,127.0.0.1:0"} {
+		if err := run(&out, []string{"-listen", bad}, stop); err == nil {
+			t.Errorf("-listen %q accepted", bad)
+		}
+	}
+}

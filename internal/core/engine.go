@@ -20,6 +20,7 @@ import (
 	"knnpc/internal/disk"
 	"knnpc/internal/graph"
 	"knnpc/internal/knn"
+	"knnpc/internal/netstore"
 	"knnpc/internal/partition"
 	"knnpc/internal/pigraph"
 	"knnpc/internal/profile"
@@ -105,9 +106,35 @@ type Options struct {
 	// effective with OnDisk (the in-memory table has no shard I/O to
 	// hide).
 	ShardPrefetch int
+	// NetStoreShards, when positive, moves partition state behind an
+	// in-process loopback cluster of that many network state-store
+	// shards (internal/netstore): each shard owns a contiguous
+	// partition range and — under EmulateDisk — its own emulated
+	// spindle, so phase-4 state I/O queues per shard instead of on the
+	// one shared device that caps multi-worker execution. The phase-4
+	// ownership layer switches from in-process guards to store-side
+	// leases with fencing tokens, and each tape worker scores into a
+	// private accumulator partial that merges commutatively at collect
+	// time — workers never share memory, so results are bit-identical
+	// to the in-process engine at every (Slots, ExecWorkers, shards)
+	// combination and the same code path runs across real processes.
+	// Budget note: without instance sharing, MemoryBudget must cover
+	// the full ExecWorkers × (Slots + in-flight staging) partitions.
+	// Mutually exclusive with NetStoreAddrs. Requires NetStoreShards ≤
+	// NumPartitions (every shard owns at least one partition).
+	NetStoreShards int
+	// NetStoreAddrs connects to an externally managed state-store
+	// cluster instead (cmd/statestore): addrs[i] must be shard i of
+	// len(addrs) over NumPartitions partitions, the same contiguous
+	// routing the servers validate. Everything said for NetStoreShards
+	// applies, except device emulation for state I/O is the servers'
+	// configuration, not this engine's.
+	NetStoreAddrs []string
 	// OnDisk selects real file-backed partition state and tuple
 	// spills under ScratchDir; false keeps serialized state in memory
-	// (same code paths, no file traffic).
+	// (same code paths, no file traffic). With a network store
+	// configured, partition state lives behind the store instead and
+	// OnDisk governs only the tuple spills and profile file.
 	OnDisk bool
 	// ProfilesOnDisk additionally keeps the canonical profile
 	// collection P(t) in a disk file (profile.FileStore): phase 1
@@ -178,16 +205,18 @@ func (o *Options) applyDefaults() {
 // exception: EnqueueUpdate may be called from any goroutine at any
 // time (the update queue is the paper's concurrent ingestion point).
 type Engine struct {
-	opts     Options
-	profiles canonicalProfiles // canonical P(t)
-	queue    *profile.UpdateQueue
-	g        *graph.KNN // G(t)
-	iostats  disk.IOStats
-	budget   *disk.Budget
-	scratch  *disk.Scratch
-	device   *disk.Device // emulated spindle shared by all state/shard I/O (nil = none)
-	iter     int
-	closed   bool
+	opts       Options
+	profiles   canonicalProfiles // canonical P(t)
+	queue      *profile.UpdateQueue
+	g          *graph.KNN // G(t)
+	iostats    disk.IOStats
+	budget     *disk.Budget
+	scratch    *disk.Scratch
+	device     *disk.Device      // emulated local spindle for file-backed state/shard I/O (nil = none)
+	netCluster *netstore.Cluster // loopback shard servers (NetStoreShards mode only)
+	netClient  *netstore.Client  // sharded state-store client (nil = in-process store)
+	iter       int
+	closed     bool
 }
 
 // New creates an engine over the given profiles. G(0) is a random
@@ -224,11 +253,26 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 	if opts.ShardPrefetch < 0 {
 		return nil, fmt.Errorf("core: negative shard prefetch %d", opts.ShardPrefetch)
 	}
-	if opts.EmulateDisk != nil && !opts.OnDisk {
+	if opts.NetStoreShards < 0 {
+		return nil, fmt.Errorf("core: negative state-store shard count %d", opts.NetStoreShards)
+	}
+	if opts.NetStoreShards > 0 && len(opts.NetStoreAddrs) > 0 {
+		return nil, fmt.Errorf("core: NetStoreShards and NetStoreAddrs are mutually exclusive (loopback cluster vs external servers)")
+	}
+	netstoreMode := opts.NetStoreShards > 0 || len(opts.NetStoreAddrs) > 0
+	if opts.EmulateDisk != nil && !opts.OnDisk && !netstoreMode {
 		return nil, fmt.Errorf("core: EmulateDisk requires OnDisk (the in-memory state store has no device to emulate)")
 	}
 	if opts.NumPartitions > n {
 		opts.NumPartitions = n
+	}
+	if opts.NetStoreShards > opts.NumPartitions {
+		return nil, fmt.Errorf("core: %d state-store shards over %d partitions would leave a shard empty",
+			opts.NetStoreShards, opts.NumPartitions)
+	}
+	if len(opts.NetStoreAddrs) > opts.NumPartitions {
+		return nil, fmt.Errorf("core: %d state-store addresses over %d partitions would leave a shard empty",
+			len(opts.NetStoreAddrs), opts.NumPartitions)
 	}
 	g, err := graph.RandomKNN(n, opts.K, rand.New(rand.NewSource(opts.Seed)))
 	if err != nil {
@@ -241,21 +285,56 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 		g:        g,
 		budget:   disk.NewBudget(opts.MemoryBudget),
 	}
-	if opts.EmulateDisk != nil {
-		e.device = disk.NewDevice(*opts.EmulateDisk)
+	// fail releases everything a partially built engine acquired.
+	fail := func(err error) (*Engine, error) {
+		if e.netClient != nil {
+			e.netClient.Close()
+		}
+		if e.netCluster != nil {
+			e.netCluster.Close()
+		}
+		if e.scratch != nil {
+			e.scratch.Close()
+		}
+		return nil, err
+	}
+	if opts.EmulateDisk != nil && opts.OnDisk {
+		e.device = disk.NewNamedDevice(*opts.EmulateDisk, "spindle")
+		e.iostats.RegisterDevice(e.device)
+	}
+	switch {
+	case opts.NetStoreShards > 0:
+		cluster, err := netstore.StartCluster(opts.NetStoreShards, opts.NumPartitions, opts.EmulateDisk)
+		if err != nil {
+			return fail(err)
+		}
+		e.netCluster = cluster
+		for _, dev := range cluster.Devices() {
+			e.iostats.RegisterDevice(dev)
+		}
+		client, err := netstore.Dial(cluster.Addrs(), opts.NumPartitions)
+		if err != nil {
+			return fail(err)
+		}
+		e.netClient = client
+	case len(opts.NetStoreAddrs) > 0:
+		client, err := netstore.Dial(opts.NetStoreAddrs, opts.NumPartitions)
+		if err != nil {
+			return fail(err)
+		}
+		e.netClient = client
 	}
 	if opts.OnDisk || opts.ProfilesOnDisk {
 		scratch, err := disk.NewScratch(opts.ScratchDir)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		e.scratch = scratch
 	}
 	if opts.ProfilesOnDisk {
 		fs, err := profile.CreateFileStore(e.scratch.Path("profiles.bin"), &e.iostats, store.Vectors())
 		if err != nil {
-			e.scratch.Close()
-			return nil, fmt.Errorf("core: create disk profile store: %w", err)
+			return fail(fmt.Errorf("core: create disk profile store: %w", err))
 		}
 		e.profiles = fs
 	}
@@ -289,8 +368,9 @@ func (e *Engine) EnqueueUpdate(u profile.Update) { e.queue.Enqueue(u) }
 // IOStats returns a snapshot of the engine's cumulative I/O counters.
 func (e *Engine) IOStats() disk.Snapshot { return e.iostats.Snapshot() }
 
-// Close releases the canonical profile store and the scratch
-// directory. The engine must not be used afterwards.
+// Close releases the canonical profile store, the scratch directory,
+// and — in network-store mode — the store client and any loopback
+// shard servers. The engine must not be used afterwards.
 func (e *Engine) Close() error {
 	if e.closed {
 		return nil
@@ -300,6 +380,16 @@ func (e *Engine) Close() error {
 	if e.scratch != nil {
 		if serr := e.scratch.Close(); err == nil {
 			err = serr
+		}
+	}
+	if e.netClient != nil {
+		if cerr := e.netClient.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if e.netCluster != nil {
+		if cerr := e.netCluster.Close(); err == nil {
+			err = cerr
 		}
 	}
 	return err
@@ -439,7 +529,7 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 	shared := &phase4Shared{
 		engine: e,
 		assign: assign,
-		owner:  newPartOwner(e.opts.NumPartitions, states, e.budget, &e.iostats),
+		owner:  e.newOwner(states),
 		table:  table,
 		ctx:    runCtx,
 		cancel: cancelRun,
@@ -515,10 +605,22 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 }
 
 func (e *Engine) newStateStore() stateStore {
+	if e.netClient != nil {
+		return newNetStateStore(e.netClient, &e.iostats)
+	}
 	if e.opts.OnDisk {
 		return newDiskStateStore(e.scratch, &e.iostats, e.device)
 	}
 	return newMemStateStore()
+}
+
+// newOwner picks the phase-4 ownership layer: store-side leases over
+// the network KV, or the in-process refcounted guards.
+func (e *Engine) newOwner(states stateStore) ownerLayer {
+	if e.netClient != nil {
+		return newNetOwner(e.netClient, e.budget, &e.iostats)
+	}
+	return newPartOwner(e.opts.NumPartitions, states, e.budget, &e.iostats)
 }
 
 func (e *Engine) newTable(assign *partition.Assignment) (tuples.Table, error) {
@@ -540,7 +642,7 @@ func (e *Engine) newTable(assign *partition.Assignment) (tuples.Table, error) {
 type phase4Shared struct {
 	engine *Engine
 	assign *partition.Assignment
-	owner  *partOwner
+	owner  ownerLayer
 	table  tuples.Table
 	shards tuples.ShardPrefetcher // nil when the table has no async path
 	scored atomic.Int64
@@ -583,9 +685,10 @@ func (s *phase4Shared) ctxErr() error {
 // workerCallbacks builds the callback set of one tape worker — the
 // factory ExecuteParallel calls once per worker before any of them
 // start.
-func (s *phase4Shared) workerCallbacks(int) pigraph.Callbacks {
+func (s *phase4Shared) workerCallbacks(index int) pigraph.Callbacks {
 	w := &phase4Worker{
 		shared:   s,
+		index:    index,
 		scorer:   knn.Scorer{Sim: s.engine.opts.Similarity, Workers: s.engine.opts.Workers},
 		resident: make(map[uint32]*partState, s.engine.opts.Slots),
 	}
@@ -613,6 +716,7 @@ func (s *phase4Shared) workerCallbacks(int) pigraph.Callbacks {
 // through phase4Shared.
 type phase4Worker struct {
 	shared   *phase4Shared
+	index    int // tape worker index, the lease owner's tenancy key
 	scorer   knn.Scorer
 	resident map[uint32]*partState
 }
@@ -631,7 +735,7 @@ func (w *phase4Worker) fetch(id uint32) (any, error) {
 	if err := w.shared.ctxErr(); err != nil {
 		return nil, err
 	}
-	st, err := w.shared.owner.acquire(id)
+	st, err := w.shared.owner.acquire(w.index, id)
 	if err != nil {
 		return nil, w.shared.fail(err)
 	}
@@ -654,7 +758,7 @@ func (w *phase4Worker) commit(id uint32, data any) error {
 // aborted execution will never commit — without a write-back, since
 // the run's result is discarded.
 func (w *phase4Worker) discard(id uint32, _ any) {
-	_ = w.shared.owner.release(id, false)
+	_ = w.shared.owner.release(w.index, id, false)
 }
 
 func (w *phase4Worker) load(id uint32) error {
@@ -684,7 +788,7 @@ func (w *phase4Worker) evict(id uint32) (any, error) {
 // last worker to let go performs the real store write, carrying every
 // worker's folds.
 func (w *phase4Worker) flush(id uint32, _ any) error {
-	if err := w.shared.owner.release(id, true); err != nil {
+	if err := w.shared.owner.release(w.index, id, true); err != nil {
 		return w.shared.fail(err)
 	}
 	return nil

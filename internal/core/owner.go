@@ -7,6 +7,31 @@ import (
 	"knnpc/internal/disk"
 )
 
+// ownerLayer is the contract between phase-4 worker callbacks and
+// whatever brokers cross-worker partition state. Two implementations
+// exist: partOwner (in-process refcounted sharing over the local state
+// store — the paper's single-machine setting) and netOwner (store-side
+// leases over the sharded network KV, where workers never share memory
+// and write back mergeable per-worker partials). acquire/release take
+// the calling tape worker's index so lease-holding implementations can
+// track per-worker tenancy; the in-process owner ignores it.
+type ownerLayer interface {
+	// acquire materializes partition id for one worker; every acquire
+	// must be paired with exactly one release.
+	acquire(worker int, id uint32) (*partState, error)
+	// release drops one worker's hold; writeBack false is the discard
+	// path of an aborted run.
+	release(worker int, id uint32, writeBack bool) error
+	// fold runs fn with whatever serialization concurrent accumulator
+	// pushes into id's state need (none when workers hold private
+	// copies).
+	fold(id uint32, fn func()) error
+	// abort force-drops every hold after a failed run, returning staged
+	// memory to the budget. It must only run after every worker has
+	// returned.
+	abort()
+}
+
 // partOwner is the per-partition ownership layer of multi-worker
 // phase 4: the one place where the W sharded tape executors meet. Each
 // worker's op tape loads and unloads partitions independently, but the
@@ -66,7 +91,7 @@ func (o *partOwner) guard(id uint32) (*partGuard, error) {
 // instance when another worker already holds it and reading the store
 // (charging the memory budget) otherwise. Every acquire must be paired
 // with exactly one release.
-func (o *partOwner) acquire(id uint32) (*partState, error) {
+func (o *partOwner) acquire(_ int, id uint32) (*partState, error) {
 	g, err := o.guard(id)
 	if err != nil {
 		return nil, err
@@ -95,7 +120,7 @@ func (o *partOwner) acquire(id uint32) (*partState, error) {
 // where the iteration's result is thrown away anyway) the instance is
 // dropped without the write. Earlier releases are free: the write-back
 // is deferred to the final holder so it carries every worker's folds.
-func (o *partOwner) release(id uint32, writeBack bool) error {
+func (o *partOwner) release(_ int, id uint32, writeBack bool) error {
 	g, err := o.guard(id)
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 
 	"knnpc/internal/disk"
 	"knnpc/internal/knn"
+	"knnpc/internal/netstore"
 	"knnpc/internal/partition"
 	"knnpc/internal/profile"
 )
@@ -91,6 +92,65 @@ func decodePartState(buf []byte) (*partState, error) {
 		return nil, fmt.Errorf("core: partition %d state has %d trailing bytes", st.id, len(buf))
 	}
 	return st, nil
+}
+
+// encodePartial serializes the worker-private accumulator deltas of a
+// netstore residency cycle: member count, then per member holding at
+// least one candidate the id and its TopK. Profiles are omitted — the
+// base state the store already holds is immutable during phase 4, so a
+// partial carries only what this worker added.
+func (st *partState) encodePartial() []byte {
+	n := 0
+	for _, u := range st.members {
+		if st.accs[u].Len() > 0 {
+			n++
+		}
+	}
+	buf := make([]byte, 0, 4+n*16)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, u := range st.members {
+		if st.accs[u].Len() == 0 {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, u)
+		buf = st.accs[u].AppendBinary(buf)
+	}
+	return buf
+}
+
+// mergePartial folds one encoded partial into the receiver's
+// accumulators via knn.TopK.Merge. Merging is commutative — each
+// user's final TopK is the K best of the union of all pushed
+// candidates, whatever order the partials arrive in — which is what
+// makes the collected graph bit-identical to in-process execution at
+// every (Slots, Workers, shards) combination.
+func (st *partState) mergePartial(buf []byte) error {
+	if len(buf) < 4 {
+		return fmt.Errorf("core: short partial header for partition %d (%d bytes)", st.id, len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	for i := 0; i < n; i++ {
+		if len(buf) < 4 {
+			return fmt.Errorf("core: partition %d partial truncated at member %d", st.id, i)
+		}
+		u := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		tk, rest, err := knn.DecodeTopK(buf)
+		if err != nil {
+			return fmt.Errorf("core: partition %d partial member %d: %w", st.id, u, err)
+		}
+		buf = rest
+		acc, ok := st.accs[u]
+		if !ok {
+			return fmt.Errorf("core: partition %d partial names unknown member %d", st.id, u)
+		}
+		acc.Merge(tk)
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("core: partition %d partial has %d trailing bytes", st.id, len(buf))
+	}
+	return nil
 }
 
 // newPartState builds the fresh phase-1 state of one partition: member
@@ -282,3 +342,61 @@ func (s *diskStateStore) Cleanup() error {
 	s.known = make(map[uint32]bool)
 	return firstErr
 }
+
+// netStateStore adapts the sharded network KV to the stateStore
+// interface for the phases around the tape: phase 1 PUTs base blobs,
+// Collect streams every shard's base state merged with the workers'
+// accumulated partials, Cleanup clears the cluster. The phase-4 write
+// path does NOT go through this adapter — write-backs must carry a
+// lease's fencing token, which is netOwner's job — so Unload refuses
+// loudly instead of offering an unfenced write.
+type netStateStore struct {
+	client *netstore.Client
+	stats  *disk.IOStats
+}
+
+func newNetStateStore(client *netstore.Client, stats *disk.IOStats) *netStateStore {
+	return &netStateStore{client: client, stats: stats}
+}
+
+func (s *netStateStore) Put(st *partState) error {
+	blob := st.encode()
+	if err := s.client.PutBase(st.id, blob); err != nil {
+		return err
+	}
+	s.stats.AddWrite(int64(len(blob)))
+	return nil
+}
+
+func (s *netStateStore) Load(p uint32) (*partState, error) {
+	blob, err := s.client.Get(p)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.AddRead(int64(len(blob)))
+	return decodePartState(blob)
+}
+
+func (s *netStateStore) Unload(*partState) error {
+	return fmt.Errorf("core: netstore write-backs must carry a lease token (use the lease owner, not the state store)")
+}
+
+func (s *netStateStore) Collect(emit func(st *partState) error) error {
+	return s.client.Collect(func(it netstore.CollectItem) error {
+		st, err := decodePartState(it.Base)
+		if err != nil {
+			return err
+		}
+		volume := int64(len(it.Base))
+		for _, partial := range it.Partials {
+			if err := st.mergePartial(partial); err != nil {
+				return err
+			}
+			volume += int64(len(partial))
+		}
+		s.stats.AddRead(volume)
+		return emit(st)
+	})
+}
+
+func (s *netStateStore) Cleanup() error { return s.client.Clear() }

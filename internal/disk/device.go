@@ -21,6 +21,7 @@ import (
 // elapsed time, so aggregate device time stays exact.
 type Device struct {
 	model Model
+	name  string
 
 	mu      sync.Mutex
 	debt    time.Duration
@@ -33,6 +34,22 @@ type Device struct {
 // without nil checks.
 func NewDevice(m Model) *Device {
 	return &Device{model: m}
+}
+
+// NewNamedDevice returns an emulated device labeled for per-spindle
+// accounting — e.g. one device per state-store shard, so IOStats can
+// report where modeled device time was spent (see IOStats.RegisterDevice).
+func NewNamedDevice(m Model, name string) *Device {
+	return &Device{model: m, name: name}
+}
+
+// Name reports the device's accounting label ("" for an unnamed or nil
+// device).
+func (d *Device) Name() string {
+	if d == nil {
+		return ""
+	}
+	return d.name
 }
 
 // Model reports the device's cost model (the zero Model for a nil
@@ -60,6 +77,16 @@ func (d *Device) Write(n int64) {
 		return
 	}
 	d.access(d.model.WriteTime(n))
+}
+
+// Append queues for the device and holds it for the modeled time of
+// one sequential journal append of n bytes (transfer only — the head
+// is already at the log tail).
+func (d *Device) Append(n int64) {
+	if d == nil {
+		return
+	}
+	d.access(d.model.AppendTime(n))
 }
 
 // access serializes the modeled duration of one access (amortized

@@ -35,7 +35,8 @@ func TestIOStatsCounting(t *testing.T) {
 	}
 
 	s.Reset()
-	if s.Snapshot() != (Snapshot{}) {
+	if after := s.Snapshot(); after.LoadUnloadOps() != 0 || after.Seeks != 0 ||
+		after.ReadOps != 0 || after.WriteOps != 0 || after.BytesRead != 0 || after.BytesWritten != 0 {
 		t.Error("Reset should zero all counters")
 	}
 }
@@ -379,5 +380,143 @@ func TestDeviceDebtExactUnderConcurrency(t *testing.T) {
 	var nilDev *Device
 	if m, s, d := nilDev.Accounting(); m != 0 || s != 0 || d != 0 {
 		t.Errorf("nil device reported accounting %v/%v/%v", m, s, d)
+	}
+}
+
+// TestPerShardDeviceAccounting: IOStats rolls registered per-shard
+// devices into its snapshots — one DeviceAccounting entry per spindle,
+// in registration order, with the slept+debt==modeled invariant pinned
+// per shard even under concurrent access, and name-matched subtraction
+// in Sub.
+func TestPerShardDeviceAccounting(t *testing.T) {
+	model := Model{Name: "unit", SeekLatency: 200 * time.Microsecond}
+	var s IOStats
+	shard0 := NewNamedDevice(model, "shard0")
+	shard1 := NewNamedDevice(model, "shard1")
+	s.RegisterDevice(shard0)
+	s.RegisterDevice(shard1)
+	s.RegisterDevice(nil) // must be ignored
+
+	before := s.Snapshot()
+	if len(before.Devices) != 2 {
+		t.Fatalf("registered 2 devices, snapshot has %d", len(before.Devices))
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				shard0.Read(0)
+				if g%2 == 0 {
+					shard1.Write(0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	after := s.Snapshot()
+	if len(after.Devices) != 2 || after.Devices[0].Name != "shard0" || after.Devices[1].Name != "shard1" {
+		t.Fatalf("device entries wrong: %+v", after.Devices)
+	}
+	for _, d := range after.Devices {
+		if d.Modeled == 0 {
+			t.Fatalf("%s never charged", d.Name)
+		}
+		if d.Slept+d.Debt != d.Modeled {
+			t.Fatalf("%s: slept %v + debt %v != modeled %v — per-shard books must balance",
+				d.Name, d.Slept, d.Debt, d.Modeled)
+		}
+	}
+	if w0, w1 := after.Devices[0].Modeled, after.Devices[1].Modeled; w0 != 2*w1 {
+		t.Fatalf("shard0 modeled %v, shard1 %v — want exactly 2x (200 vs 100 accesses)", w0, w1)
+	}
+
+	d := after.Sub(before)
+	if len(d.Devices) != 2 {
+		t.Fatalf("Sub dropped device entries: %+v", d.Devices)
+	}
+	for i := range d.Devices {
+		if d.Devices[i].Modeled != after.Devices[i].Modeled-before.Devices[i].Modeled {
+			t.Fatalf("Sub of %s not name-matched: %+v", d.Devices[i].Name, d.Devices[i])
+		}
+		if d.Devices[i].Slept+d.Devices[i].Debt != d.Devices[i].Modeled {
+			t.Fatalf("Sub of %s broke the per-shard invariant: %+v", d.Devices[i].Name, d.Devices[i])
+		}
+	}
+
+	// A device registered only in the newer snapshot keeps its full
+	// accounting through Sub.
+	late := NewNamedDevice(model, "late")
+	s.RegisterDevice(late)
+	late.Read(0)
+	d2 := s.Snapshot().Sub(before)
+	found := false
+	for _, dev := range d2.Devices {
+		if dev.Name == "late" && dev.Modeled > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("late-registered device missing from Sub: %+v", d2.Devices)
+	}
+}
+
+// TestAppendTimeIsSeekless: a journal append pays transfer only —
+// strictly cheaper than a random write of the same size by exactly the
+// seek — and Device.Append still lands in the modeled books.
+func TestAppendTimeIsSeekless(t *testing.T) {
+	m := Model{Name: "unit", SeekLatency: 5 * time.Millisecond, WriteBandwidth: 100 << 20}
+	n := int64(1 << 20)
+	if got, want := m.WriteTime(n)-m.AppendTime(n), m.SeekLatency; got != want {
+		t.Fatalf("write - append = %v, want the seek %v", got, want)
+	}
+	if m.AppendTime(0) != 0 {
+		t.Fatalf("empty append costs %v", m.AppendTime(0))
+	}
+	if (Model{}).AppendTime(n) != 0 {
+		t.Fatal("zero model should append for free")
+	}
+	dev := NewNamedDevice(m, "journal")
+	dev.Append(n)
+	modeled, slept, debt := dev.Accounting()
+	if modeled != m.AppendTime(n) {
+		t.Fatalf("modeled %v, want %v", modeled, m.AppendTime(n))
+	}
+	if slept+debt != modeled {
+		t.Fatalf("books unbalanced: %v + %v != %v", slept, debt, modeled)
+	}
+}
+
+// TestResetRebaselinesDevices: Reset's "zero all counters" promise
+// covers per-device times — a post-Reset snapshot starts device books
+// from zero (still balanced), while the Device's own cumulative
+// accounting is untouched for other holders.
+func TestResetRebaselinesDevices(t *testing.T) {
+	m := Model{Name: "unit", SeekLatency: 2 * time.Millisecond}
+	var s IOStats
+	dev := NewNamedDevice(m, "shard0")
+	s.RegisterDevice(dev)
+	dev.Read(0)
+	if before := s.Snapshot(); before.Devices[0].Modeled == 0 {
+		t.Fatal("device never charged")
+	}
+	s.Reset()
+	after := s.Snapshot()
+	if d := after.Devices[0]; d.Modeled != 0 || d.Slept != 0 || d.Debt != 0 {
+		t.Fatalf("post-Reset snapshot still carries device time: %+v", d)
+	}
+	dev.Read(0)
+	d := s.Snapshot().Devices[0]
+	if d.Modeled != m.ReadTime(0) {
+		t.Fatalf("post-Reset charge %v, want one read %v", d.Modeled, m.ReadTime(0))
+	}
+	if d.Slept+d.Debt != d.Modeled {
+		t.Fatalf("rebaselined books unbalanced: %+v", d)
+	}
+	if modeled, _, _ := dev.Accounting(); modeled != 2*m.ReadTime(0) {
+		t.Fatalf("device's own cumulative books were clobbered: %v", modeled)
 	}
 }

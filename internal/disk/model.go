@@ -110,6 +110,18 @@ func (m Model) WriteTime(n int64) time.Duration {
 	return d
 }
 
+// AppendTime models one sequential append of n bytes — a write landing
+// at the journal tail the head is already parked on, so no seek, just
+// transfer at sequential write bandwidth. This is the write path of a
+// log-structured store (every production KV write path: WAL first),
+// which is how the network state store absorbs worker partials.
+func (m Model) AppendTime(n int64) time.Duration {
+	if m.WriteBandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(m.WriteBandwidth) * float64(time.Second))
+}
+
 // Throughput reports the effective bytes/second the model would achieve
 // on the measured workload (total bytes over estimated time), the
 // "throughput from the disk IO operations" metric named in the paper's

@@ -94,6 +94,11 @@ type SweepPoint struct {
 	PrefetchedShardBytes int64
 	// IO is the I/O delta of the last iteration.
 	IO disk.Snapshot
+	// Devices is the cumulative per-spindle emulated-device accounting
+	// at the end of the run — one entry per state-store shard (plus the
+	// local spindle when file-backed I/O is emulated). Empty without
+	// emulation.
+	Devices []disk.DeviceAccounting
 }
 
 // EngineConfig describes one engine sweep point.
@@ -115,6 +120,10 @@ type EngineConfig struct {
 	PrefetchDepth  int
 	AsyncWriteback bool
 	ShardPrefetch  int
+	// NetStoreShards moves partition state behind an in-process
+	// loopback cluster of that many network state-store shards, one
+	// emulated spindle per shard (0 = the in-process store).
+	NetStoreShards int
 	OnDisk         bool
 	// EmulateDisk enforces the named disk model's latency on state
 	// I/O ("" = none) so latency-bound comparisons are host-neutral.
@@ -148,6 +157,7 @@ func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
 		PrefetchDepth:  cfg.PrefetchDepth,
 		AsyncWriteback: cfg.AsyncWriteback,
 		ShardPrefetch:  cfg.ShardPrefetch,
+		NetStoreShards: cfg.NetStoreShards,
 		OnDisk:         cfg.OnDisk,
 		EmulateDisk:    emulate,
 		Seed:           cfg.Seed,
@@ -173,6 +183,7 @@ func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
 	}
 	point.IterTime = total / time.Duration(cfg.Iterations)
 	point.ScoreTime = score / time.Duration(cfg.Iterations)
+	point.Devices = eng.IOStats().Devices
 	return point, nil
 }
 
@@ -323,6 +334,42 @@ func ExecWorkerSweep(ctx context.Context, users int, workerCounts []int, model s
 			Slots: 4, PrefetchDepth: 2, AsyncWriteback: true, ShardPrefetch: 2,
 			OnDisk: true, EmulateDisk: model, Iterations: 2, Seed: 1,
 		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// NetstoreSweep runs the FW-8 sweep: phase 4 at a fixed worker count,
+// first on the single shared spindle (the PR-3 ceiling), then over the
+// network state store at increasing shard counts — same full
+// three-stream pipeline per worker throughout. Each netstore point's
+// Devices carries per-shard modeled/slept device time, so the table
+// shows the queueing ceiling moving: one spindle's modeled time divides
+// across N shards that sleep concurrently, and phase-4 wall time drops
+// even though per-worker op tapes (and the summed op count) are
+// unchanged.
+func NetstoreSweep(ctx context.Context, users, workers int, shardCounts []int, model string) ([]SweepPoint, error) {
+	configs := make([]EngineConfig, 0, 1+len(shardCounts))
+	base := EngineConfig{
+		Users: users, K: 10, Partitions: 8, Workers: 2, ExecWorkers: workers,
+		Slots: 4, PrefetchDepth: 2, AsyncWriteback: true, ShardPrefetch: 2,
+		OnDisk: true, EmulateDisk: model, Iterations: 2, Seed: 1,
+	}
+	single := base
+	single.Label = fmt.Sprintf("single-spindle/workers=%d/%s", workers, model)
+	configs = append(configs, single)
+	for _, n := range shardCounts {
+		p := base
+		p.NetStoreShards = n
+		p.Label = fmt.Sprintf("netstore/workers=%d/shards=%d/%s", workers, n, model)
+		configs = append(configs, p)
+	}
+	points := make([]SweepPoint, 0, len(configs))
+	for _, cfg := range configs {
+		p, err := RunEngine(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}

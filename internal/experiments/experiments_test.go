@@ -110,3 +110,34 @@ func TestDiskProjectionOrdering(t *testing.T) {
 		}
 	}
 }
+
+// TestNetstoreSweep: FW-8's points all perform the same summed op
+// count (the tape is store-independent), the single-spindle point has
+// exactly one device entry, and every netstore point carries one
+// accounting entry per shard with balanced per-shard books.
+func TestNetstoreSweep(t *testing.T) {
+	points, err := NetstoreSweep(context.Background(), 200, 2, []int{1, 2}, "nvme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want single-spindle + 2 shard counts", len(points))
+	}
+	for i, p := range points {
+		if p.Ops != points[0].Ops {
+			t.Errorf("%s: %d ops, single-spindle did %d — the tape must not depend on the store", p.Label, p.Ops, points[0].Ops)
+		}
+		wantDevices := 1 // the local spindle
+		if i > 0 {
+			wantDevices = 1 + i // plus one per shard (shards=1, then 2)
+		}
+		if len(p.Devices) != wantDevices {
+			t.Fatalf("%s: %d device entries, want %d: %+v", p.Label, len(p.Devices), wantDevices, p.Devices)
+		}
+		for _, d := range p.Devices {
+			if d.Slept+d.Debt != d.Modeled {
+				t.Errorf("%s device %s: books unbalanced (%v + %v != %v)", p.Label, d.Name, d.Slept, d.Debt, d.Modeled)
+			}
+		}
+	}
+}

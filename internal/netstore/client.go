@@ -1,0 +1,306 @@
+package netstore
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"knnpc/internal/pigraph"
+)
+
+// Client is the engine-side face of the sharded state store. It routes
+// every operation to the shard owning the partition (contiguous ranges
+// via pigraph.ShardRouter — the same routing layer the servers
+// validate against) over one persistent TCP connection per shard.
+//
+// Operations on DIFFERENT shards run concurrently — that is the whole
+// point of shard-per-spindle — while operations on the same shard
+// serialize on its connection, mirroring how a spindle queues anyway.
+// All methods are safe for concurrent use by the phase-4 prefetch and
+// write-back goroutines of any number of workers.
+type Client struct {
+	router pigraph.ShardRouter
+	shards []*shardConn
+}
+
+type shardConn struct {
+	addr string
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to one server per address; addrs[i] must be the shard
+// with index i over numPartitions partitions (the order the cluster —
+// or the operator — started them in).
+func Dial(addrs []string, numPartitions int) (*Client, error) {
+	router, err := pigraph.NewShardRouter(numPartitions, len(addrs))
+	if err != nil {
+		return nil, fmt.Errorf("netstore: %w", err)
+	}
+	c := &Client{router: router, shards: make([]*shardConn, len(addrs))}
+	for i, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netstore: dial shard %d at %s: %w", i, addr, err)
+		}
+		c.shards[i] = &shardConn{addr: addr, conn: conn}
+	}
+	return c, nil
+}
+
+// NumShards reports the cluster width N.
+func (c *Client) NumShards() int { return len(c.shards) }
+
+// Close tears down every shard connection.
+func (c *Client) Close() error {
+	var firstErr error
+	for _, sc := range c.shards {
+		if sc == nil || sc.conn == nil {
+			continue
+		}
+		if err := sc.conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// shardFor routes a partition to its shard connection.
+func (c *Client) shardFor(p uint32) (*shardConn, error) {
+	s, err := c.router.ShardOf(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.shards[s], nil
+}
+
+// roundTrip sends one request frame on the shard's connection and reads
+// one response frame, serialized per shard. A transport failure poisons
+// the connection (closed so later calls fail fast rather than desync on
+// a half-written frame).
+func (sc *shardConn) roundTrip(req []byte) ([]byte, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	resp, err := sc.exchangeLocked(req)
+	if err != nil {
+		return nil, err
+	}
+	return checkResponse(resp)
+}
+
+func (sc *shardConn) exchangeLocked(req []byte) ([]byte, error) {
+	if sc.conn == nil {
+		return nil, fmt.Errorf("netstore: shard %s connection is down", sc.addr)
+	}
+	if err := writeFrame(sc.conn, req); err != nil {
+		sc.poisonLocked()
+		return nil, fmt.Errorf("netstore: shard %s: send: %w", sc.addr, err)
+	}
+	resp, err := readFrame(sc.conn)
+	if err != nil {
+		sc.poisonLocked()
+		return nil, fmt.Errorf("netstore: shard %s: receive: %w", sc.addr, err)
+	}
+	return resp, nil
+}
+
+func (sc *shardConn) poisonLocked() {
+	if sc.conn != nil {
+		sc.conn.Close()
+		sc.conn = nil
+	}
+}
+
+// checkResponse splits a response frame into its payload, turning a
+// statusErr frame back into a Go error. Server-reported stale-lease
+// failures map onto ErrStaleLease so callers can match with errors.Is.
+func checkResponse(resp []byte) ([]byte, error) {
+	status, body, err := cutByte(resp)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case statusOK:
+		return body, nil
+	case statusStale:
+		return nil, fmt.Errorf("%w: %s", ErrStaleLease, body)
+	case statusErr:
+		return nil, errors.New(string(body))
+	default:
+		return nil, fmt.Errorf("netstore: unexpected response status 0x%02x", status)
+	}
+}
+
+// Get fetches partition p's base state blob.
+func (c *Client) Get(p uint32) ([]byte, error) {
+	sc, err := c.shardFor(p)
+	if err != nil {
+		return nil, err
+	}
+	req := appendU32([]byte{opGet}, p)
+	return sc.roundTrip(req)
+}
+
+// PutBase stores partition p's phase-1 state, opening a new epoch: the
+// shard drops accumulated partials and revokes outstanding leases.
+func (c *Client) PutBase(p uint32, blob []byte) error {
+	sc, err := c.shardFor(p)
+	if err != nil {
+		return err
+	}
+	req := appendU32([]byte{opPut}, p)
+	req = append(req, putBase)
+	req = appendU64(req, 0)
+	req = append(req, blob...)
+	_, err = sc.roundTrip(req)
+	return err
+}
+
+// PutPartial appends one worker's accumulator partial for partition p.
+// The fencing token must be a live lease — a released or revoked token
+// fails with ErrStaleLease, which is what keeps a stale worker from
+// clobbering state it no longer owns.
+func (c *Client) PutPartial(p uint32, token uint64, blob []byte) error {
+	sc, err := c.shardFor(p)
+	if err != nil {
+		return err
+	}
+	req := appendU32([]byte{opPut}, p)
+	req = append(req, putPartial)
+	req = appendU64(req, token)
+	req = append(req, blob...)
+	_, err = sc.roundTrip(req)
+	return err
+}
+
+// Lease acquires a fencing token on partition p. Leases overlap freely —
+// every concurrent holder gets its own token.
+func (c *Client) Lease(p uint32) (uint64, error) {
+	sc, err := c.shardFor(p)
+	if err != nil {
+		return 0, err
+	}
+	req := appendU32([]byte{opLease}, p)
+	body, err := sc.roundTrip(req)
+	if err != nil {
+		return 0, err
+	}
+	token, _, err := cutU64(body)
+	return token, err
+}
+
+// Release invalidates a lease token.
+func (c *Client) Release(p uint32, token uint64) error {
+	sc, err := c.shardFor(p)
+	if err != nil {
+		return err
+	}
+	req := appendU32([]byte{opRelease}, p)
+	req = appendU64(req, token)
+	_, err = sc.roundTrip(req)
+	return err
+}
+
+// Collect streams every stored partition through emit in ascending
+// partition id order (shard ranges are contiguous and ordered, so
+// shard-order emission is id-order emission — the in-process stores'
+// Collect contract). The shards are drained concurrently — scatter,
+// then gather in order: each shard's spindle pays its collect reads in
+// parallel with the others', which a single shared device can never
+// do (servers charge the device before streaming, so client-side
+// ordering never re-serializes the sleeps). Buffering is bounded —
+// one in-flight item per shard plus the transport buffers, never the
+// whole dataset — so the engine's bounded-memory premise survives
+// collect; emit itself runs on the caller's goroutine only.
+func (c *Client) Collect(emit func(item CollectItem) error) error {
+	type result struct {
+		it  CollectItem
+		err error
+	}
+	chans := make([]chan result, len(c.shards))
+	for i, sc := range c.shards {
+		ch := make(chan result, 1)
+		chans[i] = ch
+		go func(sc *shardConn, ch chan result) {
+			defer close(ch)
+			err := c.collectShard(sc, func(it CollectItem) error {
+				ch <- result{it: it}
+				return nil
+			})
+			if err != nil {
+				ch <- result{err: err}
+			}
+		}(sc, ch)
+	}
+	// Gather in shard order. After a failure the remaining channels are
+	// still drained (without emitting) so no shard goroutine leaks.
+	var firstErr error
+	for i, ch := range chans {
+		for r := range ch {
+			switch {
+			case r.err != nil:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("netstore: collect shard %d: %w", i, r.err)
+				}
+			case firstErr == nil:
+				if err := emit(r.it); err != nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+func (c *Client) collectShard(sc *shardConn, emit func(item CollectItem) error) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.conn == nil {
+		return fmt.Errorf("netstore: shard %s connection is down", sc.addr)
+	}
+	if err := writeFrame(sc.conn, []byte{opCollect}); err != nil {
+		sc.poisonLocked()
+		return err
+	}
+	for {
+		resp, err := readFrame(sc.conn)
+		if err != nil {
+			sc.poisonLocked()
+			return err
+		}
+		status, body, err := cutByte(resp)
+		if err != nil {
+			return err
+		}
+		switch status {
+		case statusPart:
+			it, err := decodeCollectItem(body)
+			if err != nil {
+				sc.poisonLocked() // desynced mid-stream; do not reuse
+				return err
+			}
+			if err := emit(it); err != nil {
+				sc.poisonLocked() // abandoning the stream desyncs the conn
+				return err
+			}
+		case statusEnd:
+			return nil
+		case statusErr:
+			return errors.New(string(body))
+		default:
+			return fmt.Errorf("netstore: unexpected collect status 0x%02x", status)
+		}
+	}
+}
+
+// Clear drops all state on every shard (bases, partials, leases).
+func (c *Client) Clear() error {
+	for i, sc := range c.shards {
+		if _, err := sc.roundTrip([]byte{opClear}); err != nil {
+			return fmt.Errorf("netstore: clear shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

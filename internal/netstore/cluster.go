@@ -1,0 +1,87 @@
+package netstore
+
+import (
+	"fmt"
+
+	"knnpc/internal/disk"
+)
+
+// Cluster bundles N loopback server shards started in one process —
+// the zero-configuration way to run the network store: benchmarks, the
+// FW-8 sweep, and `knnrun -netstore shards=N` all go through it, and
+// because the client speaks the same TCP protocol either way, swapping
+// the loopback cluster for `cmd/statestore` processes on real machines
+// changes nothing above the dial.
+type Cluster struct {
+	servers []*Server
+	addrs   []string
+}
+
+// StartCluster launches shards loopback servers over numPartitions
+// partitions. A non-nil model gives every shard its own emulated
+// spindle (named "shard0", "shard1", ...) — the per-shard devices are
+// what moves the single-spindle queueing ceiling.
+func StartCluster(shards, numPartitions int, model *disk.Model) (*Cluster, error) {
+	addrs := make([]string, shards)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	return StartClusterAt(addrs, numPartitions, model)
+}
+
+// StartClusterAt launches one server per listen address — addrs[i]
+// becomes shard i of len(addrs) — sharing the loopback cluster's shard
+// construction (device naming, range assignment, failure cleanup) with
+// externally addressed deployments like cmd/statestore.
+func StartClusterAt(addrs []string, numPartitions int, model *disk.Model) (*Cluster, error) {
+	c := &Cluster{}
+	for i, addr := range addrs {
+		var dev *disk.Device
+		if model != nil {
+			dev = disk.NewNamedDevice(*model, fmt.Sprintf("shard%d", i))
+		}
+		srv, err := NewServer(ServerConfig{
+			Addr:          addr,
+			Shard:         i,
+			Shards:        len(addrs),
+			NumPartitions: numPartitions,
+			Device:        dev,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.servers = append(c.servers, srv)
+		c.addrs = append(c.addrs, srv.Addr())
+	}
+	return c, nil
+}
+
+// Addrs reports the shard addresses in shard order — exactly what
+// Dial expects.
+func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// Servers reports the live shard servers in shard order.
+func (c *Cluster) Servers() []*Server { return append([]*Server(nil), c.servers...) }
+
+// Devices reports each shard's emulated spindle in shard order (nil
+// entries without emulation) so callers can register them for
+// per-shard IOStats accounting.
+func (c *Cluster) Devices() []*disk.Device {
+	out := make([]*disk.Device, len(c.servers))
+	for i, s := range c.servers {
+		out[i] = s.Device()
+	}
+	return out
+}
+
+// Close stops every shard.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for _, s := range c.servers {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

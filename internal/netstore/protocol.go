@@ -1,0 +1,205 @@
+// Package netstore implements the network state store of multi-process
+// phase 4: partition state moves through a sharded key-value service
+// speaking a minimal length-prefixed TCP protocol, with each server
+// shard owning a contiguous partition range and its own (emulated)
+// spindle — so phase-4 state I/O queues per shard instead of on one
+// global device, which is exactly the ceiling the single shared spindle
+// hits at four tape workers.
+//
+// The protocol has five verbs plus one housekeeping command:
+//
+//	GET p            → the partition's base state blob
+//	PUT p kind tok b → store a blob: kind "base" (phase 1; resets the
+//	                   partition's partials and revokes outstanding
+//	                   leases — a new epoch) or kind "partial" (a
+//	                   worker's write-back, admitted only under a live
+//	                   fencing token)
+//	LEASE p          → a fencing token; many workers may hold
+//	                   overlapping leases on one partition
+//	RELEASE p tok    → invalidate one token
+//	COLLECT          → stream every owned partition (base + partials)
+//	                   in ascending id order
+//	CLEAR            → drop all state, partials, and leases
+//
+// Every frame is a uint32 big-endian length followed by that many
+// payload bytes; requests start with a one-byte opcode, responses with
+// a one-byte status. Workers never share memory: each one scores into a
+// private accumulator partial and PUTs it at unload, and the partials
+// merge — commutatively, via knn.TopK.Merge — when the engine COLLECTs,
+// so the same code path runs in-process over loopback or across
+// processes.
+package netstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Opcodes (first payload byte of a request frame).
+const (
+	opGet     = 0x01
+	opPut     = 0x02
+	opLease   = 0x03
+	opRelease = 0x04
+	opCollect = 0x05
+	opClear   = 0x06
+)
+
+// Statuses (first payload byte of a response frame).
+const (
+	statusOK    = 0x00
+	statusErr   = 0x01
+	statusPart  = 0x02 // one COLLECT partition payload; more frames follow
+	statusEnd   = 0x03 // COLLECT stream terminator
+	statusStale = 0x04 // fencing rejection: the request's lease token is not live
+)
+
+// PUT kinds.
+const (
+	putBase    = 0x00
+	putPartial = 0x01
+)
+
+// maxFrame bounds a frame's payload so a torn or corrupt length prefix
+// fails fast instead of attempting a multi-gigabyte allocation.
+const maxFrame = 1 << 28
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("netstore: frame of %d bytes exceeds the %d-byte bound", len(payload), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one length-prefixed frame. A short read mid-frame
+// surfaces as io.ErrUnexpectedEOF — the torn-frame signal both sides
+// treat as a dead peer.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("netstore: frame length %d exceeds the %d-byte bound (corrupt stream?)", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// appendU32 / appendU64 are the protocol's only integer encodings
+// (big-endian, fixed width).
+func appendU32(buf []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(buf, v) }
+func appendU64(buf []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(buf, v) }
+
+// cut reads a fixed-width prefix off buf, reporting failure on short
+// payloads instead of panicking on attacker-controlled frames.
+func cutU32(buf []byte) (uint32, []byte, error) {
+	if len(buf) < 4 {
+		return 0, nil, fmt.Errorf("netstore: payload truncated (want 4 bytes, have %d)", len(buf))
+	}
+	return binary.BigEndian.Uint32(buf), buf[4:], nil
+}
+
+func cutU64(buf []byte) (uint64, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("netstore: payload truncated (want 8 bytes, have %d)", len(buf))
+	}
+	return binary.BigEndian.Uint64(buf), buf[8:], nil
+}
+
+func cutByte(buf []byte) (byte, []byte, error) {
+	if len(buf) < 1 {
+		return 0, nil, fmt.Errorf("netstore: payload truncated (want 1 byte, have 0)")
+	}
+	return buf[0], buf[1:], nil
+}
+
+// CollectItem is one partition's worth of a COLLECT stream: the base
+// state blob written in phase 1 and every per-worker partial PUT since.
+type CollectItem struct {
+	Partition uint32
+	Base      []byte
+	Partials  [][]byte
+}
+
+// encodeCollectItem lays out one statusPart frame payload (after the
+// status byte): partition u32, partial count u32, base length u32 +
+// bytes, then per partial length u32 + bytes.
+func encodeCollectItem(it CollectItem) []byte {
+	n := 1 + 4 + 4 + 4 + len(it.Base)
+	for _, p := range it.Partials {
+		n += 4 + len(p)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, statusPart)
+	buf = appendU32(buf, it.Partition)
+	buf = appendU32(buf, uint32(len(it.Partials)))
+	buf = appendU32(buf, uint32(len(it.Base)))
+	buf = append(buf, it.Base...)
+	for _, p := range it.Partials {
+		buf = appendU32(buf, uint32(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// decodeCollectItem parses a statusPart payload (status byte already
+// consumed).
+func decodeCollectItem(buf []byte) (CollectItem, error) {
+	var it CollectItem
+	var err error
+	if it.Partition, buf, err = cutU32(buf); err != nil {
+		return it, err
+	}
+	nPartials, buf, err := cutU32(buf)
+	if err != nil {
+		return it, err
+	}
+	// Each partial needs at least its 4-byte length prefix, so the
+	// count is bounded by the remaining payload — validated BEFORE the
+	// allocation below, or a corrupt count would be a fatal OOM instead
+	// of a decode error.
+	if int64(nPartials) > int64(len(buf))/4 {
+		return it, fmt.Errorf("netstore: collect item of partition %d claims %d partials in %d bytes", it.Partition, nPartials, len(buf))
+	}
+	baseLen, buf, err := cutU32(buf)
+	if err != nil {
+		return it, err
+	}
+	if uint32(len(buf)) < baseLen {
+		return it, fmt.Errorf("netstore: collect item of partition %d truncated in base blob", it.Partition)
+	}
+	it.Base = buf[:baseLen:baseLen]
+	buf = buf[baseLen:]
+	it.Partials = make([][]byte, 0, nPartials)
+	for i := uint32(0); i < nPartials; i++ {
+		var pLen uint32
+		if pLen, buf, err = cutU32(buf); err != nil {
+			return it, err
+		}
+		if uint32(len(buf)) < pLen {
+			return it, fmt.Errorf("netstore: collect item of partition %d truncated in partial %d", it.Partition, i)
+		}
+		it.Partials = append(it.Partials, buf[:pLen:pLen])
+		buf = buf[pLen:]
+	}
+	if len(buf) != 0 {
+		return it, fmt.Errorf("netstore: collect item of partition %d has %d trailing bytes", it.Partition, len(buf))
+	}
+	return it, nil
+}

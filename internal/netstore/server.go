@@ -1,0 +1,399 @@
+package netstore
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"knnpc/internal/disk"
+	"knnpc/internal/pigraph"
+)
+
+// ErrStaleLease is the fencing failure: a write-back carried a token
+// that is not live — it was released, revoked by a new base PUT (a new
+// phase-1 epoch), or never granted. The stale worker's partial is
+// rejected, so it cannot clobber the current epoch's state.
+var ErrStaleLease = errors.New("netstore: stale lease token")
+
+// ServerConfig describes one state-store shard.
+type ServerConfig struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral
+	// loopback port).
+	Addr string
+	// Shard and Shards place this server in the cluster: it owns the
+	// contiguous partition range pigraph.ShardRouter assigns to shard
+	// index Shard of Shards.
+	Shard, Shards int
+	// NumPartitions is the engine's partition count m (the id space the
+	// router divides).
+	NumPartitions int
+	// Device, when non-nil, is this shard's emulated spindle: every
+	// GET/PUT/COLLECT blob access queues for it and sleeps the model's
+	// time, serialized per shard — N shards emulate N independent
+	// devices. Nil adds no latency.
+	Device *disk.Device
+}
+
+// Server is one state-store shard: a partition-range-validated blob map
+// with lease bookkeeping, serving the netstore protocol on a TCP
+// listener. All state is in memory; durability across iterations is the
+// engine's job (phase 1 rewrites every base blob), so the emulated
+// Device is the only "disk" a shard has.
+type Server struct {
+	cfg    ServerConfig
+	router pigraph.ShardRouter
+	lo, hi int
+	ln     net.Listener
+
+	mu        sync.Mutex
+	base      map[uint32][]byte
+	partials  map[uint32][][]byte
+	leases    map[uint32]map[uint64]struct{}
+	nextToken uint64
+	closed    bool
+
+	connMu      sync.Mutex
+	conns       map[net.Conn]struct{}
+	connsClosed bool // set by Close under connMu; late-accepted conns are refused
+	wg          sync.WaitGroup
+}
+
+// NewServer binds the shard's listener and starts serving in the
+// background. The returned server is ready the moment this returns —
+// Addr reports the bound address.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	router, err := pigraph.NewShardRouter(cfg.NumPartitions, max(cfg.Shards, 1))
+	if err != nil {
+		return nil, fmt.Errorf("netstore: %w", err)
+	}
+	if cfg.Shard < 0 || cfg.Shard >= router.NumShards() {
+		return nil, fmt.Errorf("netstore: shard index %d out of range [0,%d)", cfg.Shard, router.NumShards())
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("netstore: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		router:   router,
+		ln:       ln,
+		base:     make(map[uint32][]byte),
+		partials: make(map[uint32][][]byte),
+		leases:   make(map[uint32]map[uint64]struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.lo, s.hi = router.Range(cfg.Shard)
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the listener's address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Range reports the contiguous partition range [lo, hi) this shard owns.
+func (s *Server) Range() (lo, hi int) { return s.lo, s.hi }
+
+// Device reports the shard's emulated spindle (nil without emulation).
+func (s *Server) Device() *disk.Device { return s.cfg.Device }
+
+// Close stops the listener, tears down live connections, and waits for
+// every handler to return.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.connMu.Lock()
+	s.connsClosed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		// Register under connMu while re-checking the teardown flag: a
+		// connection accepted concurrently with Close must not escape the
+		// teardown loop, or Close would block in wg.Wait until the peer
+		// voluntarily hangs up.
+		s.connMu.Lock()
+		if s.connsClosed {
+			s.connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one client connection request-by-request. A torn
+// frame, an unknown opcode, or a write failure ends the connection; a
+// request-level failure (unknown partition, stale token) is answered
+// with a statusErr frame and the connection stays up.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return // disconnect or torn frame: drop the peer, keep serving others
+		}
+		if err := s.serveRequest(conn, req); err != nil {
+			return
+		}
+	}
+}
+
+// serveRequest dispatches one request frame. The returned error means
+// the connection itself is broken (protocol desync or a failed write);
+// per-request failures are reported to the client in-band.
+func (s *Server) serveRequest(conn net.Conn, req []byte) error {
+	op, body, err := cutByte(req)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		// Fencing rejections travel as their own status byte so clients
+		// can rebuild ErrStaleLease without parsing prose — the signal is
+		// protocol, not message text.
+		status := byte(statusErr)
+		if errors.Is(err, ErrStaleLease) {
+			status = statusStale
+		}
+		return writeFrame(conn, append([]byte{status}, err.Error()...))
+	}
+	ok := func(payload []byte) error {
+		return writeFrame(conn, append([]byte{statusOK}, payload...))
+	}
+	switch op {
+	case opGet:
+		p, _, err := cutU32(body)
+		if err != nil {
+			return err
+		}
+		blob, err := s.get(p)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(blob)
+
+	case opPut:
+		p, rest, err := cutU32(body)
+		if err != nil {
+			return err
+		}
+		kind, rest, err := cutByte(rest)
+		if err != nil {
+			return err
+		}
+		token, blob, err := cutU64(rest)
+		if err != nil {
+			return err
+		}
+		if err := s.put(p, kind, token, blob); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case opLease:
+		p, _, err := cutU32(body)
+		if err != nil {
+			return err
+		}
+		token, err := s.lease(p)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(appendU64(nil, token))
+
+	case opRelease:
+		p, rest, err := cutU32(body)
+		if err != nil {
+			return err
+		}
+		token, _, err := cutU64(rest)
+		if err != nil {
+			return err
+		}
+		if err := s.release(p, token); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case opCollect:
+		items := s.collect()
+		for _, it := range items {
+			if err := writeFrame(conn, encodeCollectItem(it)); err != nil {
+				return err
+			}
+		}
+		return writeFrame(conn, []byte{statusEnd})
+
+	case opClear:
+		s.clear()
+		return ok(nil)
+
+	default:
+		return fmt.Errorf("netstore: unknown opcode 0x%02x", op)
+	}
+}
+
+// checkRange validates shard ownership — the router is the only
+// directory; a misrouted request is a client bug surfaced loudly.
+func (s *Server) checkRange(p uint32) error {
+	if int(p) < s.lo || int(p) >= s.hi {
+		return fmt.Errorf("netstore: partition %d outside shard %d/%d range [%d,%d)",
+			p, s.cfg.Shard, s.router.NumShards(), s.lo, s.hi)
+	}
+	return nil
+}
+
+func (s *Server) get(p uint32) ([]byte, error) {
+	if err := s.checkRange(p); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	blob, okB := s.base[p]
+	s.mu.Unlock()
+	if !okB {
+		return nil, fmt.Errorf("netstore: partition %d has no stored state", p)
+	}
+	// The spindle is charged outside the state mutex: the device
+	// serializes itself, and holding s.mu through a modeled sleep would
+	// needlessly block lease bookkeeping of other partitions.
+	s.cfg.Device.Read(int64(len(blob)))
+	return blob, nil
+}
+
+func (s *Server) put(p uint32, kind byte, token uint64, blob []byte) error {
+	if err := s.checkRange(p); err != nil {
+		return err
+	}
+	stored := append([]byte(nil), blob...)
+	s.mu.Lock()
+	switch kind {
+	case putBase:
+		// A base PUT opens a new epoch for the partition: partials from
+		// the previous iteration are dropped and every outstanding lease
+		// is revoked, so a zombie worker's later write-back fails the
+		// fencing check instead of contaminating the fresh state.
+		s.base[p] = stored
+		delete(s.partials, p)
+		delete(s.leases, p)
+	case putPartial:
+		if _, live := s.leases[p][token]; !live {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: partition %d token %d", ErrStaleLease, p, token)
+		}
+		s.partials[p] = append(s.partials[p], stored)
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("netstore: unknown PUT kind 0x%02x", kind)
+	}
+	s.mu.Unlock()
+	// A base PUT installs a partition's state wherever it lives — a
+	// random write. A partial is a blind append to the shard's journal
+	// (the log-structured write path collect's per-partition read model
+	// assumes), so it pays sequential transfer with no seek.
+	if kind == putPartial {
+		s.cfg.Device.Append(int64(len(blob)))
+	} else {
+		s.cfg.Device.Write(int64(len(blob)))
+	}
+	return nil
+}
+
+func (s *Server) lease(p uint32) (uint64, error) {
+	if err := s.checkRange(p); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.base[p]; !ok {
+		return 0, fmt.Errorf("netstore: lease of partition %d with no stored state", p)
+	}
+	s.nextToken++
+	token := s.nextToken
+	if s.leases[p] == nil {
+		s.leases[p] = make(map[uint64]struct{})
+	}
+	s.leases[p][token] = struct{}{}
+	return token, nil
+}
+
+func (s *Server) release(p uint32, token uint64) error {
+	if err := s.checkRange(p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, live := s.leases[p][token]; !live {
+		return fmt.Errorf("%w: release of partition %d token %d", ErrStaleLease, p, token)
+	}
+	delete(s.leases[p], token)
+	return nil
+}
+
+// collect snapshots every stored partition in ascending id order,
+// charging the spindle one read per partition covering the partition's
+// full volume (base plus partials): a partition's partials append to
+// its log, so collecting it is one random access plus sequential
+// transfer — the same one-read-per-partition cost the in-process
+// store's Collect pays, never a free aggregate scan (COLLECT is the
+// final read pass of phase 4, so it pays device time like any load).
+func (s *Server) collect() []CollectItem {
+	s.mu.Lock()
+	ids := make([]uint32, 0, len(s.base))
+	for id := range s.base {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	items := make([]CollectItem, 0, len(ids))
+	for _, id := range ids {
+		items = append(items, CollectItem{
+			Partition: id,
+			Base:      s.base[id],
+			Partials:  append([][]byte(nil), s.partials[id]...),
+		})
+	}
+	s.mu.Unlock()
+	for _, it := range items {
+		volume := int64(len(it.Base))
+		for _, p := range it.Partials {
+			volume += int64(len(p))
+		}
+		s.cfg.Device.Read(volume)
+	}
+	return items
+}
+
+func (s *Server) clear() {
+	s.mu.Lock()
+	s.base = make(map[uint32][]byte)
+	s.partials = make(map[uint32][][]byte)
+	s.leases = make(map[uint32]map[uint64]struct{})
+	s.mu.Unlock()
+}

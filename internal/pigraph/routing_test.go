@@ -1,0 +1,83 @@
+package pigraph
+
+import "testing"
+
+// TestShardRouterPartition: the ranges of the N shards tile [0, m)
+// exactly — contiguous, non-empty, in order — and ShardOf inverts
+// Range for every partition id.
+func TestShardRouterPartition(t *testing.T) {
+	for m := 1; m <= 40; m++ {
+		for n := 1; n <= m; n++ {
+			r, err := NewShardRouter(m, n)
+			if err != nil {
+				t.Fatalf("m=%d n=%d: %v", m, n, err)
+			}
+			next := 0
+			for s := 0; s < n; s++ {
+				lo, hi := r.Range(s)
+				if lo != next {
+					t.Fatalf("m=%d n=%d shard %d: range starts at %d, want %d", m, n, s, lo, next)
+				}
+				if hi <= lo {
+					t.Fatalf("m=%d n=%d shard %d: empty range [%d,%d)", m, n, s, lo, hi)
+				}
+				for p := lo; p < hi; p++ {
+					got, err := r.ShardOf(uint32(p))
+					if err != nil {
+						t.Fatalf("m=%d n=%d ShardOf(%d): %v", m, n, p, err)
+					}
+					if got != s {
+						t.Fatalf("m=%d n=%d: ShardOf(%d)=%d, want %d", m, n, p, got, s)
+					}
+				}
+				next = hi
+			}
+			if next != m {
+				t.Fatalf("m=%d n=%d: shards tile [0,%d), want [0,%d)", m, n, next, m)
+			}
+		}
+	}
+}
+
+// TestShardRouterBalance: range sizes differ by at most one partition,
+// so no shard's spindle carries a disproportionate share of the range.
+func TestShardRouterBalance(t *testing.T) {
+	r, err := NewShardRouter(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSize, maxSize := 10, 0
+	for s := 0; s < 4; s++ {
+		lo, hi := r.Range(s)
+		if hi-lo < minSize {
+			minSize = hi - lo
+		}
+		if hi-lo > maxSize {
+			maxSize = hi - lo
+		}
+	}
+	if maxSize-minSize > 1 {
+		t.Fatalf("shard sizes range %d..%d — not balanced", minSize, maxSize)
+	}
+}
+
+// TestShardRouterValidation rejects impossible configurations with
+// descriptive errors.
+func TestShardRouterValidation(t *testing.T) {
+	if _, err := NewShardRouter(0, 1); err == nil {
+		t.Error("0 partitions accepted")
+	}
+	if _, err := NewShardRouter(4, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewShardRouter(4, 5); err == nil {
+		t.Error("more shards than partitions accepted")
+	}
+	r, err := NewShardRouter(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ShardOf(4); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+}

@@ -108,10 +108,29 @@ type Config struct {
 	// cursor scores them. 0 (default) reads each shard synchronously.
 	// Only effective with OnDisk.
 	ShardPrefetch int
+	// NetStoreShards, when positive, runs phase 4 over a sharded
+	// network state store served from this process over loopback: each
+	// shard owns a contiguous partition range (and, under EmulateDisk,
+	// its own emulated spindle), cross-worker coordination moves from
+	// in-process guards to store-side leases with fencing tokens, and
+	// workers write mergeable per-worker accumulator partials instead
+	// of sharing memory. Results are bit-identical to the in-process
+	// engine at every (Slots, ExecWorkers, shards) combination. Size
+	// MemoryBudgetBytes for the full ExecWorkers × (Slots + staging)
+	// partitions — private copies never share. 0 (default) keeps the
+	// in-process store.
+	NetStoreShards int
+	// NetStoreAddrs instead connects to externally managed statestore
+	// shard servers (cmd/statestore); addrs[i] serves shard i of
+	// len(addrs) over Partitions partitions. Mutually exclusive with
+	// NetStoreShards.
+	NetStoreAddrs []string
 	// OnDisk stores partition state and tuple spills in real files
 	// under ScratchDir ("" = private temp dir), exercising the
 	// out-of-core path. When false, state is serialized in memory
-	// through the same code paths.
+	// through the same code paths. With a network store configured,
+	// partition state lives behind the store and OnDisk governs only
+	// tuple spills and the profile file.
 	OnDisk bool
 	// ProfilesOnDisk additionally keeps the canonical profile
 	// collection on disk (point reads in phase 1, streaming rewrite
@@ -147,6 +166,8 @@ func (c Config) engineOptions() (core.Options, error) {
 		PrefetchDepth:    c.PrefetchDepth,
 		AsyncWriteback:   c.AsyncWriteback,
 		ShardPrefetch:    c.ShardPrefetch,
+		NetStoreShards:   c.NetStoreShards,
+		NetStoreAddrs:    c.NetStoreAddrs,
 		OnDisk:           c.OnDisk,
 		ProfilesOnDisk:   c.ProfilesOnDisk,
 		ScratchDir:       c.ScratchDir,

@@ -382,3 +382,59 @@ func TestExactNeighbors(t *testing.T) {
 		t.Error("bad similarity should fail")
 	}
 }
+
+// TestSystemNetworkStore drives the public API over the loopback
+// sharded state store: the neighbor lists must be identical to the
+// in-process system's, iteration for iteration.
+func TestSystemNetworkStore(t *testing.T) {
+	profiles := testProfiles(t, 80)
+	base := Config{K: 4, Partitions: 6, Seed: 5}
+
+	inproc, err := New(profiles, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inproc.Close()
+	refReports, err := inproc.Run(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.NetStoreShards = 2
+	cfg.ExecWorkers = 2
+	netSys, err := New(profiles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netSys.Close()
+	netReports, err := netSys.Run(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(refReports) != len(netReports) {
+		t.Fatalf("in-process converged in %d iterations, netstore in %d", len(refReports), len(netReports))
+	}
+	for i := range netReports {
+		if refReports[i].EdgeChanges != netReports[i].EdgeChanges ||
+			refReports[i].TuplesScored != netReports[i].TuplesScored {
+			t.Fatalf("iter %d diverged: %+v vs %+v", i, refReports[i], netReports[i])
+		}
+	}
+	refLists, netLists := inproc.NeighborLists(), netSys.NeighborLists()
+	for u := range refLists {
+		if len(refLists[u]) != len(netLists[u]) {
+			t.Fatalf("user %d: %v vs %v", u, refLists[u], netLists[u])
+		}
+		for j := range refLists[u] {
+			if refLists[u][j] != netLists[u][j] {
+				t.Fatalf("user %d neighbors diverged: %v vs %v", u, refLists[u], netLists[u])
+			}
+		}
+	}
+
+	if _, err := New(profiles, Config{K: 4, NetStoreShards: 2, NetStoreAddrs: []string{"x:1"}}); err == nil {
+		t.Error("NetStoreShards together with NetStoreAddrs accepted")
+	}
+}
