@@ -411,6 +411,14 @@ func BenchmarkStaticFrameworkContrast(b *testing.B) {
 // (slots, workers) in-process rung: the tape does not depend on where
 // the store lives.
 //
+// The "build" group turns to the other side of the iteration: the
+// same netstore layout as the shards=4 rungs, with the phase-1/2 build
+// pool off (serial) and on (BuildWorkers=4). Tuple tallies, shard
+// contents and the op tape are bit-identical either way — only the
+// "build-ms" metric (phase 1 + phase 2 wall time) moves, because the
+// strided state installs sleep on four shard spindles concurrently and
+// tuple generation overlaps the local spindle's spill appends.
+//
 // The "raw" group runs at host speed, where page-cache-backed I/O is
 // so cheap that the pipeline's goroutine and synchronization overhead
 // can exceed the I/O it hides — the honest boundary of the technique,
@@ -428,22 +436,25 @@ func BenchmarkPipelinedPhase4(b *testing.B) {
 		shardPrefetch  int
 		execWorkers    int
 		netShards      int
+		buildWorkers   int
 	}{
-		{"hdd/serial", &disk.HDD, 4000, 16, 8, 2, 2, 0, false, 0, 1, 0},
-		{"hdd/prefetch=2", &disk.HDD, 4000, 16, 8, 2, 2, 2, false, 0, 1, 0},
-		{"hdd/prefetch=2+writeback", &disk.HDD, 4000, 16, 8, 2, 2, 2, true, 0, 1, 0},
-		{"hdd/prefetch=2+writeback+shard=2", &disk.HDD, 4000, 16, 8, 2, 2, 2, true, 2, 1, 0},
-		{"hdd/slots=4+full-pipeline", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 1, 0},
-		{"workers/2", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 2, 0},
-		{"workers/4", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 4, 0},
-		{"netstore/workers=2/shards=1", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 2, 1},
-		{"netstore/workers=2/shards=2", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 2, 2},
-		{"netstore/workers=2/shards=4", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 2, 4},
-		{"netstore/workers=4/shards=1", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 4, 1},
-		{"netstore/workers=4/shards=2", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 4, 2},
-		{"netstore/workers=4/shards=4", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 4, 4},
-		{"raw/serial", nil, 4000, 10, 32, 4, 2, 0, false, 0, 1, 0},
-		{"raw/full-pipeline", nil, 4000, 10, 32, 4, 2, 2, true, 2, 1, 0},
+		{"hdd/serial", &disk.HDD, 4000, 16, 8, 2, 2, 0, false, 0, 1, 0, 1},
+		{"hdd/prefetch=2", &disk.HDD, 4000, 16, 8, 2, 2, 2, false, 0, 1, 0, 1},
+		{"hdd/prefetch=2+writeback", &disk.HDD, 4000, 16, 8, 2, 2, 2, true, 0, 1, 0, 1},
+		{"hdd/prefetch=2+writeback+shard=2", &disk.HDD, 4000, 16, 8, 2, 2, 2, true, 2, 1, 0, 1},
+		{"hdd/slots=4+full-pipeline", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 1, 0, 1},
+		{"workers/2", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 2, 0, 1},
+		{"workers/4", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 4, 0, 1},
+		{"netstore/workers=2/shards=1", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 2, 1, 1},
+		{"netstore/workers=2/shards=2", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 2, 2, 1},
+		{"netstore/workers=2/shards=4", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 2, 4, 1},
+		{"netstore/workers=4/shards=1", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 4, 1, 1},
+		{"netstore/workers=4/shards=2", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 4, 2, 1},
+		{"netstore/workers=4/shards=4", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 4, 4, 1},
+		{"build/serial", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 4, 4, 1},
+		{"build/workers=4", &disk.HDD, 4000, 16, 8, 2, 4, 4, true, 4, 4, 4, 4},
+		{"raw/serial", nil, 4000, 10, 32, 4, 2, 0, false, 0, 1, 0, 1},
+		{"raw/full-pipeline", nil, 4000, 10, 32, 4, 2, 2, true, 2, 1, 0, 1},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
@@ -453,6 +464,7 @@ func BenchmarkPipelinedPhase4(b *testing.B) {
 				NumPartitions:  v.parts,
 				Workers:        v.workers,
 				ExecWorkers:    v.execWorkers,
+				BuildWorkers:   v.buildWorkers,
 				Slots:          v.slots,
 				PrefetchDepth:  v.prefetchDepth,
 				AsyncWriteback: v.asyncWriteback,
@@ -468,7 +480,7 @@ func BenchmarkPipelinedPhase4(b *testing.B) {
 			}
 			defer eng.Close()
 			b.ResetTimer()
-			var scoreMS float64
+			var scoreMS, buildMS float64
 			var ops, prefetched, asyncWB int64
 			for i := 0; i < b.N; i++ {
 				st, err := eng.Iterate(context.Background())
@@ -476,11 +488,13 @@ func BenchmarkPipelinedPhase4(b *testing.B) {
 					b.Fatal(err)
 				}
 				scoreMS += float64(st.Phases.Score.Microseconds()) / 1000
+				buildMS += float64((st.Phases.Partition + st.Phases.Tuples).Microseconds()) / 1000
 				ops = st.Ops()
 				prefetched = st.PrefetchedLoads
 				asyncWB = st.AsyncUnloads
 			}
 			b.ReportMetric(scoreMS/float64(b.N), "p4-score-ms")
+			b.ReportMetric(buildMS/float64(b.N), "build-ms")
 			b.ReportMetric(float64(ops), "ops")
 			b.ReportMetric(float64(prefetched), "prefetched")
 			b.ReportMetric(float64(asyncWB), "async-wb")

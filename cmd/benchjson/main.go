@@ -13,15 +13,17 @@
 //
 //	benchjson -compare baseline.json candidate.json
 //
-// The default critical set is the emulated-disk phase-4 pipeline —
-// the single-cursor ablation ladder (BenchmarkPipelinedPhase4/hdd),
-// the sharded-tape worker rungs (BenchmarkPipelinedPhase4/workers),
-// and the network-store shard sweep
+// The default critical set is the emulated-disk phase-4 pipeline and
+// build side — the single-cursor ablation ladder
+// (BenchmarkPipelinedPhase4/hdd), the sharded-tape worker rungs
+// (BenchmarkPipelinedPhase4/workers), the network-store shard sweep
 // (BenchmarkPipelinedPhase4/netstore, workers 2/4 over 1/2/4 shards —
 // so a shard-routing or lease-path regression fails PRs the same way
-// an hdd/workers one does): those benchmarks sleep modeled device
-// time, so their wall clock is stable enough to gate on, unlike
-// host-speed microbenchmarks.
+// an hdd/workers one does), and the parallel-build rungs
+// (BenchmarkPipelinedPhase4/build, the phase-1/2 pool off vs on — so
+// a build-side serialization regression is caught too): those
+// benchmarks sleep modeled device time, so their wall clock is stable
+// enough to gate on, unlike host-speed microbenchmarks.
 package main
 
 import (
@@ -64,10 +66,10 @@ type Document struct {
 }
 
 // defaultCritical names the benchmark groups the CI regression gate
-// covers: every emulated-disk phase-4 group — the hdd ablation ladder,
-// the multi-worker "workers" rungs, and the network-store "netstore"
-// shard rungs — and nothing host-speed.
-const defaultCritical = "BenchmarkPipelinedPhase4/(hdd|workers|netstore)"
+// covers: every emulated-disk group — the hdd ablation ladder, the
+// multi-worker "workers" rungs, the network-store "netstore" shard
+// rungs, and the parallel-"build" rungs — and nothing host-speed.
+const defaultCritical = "BenchmarkPipelinedPhase4/(hdd|workers|netstore|build)"
 
 func main() {
 	compare := flag.String("compare", "", "baseline JSON file; requires the candidate file as the positional argument")
@@ -253,7 +255,7 @@ func compareDocs(old, cur *Document, critical *regexp.Regexp, threshold float64)
 			fmt.Fprintf(&sb, "| %s | %.0f | — | removed | %s | — | |\n", n, oldBy[n].NsPerOp, opsCell(oldBy[n]))
 		}
 	}
-	sb.WriteString("\nGated benchmarks: `" + critical.String() + "` — the emulated-disk phase-4 pipeline (single-cursor, multi-worker, and network-store groups), whose modeled device time makes wall clock stable enough to compare across runs.\n")
+	sb.WriteString("\nGated benchmarks: `" + critical.String() + "` — the emulated-disk pipeline (single-cursor, multi-worker, network-store, and parallel-build groups), whose modeled device time makes wall clock stable enough to compare across runs.\n")
 	return sb.String(), regressions
 }
 

@@ -11,9 +11,10 @@
 //	-quick shrinks the sweeps for a fast smoke run.
 //
 // The sweeps cover the paper's Table 1, the Figure 1 phase breakdown,
-// and FW-1..FW-8 (graph size, memory, disk models, scoring threads,
+// and FW-1..FW-9 (graph size, memory, disk models, scoring threads,
 // prefetch depth, the three-stream pipeline ablation, sharded-tape
-// phase-4 workers, and the network-store shard-count sweep).
+// phase-4 workers, the network-store shard-count sweep, and the
+// parallel build-side worker sweep).
 package main
 
 import (
@@ -202,6 +203,24 @@ func run(out io.Writer, quick bool) error {
 			devices = strings.Join(parts, ", ")
 		}
 		fmt.Fprintf(out, "| %s | %v | %d | %s |\n", p.Label, p.ScoreTime, p.Ops, devices)
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "## FW-9 — parallel build side (phases 1–2 across BuildWorkers)")
+	fmt.Fprintln(out)
+	bwUsers, bwCounts, bwShards := 2000, []int{1, 2, 4}, 4
+	if quick {
+		bwUsers, bwCounts, bwShards = 300, []int{1, 2}, 2
+	}
+	bwPoints, err := experiments.BuildWorkerSweep(ctx, bwUsers, bwCounts, bwShards, "hdd")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "| Configuration | Phase-1 time | Phase-2 time | Phase-4 time | Iteration time | Load/unload ops |")
+	fmt.Fprintln(out, "|---|---|---|---|---|---|")
+	for _, p := range bwPoints {
+		fmt.Fprintf(out, "| %s | %v | %v | %v | %v | %d |\n",
+			p.Label, p.PartitionTime, p.TuplesTime, p.ScoreTime, p.IterTime, p.Ops)
 	}
 	fmt.Fprintln(out)
 

@@ -21,6 +21,8 @@ func TestRunQuickProducesAllSections(t *testing.T) {
 		"## FW-5",
 		"## FW-6",
 		"## FW-7",
+		"## FW-8",
+		"## FW-9",
 	} {
 		if !strings.Contains(out, section) {
 			t.Errorf("output missing section %q", section)

@@ -17,6 +17,9 @@
 //	-sim         "cosine", "jaccard", "dice", "overlap"
 //	-workers     scoring goroutines (default 1)
 //	-execworkers phase-4 tape workers: shard the traversal plan across this many executors (default 1)
+//	-buildworkers phase-1/2 build workers: parallel state construction and
+//	             concurrent tuple producers with batched emit; output is
+//	             bit-identical at every count (default 1)
 //	-slots       resident-partition budget S per worker (default 2, the paper's model)
 //	-prefetch    async load lookahead depth; 0 = serial phase 4 (default 0)
 //	-writeback   write partition state back asynchronously (default false)
@@ -67,7 +70,7 @@ func main() {
 
 type config struct {
 	users, items, k, m, iters, workers int
-	execWorkers                        int
+	execWorkers, buildWorkers          int
 	slots, prefetch, shardAhead        int
 	writeback                          bool
 	heuristic, partitioner, sim        string
@@ -89,6 +92,7 @@ func parseFlags(args []string) config {
 	fs.IntVar(&cfg.iters, "iters", 5, "maximum iterations")
 	fs.IntVar(&cfg.workers, "workers", 1, "scoring goroutines")
 	fs.IntVar(&cfg.execWorkers, "execworkers", 1, "phase-4 tape workers (shard the traversal plan across this many executors)")
+	fs.IntVar(&cfg.buildWorkers, "buildworkers", 1, "phase-1/2 build workers (parallel state construction and tuple producers; output identical at every count)")
 	fs.IntVar(&cfg.slots, "slots", 2, "resident-partition budget S per worker")
 	fs.IntVar(&cfg.prefetch, "prefetch", 0, "async load lookahead depth (0 = serial phase 4)")
 	fs.BoolVar(&cfg.writeback, "writeback", false, "write partition state back asynchronously")
@@ -145,6 +149,7 @@ func run(out io.Writer, cfg config) error {
 		Similarity:     sim,
 		Workers:        cfg.workers,
 		ExecWorkers:    cfg.execWorkers,
+		BuildWorkers:   cfg.buildWorkers,
 		Slots:          cfg.slots,
 		PrefetchDepth:  cfg.prefetch,
 		AsyncWriteback: cfg.writeback,
@@ -169,8 +174,8 @@ func run(out io.Writer, cfg config) error {
 	case len(netAddrs) > 0:
 		netDesc = fmt.Sprintf("external/%d-shards", len(netAddrs))
 	}
-	fmt.Fprintf(out, "engine: k=%d m=%d heuristic=%s partitioner=%s sim=%s workers=%d execworkers=%d slots=%d prefetch=%d writeback=%v shardahead=%d ondisk=%v netstore=%s\n\n",
-		cfg.k, cfg.m, h.Name(), p.Name(), sim.Name(), cfg.workers, cfg.execWorkers, cfg.slots, cfg.prefetch, cfg.writeback, cfg.shardAhead, cfg.onDisk, netDesc)
+	fmt.Fprintf(out, "engine: k=%d m=%d heuristic=%s partitioner=%s sim=%s workers=%d execworkers=%d buildworkers=%d slots=%d prefetch=%d writeback=%v shardahead=%d ondisk=%v netstore=%s\n\n",
+		cfg.k, cfg.m, h.Name(), p.Name(), sim.Name(), cfg.workers, cfg.execWorkers, cfg.buildWorkers, cfg.slots, cfg.prefetch, cfg.writeback, cfg.shardAhead, cfg.onDisk, netDesc)
 	fmt.Fprintln(out, "iter  phase1(part)  phase2(tuples)  phase3(pi)  phase4(score)  phase5(upd)  ops  prefetched  async-wb  changed")
 
 	for i := 0; i < cfg.iters; i++ {

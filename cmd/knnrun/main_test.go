@@ -70,6 +70,20 @@ func TestRunExecWorkers(t *testing.T) {
 	}
 }
 
+func TestRunBuildWorkers(t *testing.T) {
+	cfg := smallConfig()
+	cfg.buildWorkers = 4
+	cfg.onDisk = true
+	cfg.scratch = t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "buildworkers=4") {
+		t.Error("header should echo the build worker count")
+	}
+}
+
 func TestRunRejectsBadNames(t *testing.T) {
 	for _, mutate := range []func(*config){
 		func(c *config) { c.heuristic = "nope" },

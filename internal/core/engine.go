@@ -69,6 +69,20 @@ type Options struct {
 	// single-cursor guidance can fail an ExecWorkers>1 iteration with
 	// ErrBudgetExceeded on some runs and not others.
 	ExecWorkers int
+	// BuildWorkers parallelizes the build side, phases 1–2: partition
+	// state construction runs one partition per pool slot, and the
+	// three phase-2 tuple streams (bridge generators, direct edges,
+	// random exploration) produce concurrently into the hash table H
+	// through batched adds (default 1, the serial build). The build
+	// output is bit-identical at every worker count: H de-duplicates
+	// and counts per shard, so everything downstream — ShardCounts,
+	// the PI graph, the schedule, and therefore the Table 1
+	// Loads/Unloads accounting — depends only on the tuple multiset,
+	// which the producer decomposition preserves exactly. Unlike
+	// ExecWorkers, BuildWorkers needs no extra MemoryBudget headroom:
+	// partition states are built, persisted and released one at a
+	// time per slot, never held resident.
+	BuildWorkers int
 	// Slots is the phase-4 memory budget S: at most S partitions
 	// resident at once (default 2, the paper's model; must be ≥ 2).
 	// The phase-3 simulator predicts, and the engine asserts, the
@@ -166,7 +180,12 @@ type Options struct {
 	// neighborhood after a large profile change; random exploration —
 	// the standard remedy in the gossip-based KNN literature — fixes
 	// that at O(n·R) extra similarity evaluations per iteration.
-	// Zero (the default) reproduces the paper exactly.
+	// Zero (the default) reproduces the paper exactly. Each user's
+	// draws come from a generator seeded by Seed ^ hash(iteration,
+	// user), so the stream is a per-user pure function — shardable
+	// across BuildWorkers with identical output at every count —
+	// rather than one serial RNG whose draw order an execution would
+	// have to preserve.
 	RandomCandidates int
 	// Seed drives the random initial graph G(0) and the
 	// RandomCandidates sampling.
@@ -191,6 +210,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.ExecWorkers == 0 {
 		o.ExecWorkers = 1
+	}
+	if o.BuildWorkers == 0 {
+		o.BuildWorkers = 1
 	}
 	if o.Slots == 0 {
 		o.Slots = 2
@@ -249,6 +271,9 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 	}
 	if opts.ExecWorkers < 0 {
 		return nil, fmt.Errorf("core: negative phase-4 worker count %d", opts.ExecWorkers)
+	}
+	if opts.BuildWorkers < 0 {
+		return nil, fmt.Errorf("core: negative build worker count %d", opts.BuildWorkers)
 	}
 	if opts.ShardPrefetch < 0 {
 		return nil, fmt.Errorf("core: negative shard prefetch %d", opts.ShardPrefetch)
@@ -421,7 +446,9 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 	stats := &IterationStats{Iteration: e.iter, NumPartitions: e.opts.NumPartitions}
 	ioStart := e.iostats.Snapshot()
 
-	// Phase 1: partition G(t).
+	// Phase 1: partition G(t), then build every partition's state —
+	// member profile snapshots plus empty accumulators — on the
+	// BuildWorkers pool (per-partition work is independent).
 	start := time.Now()
 	dg := e.g.Digraph()
 	assign, err := e.opts.Partitioner.Partition(dg, e.opts.NumPartitions)
@@ -430,58 +457,28 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 	}
 	parts := partition.Build(dg, assign)
 	stats.PartitionObjective = partition.Objective(dg, assign)
+	stats.BuildWorkers = e.buildWorkerCount()
 	states := e.newStateStore()
 	defer states.Cleanup()
-	for _, p := range parts {
-		st, err := newPartState(p, e.profiles, e.opts.K)
-		if err != nil {
-			return nil, fmt.Errorf("core: phase 1 (state init): %w", err)
-		}
-		if err := states.Put(st); err != nil {
-			return nil, fmt.Errorf("core: phase 1 (state init): %w", err)
-		}
+	if err := e.buildStates(ctx, parts, states); err != nil {
+		return nil, fmt.Errorf("core: phase 1 (state init): %w", err)
 	}
 	stats.Phases.Partition = time.Since(start)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: canceled after phase 1: %w", err)
 	}
 
-	// Phase 2: populate the hash table H with bridge tuples and the
-	// direct edges of G(t).
+	// Phase 2: populate the hash table H — bridge tuples, the direct
+	// edges of G(t), and the exploration stream — from concurrent
+	// producers on the same pool, emitting in batches.
 	start = time.Now()
 	table, err := e.newTable(assign)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2 (hash table): %w", err)
 	}
 	defer table.Close()
-	for _, p := range parts {
-		if err := tuples.GenerateBridge(p, table.Add); err != nil {
-			return nil, fmt.Errorf("core: phase 2 (bridge tuples): %w", err)
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: canceled in phase 2: %w", err)
-		}
-	}
-	for _, edge := range dg.Edges() {
-		if err := table.Add(edge.Src, edge.Dst); err != nil {
-			return nil, fmt.Errorf("core: phase 2 (direct edges): %w", err)
-		}
-	}
-	if e.opts.RandomCandidates > 0 {
-		// Deterministic per-iteration exploration stream.
-		rng := rand.New(rand.NewSource(e.opts.Seed + int64(e.iter)*0x9E3779B9))
-		n := e.profiles.NumUsers()
-		for u := 0; u < n; u++ {
-			for r := 0; r < e.opts.RandomCandidates; r++ {
-				v := uint32(rng.Intn(n))
-				if v == uint32(u) {
-					continue
-				}
-				if err := table.Add(uint32(u), v); err != nil {
-					return nil, fmt.Errorf("core: phase 2 (random candidates): %w", err)
-				}
-			}
-		}
+	if err := e.populateTable(ctx, dg, parts, table); err != nil {
+		return nil, fmt.Errorf("core: phase 2 (populate H): %w", err)
 	}
 	stats.TuplesAdded = table.Added()
 	stats.Phases.Tuples = time.Since(start)

@@ -62,6 +62,12 @@ type IterationStats struct {
 	// read asynchronously ahead of the cursor (0 unless
 	// Options.ShardPrefetch > 0 on an on-disk table).
 	PrefetchedShardBytes int64
+	// BuildWorkers is the width of the phase-1/2 build pool the
+	// iteration ran with (Options.BuildWorkers; 1 for the serial
+	// build). The build output — tuple counts, shard contents, and
+	// therefore every downstream accounting number — is identical at
+	// every width; only the Partition/Tuples phase times change.
+	BuildWorkers int
 	// ExecWorkers is the number of tape segments phase 4 actually ran
 	// (Options.ExecWorkers, capped at the schedule's step count; 1 for
 	// single-cursor execution). WorkerOps breaks the Loads+Unloads

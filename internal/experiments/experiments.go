@@ -81,6 +81,10 @@ type SweepPoint struct {
 	// ScoreTime is the mean wall time of phase 4 alone — the phase
 	// the pipelined executor accelerates.
 	ScoreTime time.Duration
+	// PartitionTime and TuplesTime are the mean wall times of phases 1
+	// and 2 — the build side the BuildWorkers pool accelerates.
+	PartitionTime time.Duration
+	TuplesTime    time.Duration
 	// Ops is the load/unload operations of the last iteration.
 	Ops int64
 	// PrefetchedLoads is the last iteration's asynchronously issued
@@ -111,6 +115,10 @@ type EngineConfig struct {
 	// ExecWorkers shards the phase-4 op tape across that many executor
 	// goroutines (0/1 = the single-cursor execution).
 	ExecWorkers int
+	// BuildWorkers parallelizes the phase-1/2 build side across that
+	// many producer goroutines (0/1 = the serial build). Output and
+	// accounting are identical at every count.
+	BuildWorkers int
 	// Slots, PrefetchDepth, AsyncWriteback and ShardPrefetch configure
 	// phase-4 execution: S resident partitions (0 = the paper's 2),
 	// the async load lookahead (0 = serial loads), background
@@ -153,6 +161,7 @@ func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
 		NumPartitions:  cfg.Partitions,
 		Workers:        cfg.Workers,
 		ExecWorkers:    cfg.ExecWorkers,
+		BuildWorkers:   cfg.BuildWorkers,
 		Slots:          cfg.Slots,
 		PrefetchDepth:  cfg.PrefetchDepth,
 		AsyncWriteback: cfg.AsyncWriteback,
@@ -167,7 +176,7 @@ func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
 	}
 	defer eng.Close()
 
-	var total, score time.Duration
+	var total, score, part, tuples time.Duration
 	for i := 0; i < cfg.Iterations; i++ {
 		st, err := eng.Iterate(ctx)
 		if err != nil {
@@ -175,6 +184,8 @@ func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
 		}
 		total += st.Phases.Total()
 		score += st.Phases.Score
+		part += st.Phases.Partition
+		tuples += st.Phases.Tuples
 		point.Ops = st.Ops()
 		point.PrefetchedLoads = st.PrefetchedLoads
 		point.AsyncUnloads = st.AsyncUnloads
@@ -183,6 +194,8 @@ func RunEngine(ctx context.Context, cfg EngineConfig) (SweepPoint, error) {
 	}
 	point.IterTime = total / time.Duration(cfg.Iterations)
 	point.ScoreTime = score / time.Duration(cfg.Iterations)
+	point.PartitionTime = part / time.Duration(cfg.Iterations)
+	point.TuplesTime = tuples / time.Duration(cfg.Iterations)
 	point.Devices = eng.IOStats().Devices
 	return point, nil
 }
@@ -370,6 +383,38 @@ func NetstoreSweep(ctx context.Context, users, workers int, shardCounts []int, m
 	points := make([]SweepPoint, 0, len(configs))
 	for _, cfg := range configs {
 		p, err := RunEngine(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// BuildWorkerSweep runs the FW-9 sweep: the phase-1/2 build pool at
+// increasing widths over the shard-per-spindle state store (the layout
+// where the parallel build's state installs sleep on several emulated
+// spindles concurrently), with a fixed pipelined phase 4. Tuple
+// tallies, shard contents and the op tape are identical at every
+// width; the per-phase wall times show the serial fraction of the
+// iteration shrinking.
+func BuildWorkerSweep(ctx context.Context, users int, workerCounts []int, shards int, model string) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		label := fmt.Sprintf("buildworkers=%d", w)
+		if shards > 0 {
+			label += fmt.Sprintf("/shards=%d", shards)
+		}
+		if model != "" {
+			label += "/" + model
+		}
+		p, err := RunEngine(ctx, EngineConfig{
+			Label: label, Users: users,
+			K: 10, Partitions: 16, Workers: 2, ExecWorkers: 2, BuildWorkers: w,
+			Slots: 4, PrefetchDepth: 2, AsyncWriteback: true, ShardPrefetch: 2,
+			NetStoreShards: shards,
+			OnDisk:         true, EmulateDisk: model, Iterations: 2, Seed: 1,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -141,3 +141,25 @@ func TestNetstoreSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildWorkerSweep(t *testing.T) {
+	points, err := BuildWorkerSweep(context.Background(), 200, []int{1, 2}, 2, "nvme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want one per worker count", len(points))
+	}
+	for _, p := range points {
+		if p.PartitionTime <= 0 || p.TuplesTime <= 0 {
+			t.Errorf("%s: build-phase times not measured: %+v", p.Label, p)
+		}
+		// The build width never changes the tape or the tuple set.
+		if p.Ops != points[0].Ops {
+			t.Errorf("%s: %d ops, serial build did %d — accounting must not depend on BuildWorkers", p.Label, p.Ops, points[0].Ops)
+		}
+	}
+	if points[0].Label != "buildworkers=1/shards=2/nvme" {
+		t.Errorf("unexpected label %q", points[0].Label)
+	}
+}

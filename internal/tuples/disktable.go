@@ -20,29 +20,67 @@ import (
 // two owning partitions are resident anyway, so peak memory stays
 // bounded by a single shard rather than the whole tuple set.
 //
-// Concurrency contract: Add runs in phase 2, strictly before any Shard
-// or ShardAhead call, and is not safe concurrently with them. Shard and
-// ShardAhead are called from the phase-4 executor's cursor goroutine;
-// the asynchronous read issued by ShardAhead runs on a background
+// Concurrency contract: Add and AddBatch run in phase 2, strictly
+// before any Shard or ShardAhead call, and are safe for concurrent use
+// with each other and with Close — each shard's pending buffer, raw
+// count and spill writer are guarded by that shard's own mutex, so
+// producers contend only when they hit the same shard, and distinct
+// shards spill to distinct files. Spill append ORDER within a shard
+// therefore depends on producer interleaving, which is immaterial:
+// de-duplication sorts the whole shard at read time, so shard contents
+// are a pure function of the tuple multiset. Shard and ShardAhead are
+// called from the phase-4 executor's cursor goroutines; the
+// asynchronous read issued by ShardAhead runs on a background
 // goroutine that touches only state it owns (the shard's writer, spill
 // file and pending buffer are handed over at issue time).
+//
+// Lock order: the table mutex (shard map, futures, closed) is always
+// taken before a shard's mutex, never the reverse.
 type DiskTable struct {
 	assign  *partition.Assignment
 	scratch *disk.Scratch
 	stats   *disk.IOStats
-	device  *disk.Device // nil = no emulated latency on shard reads
+	device  *disk.Device // nil = no emulated latency on shard spill I/O
 	batch   int
 
-	writers map[ShardID]*disk.RecordWriter
-	pending map[ShardID][]uint64
-	counts  map[ShardID]int64
-	added   int64
-
-	mu      sync.Mutex // guards futures and closed against Close-while-in-flight
+	mu      sync.Mutex // guards shards, futures and closed
+	shards  map[ShardID]*diskShard
 	futures map[ShardID]*shardFuture
 	closed  bool
 
+	added           atomic.Int64
 	prefetchedBytes atomic.Int64
+
+	// encPool recycles spill-record encode buffers across flushes, so
+	// the batched emit path does not allocate one fresh record per
+	// flush the way the old per-call packing did; groupPool recycles
+	// the per-AddBatch shard-grouping scratch (one bucket slice per
+	// directed partition pair) across calls and producers.
+	encPool   sync.Pool
+	groupPool sync.Pool
+}
+
+// batchGroups is the pooled scratch one AddBatch call groups its
+// tuples with: buckets is indexed by the shard ordinal I·m+J, touched
+// lists the non-empty ordinals so reset cost scales with the batch,
+// not with m².
+type batchGroups struct {
+	buckets [][]uint64
+	touched []int
+}
+
+// diskShard is one directed partition pair's spill state. Its mutex
+// guards every field; dead marks state torn down by Close (a late
+// producer that already passed the table's closed check must not
+// resurrect a writer for a removed file), taken marks state handed
+// over to a Shard/ShardAhead consumer.
+type diskShard struct {
+	mu      sync.Mutex
+	pending []uint64
+	count   int64
+	writer  *disk.RecordWriter
+	taken   bool
+	dead    bool
 }
 
 // shardFuture is one in-flight asynchronous shard read.
@@ -67,58 +105,156 @@ func NewDiskTable(assign *partition.Assignment, scratch *disk.Scratch, stats *di
 		scratch: scratch,
 		stats:   stats,
 		batch:   batch,
-		writers: make(map[ShardID]*disk.RecordWriter),
-		pending: make(map[ShardID][]uint64),
-		counts:  make(map[ShardID]int64),
+		shards:  make(map[ShardID]*diskShard),
 		futures: make(map[ShardID]*shardFuture),
 	}
 }
 
 // SetDevice attaches an emulated storage device: every shard spill read
-// then pays the device's modeled latency (queued with all other users
-// of the same device), making shard I/O part of the latency-bound
-// phase-4 picture that EmulateDisk reproduces. Phase-2 spill writes are
-// deliberately exempt — the emulation targets the phase-4 pipeline.
+// then pays the device's modeled random-access latency, and every spill
+// flush the modeled cost of a sequential journal append (the spill is
+// an append-only stream the OS write-back coalesces; charging a seek
+// per batch would model hardware no append-only workload sees). Both
+// queue with all other users of the same device, making the build
+// side's spill traffic and phase 4's shard reads part of the same
+// latency-bound picture that EmulateDisk reproduces.
 func (t *DiskTable) SetDevice(d *disk.Device) { t.device = d }
+
+// shard returns (creating if needed) the shard of id, or an error on a
+// closed table.
+func (t *DiskTable) shard(id ShardID) (*diskShard, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("tuples: add to closed disk table")
+	}
+	sh, ok := t.shards[id]
+	if !ok {
+		sh = &diskShard{}
+		t.shards[id] = sh
+	}
+	return sh, nil
+}
+
+// addKeys appends packed tuples to one shard, flushing full batches.
+// It returns the spill bytes written, so callers can charge the
+// emulated device AFTER releasing the shard lock — sleeping modeled
+// latency while holding a shard every other producer's next batch
+// will touch would convoy the whole build behind one spindle access.
+func (t *DiskTable) addKeys(id ShardID, keys []uint64) (int64, error) {
+	sh, err := t.shard(id)
+	if err != nil {
+		return 0, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.dead {
+		return 0, errors.New("tuples: add to closed disk table")
+	}
+	sh.count += int64(len(keys))
+	sh.pending = append(sh.pending, keys...)
+	if len(sh.pending) >= t.batch {
+		return t.flushLocked(id, sh)
+	}
+	return 0, nil
+}
 
 // Add implements Table.
 func (t *DiskTable) Add(s, d uint32) error {
-	if t.closed {
-		return errors.New("tuples: add to closed disk table")
-	}
-	t.added++
 	id := ShardID{I: t.assign.Of(s), J: t.assign.Of(d)}
-	t.counts[id]++
-	t.pending[id] = append(t.pending[id], pack(s, d))
-	if len(t.pending[id]) >= t.batch {
-		return t.flush(id)
+	spilled, err := t.addKeys(id, []uint64{pack(s, d)})
+	if err != nil {
+		return err
 	}
+	if spilled > 0 {
+		t.device.Append(spilled)
+	}
+	t.added.Add(1)
 	return nil
 }
 
-func (t *DiskTable) flush(id ShardID) error {
-	buf := t.pending[id]
-	if len(buf) == 0 {
+// AddBatch implements Table: tuples are grouped by shard through a
+// pooled ordinal-indexed scratch, so each touched shard's lock (and at
+// most one spill flush per shard) is paid once per batch instead of
+// once per tuple, and the grouping itself allocates nothing in steady
+// state.
+func (t *DiskTable) AddBatch(ts []Tuple) error {
+	if len(ts) == 0 {
 		return nil
 	}
-	w, ok := t.writers[id]
-	if !ok {
-		var err error
-		w, err = disk.CreateRecordFile(t.stats, t.shardPath(id))
-		if err != nil {
-			return fmt.Errorf("tuples: open spill for shard (%d,%d): %w", id.I, id.J, err)
-		}
-		t.writers[id] = w
+	m := t.assign.NumPartitions()
+	g, _ := t.groupPool.Get().(*batchGroups)
+	if g == nil || len(g.buckets) < m*m {
+		g = &batchGroups{buckets: make([][]uint64, m*m)}
 	}
-	rec := make([]byte, 8*len(buf))
+	for _, tu := range ts {
+		ord := int(t.assign.Of(tu.S))*m + int(t.assign.Of(tu.D))
+		if len(g.buckets[ord]) == 0 {
+			g.touched = append(g.touched, ord)
+		}
+		g.buckets[ord] = append(g.buckets[ord], pack(tu.S, tu.D))
+	}
+	var spilled int64
+	var err error
+	for _, ord := range g.touched {
+		if err == nil {
+			var n int64
+			n, err = t.addKeys(ShardID{I: uint32(ord / m), J: uint32(ord % m)}, g.buckets[ord])
+			spilled += n
+		}
+		g.buckets[ord] = g.buckets[ord][:0]
+	}
+	g.touched = g.touched[:0]
+	t.groupPool.Put(g)
+	if err != nil {
+		return err
+	}
+	// One aggregate device charge per batch, paid with no shard lock
+	// held: only concurrent flushers queue on the spindle, never the
+	// producers still generating.
+	if spilled > 0 {
+		t.device.Append(spilled)
+	}
+	t.added.Add(int64(len(ts)))
+	return nil
+}
+
+// flushLocked spills one shard's pending buffer as a single record,
+// returning the bytes written (the caller's deferred device charge).
+// The caller holds sh.mu; the encode buffer is pooled across flushes.
+func (t *DiskTable) flushLocked(id ShardID, sh *diskShard) (int64, error) {
+	buf := sh.pending
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	if sh.writer == nil {
+		w, err := disk.CreateRecordFile(t.stats, t.shardPath(id))
+		if err != nil {
+			return 0, fmt.Errorf("tuples: open spill for shard (%d,%d): %w", id.I, id.J, err)
+		}
+		sh.writer = w
+	}
+	rec := t.encBuf(8 * len(buf))
 	for i, k := range buf {
 		binary.LittleEndian.PutUint64(rec[8*i:], k)
 	}
-	if err := w.Append(rec); err != nil {
-		return fmt.Errorf("tuples: spill shard (%d,%d): %w", id.I, id.J, err)
+	err := sh.writer.Append(rec)
+	n := int64(len(rec))
+	t.encPool.Put(&rec)
+	if err != nil {
+		return 0, fmt.Errorf("tuples: spill shard (%d,%d): %w", id.I, id.J, err)
 	}
-	t.pending[id] = buf[:0]
-	return nil
+	sh.pending = buf[:0]
+	return n, nil
+}
+
+// encBuf returns a pooled encode buffer of at least n bytes, sliced to
+// exactly n.
+func (t *DiskTable) encBuf(n int) []byte {
+	if p, ok := t.encPool.Get().(*[]byte); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
 }
 
 func (t *DiskTable) shardPath(id ShardID) string {
@@ -126,29 +262,33 @@ func (t *DiskTable) shardPath(id ShardID) string {
 }
 
 // Added implements Table.
-func (t *DiskTable) Added() int64 { return t.added }
+func (t *DiskTable) Added() int64 { return t.added.Load() }
 
 // ShardCounts implements Table. Counts are raw (duplicates included);
 // they upper-bound the distinct tuple count.
 func (t *DiskTable) ShardCounts() map[ShardID]int64 {
-	out := make(map[ShardID]int64, len(t.counts))
-	for id, c := range t.counts {
-		out[id] = c
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[ShardID]int64, len(t.shards))
+	for id, sh := range t.shards {
+		sh.mu.Lock()
+		if !sh.taken && sh.count > 0 {
+			out[id] = sh.count
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
-// take detaches shard id's consumption state — unflushed tail, spill
-// writer and raw count — transferring ownership to the caller. Each
-// shard is taken at most once (Shard may be called at most once per
-// shard, and ShardAhead dedupes against in-flight futures).
-func (t *DiskTable) take(id ShardID) (pending []uint64, w *disk.RecordWriter, count int64) {
-	pending = t.pending[id]
-	delete(t.pending, id)
-	w = t.writers[id]
-	delete(t.writers, id)
-	count = t.counts[id]
-	delete(t.counts, id)
+// takeLocked detaches shard sh's consumption state — unflushed tail,
+// spill writer and raw count — transferring ownership to the caller.
+// The caller holds sh.mu. Each shard is taken at most once (Shard may
+// be called at most once per shard, and ShardAhead dedupes against
+// in-flight futures).
+func (sh *diskShard) takeLocked() (pending []uint64, w *disk.RecordWriter, count int64) {
+	pending, w, count = sh.pending, sh.writer, sh.count
+	sh.pending, sh.writer, sh.count = nil, nil, 0
+	sh.taken = true
 	return pending, w, count
 }
 
@@ -222,11 +362,23 @@ func (t *DiskTable) readShard(id ShardID, pending []uint64, w *disk.RecordWriter
 func (t *DiskTable) ShardAhead(i, j uint32) {
 	id := ShardID{I: i, J: j}
 	t.mu.Lock()
-	if t.closed || t.futures[id] != nil || t.counts[id] == 0 {
+	if t.closed || t.futures[id] != nil {
 		t.mu.Unlock()
 		return
 	}
-	pending, w, count := t.take(id)
+	sh := t.shards[id]
+	if sh == nil {
+		t.mu.Unlock()
+		return
+	}
+	sh.mu.Lock()
+	if sh.taken || sh.count == 0 {
+		sh.mu.Unlock()
+		t.mu.Unlock()
+		return
+	}
+	pending, w, count := sh.takeLocked()
+	sh.mu.Unlock()
 	f := &shardFuture{done: make(chan struct{})}
 	t.futures[id] = f
 	t.mu.Unlock()
@@ -263,22 +415,33 @@ func (t *DiskTable) Shard(i, j uint32) ([]Tuple, error) {
 		<-f.done
 		return f.tuples, f.err
 	}
-	if t.counts[id] == 0 {
+	sh := t.shards[id]
+	if sh == nil {
 		t.mu.Unlock()
 		return nil, nil
 	}
-	pending, w, count := t.take(id)
+	sh.mu.Lock()
+	if sh.taken || sh.count == 0 {
+		sh.mu.Unlock()
+		t.mu.Unlock()
+		return nil, nil
+	}
+	pending, w, count := sh.takeLocked()
+	sh.mu.Unlock()
 	t.mu.Unlock()
 	ts, _, err := t.readShard(id, pending, w, count)
 	return ts, err
 }
 
 // Close implements Table: it waits out any in-flight shard reads, then
-// closes and removes any remaining spill files. All consumption state
-// is detached under the mutex BEFORE it is torn down, so a Shard or
-// ShardAhead racing with Close either completes against its own taken
-// state or observes the closed flag — never a half-dismantled map or a
-// writer Close is about to close under it.
+// closes and removes any remaining spill files. The closed flag is set
+// under the table mutex (the same lock the add path's shard lookup
+// takes), and each shard's state is detached under that shard's own
+// mutex and marked dead BEFORE it is torn down — so an Add, AddBatch,
+// Shard or ShardAhead racing with Close either completes entirely
+// against state it already holds, or observes closed/dead and errors.
+// Never a half-dismantled shard or a writer Close is about to close
+// under it.
 func (t *DiskTable) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -287,11 +450,9 @@ func (t *DiskTable) Close() error {
 	}
 	t.closed = true
 	inflight := t.futures
-	writers := t.writers
+	shards := t.shards
 	t.futures = nil
-	t.writers = nil
-	t.pending = nil
-	t.counts = nil
+	t.shards = nil
 	t.mu.Unlock()
 
 	// Abandoned read-aheads (an aborted phase 4 never consumed them)
@@ -306,7 +467,15 @@ func (t *DiskTable) Close() error {
 			firstErr = f.err
 		}
 	}
-	for id, w := range writers {
+	for id, sh := range shards {
+		sh.mu.Lock()
+		w := sh.writer
+		sh.pending, sh.writer, sh.count = nil, nil, 0
+		sh.dead = true
+		sh.mu.Unlock()
+		if w == nil {
+			continue
+		}
 		if err := w.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}

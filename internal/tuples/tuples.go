@@ -73,13 +73,30 @@ func GenerateBridge(p *partition.Data, emit func(s, d uint32) error) error {
 // Table is the hash table H: it absorbs raw tuples (with duplicates)
 // and serves de-duplicated, deterministically ordered shards keyed by
 // the partition pair of the endpoints.
+//
+// Concurrency contract: Add and AddBatch are safe for concurrent use
+// with each other — phase 2's bridge, direct-edge and exploration
+// producers all feed one table from their own goroutines. Because H
+// de-duplicates and shards only by endpoint partitions, everything the
+// table serves afterwards (Added, ShardCounts, the de-duplicated
+// sorted Shard contents) depends only on the multiset of tuples added,
+// never on the interleaving, so a parallel build is bit-identical to a
+// serial one. Shard and ShardAhead still run strictly after the add
+// phase, per the five-phase structure.
 type Table interface {
 	// Add records the tuple (s, d).
 	Add(s, d uint32) error
-	// Added reports the number of Add calls (duplicates included).
+	// AddBatch records a batch of tuples in one call — the batched
+	// emit path of the parallel build: producers accumulate a local
+	// buffer and hand it over whole, so per-tuple locking and encode
+	// overhead amortize across the batch. Equivalent to calling Add
+	// for each element.
+	AddBatch(ts []Tuple) error
+	// Added reports the number of tuples added (duplicates included).
 	Added() int64
 	// ShardCounts returns the raw tuple count per directed partition
-	// pair — the weights from which the PI graph is built.
+	// pair — the weights from which the PI graph is built. It must only
+	// be called after all adds have completed (phase 3 reads it once).
 	ShardCounts() map[ShardID]int64
 	// Shard returns the de-duplicated tuples whose endpoints lie in
 	// partitions (i, j), sorted by (S, D). It may be called at most

@@ -2,9 +2,11 @@ package tuples
 
 import (
 	"math/rand"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -338,8 +340,200 @@ func TestDiskTableAddAfterClose(t *testing.T) {
 	if err := table.Add(0, 1); err == nil {
 		t.Error("Add after Close should fail")
 	}
+	if err := table.AddBatch([]Tuple{{0, 1}}); err == nil {
+		t.Error("AddBatch after Close should fail")
+	}
 	if err := table.Close(); err != nil {
 		t.Errorf("double Close should be a no-op, got %v", err)
+	}
+}
+
+// TestDiskTableAddRacesClose is the satellite race test for the
+// concurrent-build contract: producers hammer Add/AddBatch from
+// several goroutines while Close lands in the middle. Run under -race
+// in CI. Before the closed check moved under the table's locking
+// scheme, Add read t.closed unsynchronized while Close wrote it — a
+// data race — and a producer that slipped past the check could
+// resurrect a spill writer for a file Close had already removed. After
+// the fix every add either lands entirely before Close detaches its
+// shard (the file is then cleaned up by Close) or reports the closed
+// error; no spill file may survive.
+func TestDiskTableAddRacesClose(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		dir := t.TempDir()
+		a, err := partition.NewAssignment([]uint32{0, 1, 0, 1, 2, 2}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch, err := disk.NewScratch(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats disk.IOStats
+		table := NewDiskTable(a, scratch, &stats, 2) // tiny batch: every producer flushes
+
+		start := make(chan struct{})
+		done := make(chan struct{}, 3)
+		producer := func(base uint32, batched bool) {
+			defer func() { done <- struct{}{} }()
+			<-start
+			r := rand.New(rand.NewSource(seed + int64(base)))
+			for i := 0; i < 400; i++ {
+				s, d := uint32(r.Intn(6)), uint32(r.Intn(6))
+				var err error
+				if batched {
+					err = table.AddBatch([]Tuple{{s, d}, {d, s}})
+				} else {
+					err = table.Add(s, d)
+				}
+				if err != nil {
+					if !strings.Contains(err.Error(), "closed") {
+						t.Errorf("seed %d: unexpected add error: %v", seed, err)
+					}
+					return
+				}
+			}
+		}
+		go producer(0, false)
+		go producer(1, true)
+		go producer(2, true)
+		closed := make(chan error, 1)
+		go func() {
+			<-start
+			closed <- table.Close()
+		}()
+		close(start)
+
+		if err := <-closed; err != nil {
+			t.Fatalf("seed %d: Close: %v", seed, err)
+		}
+		for r := 0; r < 3; r++ {
+			<-done
+		}
+		// Whatever interleaving happened, Close must have removed every
+		// spill file a racing producer managed to create.
+		files, err := filepath.Glob(filepath.Join(dir, "shard-*.tuples"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) > 0 {
+			t.Fatalf("seed %d: spill files survived Close: %v", seed, files)
+		}
+	}
+}
+
+// TestParallelAddBatchMatchesSerialTable is the table-level statement
+// of the build-side invariant: the same tuple multiset fed through
+// concurrent AddBatch producers (in shuffled, overlapping slices) must
+// leave H byte-for-byte equal to feeding it through serial per-tuple
+// Add — same Added tally, same raw ShardCounts, same de-duplicated
+// sorted shard contents — for both table implementations.
+func TestParallelAddBatchMatchesSerialTable(t *testing.T) {
+	const users, m, seed = 60, 4, 11
+	g, err := dataset.UniformRandom(users, 5*users, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := (partition.Hash{}).Partition(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The raw stream, duplicates included: two-hop tuples + direct edges.
+	var stream []Tuple
+	for _, p := range partition.Build(g, a) {
+		if err := GenerateBridge(p, func(s, d uint32) error {
+			stream = append(stream, Tuple{S: s, D: d})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range g.Edges() {
+		stream = append(stream, Tuple{S: e.Src, D: e.Dst})
+	}
+
+	type result struct {
+		added  int64
+		counts map[ShardID]int64
+		shards map[ShardID][]Tuple
+	}
+	drain := func(table Table) result {
+		res := result{added: table.Added(), counts: table.ShardCounts(), shards: make(map[ShardID][]Tuple)}
+		for i := uint32(0); i < m; i++ {
+			for j := uint32(0); j < m; j++ {
+				ts, err := table.Shard(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ts != nil {
+					res.shards[ShardID{i, j}] = ts
+				}
+			}
+		}
+		return res
+	}
+
+	for _, name := range []string{"mem", "disk"} {
+		t.Run(name, func(t *testing.T) {
+			mk := func() Table {
+				if name == "mem" {
+					return NewMemTable(a)
+				}
+				scratch, err := disk.NewScratch(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				var stats disk.IOStats
+				return NewDiskTable(a, scratch, &stats, 4)
+			}
+			serial := mk()
+			defer serial.Close()
+			for _, tu := range stream {
+				if err := serial.Add(tu.S, tu.D); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := drain(serial)
+
+			parallel := mk()
+			defer parallel.Close()
+			// Shuffle a copy so producers interleave shards arbitrarily,
+			// then split into uneven slices fed from 4 goroutines in
+			// batches of varying size.
+			shuffled := append([]Tuple(nil), stream...)
+			r := rand.New(rand.NewSource(seed))
+			r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				lo, hi := w*len(shuffled)/4, (w+1)*len(shuffled)/4
+				wg.Add(1)
+				go func(chunk []Tuple, step int) {
+					defer wg.Done()
+					for len(chunk) > 0 {
+						n := min(step, len(chunk))
+						if err := parallel.AddBatch(chunk[:n]); err != nil {
+							t.Error(err)
+							return
+						}
+						chunk = chunk[n:]
+					}
+				}(shuffled[lo:hi], 3+w*7)
+			}
+			wg.Wait()
+			got := drain(parallel)
+
+			if got.added != want.added {
+				t.Errorf("Added = %d parallel, %d serial", got.added, want.added)
+			}
+			// Disk counts are raw-add tallies, mem counts distinct-set
+			// sizes — both pure functions of the multiset.
+			if !reflect.DeepEqual(got.counts, want.counts) {
+				t.Errorf("ShardCounts diverge:\nparallel %v\nserial   %v", got.counts, want.counts)
+			}
+			if !reflect.DeepEqual(got.shards, want.shards) {
+				t.Error("de-duplicated shard contents diverge between parallel and serial build")
+			}
+		})
 	}
 }
 

@@ -81,6 +81,18 @@ type Config struct {
 	// instances opportunistically, but how often they overlap depends
 	// on scheduling, so the worst case is what the budget must cover.
 	ExecWorkers int
+	// BuildWorkers parallelizes the build side of each iteration,
+	// phases 1–2: partition states are constructed one partition per
+	// pool slot, and the candidate-tuple streams (bridge join, direct
+	// edges, exploration) are produced concurrently into the hash
+	// table through batched inserts (default 1, the serial build).
+	// Results and all reported accounting are bit-identical at every
+	// worker count — the table de-duplicates, so its contents depend
+	// only on WHAT was added, never on the order. A good setting is
+	// the machine's core count; unlike ExecWorkers it needs no
+	// MemoryBudgetBytes headroom, since built states are persisted
+	// and released immediately.
+	BuildWorkers int
 	// Slots is the phase-4 memory budget: at most this many partitions
 	// resident at once (default 2, the paper's model; must be ≥ 2).
 	// The load/unload accounting reported per iteration always matches
@@ -162,6 +174,7 @@ func (c Config) engineOptions() (core.Options, error) {
 		NumPartitions:    c.Partitions,
 		Workers:          c.Workers,
 		ExecWorkers:      c.ExecWorkers,
+		BuildWorkers:     c.BuildWorkers,
 		Slots:            c.Slots,
 		PrefetchDepth:    c.PrefetchDepth,
 		AsyncWriteback:   c.AsyncWriteback,
@@ -237,6 +250,10 @@ type Report struct {
 	// worker and always sums to it exactly.
 	ExecWorkers int
 	WorkerOps   []int64
+	// BuildWorkers is the width of the phase-1/2 build pool (1 for the
+	// serial build). It never changes results or accounting — only the
+	// PhasePartition/PhaseTuples wall times.
+	BuildWorkers int
 	// EdgeChanges counts directed-edge differences between G(t) and
 	// G(t+1); zero means the graph has converged.
 	EdgeChanges int
@@ -261,6 +278,7 @@ func reportFrom(st *core.IterationStats) Report {
 		PrefetchedShardBytes: st.PrefetchedShardBytes,
 		ExecWorkers:          st.ExecWorkers,
 		WorkerOps:            append([]int64(nil), st.WorkerOps...),
+		BuildWorkers:         st.BuildWorkers,
 		EdgeChanges:          st.EdgeChanges,
 		UpdatesApplied:       st.UpdatesApplied,
 	}

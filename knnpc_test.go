@@ -364,6 +364,66 @@ func TestSystemShardedWorkers(t *testing.T) {
 	}
 }
 
+// TestSystemParallelBuild pins the public-API contract of the build
+// pool: a BuildWorkers>1 system reproduces the serial system's
+// neighbor lists and per-iteration tuple/op accounting exactly, and
+// reports the pool width it ran with.
+func TestSystemParallelBuild(t *testing.T) {
+	profiles := testProfiles(t, 80)
+	base := Config{K: 4, Partitions: 6, Exploration: 2, Seed: 5}
+
+	serial, err := New(profiles, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	serialReports, err := serial.Run(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.OnDisk = true
+	cfg.BuildWorkers = 4
+	parallel, err := New(profiles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parallel.Close()
+	parReports, err := parallel.Run(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serialReports) != len(parReports) {
+		t.Fatalf("serial converged in %d iterations, parallel build in %d", len(serialReports), len(parReports))
+	}
+	for i := range parReports {
+		s, p := serialReports[i], parReports[i]
+		if p.BuildWorkers != 4 {
+			t.Errorf("iter %d: reported %d build workers, want 4", i, p.BuildWorkers)
+		}
+		if s.BuildWorkers != 1 {
+			t.Errorf("iter %d: serial system reported %d build workers", i, s.BuildWorkers)
+		}
+		if s.TuplesScored != p.TuplesScored || s.LoadUnloadOps != p.LoadUnloadOps || s.EdgeChanges != p.EdgeChanges {
+			t.Errorf("iter %d: parallel build scored=%d ops=%d changes=%d, serial scored=%d ops=%d changes=%d",
+				i, p.TuplesScored, p.LoadUnloadOps, p.EdgeChanges, s.TuplesScored, s.LoadUnloadOps, s.EdgeChanges)
+		}
+	}
+	for u := uint32(0); u < 80; u++ {
+		sn, pn := serial.Neighbors(u), parallel.Neighbors(u)
+		if len(sn) != len(pn) {
+			t.Fatalf("user %d: %d vs %d neighbors", u, len(pn), len(sn))
+		}
+		for i := range sn {
+			if sn[i] != pn[i] {
+				t.Fatalf("user %d: neighbors diverge (%v vs %v)", u, pn, sn)
+			}
+		}
+	}
+}
+
 func TestExactNeighbors(t *testing.T) {
 	profiles := testProfiles(t, 25)
 	truth, err := ExactNeighbors(profiles, Config{K: 4, Workers: 2})
