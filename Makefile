@@ -15,7 +15,7 @@ BENCH_OUT ?= BENCH_PR.json
 # Pinned staticcheck release; CI installs exactly this version.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race race-phase4 bench bench-json bench-compare e2e-netstore fmt vet staticcheck ci
+.PHONY: all build test race race-phase4 bench bench-json bench-compare e2e-netstore fmt vet staticcheck docs ci
 
 all: build
 
@@ -80,4 +80,12 @@ staticcheck:
 		echo "staticcheck not installed — skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
-ci: build fmt vet staticcheck race race-phase4 e2e-netstore bench
+# Documentation lints: every exported symbol in the core packages must
+# carry a doc comment (scripts/doccheck), and every cmd/ binary flag
+# must appear in docs/OPERATIONS.md (scripts/check_flags.sh). The
+# PROTOCOL.md op-table sync check runs with the normal test suite.
+docs:
+	./scripts/doccheck.sh
+	./scripts/check_flags.sh
+
+ci: build fmt vet staticcheck race race-phase4 e2e-netstore docs bench

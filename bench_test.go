@@ -14,12 +14,15 @@ package knnpc
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"knnpc/internal/core"
 	"knnpc/internal/dataset"
 	"knnpc/internal/disk"
+	"knnpc/internal/netstore"
 	"knnpc/internal/nndescent"
 	"knnpc/internal/partition"
 	"knnpc/internal/pigraph"
@@ -555,6 +558,110 @@ func BenchmarkPartitionerAblation(b *testing.B) {
 			}
 			b.ReportMetric(float64(ops), "ops")
 			b.ReportMetric(float64(objective), "objective")
+		})
+	}
+}
+
+// BenchmarkServeUnderPhase4 measures the serving tier's reason to
+// exist: point-lookup latency WHILE phase 4 is hammering the store's
+// spindles. The "primary" rung reads straight from the shard primaries
+// — every lookup queues behind phase 4's base installs and partial
+// appends on the same emulated HDDs, so tail latency tracks the
+// engine's I/O bursts. The "replicas" rung reads from the replica
+// tier: each replica pulls a partition's serve view at most once per
+// committed epoch onto its own spindle and answers everything else
+// from memory, so lookups stop competing with the computation. Both
+// rungs run the identical engine config (2 shards, emulated HDD, full
+// pipeline); only where the reads go changes. Reported metrics are the
+// lookup count plus p50/p99 lookup latency in milliseconds — the
+// numbers knnserve's /stats endpoint reports in production.
+func BenchmarkServeUnderPhase4(b *testing.B) {
+	const users = 2000
+	for _, v := range []struct {
+		name     string
+		replicas bool
+	}{
+		{"primary", false},
+		{"replicas", true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			store := benchStore(b, users)
+			eng, err := core.New(store, core.Options{
+				K:                10,
+				NumPartitions:    8,
+				Workers:          2,
+				ExecWorkers:      2,
+				Slots:            2,
+				PrefetchDepth:    2,
+				AsyncWriteback:   true,
+				NetStoreShards:   2,
+				PublishViews:     true,
+				NetStoreReplicas: v.replicas,
+				OnDisk:           true,
+				EmulateDisk:      &disk.HDD,
+				ScratchDir:       b.TempDir(),
+				Seed:             1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			// Warmup iteration publishes the first serve views so
+			// lookups never miss during the measured window.
+			if _, err := eng.Iterate(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			addrs := eng.StoreAddrs()
+			if v.replicas {
+				addrs = eng.ReplicaAddrs()
+			}
+			client, err := netstore.Dial(addrs, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+
+			b.ResetTimer()
+			var lats []time.Duration
+			for i := 0; i < b.N; i++ {
+				stop := make(chan struct{})
+				done := make(chan []time.Duration, 1)
+				go func() {
+					var local []time.Duration
+					for j := 0; ; j++ {
+						select {
+						case <-stop:
+							done <- local
+							return
+						default:
+						}
+						u := uint32((j * 37) % users)
+						t0 := time.Now()
+						if _, _, err := client.Neighbors(u); err != nil {
+							b.Errorf("lookup(%d): %v", u, err)
+							done <- local
+							return
+						}
+						local = append(local, time.Since(t0))
+					}
+				}()
+				_, err := eng.Iterate(context.Background())
+				close(stop)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lats = append(lats, <-done...)
+			}
+			b.StopTimer()
+			if len(lats) == 0 {
+				b.Fatal("no lookups completed during phase 4")
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			p50 := lats[len(lats)*50/100]
+			p99 := lats[min(len(lats)-1, len(lats)*99/100)]
+			b.ReportMetric(float64(len(lats)), "lookups")
+			b.ReportMetric(float64(p50.Microseconds())/1000, "lookup-p50-ms")
+			b.ReportMetric(float64(p99.Microseconds())/1000, "lookup-p99-ms")
 		})
 	}
 }

@@ -68,8 +68,9 @@ type Document struct {
 // defaultCritical names the benchmark groups the CI regression gate
 // covers: every emulated-disk group — the hdd ablation ladder, the
 // multi-worker "workers" rungs, the network-store "netstore" shard
-// rungs, and the parallel-"build" rungs — and nothing host-speed.
-const defaultCritical = "BenchmarkPipelinedPhase4/(hdd|workers|netstore|build)"
+// rungs, and the parallel-"build" rungs — plus the serving-tier
+// lookup-latency rungs, and nothing host-speed.
+const defaultCritical = "BenchmarkPipelinedPhase4/(hdd|workers|netstore|build)|BenchmarkServeUnderPhase4"
 
 func main() {
 	compare := flag.String("compare", "", "baseline JSON file; requires the candidate file as the positional argument")

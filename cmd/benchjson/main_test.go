@@ -93,6 +93,8 @@ func TestDefaultCriticalCoversWorkersGroup(t *testing.T) {
 		"BenchmarkPipelinedPhase4/workers/4":                   true,
 		"BenchmarkPipelinedPhase4/netstore/workers=2/shards=1": true,
 		"BenchmarkPipelinedPhase4/netstore/workers=4/shards=4": true,
+		"BenchmarkServeUnderPhase4/primary":                    true,
+		"BenchmarkServeUnderPhase4/replicas":                   true,
 		"BenchmarkPipelinedPhase4/raw/serial":                  false,
 		"BenchmarkTable1/wiki-Vote/Seq.":                       false,
 	} {

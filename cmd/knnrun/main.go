@@ -31,6 +31,10 @@
 //	             shards (one emulated spindle each under -emulate), or a
 //	             comma-separated address list connects to cmd/statestore
 //	             servers (addr i = shard i)
+//	-serveviews  publish per-partition serve views to the network store
+//	             after each committed iteration, so statestore replicas
+//	             and cmd/knnserve can answer point lookups mid-run
+//	             (requires -netstore)
 //	-dumpgraph   write the final KNN graph to this file, one sorted
 //	             neighbor line per user — deterministic, so two runs
 //	             (e.g. in-process vs -netstore) can be diffed byte for byte
@@ -76,6 +80,7 @@ type config struct {
 	heuristic, partitioner, sim        string
 	emulate                            string
 	netstore                           string
+	serveViews                         bool
 	dumpGraph                          string
 	onDisk, profilesOnDisk, recall     bool
 	scratch                            string
@@ -103,6 +108,7 @@ func parseFlags(args []string) config {
 	fs.BoolVar(&cfg.onDisk, "ondisk", true, "use real files for partition state")
 	fs.StringVar(&cfg.emulate, "emulate", "", "enforce a disk model's latency on state I/O: hdd, ssd, nvme (empty = none)")
 	fs.StringVar(&cfg.netstore, "netstore", "", `sharded network state store: "shards=N" (loopback cluster) or a comma-separated statestore address list (empty = in-process store)`)
+	fs.BoolVar(&cfg.serveViews, "serveviews", false, "publish serve views to the network store after each iteration (requires -netstore)")
 	fs.StringVar(&cfg.dumpGraph, "dumpgraph", "", "write the final KNN graph to this file (deterministic text, diffable across runs)")
 	fs.BoolVar(&cfg.profilesOnDisk, "profilesondisk", false, "keep the canonical profile collection on disk too")
 	fs.BoolVar(&cfg.recall, "recall", false, "also compute exact KNN and report recall (O(n²))")
@@ -156,6 +162,7 @@ func run(out io.Writer, cfg config) error {
 		ShardPrefetch:  cfg.shardAhead,
 		NetStoreShards: netShards,
 		NetStoreAddrs:  netAddrs,
+		PublishViews:   cfg.serveViews,
 		OnDisk:         cfg.onDisk,
 		EmulateDisk:    emulate,
 		ProfilesOnDisk: cfg.profilesOnDisk,

@@ -5,19 +5,29 @@
 // host a small cluster in one process (each shard still gets its own
 // emulated spindle).
 //
+// With -replicaof, the same process instead serves read replicas:
+// each listen address shadows the corresponding primary shard, caching
+// its published serve views with epoch-based invalidation and
+// answering only the read verbs (EPOCH/GETVIEW/NEIGHBORS/PROFILE).
+//
 // Usage:
 //
 //	statestore -listen 127.0.0.1:7701,127.0.0.1:7702 -partitions 8 [-emulate hdd]
+//	statestore -listen 127.0.0.1:7801,127.0.0.1:7802 -replicaof 127.0.0.1:7701,127.0.0.1:7702 -partitions 8
 //
 //	-listen     comma-separated listen addresses, one per shard, in
 //	            shard order (the same order knnrun -netstore expects)
+//	-replicaof  comma-separated primary shard addresses; turns this
+//	            process into read replicas, -listen[i] shadowing
+//	            -replicaof[i]
 //	-partitions the engine's partition count m (must match the client)
 //	-emulate    per-shard emulated device model: "hdd", "ssd", "nvme"
 //	            ("" = serve at host speed)
 //
 // The process prints one "shard i/N partitions [lo,hi) listening on
-// addr" line per shard and a final "ready" line once every listener is
-// bound, then serves until SIGINT/SIGTERM.
+// addr" line per shard (replicas print "replica" instead of "shard")
+// and a final "ready" line once every listener is bound, then serves
+// until SIGINT/SIGTERM.
 package main
 
 import (
@@ -57,6 +67,7 @@ func waitForSignal() <-chan struct{} {
 func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("statestore", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7701", "comma-separated listen addresses, one per shard, in shard order")
+	replicaOf := fs.String("replicaof", "", "comma-separated primary addresses; serve read replicas of them instead of primary shards")
 	partitions := fs.Int("partitions", 8, "engine partition count m")
 	emulate := fs.String("emulate", "", "emulated device model per shard: hdd, ssd, nvme (empty = host speed)")
 	if err := fs.Parse(args); err != nil {
@@ -66,16 +77,31 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
-	var addrs []string
-	for _, a := range strings.Split(*listen, ",") {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			// A silently dropped (or worse, default-bound) shard would
-			// shift every later shard's partition range.
-			return fmt.Errorf("empty address in -listen %q", *listen)
-		}
-		addrs = append(addrs, a)
+	addrs, err := splitAddrs("-listen", *listen)
+	if err != nil {
+		return err
 	}
+
+	if *replicaOf != "" {
+		primaries, err := splitAddrs("-replicaof", *replicaOf)
+		if err != nil {
+			return err
+		}
+		set, err := netstore.StartReplicasAt(addrs, primaries, *partitions, model)
+		if err != nil {
+			return err
+		}
+		defer set.Close()
+		for i, rep := range set.Replicas() {
+			lo, hi := rep.Range()
+			fmt.Fprintf(out, "statestore: replica %d/%d partitions [%d,%d) listening on %s\n", i, len(addrs), lo, hi, rep.Addr())
+		}
+		fmt.Fprintln(out, "statestore: ready")
+		<-stop
+		fmt.Fprintln(out, "statestore: shutting down")
+		return nil
+	}
+
 	cluster, err := netstore.StartClusterAt(addrs, *partitions, model)
 	if err != nil {
 		return err
@@ -89,4 +115,19 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	<-stop
 	fmt.Fprintln(out, "statestore: shutting down")
 	return nil
+}
+
+// splitAddrs parses a comma-separated address list, rejecting empties —
+// a silently dropped (or worse, default-bound) shard would shift every
+// later shard's partition range.
+func splitAddrs(flagName, list string) ([]string, error) {
+	var addrs []string
+	for _, a := range strings.Split(list, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("empty address in %s %q", flagName, list)
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
 }

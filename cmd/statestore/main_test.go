@@ -91,6 +91,105 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// TestRunReplicaMode: -replicaof turns the process into read replicas
+// that serve published views and refuse every write verb.
+func TestRunReplicaMode(t *testing.T) {
+	// Primary cluster, in-process.
+	cluster, err := netstore.StartCluster(2, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	primary, err := netstore.Dial(cluster.Addrs(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	if err := primary.PutBase(3, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	view := netstore.EncodeView([]netstore.ViewEntry{
+		{User: 42, Neighbors: []uint32{1, 2, 3}, Profile: []byte("p42")},
+	})
+	if err := primary.PutView(3, view); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replica tier via the binary's run().
+	var out safeBuffer
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run(&out, []string{
+			"-listen", "127.0.0.1:0,127.0.0.1:0",
+			"-replicaof", strings.Join(cluster.Addrs(), ","),
+			"-partitions", "8",
+		}, stop)
+	}()
+	var addrs []string
+	deadline := time.After(5 * time.Second)
+	addrRe := regexp.MustCompile(`replica \d+/\d+ partitions \[\d+,\d+\) listening on (\S+)`)
+	for len(addrs) < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("replicas never became ready; output:\n%s", out.String())
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, out.String())
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+		if !strings.Contains(out.String(), "ready") {
+			continue
+		}
+		addrs = addrs[:0]
+		for _, m := range addrRe.FindAllStringSubmatch(out.String(), -1) {
+			addrs = append(addrs, m[1])
+		}
+	}
+
+	reader, err := netstore.Dial(addrs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+	epoch, ids, err := reader.Neighbors(42)
+	if err != nil {
+		t.Fatalf("replica lookup: %v", err)
+	}
+	if epoch == 0 || len(ids) != 3 || ids[0] != 1 {
+		t.Fatalf("replica answered epoch=%d ids=%v", epoch, ids)
+	}
+	// Write verbs must bounce without corrupting the primary.
+	if err := reader.PutBase(3, []byte("sneaky")); err == nil {
+		t.Fatal("replica accepted a base PUT")
+	}
+	if got, err := primary.Get(3); err != nil || string(got) != "base" {
+		t.Fatalf("primary state after refused write: %q, %v", got, err)
+	}
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+}
+
+// TestRunReplicaFlagMismatch: replica count must match primary count —
+// -listen[i] shadows -replicaof[i], so a length mismatch is a config
+// error, not something to guess around.
+func TestRunReplicaFlagMismatch(t *testing.T) {
+	var out safeBuffer
+	stop := make(chan struct{})
+	close(stop)
+	err := run(&out, []string{
+		"-listen", "127.0.0.1:0",
+		"-replicaof", "127.0.0.1:1,127.0.0.1:2",
+		"-partitions", "4",
+	}, stop)
+	if err == nil {
+		t.Fatal("mismatched -listen/-replicaof lengths accepted")
+	}
+}
+
 // safeBuffer is a mutex-guarded bytes.Buffer: run writes to it
 // concurrently with the polling reader.
 type safeBuffer struct {

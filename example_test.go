@@ -1,0 +1,60 @@
+package knnpc_test
+
+import (
+	"context"
+	"fmt"
+
+	"knnpc"
+)
+
+// ExampleSystem_QueryNeighbors shows the online serving path: the
+// query methods are safe to call while Iterate runs and stamp every
+// answer with the epoch (committed iteration count) it reflects.
+func ExampleSystem_QueryNeighbors() {
+	// Eight users with overlapping tastes: even users like low items,
+	// odd users like high items.
+	profiles := make([][]knnpc.Item, 8)
+	for u := range profiles {
+		base := uint32(u%2) * 100
+		profiles[u] = []knnpc.Item{
+			{ID: base + 1, Weight: 5},
+			{ID: base + 2, Weight: 3},
+			{ID: base + 10 + uint32(u), Weight: 1},
+		}
+	}
+	sys, err := knnpc.New(profiles, knnpc.Config{K: 2, Partitions: 4, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	// Before any iteration: epoch 0, answers from the random seed graph.
+	_, epoch, err := sys.QueryNeighbors(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("epoch before:", epoch)
+
+	if _, err := sys.Run(context.Background(), 4); err != nil {
+		panic(err)
+	}
+
+	// After convergence: user 0's nearest neighbors are even users.
+	ids, epoch, err := sys.QueryNeighbors(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("epoch after > 0:", epoch > 0)
+	fmt.Println("neighbors of 0:", ids)
+
+	items, _, err := sys.QueryProfile(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("profile items:", len(items))
+	// Output:
+	// epoch before: 0
+	// epoch after > 0: true
+	// neighbors of 0: [2 6]
+	// profile items: 3
+}

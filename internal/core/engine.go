@@ -144,6 +144,25 @@ type Options struct {
 	// applies, except device emulation for state I/O is the servers'
 	// configuration, not this engine's.
 	NetStoreAddrs []string
+	// PublishViews turns on the serving tier's data feed: at the end of
+	// every iteration the engine publishes each partition's committed
+	// serve view — every member's final top-K list and post-update
+	// profile — to its state-store shard, stamped with the epoch the
+	// iteration's phase-1 base PUT opened. Point lookups (NEIGHBORS,
+	// PROFILE) and read replicas answer from these views. Off by
+	// default because the publish pass reads every profile and writes
+	// every view once per iteration — compute-only runs shouldn't pay
+	// that. Requires a network store (NetStoreShards or NetStoreAddrs).
+	PublishViews bool
+	// NetStoreReplicas additionally starts one loopback read replica
+	// per shard of the NetStoreShards cluster, shadowing its primary.
+	// Replicas answer point lookups from an epoch-invalidated cache of
+	// the serve views on their own emulated spindles (named
+	// "replica0", ... under EmulateDisk), so lookup traffic stops
+	// queueing on the primaries' devices during phase 4. Requires
+	// NetStoreShards and PublishViews; with an external cluster
+	// (NetStoreAddrs), run `cmd/statestore -replicaof` instead.
+	NetStoreReplicas bool
 	// OnDisk selects real file-backed partition state and tuple
 	// spills under ScratchDir; false keeps serialized state in memory
 	// (same code paths, no file traffic). With a network store
@@ -223,9 +242,14 @@ func (o *Options) applyDefaults() {
 // New, run iterations with Iterate or Run, and Close it to release the
 // scratch directory.
 //
-// An Engine is not safe for concurrent method calls, with one
-// exception: EnqueueUpdate may be called from any goroutine at any
-// time (the update queue is the paper's concurrent ingestion point).
+// An Engine is not safe for concurrent method calls, with two
+// exceptions: EnqueueUpdate may be called from any goroutine at any
+// time (the update queue is the paper's concurrent ingestion point),
+// and the query methods — QueryNeighbors, QueryProfile, Epoch — may
+// run concurrently with an in-flight Iterate and with each other.
+// Queries read the last committed state: mid-iteration they answer
+// from G(t)/P(t) until the iteration's commit point, then from
+// G(t+1)/P(t+1).
 type Engine struct {
 	opts       Options
 	profiles   canonicalProfiles // canonical P(t)
@@ -234,11 +258,20 @@ type Engine struct {
 	iostats    disk.IOStats
 	budget     *disk.Budget
 	scratch    *disk.Scratch
-	device     *disk.Device      // emulated local spindle for file-backed state/shard I/O (nil = none)
-	netCluster *netstore.Cluster // loopback shard servers (NetStoreShards mode only)
-	netClient  *netstore.Client  // sharded state-store client (nil = in-process store)
+	device     *disk.Device         // emulated local spindle for file-backed state/shard I/O (nil = none)
+	netCluster *netstore.Cluster    // loopback shard servers (NetStoreShards mode only)
+	netClient  *netstore.Client     // sharded state-store client (nil = in-process store)
+	replicas   *netstore.ReplicaSet // loopback read replicas (NetStoreReplicas mode only)
 	iter       int
 	closed     bool
+
+	// serveMu is the query/commit boundary: Iterate takes the write
+	// side only around the commit window (graph swap + phase-5 profile
+	// rewrite), queries take the read side. Everything else an
+	// iteration does runs outside it, so lookups stay answerable
+	// through phase 4.
+	serveMu sync.RWMutex
+	epoch   uint64 // committed iterations; guarded by serveMu
 }
 
 // New creates an engine over the given profiles. G(0) is a random
@@ -288,6 +321,15 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 	if opts.EmulateDisk != nil && !opts.OnDisk && !netstoreMode {
 		return nil, fmt.Errorf("core: EmulateDisk requires OnDisk (the in-memory state store has no device to emulate)")
 	}
+	if opts.PublishViews && !netstoreMode {
+		return nil, fmt.Errorf("core: PublishViews requires a network store (NetStoreShards or NetStoreAddrs) to publish to")
+	}
+	if opts.NetStoreReplicas && opts.NetStoreShards == 0 {
+		return nil, fmt.Errorf("core: NetStoreReplicas requires the loopback cluster (NetStoreShards); replicate external shards with `statestore -replicaof`")
+	}
+	if opts.NetStoreReplicas && !opts.PublishViews {
+		return nil, fmt.Errorf("core: NetStoreReplicas without PublishViews would serve nothing (replicas answer from published serve views)")
+	}
 	if opts.NumPartitions > n {
 		opts.NumPartitions = n
 	}
@@ -312,6 +354,9 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 	}
 	// fail releases everything a partially built engine acquired.
 	fail := func(err error) (*Engine, error) {
+		if e.replicas != nil {
+			e.replicas.Close()
+		}
 		if e.netClient != nil {
 			e.netClient.Close()
 		}
@@ -342,6 +387,16 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 			return fail(err)
 		}
 		e.netClient = client
+		if opts.NetStoreReplicas {
+			replicas, err := netstore.StartReplicas(cluster.Addrs(), opts.NumPartitions, opts.EmulateDisk)
+			if err != nil {
+				return fail(err)
+			}
+			e.replicas = replicas
+			for _, rep := range replicas.Replicas() {
+				e.iostats.RegisterDevice(rep.Device())
+			}
+		}
 	case len(opts.NetStoreAddrs) > 0:
 		client, err := netstore.Dial(opts.NetStoreAddrs, opts.NumPartitions)
 		if err != nil {
@@ -405,6 +460,11 @@ func (e *Engine) Close() error {
 	if e.scratch != nil {
 		if serr := e.scratch.Close(); err == nil {
 			err = serr
+		}
+	}
+	if e.replicas != nil {
+		if cerr := e.replicas.Close(); err == nil {
+			err = cerr
 		}
 	}
 	if e.netClient != nil {
@@ -584,21 +644,137 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 		return nil, fmt.Errorf("core: phase 4 (collect): %w", err)
 	}
 	stats.EdgeChanges = e.g.DiffEdges(next)
-	e.g = next
 	stats.Phases.Score = time.Since(start)
 
-	// Phase 5: apply queued profile updates, P(t) → P(t+1).
+	// Remote update ingestion: drain the batches knnserve (or any
+	// store client) pushed since the last iteration, ahead of this
+	// process's own queue. Both streams preserve per-user order; cross-
+	// stream order between a remote and a local update is unspecified,
+	// like any two concurrent EnqueueUpdate calls.
 	start = time.Now()
-	applied, err := e.profiles.Apply(e.queue.Drain())
+	updates := e.queue.Drain()
+	if e.netClient != nil {
+		remote, err := e.netClient.DrainUpdates()
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 5 (drain remote updates): %w", err)
+		}
+		if len(remote) > 0 {
+			updates = append(remote, updates...)
+		}
+	}
+
+	// Commit window: swap in G(t+1) and apply phase 5, P(t) → P(t+1),
+	// under the write side of the query boundary. Queries block only
+	// for this window — the swap plus the profile rewrite — and then
+	// observe the new epoch atomically: graph, profiles, and the epoch
+	// counter move together.
+	e.serveMu.Lock()
+	e.g = next
+	applied, err := e.profiles.Apply(updates)
 	if err != nil {
+		e.serveMu.Unlock()
 		return nil, fmt.Errorf("core: phase 5 (profile updates): %w", err)
 	}
+	e.epoch++
+	e.serveMu.Unlock()
 	stats.UpdatesApplied = applied
 	stats.Phases.Update = time.Since(start)
+
+	// Serve-view publish: push every partition's committed view — final
+	// top-K lists and post-update profiles — to the store, where point
+	// lookups and replicas answer from it. Runs outside the commit
+	// window (it only reads committed state) but before Cleanup's
+	// deferred CLEAR, which preserves views by contract.
+	if e.opts.PublishViews && e.netClient != nil {
+		if err := e.publishViews(parts); err != nil {
+			return nil, fmt.Errorf("core: publish serve views: %w", err)
+		}
+	}
 
 	stats.IO = e.iostats.Snapshot().Sub(ioStart)
 	e.iter++
 	return stats, nil
+}
+
+// publishViews encodes one serve view per partition from the just-
+// committed graph and profiles and PUTs it to the partition's shard.
+// The shard stamps each view with the partition's current epoch (the
+// one this iteration's phase-1 base PUT opened), which is what lets
+// replicas equate "epoch moved" with "a newer view exists".
+func (e *Engine) publishViews(parts []*partition.Data) error {
+	for p, part := range parts {
+		entries := make([]netstore.ViewEntry, 0, len(part.Members))
+		for _, u := range part.Members {
+			vec, err := e.profiles.Profile(u)
+			if err != nil {
+				return fmt.Errorf("partition %d user %d: %w", p, u, err)
+			}
+			entries = append(entries, netstore.ViewEntry{
+				User:      u,
+				Neighbors: e.g.Neighbors(u),
+				Profile:   vec.AppendBinary(nil),
+			})
+		}
+		if err := e.netClient.PutView(uint32(p), netstore.EncodeView(entries)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryNeighbors answers a point lookup for user u's committed top-K
+// list, with the epoch it was committed at (0 before the first
+// Iterate, when G is still the random seed graph). Safe to call
+// concurrently with a running Iterate: mid-iteration reads return the
+// last committed graph, never a partial result.
+func (e *Engine) QueryNeighbors(u uint32) ([]uint32, uint64, error) {
+	e.serveMu.RLock()
+	defer e.serveMu.RUnlock()
+	if int(u) >= e.g.NumNodes() {
+		return nil, 0, fmt.Errorf("core: user %d out of range [0,%d)", u, e.g.NumNodes())
+	}
+	return append([]uint32(nil), e.g.Neighbors(u)...), e.epoch, nil
+}
+
+// QueryProfile answers a point lookup for user u's committed profile
+// P(t), with the epoch it was committed at. Like QueryNeighbors it is
+// safe during an Iterate; updates enqueued but not yet applied by a
+// phase 5 are not visible, per the paper's lazy-update contract.
+func (e *Engine) QueryProfile(u uint32) (profile.Vector, uint64, error) {
+	e.serveMu.RLock()
+	defer e.serveMu.RUnlock()
+	vec, err := e.profiles.Profile(u)
+	if err != nil {
+		return profile.Vector{}, 0, err
+	}
+	return vec, e.epoch, nil
+}
+
+// Epoch reports the number of committed iterations — the stamp
+// QueryNeighbors and QueryProfile results carry.
+func (e *Engine) Epoch() uint64 {
+	e.serveMu.RLock()
+	defer e.serveMu.RUnlock()
+	return e.epoch
+}
+
+// StoreAddrs reports the state-store shard addresses the engine uses
+// (nil without a network store) — what an external knnserve dials for
+// primary reads and update pushes.
+func (e *Engine) StoreAddrs() []string {
+	if e.netCluster != nil {
+		return e.netCluster.Addrs()
+	}
+	return append([]string(nil), e.opts.NetStoreAddrs...)
+}
+
+// ReplicaAddrs reports the loopback read replicas' addresses (nil
+// without NetStoreReplicas) — what knnserve dials for replica reads.
+func (e *Engine) ReplicaAddrs() []string {
+	if e.replicas == nil {
+		return nil
+	}
+	return e.replicas.Addrs()
 }
 
 func (e *Engine) newStateStore() stateStore {

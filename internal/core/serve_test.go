@@ -1,0 +1,293 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"knnpc/internal/netstore"
+	"knnpc/internal/profile"
+)
+
+// TestServingBitIdentical is the serving-tier half of the tentpole
+// invariant: turning on view publishing and read replicas must not
+// perturb the computation — the graph trajectory stays bit-identical
+// to the in-process engine at every (Slots, ExecWorkers, shards)
+// setting, because the serving tier only reads committed state.
+func TestServingBitIdentical(t *testing.T) {
+	const users, iters = 300, 3
+	base := Options{K: 6, NumPartitions: 8, TupleBatch: 64, Seed: 13}
+
+	for _, slots := range []int{2, 4} {
+		ref := base
+		ref.Slots = slots
+		_, refGraph := runEngine(t, ref, users, iters)
+		for _, workers := range []int{1, 2} {
+			for _, shards := range []int{1, 2, 3} {
+				name := fmt.Sprintf("slots=%d workers=%d shards=%d", slots, workers, shards)
+				opts := base
+				opts.Slots = slots
+				opts.ExecWorkers = workers
+				opts.NetStoreShards = shards
+				opts.PublishViews = true
+				opts.NetStoreReplicas = true
+				_, gotGraph := runEngine(t, opts, users, iters)
+				if refGraph.DiffEdges(gotGraph) != 0 {
+					t.Fatalf("%s: serving tier changed the KNN graph", name)
+				}
+			}
+		}
+	}
+}
+
+// TestQueriesDuringIterate hammers the engine's query methods from
+// concurrent goroutines while iterations run, pinning that (a) they
+// never race with the five phases (the -race build is the real
+// assertion), (b) the epoch only moves forward, and (c) a result
+// carries the state of the epoch it is stamped with — after iteration
+// t commits, lookups must reflect G(t+1).
+func TestQueriesDuringIterate(t *testing.T) {
+	const users = 250
+	store := testStore(t, users, 42)
+	eng, err := New(store, Options{K: 5, NumPartitions: 6, ExecWorkers: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var last uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := uint32((i + r*83) % users)
+				ids, epoch, err := eng.QueryNeighbors(u)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(ids) == 0 {
+					t.Errorf("user %d has no neighbors at epoch %d", u, epoch)
+					return
+				}
+				if epoch < last {
+					t.Errorf("epoch regressed %d -> %d", last, epoch)
+					return
+				}
+				last = epoch
+				if _, pepoch, err := eng.QueryProfile(u); err != nil || pepoch < last {
+					t.Errorf("profile query: epoch %d err %v", pepoch, err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	const iters = 3
+	for i := 0; i < iters; i++ {
+		if _, err := eng.Iterate(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := eng.Epoch(); got != iters {
+		t.Fatalf("epoch %d after %d iterations", got, iters)
+	}
+	// Post-run queries return the committed graph exactly.
+	ids, epoch, err := eng.QueryNeighbors(7)
+	if err != nil || epoch != iters {
+		t.Fatalf("final query: epoch %d, %v", epoch, err)
+	}
+	want := eng.Graph().Neighbors(7)
+	if len(ids) != len(want) {
+		t.Fatalf("query returned %v, graph has %v", ids, want)
+	}
+	for i := range ids {
+		if ids[i] != want[i] {
+			t.Fatalf("query returned %v, graph has %v", ids, want)
+		}
+	}
+	if _, _, err := eng.QueryNeighbors(uint32(users)); err == nil {
+		t.Fatal("out-of-range user answered")
+	}
+}
+
+// TestServeViewsPublished: with PublishViews on, after an iteration
+// every user is answerable through the store's point-lookup path and
+// through a replica, and the answers match the engine's own committed
+// state.
+func TestServeViewsPublished(t *testing.T) {
+	const users = 200
+	store := testStore(t, users, 42)
+	eng, err := New(store, Options{
+		K: 5, NumPartitions: 6, NetStoreShards: 2,
+		PublishViews: true, NetStoreReplicas: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Iterate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		addrs []string
+	}{
+		{"primary", eng.StoreAddrs()},
+		{"replica", eng.ReplicaAddrs()},
+	} {
+		client, err := netstore.Dial(tc.addrs, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		for u := uint32(0); u < users; u += 17 {
+			epoch, ids, err := client.Neighbors(u)
+			if err != nil {
+				t.Fatalf("%s neighbors(%d): %v", tc.name, u, err)
+			}
+			if epoch == 0 {
+				t.Fatalf("%s neighbors(%d): unstamped view", tc.name, u)
+			}
+			want, _, err := eng.QueryNeighbors(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != len(want) {
+				t.Fatalf("%s neighbors(%d) = %v, engine has %v", tc.name, u, ids, want)
+			}
+			for i := range ids {
+				if ids[i] != want[i] {
+					t.Fatalf("%s neighbors(%d) = %v, engine has %v", tc.name, u, ids, want)
+				}
+			}
+			_, blob, err := client.ProfileBytes(u)
+			if err != nil {
+				t.Fatalf("%s profile(%d): %v", tc.name, u, err)
+			}
+			vec, rest, err := profile.DecodeVector(blob)
+			if err != nil || len(rest) != 0 {
+				t.Fatalf("%s profile(%d): bad encoding (%v, %d trailing)", tc.name, u, err, len(rest))
+			}
+			wantVec, _, err := eng.QueryProfile(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vec.Entries()) != len(wantVec.Entries()) {
+				t.Fatalf("%s profile(%d): %d entries, engine has %d", tc.name, u, len(vec.Entries()), len(wantVec.Entries()))
+			}
+		}
+	}
+}
+
+// TestRemoteUpdatesDrained: updates pushed through the store's PUSHUPD
+// path (knnserve's POST ingestion) are applied by the next phase 5,
+// exactly like locally enqueued ones.
+func TestRemoteUpdatesDrained(t *testing.T) {
+	const users = 150
+	store := testStore(t, users, 42)
+	eng, err := New(store, Options{
+		K: 4, NumPartitions: 4, NetStoreShards: 2,
+		PublishViews: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Iterate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := netstore.Dial(eng.StoreAddrs(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.PushUpdates([]profile.Update{
+		{User: 3, Kind: profile.SetItem, Item: 4242, Weight: 7.5},
+		{User: 9, Kind: profile.SetItem, Item: 4242, Weight: 1},
+		{User: 9, Kind: profile.RemoveItem, Item: 4242},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Not visible before phase 5 (the lazy-update contract).
+	if vec, _, _ := eng.QueryProfile(3); weightOf(vec, 4242) != 0 {
+		t.Fatal("pushed update visible before phase 5")
+	}
+	stats, err := eng.Iterate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UpdatesApplied != 3 {
+		t.Fatalf("%d updates applied, want 3", stats.UpdatesApplied)
+	}
+	if vec, _, _ := eng.QueryProfile(3); weightOf(vec, 4242) != 7.5 {
+		t.Fatalf("user 3 weight %v after drain, want 7.5", weightOf(vec, 4242))
+	}
+	if vec, _, _ := eng.QueryProfile(9); weightOf(vec, 4242) != 0 {
+		t.Fatal("user 9's set+remove pair did not cancel — per-user order broken")
+	}
+	// And the published view reflects the post-update profile.
+	_, blob, err := client.ProfileBytes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, _, err := profile.DecodeVector(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weightOf(vec, 4242) != 7.5 {
+		t.Fatalf("published view has weight %v, want 7.5", weightOf(vec, 4242))
+	}
+}
+
+// weightOf reads one item weight, 0 when absent.
+func weightOf(v profile.Vector, item uint32) float32 {
+	w, _ := v.Weight(item)
+	return w
+}
+
+// TestServeOptionValidation rejects serving configs that cannot work.
+func TestServeOptionValidation(t *testing.T) {
+	store := testStore(t, 30, 1)
+	if _, err := New(store, Options{K: 3, PublishViews: true}); err == nil {
+		t.Error("PublishViews without a network store accepted")
+	}
+	if _, err := New(store, Options{K: 3, NetStoreReplicas: true, PublishViews: true}); err == nil {
+		t.Error("NetStoreReplicas without NetStoreShards accepted")
+	}
+	if _, err := New(store, Options{K: 3, NetStoreShards: 2, NetStoreReplicas: true}); err == nil {
+		t.Error("NetStoreReplicas without PublishViews accepted")
+	}
+}
+
+// TestQueryBeforeFirstIterate: epoch 0 queries answer from the seed
+// graph and P(0) — the serving tier is live from construction.
+func TestQueryBeforeFirstIterate(t *testing.T) {
+	store := testStore(t, 50, 2)
+	eng, err := New(store, Options{K: 3, NumPartitions: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ids, epoch, err := eng.QueryNeighbors(5)
+	if err != nil || epoch != 0 || len(ids) != 3 {
+		t.Fatalf("seed query: ids=%v epoch=%d err=%v", ids, epoch, err)
+	}
+	if _, _, err := eng.QueryProfile(5); err != nil {
+		t.Fatal(err)
+	}
+}

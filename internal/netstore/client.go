@@ -22,6 +22,7 @@ import (
 type Client struct {
 	router pigraph.ShardRouter
 	shards []*shardConn
+	hints  hintCache
 }
 
 type shardConn struct {
@@ -115,7 +116,8 @@ func (sc *shardConn) poisonLocked() {
 
 // checkResponse splits a response frame into its payload, turning a
 // statusErr frame back into a Go error. Server-reported stale-lease
-// failures map onto ErrStaleLease so callers can match with errors.Is.
+// failures map onto ErrStaleLease and lookup misses onto ErrNotServed
+// so callers can match with errors.Is.
 func checkResponse(resp []byte) ([]byte, error) {
 	status, body, err := cutByte(resp)
 	if err != nil {
@@ -126,6 +128,8 @@ func checkResponse(resp []byte) ([]byte, error) {
 		return body, nil
 	case statusStale:
 		return nil, fmt.Errorf("%w: %s", ErrStaleLease, body)
+	case statusMiss:
+		return nil, fmt.Errorf("%w: %s", ErrNotServed, body)
 	case statusErr:
 		return nil, errors.New(string(body))
 	default:
@@ -295,7 +299,9 @@ func (c *Client) collectShard(sc *shardConn, emit func(item CollectItem) error) 
 	}
 }
 
-// Clear drops all state on every shard (bases, partials, leases).
+// Clear drops the compute state on every shard (bases, partials,
+// leases). Serve views, epochs, and pending updates survive — see the
+// CLEAR contract in docs/PROTOCOL.md.
 func (c *Client) Clear() error {
 	for i, sc := range c.shards {
 		if _, err := sc.roundTrip([]byte{opClear}); err != nil {

@@ -6,20 +6,34 @@
 // global device, which is exactly the ceiling the single shared spindle
 // hits at four tape workers.
 //
-// The protocol has five verbs plus one housekeeping command:
+// The protocol has five compute verbs plus housekeeping:
 //
 //	GET p            → the partition's base state blob
 //	PUT p kind tok b → store a blob: kind "base" (phase 1; resets the
-//	                   partition's partials and revokes outstanding
-//	                   leases — a new epoch) or kind "partial" (a
-//	                   worker's write-back, admitted only under a live
-//	                   fencing token)
+//	                   partition's partials, revokes outstanding
+//	                   leases, and bumps the partition's epoch), kind
+//	                   "partial" (a worker's write-back, admitted only
+//	                   under a live fencing token), or kind "view" (the
+//	                   committed per-partition serve view, stamped with
+//	                   the current epoch)
 //	LEASE p          → a fencing token; many workers may hold
 //	                   overlapping leases on one partition
 //	RELEASE p tok    → invalidate one token
 //	COLLECT          → stream every owned partition (base + partials)
 //	                   in ascending id order
-//	CLEAR            → drop all state, partials, and leases
+//	CLEAR            → drop compute state (bases, partials, leases);
+//	                   epochs, serve views, and pending updates survive
+//
+// and a read/serving side that never takes leases (the online query
+// tier — replicas and cmd/knnserve — speaks only these):
+//
+//	EPOCH p          → the partition's epoch plus the epoch stamp of
+//	                   its current serve view
+//	GETVIEW p        → the serve view's epoch stamp and blob
+//	NEIGHBORS u      → user u's committed neighbor ids (epoch-tagged)
+//	PROFILE u        → user u's committed profile blob (epoch-tagged)
+//	PUSHUPD blob     → enqueue encoded profile updates for phase 5
+//	DRAINUPD         → return and clear the pending update queue
 //
 // Every frame is a uint32 big-endian length followed by that many
 // payload bytes; requests start with a one-byte opcode, responses with
@@ -34,16 +48,25 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
+
+	"knnpc/internal/profile"
 )
 
 // Opcodes (first payload byte of a request frame).
 const (
-	opGet     = 0x01
-	opPut     = 0x02
-	opLease   = 0x03
-	opRelease = 0x04
-	opCollect = 0x05
-	opClear   = 0x06
+	opGet       = 0x01
+	opPut       = 0x02
+	opLease     = 0x03
+	opRelease   = 0x04
+	opCollect   = 0x05
+	opClear     = 0x06
+	opEpoch     = 0x07
+	opGetView   = 0x08
+	opNeighbors = 0x09
+	opProfile   = 0x0a
+	opPushUpd   = 0x0b
+	opDrainUpd  = 0x0c
 )
 
 // Statuses (first payload byte of a response frame).
@@ -53,12 +76,14 @@ const (
 	statusPart  = 0x02 // one COLLECT partition payload; more frames follow
 	statusEnd   = 0x03 // COLLECT stream terminator
 	statusStale = 0x04 // fencing rejection: the request's lease token is not live
+	statusMiss  = 0x05 // point lookup: this shard serves no view containing the user
 )
 
 // PUT kinds.
 const (
 	putBase    = 0x00
 	putPartial = 0x01
+	putView    = 0x02
 )
 
 // maxFrame bounds a frame's payload so a torn or corrupt length prefix
@@ -202,4 +227,143 @@ func decodeCollectItem(buf []byte) (CollectItem, error) {
 		return it, fmt.Errorf("netstore: collect item of partition %d has %d trailing bytes", it.Partition, len(buf))
 	}
 	return it, nil
+}
+
+// ViewEntry is one member of a partition's serve view: the user's
+// committed neighbor ids and encoded profile vector, as of the epoch
+// the view was published under. Views are what the read path — EPOCH /
+// GETVIEW / NEIGHBORS / PROFILE — serves; the compute path never reads
+// them.
+type ViewEntry struct {
+	User      uint32
+	Neighbors []uint32
+	Profile   []byte // opaque profile.Vector encoding (see internal/profile)
+}
+
+// EncodeView lays out a serve-view blob: member count u32, then per
+// member the user id, neighbor count + ids, and profile length + bytes.
+func EncodeView(entries []ViewEntry) []byte {
+	n := 4
+	for _, e := range entries {
+		n += 4 + 4 + 4*len(e.Neighbors) + 4 + len(e.Profile)
+	}
+	buf := make([]byte, 0, n)
+	buf = appendU32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = appendU32(buf, e.User)
+		buf = appendU32(buf, uint32(len(e.Neighbors)))
+		for _, id := range e.Neighbors {
+			buf = appendU32(buf, id)
+		}
+		buf = appendU32(buf, uint32(len(e.Profile)))
+		buf = append(buf, e.Profile...)
+	}
+	return buf
+}
+
+// DecodeView parses a serve-view blob. Sub-slices alias blob, which
+// callers must therefore treat as immutable.
+func DecodeView(blob []byte) ([]ViewEntry, error) {
+	count, buf, err := cutU32(blob)
+	if err != nil {
+		return nil, err
+	}
+	// Every entry needs at least 12 bytes of fixed header, bounding the
+	// claimed count before the allocation (same rule as collect items).
+	if int64(count) > int64(len(buf))/12 {
+		return nil, fmt.Errorf("netstore: view claims %d members in %d bytes", count, len(buf))
+	}
+	entries := make([]ViewEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var e ViewEntry
+		if e.User, buf, err = cutU32(buf); err != nil {
+			return nil, fmt.Errorf("netstore: view member %d: %w", i, err)
+		}
+		nbrs, rest, err := cutU32(buf)
+		if err != nil {
+			return nil, fmt.Errorf("netstore: view member %d: %w", i, err)
+		}
+		buf = rest
+		if int64(nbrs) > int64(len(buf))/4 {
+			return nil, fmt.Errorf("netstore: view member %d claims %d neighbors in %d bytes", i, nbrs, len(buf))
+		}
+		e.Neighbors = make([]uint32, nbrs)
+		for j := range e.Neighbors {
+			e.Neighbors[j] = binary.BigEndian.Uint32(buf)
+			buf = buf[4:]
+		}
+		pLen, rest, err := cutU32(buf)
+		if err != nil {
+			return nil, fmt.Errorf("netstore: view member %d: %w", i, err)
+		}
+		buf = rest
+		if uint32(len(buf)) < pLen {
+			return nil, fmt.Errorf("netstore: view member %d truncated in profile blob", i)
+		}
+		e.Profile = buf[:pLen:pLen]
+		buf = buf[pLen:]
+		entries = append(entries, e)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("netstore: view has %d trailing bytes", len(buf))
+	}
+	return entries, nil
+}
+
+// EncodeUpdates serializes a batch of queued profile updates for
+// PUSHUPD: count u32, then per update kind byte, user u32, item u32,
+// and the weight's float32 bits. Only item-granular kinds (SetItem,
+// RemoveItem) travel — ReplaceProfile carries a whole vector the fixed
+// 13-byte record cannot, and DecodeUpdates rejects it.
+func EncodeUpdates(updates []profile.Update) []byte {
+	buf := make([]byte, 0, 4+13*len(updates))
+	buf = appendU32(buf, uint32(len(updates)))
+	for _, u := range updates {
+		buf = append(buf, byte(u.Kind))
+		buf = appendU32(buf, u.User)
+		buf = appendU32(buf, u.Item)
+		buf = appendU32(buf, math.Float32bits(u.Weight))
+	}
+	return buf
+}
+
+// DecodeUpdates parses an encoded update batch.
+func DecodeUpdates(blob []byte) ([]profile.Update, error) {
+	count, buf, err := cutU32(blob)
+	if err != nil {
+		return nil, err
+	}
+	if int64(count) > int64(len(buf))/13 {
+		return nil, fmt.Errorf("netstore: update batch claims %d updates in %d bytes", count, len(buf))
+	}
+	updates := make([]profile.Update, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var u profile.Update
+		kind, rest, err := cutByte(buf)
+		if err != nil {
+			return nil, fmt.Errorf("netstore: update %d: %w", i, err)
+		}
+		buf = rest
+		u.Kind = profile.UpdateKind(kind)
+		if u.Kind != profile.SetItem && u.Kind != profile.RemoveItem {
+			return nil, fmt.Errorf("netstore: update %d has non-wire kind %d", i, kind)
+		}
+		if u.User, buf, err = cutU32(buf); err != nil {
+			return nil, fmt.Errorf("netstore: update %d: %w", i, err)
+		}
+		if u.Item, buf, err = cutU32(buf); err != nil {
+			return nil, fmt.Errorf("netstore: update %d: %w", i, err)
+		}
+		bits, rest2, err := cutU32(buf)
+		if err != nil {
+			return nil, fmt.Errorf("netstore: update %d: %w", i, err)
+		}
+		buf = rest2
+		u.Weight = math.Float32frombits(bits)
+		updates = append(updates, u)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("netstore: update batch has %d trailing bytes", len(buf))
+	}
+	return updates, nil
 }

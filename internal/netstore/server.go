@@ -17,6 +17,21 @@ import (
 // rejected, so it cannot clobber the current epoch's state.
 var ErrStaleLease = errors.New("netstore: stale lease token")
 
+// ErrNotServed reports a point lookup for a user that no serve view on
+// the queried shard contains — either the user lives on another shard,
+// or no view has been published yet. The serving tier treats it as a
+// routing miss, not a failure: try the next shard.
+var ErrNotServed = errors.New("netstore: user not in any served view")
+
+// serveView is one partition's committed read state: the view blob as
+// published, the epoch it was stamped with, and the per-user decode the
+// point lookups answer from.
+type serveView struct {
+	epoch uint64
+	blob  []byte
+	index map[uint32]ViewEntry
+}
+
 // ServerConfig describes one state-store shard.
 type ServerConfig struct {
 	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral
@@ -51,6 +66,10 @@ type Server struct {
 	base      map[uint32][]byte
 	partials  map[uint32][][]byte
 	leases    map[uint32]map[uint64]struct{}
+	epochs    map[uint32]uint64    // bumped by every base PUT; survives CLEAR
+	views     map[uint32]serveView // committed serve views; survive CLEAR
+	userIdx   map[uint32]uint32    // view member → owning partition
+	updates   [][]byte             // pending PUSHUPD batches; survive CLEAR
 	nextToken uint64
 	closed    bool
 
@@ -82,6 +101,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		base:     make(map[uint32][]byte),
 		partials: make(map[uint32][][]byte),
 		leases:   make(map[uint32]map[uint64]struct{}),
+		epochs:   make(map[uint32]uint64),
+		views:    make(map[uint32]serveView),
+		userIdx:  make(map[uint32]uint32),
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.lo, s.hi = router.Range(cfg.Shard)
@@ -176,12 +198,16 @@ func (s *Server) serveRequest(conn net.Conn, req []byte) error {
 		return err
 	}
 	fail := func(err error) error {
-		// Fencing rejections travel as their own status byte so clients
-		// can rebuild ErrStaleLease without parsing prose — the signal is
-		// protocol, not message text.
+		// Fencing rejections and lookup misses travel as their own status
+		// bytes so clients can rebuild ErrStaleLease / ErrNotServed
+		// without parsing prose — the signal is protocol, not message
+		// text.
 		status := byte(statusErr)
-		if errors.Is(err, ErrStaleLease) {
+		switch {
+		case errors.Is(err, ErrStaleLease):
 			status = statusStale
+		case errors.Is(err, ErrNotServed):
+			status = statusMiss
 		}
 		return writeFrame(conn, append([]byte{status}, err.Error()...))
 	}
@@ -256,6 +282,64 @@ func (s *Server) serveRequest(conn net.Conn, req []byte) error {
 		s.clear()
 		return ok(nil)
 
+	case opEpoch:
+		p, _, err := cutU32(body)
+		if err != nil {
+			return err
+		}
+		base, view, err := s.epoch(p)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(appendU64(appendU64(nil, base), view))
+
+	case opGetView:
+		p, _, err := cutU32(body)
+		if err != nil {
+			return err
+		}
+		epoch, blob, err := s.getView(p)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(append(appendU64(nil, epoch), blob...))
+
+	case opNeighbors:
+		u, _, err := cutU32(body)
+		if err != nil {
+			return err
+		}
+		epoch, entry, err := s.lookup(u)
+		if err != nil {
+			return fail(err)
+		}
+		resp := appendU64(nil, epoch)
+		resp = appendU32(resp, uint32(len(entry.Neighbors)))
+		for _, id := range entry.Neighbors {
+			resp = appendU32(resp, id)
+		}
+		return ok(resp)
+
+	case opProfile:
+		u, _, err := cutU32(body)
+		if err != nil {
+			return err
+		}
+		epoch, entry, err := s.lookup(u)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(append(appendU64(nil, epoch), entry.Profile...))
+
+	case opPushUpd:
+		if err := s.pushUpdates(body); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case opDrainUpd:
+		return ok(s.drainUpdates())
+
 	default:
 		return fmt.Errorf("netstore: unknown opcode 0x%02x", op)
 	}
@@ -293,37 +377,153 @@ func (s *Server) put(p uint32, kind byte, token uint64, blob []byte) error {
 		return err
 	}
 	stored := append([]byte(nil), blob...)
+	var viewIdx map[uint32]ViewEntry
+	if kind == putView {
+		// Decode outside the state mutex — a view covers a whole
+		// partition's membership and lookups should not stall on it.
+		entries, err := DecodeView(stored)
+		if err != nil {
+			return fmt.Errorf("netstore: view of partition %d: %w", p, err)
+		}
+		viewIdx = make(map[uint32]ViewEntry, len(entries))
+		for _, e := range entries {
+			viewIdx[e.User] = e
+		}
+	}
 	s.mu.Lock()
 	switch kind {
 	case putBase:
 		// A base PUT opens a new epoch for the partition: partials from
-		// the previous iteration are dropped and every outstanding lease
-		// is revoked, so a zombie worker's later write-back fails the
-		// fencing check instead of contaminating the fresh state.
+		// the previous iteration are dropped, every outstanding lease
+		// is revoked — so a zombie worker's later write-back fails the
+		// fencing check instead of contaminating the fresh state — and
+		// the partition's epoch counter advances, which is what lets
+		// read replicas detect that their cached view is stale.
 		s.base[p] = stored
 		delete(s.partials, p)
 		delete(s.leases, p)
+		s.epochs[p]++
 	case putPartial:
 		if _, live := s.leases[p][token]; !live {
 			s.mu.Unlock()
 			return fmt.Errorf("%w: partition %d token %d", ErrStaleLease, p, token)
 		}
 		s.partials[p] = append(s.partials[p], stored)
+	case putView:
+		// The committed serve view, stamped with the partition's current
+		// epoch (the one the publishing iteration's base PUT opened).
+		// Installed atomically — a point lookup sees the old complete
+		// view or the new complete view, never a mix.
+		s.views[p] = serveView{epoch: s.epochs[p], blob: stored, index: viewIdx}
+		for u := range viewIdx {
+			s.userIdx[u] = p
+		}
 	default:
 		s.mu.Unlock()
 		return fmt.Errorf("netstore: unknown PUT kind 0x%02x", kind)
 	}
 	s.mu.Unlock()
 	// A base PUT installs a partition's state wherever it lives — a
-	// random write. A partial is a blind append to the shard's journal
-	// (the log-structured write path collect's per-partition read model
-	// assumes), so it pays sequential transfer with no seek.
-	if kind == putPartial {
-		s.cfg.Device.Append(int64(len(blob)))
-	} else {
+	// random write. A partial — and a view publish — is a blind append
+	// to the shard's journal (the log-structured write path collect's
+	// per-partition read model assumes), so it pays sequential transfer
+	// with no seek.
+	if kind == putBase {
 		s.cfg.Device.Write(int64(len(blob)))
+	} else {
+		s.cfg.Device.Append(int64(len(blob)))
 	}
 	return nil
+}
+
+// epoch reports partition p's epoch counter and the epoch stamp of its
+// current serve view (0 when none is published). Epoch checks are
+// metadata reads — no device charge — which is what makes a replica's
+// per-read freshness probe cheap against a primary whose spindle is
+// busy with phase-4 state traffic.
+func (s *Server) epoch(p uint32) (base, view uint64, err error) {
+	if err := s.checkRange(p); err != nil {
+		return 0, 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epochs[p], s.views[p].epoch, nil
+}
+
+// getView reads partition p's serve view, charging the shard's spindle
+// for the full blob — the cost a replica pays once per epoch, where a
+// primary point lookup pays a (smaller) read per request.
+func (s *Server) getView(p uint32) (uint64, []byte, error) {
+	if err := s.checkRange(p); err != nil {
+		return 0, nil, err
+	}
+	s.mu.Lock()
+	v, ok := s.views[p]
+	s.mu.Unlock()
+	if !ok {
+		return 0, nil, fmt.Errorf("netstore: partition %d has no published serve view", p)
+	}
+	s.cfg.Device.Read(int64(len(v.blob)))
+	return v.epoch, v.blob, nil
+}
+
+// lookup resolves a user's view entry across this shard's views. The
+// answer is charged to the spindle as one random read of the entry's
+// bytes: committed state is disk-resident in the paper's cost model, so
+// point lookups on a primary contend with phase-4 state I/O — the
+// queueing that read replicas exist to take off this device.
+func (s *Server) lookup(u uint32) (uint64, ViewEntry, error) {
+	s.mu.Lock()
+	p, ok := s.userIdx[u]
+	var v serveView
+	var entry ViewEntry
+	if ok {
+		v = s.views[p]
+		entry, ok = v.index[u]
+	}
+	s.mu.Unlock()
+	if !ok {
+		return 0, ViewEntry{}, fmt.Errorf("%w: user %d on shard %d", ErrNotServed, u, s.cfg.Shard)
+	}
+	s.cfg.Device.Read(int64(12 + 4*len(entry.Neighbors) + len(entry.Profile)))
+	return v.epoch, entry, nil
+}
+
+// pushUpdates enqueues one encoded batch of profile updates for the
+// engine's next phase 5. The batch is validated on arrival so a corrupt
+// frame fails its sender, not the draining engine. Appending to the
+// update journal is sequential — no seek.
+func (s *Server) pushUpdates(blob []byte) error {
+	if _, err := DecodeUpdates(blob); err != nil {
+		return err
+	}
+	stored := append([]byte(nil), blob...)
+	s.mu.Lock()
+	s.updates = append(s.updates, stored)
+	s.mu.Unlock()
+	s.cfg.Device.Append(int64(len(blob)))
+	return nil
+}
+
+// drainUpdates returns the concatenated pending update batches (in
+// arrival order) and clears the queue. The response payload is a
+// sequence of encoded batches, each length-prefixed.
+func (s *Server) drainUpdates() []byte {
+	s.mu.Lock()
+	batches := s.updates
+	s.updates = nil
+	s.mu.Unlock()
+	var out []byte
+	var volume int64
+	for _, b := range batches {
+		out = appendU32(out, uint32(len(b)))
+		out = append(out, b...)
+		volume += int64(len(b))
+	}
+	if volume > 0 {
+		s.cfg.Device.Read(volume)
+	}
+	return out
 }
 
 func (s *Server) lease(p uint32) (uint64, error) {
@@ -390,6 +590,12 @@ func (s *Server) collect() []CollectItem {
 	return items
 }
 
+// clear drops the compute-side state (bases, partials, leases) but
+// keeps the serving side — epochs, views, user index, pending updates.
+// The engine clears the store at the end of every iteration, after the
+// serve views are published; wiping them would blind the serving tier
+// between iterations, and resetting epochs would let a replica mistake
+// a fresh run's view for the one it already cached.
 func (s *Server) clear() {
 	s.mu.Lock()
 	s.base = make(map[uint32][]byte)

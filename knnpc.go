@@ -137,6 +137,21 @@ type Config struct {
 	// len(addrs) over Partitions partitions. Mutually exclusive with
 	// NetStoreShards.
 	NetStoreAddrs []string
+	// PublishViews feeds the serving tier: at the end of every
+	// iteration each partition's committed serve view — final top-K
+	// lists and post-update profiles — is published to its state-store
+	// shard, where point lookups (cmd/knnserve, or any netstore client)
+	// and read replicas answer from it. Requires a network store. Off
+	// by default: the publish pass reads every profile and writes every
+	// view once per iteration.
+	PublishViews bool
+	// NetStoreReplicas additionally starts one loopback read replica
+	// per NetStoreShards shard. Replicas cache the serve views with
+	// epoch-based invalidation and answer lookups from their own
+	// (emulated) spindles, keeping query tail latency off the primaries
+	// while phase 4 hammers them. Requires NetStoreShards and
+	// PublishViews.
+	NetStoreReplicas bool
 	// OnDisk stores partition state and tuple spills in real files
 	// under ScratchDir ("" = private temp dir), exercising the
 	// out-of-core path. When false, state is serialized in memory
@@ -181,6 +196,8 @@ func (c Config) engineOptions() (core.Options, error) {
 		ShardPrefetch:    c.ShardPrefetch,
 		NetStoreShards:   c.NetStoreShards,
 		NetStoreAddrs:    c.NetStoreAddrs,
+		PublishViews:     c.PublishViews,
+		NetStoreReplicas: c.NetStoreReplicas,
 		OnDisk:           c.OnDisk,
 		ProfilesOnDisk:   c.ProfilesOnDisk,
 		ScratchDir:       c.ScratchDir,
@@ -387,6 +404,48 @@ func (s *System) SetProfileItem(u uint32, item uint32, weight float32) {
 func (s *System) RemoveProfileItem(u uint32, item uint32) {
 	s.eng.EnqueueUpdate(profile.Update{User: u, Kind: profile.RemoveItem, Item: item})
 }
+
+// QueryNeighbors answers an online point lookup for user u's committed
+// top-K list, stamped with the epoch (iteration count) it was
+// committed at. Unlike every other System method, QueryNeighbors,
+// QueryProfile and Epoch are safe to call concurrently with a running
+// Iterate: mid-iteration they answer from the last committed graph —
+// the serving tier's bounded-staleness contract — and block only for
+// the brief commit window at the iteration boundary.
+func (s *System) QueryNeighbors(u uint32) ([]uint32, uint64, error) {
+	return s.eng.QueryNeighbors(u)
+}
+
+// QueryProfile answers an online point lookup for user u's committed
+// profile with its epoch stamp. Safe during Iterate (see
+// QueryNeighbors); updates queued but not yet applied by phase 5 are
+// not visible.
+func (s *System) QueryProfile(u uint32) ([]Item, uint64, error) {
+	vec, epoch, err := s.eng.QueryProfile(u)
+	if err != nil {
+		return nil, 0, err
+	}
+	entries := vec.Entries()
+	items := make([]Item, len(entries))
+	for i, e := range entries {
+		items[i] = Item{ID: e.Item, Weight: e.Weight}
+	}
+	return items, epoch, nil
+}
+
+// Epoch reports the number of committed iterations — the stamp the
+// query methods return. Safe during Iterate.
+func (s *System) Epoch() uint64 { return s.eng.Epoch() }
+
+// StoreAddrs reports the state-store shard addresses when a network
+// store is configured (nil otherwise) — what cmd/knnserve dials for
+// primary lookups and update ingestion.
+func (s *System) StoreAddrs() []string { return s.eng.StoreAddrs() }
+
+// ReplicaAddrs reports the loopback read replicas' addresses when
+// Config.NetStoreReplicas is set (nil otherwise) — what cmd/knnserve
+// dials to serve lookups off the primaries.
+func (s *System) ReplicaAddrs() []string { return s.eng.ReplicaAddrs() }
 
 // Recall measures the system's current graph against the exact KNN
 // graph computed by brute force with the same similarity — the standard

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Documentation lint: every exported symbol in the engine's core
+# packages must carry a doc comment, and every package a package
+# comment. Run via `make docs` (CI runs it on every push).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PACKAGES=(
+  internal/netstore
+  internal/pigraph
+  internal/core
+  internal/tuples
+)
+
+go run ./scripts/doccheck "${PACKAGES[@]}"
+echo "doccheck: all exported symbols documented in: ${PACKAGES[*]}"

@@ -1,0 +1,140 @@
+// Command doccheck is the documentation linter behind
+// scripts/doccheck.sh: it parses the named package directories and
+// fails when an exported symbol — package-level func, method, type,
+// var, or const — has no doc comment, or when a package has no package
+// comment at all. CI runs it over the engine's core packages so the
+// godoc surface cannot silently rot.
+//
+// Usage:
+//
+//	doccheck <pkgdir> [pkgdir...]
+//
+// Exits 0 when every exported symbol is documented, 1 otherwise
+// (printing one "file:line: symbol" diagnostic per finding), 2 on
+// usage or parse errors.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <pkgdir> [pkgdir...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		findings, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		bad += len(findings)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbol(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir lints one package directory (tests excluded — their helpers
+// are not API) and returns one diagnostic per undocumented symbol.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, file := range pkg.Files {
+			if file.Doc != nil {
+				hasPkgDoc = true
+			}
+			findings = append(findings, checkFile(fset, file)...)
+		}
+		if !hasPkgDoc {
+			findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+	}
+	return findings, nil
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(fset *token.FileSet, file *ast.File) []string {
+	var findings []string
+	report := func(pos token.Pos, what string) {
+		findings = append(findings, fmt.Sprintf("%s: %s", fset.Position(pos), what))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			name := d.Name.Name
+			if d.Recv != nil {
+				recv := receiverType(d.Recv)
+				if recv != "" && !ast.IsExported(recv) {
+					continue // method on an unexported type: not API
+				}
+				name = recv + "." + name
+			}
+			report(d.Pos(), name+" is exported but undocumented")
+		case *ast.GenDecl:
+			// A doc comment on the grouped declaration covers every
+			// spec inside it — the normal idiom for const/var blocks.
+			if d.Doc != nil {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type "+s.Name.Name+" is exported but undocumented")
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), n.Name+" is exported but undocumented")
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// receiverType unwraps a method receiver to its named type.
+func receiverType(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if gen, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = gen.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

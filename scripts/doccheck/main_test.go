@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a source file into dir.
+func write(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckDirFindsUndocumented: each undocumented exported form is
+// reported; unexported and documented ones are not.
+func TestCheckDirFindsUndocumented(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", `// Package fixture is documented.
+package fixture
+
+// Documented is fine.
+func Documented() {}
+
+func Naked() {}
+
+func hidden() {}
+
+type Bare struct{}
+
+// Covered doc block.
+const (
+	CoveredA = 1
+	CoveredB = 2
+)
+
+var Loose = 3
+
+type priv struct{}
+
+func (priv) Method() {}
+
+// Typed is documented.
+type Typed struct{}
+
+func (Typed) Gap() {}
+`)
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{"Naked", "type Bare", "Loose", "Typed.Gap"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing finding for %q in:\n%s", want, joined)
+		}
+	}
+	for _, skip := range []string{"hidden", "Documented", "CoveredA", "priv.Method"} {
+		if strings.Contains(joined, skip) {
+			t.Errorf("false positive on %q in:\n%s", skip, joined)
+		}
+	}
+	if len(findings) != 4 {
+		t.Errorf("%d findings, want 4:\n%s", len(findings), joined)
+	}
+}
+
+// TestCheckDirRequiresPackageComment: a package with no package doc on
+// any file is itself a finding.
+func TestCheckDirRequiresPackageComment(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", "package nodoc\n")
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "no package comment") {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+// TestCheckDirIgnoresTests: exported helpers in _test.go files are not
+// API and must not be flagged.
+func TestCheckDirIgnoresTests(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", "// Package fixture is documented.\npackage fixture\n")
+	write(t, dir, "a_test.go", "package fixture\n\nfunc TestHelper() {}\n")
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v", findings)
+	}
+}

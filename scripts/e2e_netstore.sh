@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
-# End-to-end proof of the network state store: launch cmd/statestore
-# with 2 shards, run the full five-phase pipeline once in-process and
-# once against the live store (same seed/topology), and diff the two
-# emitted KNN graphs byte for byte. Run via `make e2e-netstore`.
+# End-to-end proof of the network state store and the serving tier:
+# launch cmd/statestore with 2 shards, run the full five-phase
+# pipeline once in-process and once against the live store (same
+# seed/topology), and diff the two emitted KNN graphs byte for byte.
+# Then bring up read replicas (statestore -replicaof) and cmd/knnserve,
+# run knnrun with -serveviews, query knnserve over HTTP while the run
+# is active, push a profile update through POST /v1/profile, and diff
+# the serving run's graph against its own in-process reference.
+# Run via `make e2e-netstore`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 WORK="$(mktemp -d)"
 STATESTORE_PID=""
+REPLICA_PID=""
+KNNSERVE_PID=""
 cleanup() {
-  [ -n "$STATESTORE_PID" ] && kill "$STATESTORE_PID" 2>/dev/null || true
+  for pid in "$STATESTORE_PID" "$REPLICA_PID" "$KNNSERVE_PID"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -44,3 +53,73 @@ if ! cmp "$WORK/inprocess.graph" "$WORK/netstore.graph"; then
 fi
 LINES=$(wc -l <"$WORK/inprocess.graph")
 echo "PASS: graphs are byte-identical ($LINES users)"
+
+# --- Serving tier: replicas + knnserve answering during an active run ---
+
+echo "== building knnserve"
+go build -o "$WORK/knnserve" ./cmd/knnserve
+
+echo "== launching replicas (statestore -replicaof)"
+"$WORK/statestore" -listen 127.0.0.1:7771,127.0.0.1:7772 \
+  -replicaof 127.0.0.1:7761,127.0.0.1:7762 -partitions 8 >"$WORK/replicas.log" &
+REPLICA_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "statestore: ready" "$WORK/replicas.log" 2>/dev/null && break
+  kill -0 "$REPLICA_PID" 2>/dev/null || { echo "replicas died:"; cat "$WORK/replicas.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "statestore: ready" "$WORK/replicas.log" || { echo "replicas never became ready"; cat "$WORK/replicas.log"; exit 1; }
+
+echo "== launching knnserve (reads via replicas)"
+"$WORK/knnserve" -listen 127.0.0.1:7781 -store 127.0.0.1:7761,127.0.0.1:7762 \
+  -replicas 127.0.0.1:7771,127.0.0.1:7772 -partitions 8 >"$WORK/knnserve.log" &
+KNNSERVE_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS http://127.0.0.1:7781/healthz >/dev/null 2>&1 && break
+  kill -0 "$KNNSERVE_PID" 2>/dev/null || { echo "knnserve died:"; cat "$WORK/knnserve.log"; exit 1; }
+  sleep 0.1
+done
+curl -fsS http://127.0.0.1:7781/healthz >/dev/null || { echo "knnserve never became healthy"; cat "$WORK/knnserve.log"; exit 1; }
+
+# Longer run so phase 4 is still active when the lookups land; its own
+# in-process reference proves -serveviews leaves the graph untouched.
+SERVE_ARGS=(-users 600 -items 1500 -k 8 -m 8 -iters 4 -execworkers 2 -prefetch 2 -writeback -seed 5)
+
+echo "== in-process reference for the serving run"
+"$WORK/knnrun" "${SERVE_ARGS[@]}" -dumpgraph "$WORK/serve_ref.graph" >"$WORK/serve_ref.log"
+
+echo "== serving run (netstore + -serveviews), querying knnserve mid-run"
+"$WORK/knnrun" "${SERVE_ARGS[@]}" -netstore 127.0.0.1:7761,127.0.0.1:7762 -serveviews \
+  -dumpgraph "$WORK/serving.graph" >"$WORK/serving.log" &
+KNNRUN_PID=$!
+
+MIDRUN_OK=0
+while kill -0 "$KNNRUN_PID" 2>/dev/null; do
+  if curl -fsS http://127.0.0.1:7781/v1/neighbors/0 >"$WORK/midrun.json" 2>/dev/null; then
+    MIDRUN_OK=1
+    break
+  fi
+  sleep 0.05
+done
+wait "$KNNRUN_PID" || { echo "serving run failed:"; cat "$WORK/serving.log"; exit 1; }
+if [ "$MIDRUN_OK" != 1 ]; then
+  echo "FAIL: knnserve never answered a lookup while the run was active"
+  cat "$WORK/knnserve.log"
+  exit 1
+fi
+grep -q '"neighbors":' "$WORK/midrun.json" || { echo "FAIL: bad mid-run answer:"; cat "$WORK/midrun.json"; exit 1; }
+echo "mid-run lookup answered: $(cat "$WORK/midrun.json")"
+
+# A profile pushed through HTTP must be accepted into the update queue.
+curl -fsS -X POST http://127.0.0.1:7781/v1/profile \
+  -d '{"updates":[{"user":0,"op":"set","item":9999,"weight":1.5}]}' >"$WORK/push.json"
+grep -q '"queued":1' "$WORK/push.json" || { echo "FAIL: push not queued:"; cat "$WORK/push.json"; exit 1; }
+
+echo "== serving-tier stats: $(curl -fsS http://127.0.0.1:7781/stats)"
+
+echo "== diffing serving-run graph against its in-process reference"
+if ! cmp "$WORK/serve_ref.graph" "$WORK/serving.graph"; then
+  echo "FAIL: -serveviews (with live replicas + knnserve) changed the graph"
+  exit 1
+fi
+echo "PASS: serving tier answered mid-run and the graph stayed byte-identical"
