@@ -14,6 +14,7 @@ package knnpc
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"sort"
 	"sync"
 	"testing"
@@ -22,11 +23,13 @@ import (
 	"knnpc/internal/core"
 	"knnpc/internal/dataset"
 	"knnpc/internal/disk"
+	"knnpc/internal/load"
 	"knnpc/internal/netstore"
 	"knnpc/internal/nndescent"
 	"knnpc/internal/partition"
 	"knnpc/internal/pigraph"
 	"knnpc/internal/profile"
+	"knnpc/internal/serve"
 	"knnpc/internal/stream"
 )
 
@@ -662,6 +665,140 @@ func BenchmarkServeUnderPhase4(b *testing.B) {
 			b.ReportMetric(float64(len(lats)), "lookups")
 			b.ReportMetric(float64(p50.Microseconds())/1000, "lookup-p50-ms")
 			b.ReportMetric(float64(p99.Microseconds())/1000, "lookup-p99-ms")
+		})
+	}
+}
+
+// BenchmarkServeUnderLoad replays a deterministic Zipfian read workload
+// (internal/load, the same plan cmd/knnload builds) against the serving
+// tier while the engine iterates underneath. Where
+// BenchmarkServeUnderPhase4 hammers a single closed loop of uniform
+// lookups, this rung ladder measures the production question: skewed
+// open-loop traffic through the HTTP front end, read from the primaries
+// ("primary"), from the replica tier ("replicas"), and via the store
+// protocol with no HTTP in the path ("direct"). All rungs replay the
+// identical op sequence, so the deltas isolate the read tier and the
+// front end's overhead. Reported metrics are the merged read p50/p99
+// (worse of neighbors/profile, matching knnload's table) and the
+// serviced-op count.
+func BenchmarkServeUnderLoad(b *testing.B) {
+	const users = 2000
+	plan, err := load.BuildPlan(load.PlanConfig{
+		Users: users, Items: 500, Ops: 3000,
+		Rate: 1500, Skew: 1.1, ProfileFrac: 0.3,
+		Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name     string
+		replicas bool // read tier
+		direct   bool // skip HTTP, drive the store protocol
+	}{
+		{"primary", false, false},
+		{"replicas", true, false},
+		{"direct", true, true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			store := benchStore(b, users)
+			eng, err := core.New(store, core.Options{
+				K:                10,
+				NumPartitions:    8,
+				Workers:          2,
+				ExecWorkers:      2,
+				Slots:            2,
+				PrefetchDepth:    2,
+				AsyncWriteback:   true,
+				NetStoreShards:   2,
+				PublishViews:     true,
+				NetStoreReplicas: v.replicas,
+				OnDisk:           true,
+				EmulateDisk:      &disk.HDD,
+				ScratchDir:       b.TempDir(),
+				Seed:             1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			// Warmup iteration publishes the first serve views so the
+			// measured traffic never misses.
+			if _, err := eng.Iterate(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			readAddrs := eng.StoreAddrs()
+			if v.replicas {
+				readAddrs = eng.ReplicaAddrs()
+			}
+			var target load.Target
+			if v.direct {
+				target, err = load.NewDirectTarget(v.name, readAddrs, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				srv, err := serve.New(serve.Config{
+					Primaries:  eng.StoreAddrs(),
+					Replicas:   eng.ReplicaAddrs(),
+					Partitions: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				hs := httptest.NewServer(srv.Mux())
+				defer hs.Close()
+				target = load.NewHTTPTarget(v.name, hs.URL, 0)
+			}
+			defer target.Close()
+
+			b.ResetTimer()
+			var res *load.Result
+			for i := 0; i < b.N; i++ {
+				// Keep the engine iterating for the whole replay so the
+				// measured lookups contend with live phase-4 I/O.
+				stop := make(chan struct{})
+				engDone := make(chan error, 1)
+				go func() {
+					for {
+						select {
+						case <-stop:
+							engDone <- nil
+							return
+						default:
+						}
+						if _, err := eng.Iterate(context.Background()); err != nil {
+							engDone <- err
+							return
+						}
+					}
+				}()
+				res, err = load.Run(context.Background(), target, plan, load.RunConfig{Concurrency: 8})
+				close(stop)
+				if engErr := <-engDone; engErr != nil {
+					b.Fatal(engErr)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n := res.Errors(); n > 0 {
+					b.Fatalf("%d protocol errors (first: %s)", n, res.Kinds[0].FirstError)
+				}
+			}
+			b.StopTimer()
+			// Misses are legal answers, not failures: the primaries
+			// republish views one partition at a time after each
+			// repartition, so a user that moved shards is briefly in no
+			// view. The replica tier serves complete stale epochs and
+			// does not show this — the gap is part of what the rung
+			// ladder measures, so report it.
+			p50 := max(res.Kinds[load.Neighbors].P50, res.Kinds[load.Profile].P50)
+			p99 := max(res.Kinds[load.Neighbors].P99, res.Kinds[load.Profile].P99)
+			b.ReportMetric(float64(res.Ops()), "load-ops")
+			b.ReportMetric(float64(res.Misses()), "misses")
+			b.ReportMetric(float64(p50.Microseconds())/1000, "read-p50-ms")
+			b.ReportMetric(float64(p99.Microseconds())/1000, "read-p99-ms")
 		})
 	}
 }

@@ -95,6 +95,9 @@ func TestDefaultCriticalCoversWorkersGroup(t *testing.T) {
 		"BenchmarkPipelinedPhase4/netstore/workers=4/shards=4": true,
 		"BenchmarkServeUnderPhase4/primary":                    true,
 		"BenchmarkServeUnderPhase4/replicas":                   true,
+		"BenchmarkServeUnderLoad/replicas":                     true,
+		"BenchmarkServeUnderLoad/direct":                       true,
+		"BenchmarkServeUnderLoad/primary":                      false,
 		"BenchmarkPipelinedPhase4/raw/serial":                  false,
 		"BenchmarkTable1/wiki-Vote/Seq.":                       false,
 	} {

@@ -1,0 +1,190 @@
+// Command knnload is the workload driver for the online serving tier:
+// it replays a deterministic Zipfian mix of point reads and profile-
+// update writes against one or more live targets while the engine
+// (knnrun -serveviews) iterates underneath, and reports per-op-type
+// throughput and p50/p95/p99 latency over time-bucketed windows.
+//
+// The op sequence is a pure function of the flags (see internal/load):
+// a fixed -seed replays byte-for-byte the same traffic against every
+// target, so a primary-vs-replica or HTTP-vs-direct comparison measures
+// the tiers, not the dice. Arrival is open-loop — ops dispatch at their
+// scheduled times regardless of earlier completions, and latency is
+// measured from the scheduled start, so a saturated server shows up as
+// tail latency instead of silently throttling the driver.
+//
+// Usage:
+//
+//	knnload -target replicas=http://127.0.0.1:7781 \
+//	        [-target primary=http://127.0.0.1:7782] \
+//	        [-target direct=net:127.0.0.1:7701,127.0.0.1:7702 -partitions 8] \
+//	        -users 100000 -ops 20000 -rate 2000 -zipf 1.1 -writefrac 0.05
+//
+//	-target      repeatable label=url target; url is a knnserve base URL,
+//	             or "net:" + comma-separated statestore addresses to
+//	             drive the store protocol directly (isolates HTTP
+//	             overhead; requires -partitions)
+//	-partitions  engine partition count m, for net: targets
+//	-users       simulated user population
+//	-items       item-space size writes draw from
+//	-ops         total operations per target
+//	-rate        open-loop arrival rate, ops/s
+//	-zipf        Zipf popularity exponent s (> 1; larger = more skew)
+//	-writefrac   fraction of ops that are profile-update writes
+//	-profilefrac fraction of reads hitting /v1/profile vs /v1/neighbors
+//	-burst       rate multiplier during burst windows (≤ 1 disables)
+//	-burstevery  burst period
+//	-burstlen    burst duration at the start of each period
+//	-window      time-bucket width for windowed percentiles
+//	-conc        worker goroutines per target
+//	-seed        RNG seed (same seed ⇒ identical op sequence)
+//	-timeout     per-request timeout for HTTP targets
+//	-bench       also emit go-bench-shaped lines (BenchmarkKNNLoad/...)
+//	             that cmd/benchjson parses
+//
+// Targets run sequentially over the same plan; with two or more, a
+// cross-target p50/p99 comparison table is printed at the end. The exit
+// status is non-zero when any target saw a protocol error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"knnpc/internal/load"
+)
+
+func main() {
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "knnload:", err)
+		os.Exit(1)
+	}
+}
+
+// targetSpec is one parsed -target flag.
+type targetSpec struct {
+	label string
+	url   string // base URL, or "net:" addresses
+}
+
+// targetList collects repeated -target flags.
+type targetList []targetSpec
+
+// String renders the accumulated specs (flag.Value).
+func (t *targetList) String() string {
+	parts := make([]string, len(*t))
+	for i, s := range *t {
+		parts[i] = s.label + "=" + s.url
+	}
+	return strings.Join(parts, " ")
+}
+
+// Set parses one label=url spec (flag.Value).
+func (t *targetList) Set(v string) error {
+	label, url, ok := strings.Cut(v, "=")
+	if !ok || label == "" || url == "" {
+		return fmt.Errorf("want label=url, got %q", v)
+	}
+	for _, prev := range *t {
+		if prev.label == label {
+			return fmt.Errorf("duplicate target label %q", label)
+		}
+	}
+	*t = append(*t, targetSpec{label: label, url: url})
+	return nil
+}
+
+// run parses flags, replays the plan against each target in order, and
+// prints the report — separated from main so tests can drive it.
+func run(ctx context.Context, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("knnload", flag.ContinueOnError)
+	var targets targetList
+	fs.Var(&targets, "target", "repeatable label=url target (url = knnserve base URL, or net:addr1,addr2 for the store protocol)")
+	partitions := fs.Int("partitions", 8, "engine partition count m, for net: targets")
+	users := fs.Int("users", 100000, "simulated user population")
+	items := fs.Int("items", 10000, "item-space size writes draw from")
+	ops := fs.Int("ops", 10000, "total operations per target")
+	rate := fs.Float64("rate", 1000, "open-loop arrival rate, ops/s")
+	zipf := fs.Float64("zipf", 1.1, "Zipf popularity exponent s (> 1)")
+	writeFrac := fs.Float64("writefrac", 0.05, "fraction of ops that are profile-update writes")
+	profileFrac := fs.Float64("profilefrac", 0.3, "fraction of reads hitting /v1/profile instead of /v1/neighbors")
+	burst := fs.Float64("burst", 1, "rate multiplier during burst windows (<= 1 disables)")
+	burstEvery := fs.Duration("burstevery", 10*time.Second, "burst period")
+	burstLen := fs.Duration("burstlen", time.Second, "burst duration at the start of each period")
+	window := fs.Duration("window", time.Second, "time-bucket width for windowed percentiles")
+	conc := fs.Int("conc", 8, "worker goroutines per target")
+	seed := fs.Int64("seed", 1, "RNG seed; same seed replays the identical op sequence")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout for HTTP targets")
+	bench := fs.Bool("bench", false, "also emit go-bench-shaped lines for cmd/benchjson")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(targets) == 0 {
+		return errors.New("at least one -target is required")
+	}
+
+	plan, err := load.BuildPlan(load.PlanConfig{
+		Users: *users, Items: *items, Ops: *ops,
+		Rate: *rate, Skew: *zipf,
+		WriteFrac: *writeFrac, ProfileFrac: *profileFrac,
+		Burst: *burst, BurstEvery: *burstEvery, BurstLen: *burstLen,
+		Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "knnload: %d ops over %d users (zipf s=%g, %.0f%% writes), seed %d\n",
+		len(plan), *users, *zipf, *writeFrac*100, *seed)
+
+	var results []*load.Result
+	var failed []string
+	for _, spec := range targets {
+		tgt, err := openTarget(spec, *partitions, *timeout)
+		if err != nil {
+			return err
+		}
+		res, err := load.Run(ctx, tgt, plan, load.RunConfig{Concurrency: *conc, Window: *window})
+		tgt.Close()
+		if err != nil {
+			return fmt.Errorf("target %s: %w", spec.label, err)
+		}
+		fmt.Fprintln(out)
+		res.WriteTable(out)
+		results = append(results, res)
+		if res.Errors() > 0 {
+			failed = append(failed, spec.label)
+		}
+	}
+	if len(results) > 1 {
+		fmt.Fprintln(out)
+		load.WriteComparison(out, results)
+	}
+	if *bench {
+		fmt.Fprintln(out)
+		for _, res := range results {
+			res.WriteBench(out, "BenchmarkKNNLoad")
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("protocol errors on target(s) %s", strings.Join(failed, ", "))
+	}
+	return nil
+}
+
+// openTarget builds the Target a spec names: "net:" URLs dial the
+// store protocol directly, anything else is a knnserve base URL.
+func openTarget(spec targetSpec, partitions int, timeout time.Duration) (load.Target, error) {
+	if addrs, ok := strings.CutPrefix(spec.url, "net:"); ok {
+		return load.NewDirectTarget(spec.label, strings.Split(addrs, ","), partitions)
+	}
+	return load.NewHTTPTarget(spec.label, strings.TrimSuffix(spec.url, "/"), timeout), nil
+}

@@ -1,7 +1,9 @@
 // Command knnserve is the HTTP/JSON front end of the online serving
 // tier: it answers point lookups against the serve views published by
 // a running engine (knnrun -serveviews) and feeds profile updates into
-// the engine's lazy phase-5 queue.
+// the engine's lazy phase-5 queue. The handler itself lives in
+// internal/serve and every wire shape in internal/api — this binary is
+// only flags, listener, and signal handling.
 //
 // Reads go to the replica tier when -replicas is given (stale-but-
 // bounded answers, no load on the primaries' spindles during phase 4)
@@ -20,21 +22,23 @@
 //	            -replicaof); when set, lookups are served from here
 //	-partitions the engine's partition count m (must match the cluster)
 //
-// Endpoints:
+// Endpoints (JSON shapes are internal/api's v1 types, pinned by golden
+// tests; see docs/PROTOCOL.md):
 //
-//	GET  /v1/neighbors/{id}  {"user":u,"epoch":e,"neighbors":[...]}
-//	GET  /v1/profile/{id}    {"user":u,"epoch":e,"items":[{"item":i,"weight":w}]}
-//	POST /v1/profile         {"updates":[{"user":u,"op":"set"|"remove","item":i,"weight":w}]}
-//	                         → queued for the next phase 5; {"queued":n}
+//	GET  /v1/neighbors/{id}  api.NeighborsResponse
+//	GET  /v1/profile/{id}    api.ProfileResponse
+//	POST /v1/profile         api.UpdateRequest → 202 api.UpdateResponse,
+//	                         queued for the next phase 5
+//	GET  /v1/stats           api.StatsResponse: per-endpoint counts and
+//	                         p50/p90/p95/p99 from log-scale histograms
+//	GET  /stats              deprecated alias of /v1/stats
 //	GET  /healthz            "ok" once both stores answer
-//	GET  /stats              lookup counts and p50/p99 latency (JSON)
 //
 // Answers carry the epoch (committed engine iteration) they reflect;
 // a 404 means the user is not in any published view yet.
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,16 +47,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
-	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"syscall"
-	"time"
 
-	"knnpc/internal/netstore"
-	"knnpc/internal/profile"
+	"knnpc/internal/serve"
 )
 
 func main() {
@@ -88,7 +86,11 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	if *store == "" {
 		return errors.New("-store is required")
 	}
-	srv, err := newServer(splitList(*store), splitList(*replicas), *partitions)
+	srv, err := serve.New(serve.Config{
+		Primaries:  splitList(*store),
+		Replicas:   splitList(*replicas),
+		Partitions: *partitions,
+	})
 	if err != nil {
 		return err
 	}
@@ -98,10 +100,10 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.mux()}
+	hs := &http.Server{Handler: srv.Mux()}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
-	fmt.Fprintf(out, "knnserve: listening on %s (reads via %s)\n", ln.Addr(), srv.readTier)
+	fmt.Fprintf(out, "knnserve: listening on %s (reads via %s)\n", ln.Addr(), srv.ReadTier())
 	fmt.Fprintln(out, "knnserve: ready")
 	select {
 	case <-stop:
@@ -127,245 +129,4 @@ func splitList(s string) []string {
 		}
 	}
 	return out
-}
-
-// server holds the two store clients (read tier, write tier) and the
-// serving metrics. Lookups and pushes may run concurrently from many
-// HTTP handlers; the netstore clients serialize per shard internally.
-type server struct {
-	readers  *netstore.Client // replicas when given, else the primaries
-	writers  *netstore.Client // always the primaries (replicas refuse writes)
-	readTier string           // "replicas" or "primaries", for logs/stats
-
-	lookups atomic.Uint64
-	misses  atomic.Uint64
-	pushes  atomic.Uint64
-	ring    latencyRing
-}
-
-// newServer dials both tiers. The writer client is separate even when
-// the read tier IS the primaries, so a slow scatter on the read path
-// never blocks update ingestion.
-func newServer(primaries, replicas []string, partitions int) (*server, error) {
-	if partitions <= 0 {
-		return nil, fmt.Errorf("partitions must be positive, got %d", partitions)
-	}
-	readAddrs, tier := primaries, "primaries"
-	if len(replicas) > 0 {
-		if len(replicas) != len(primaries) {
-			return nil, fmt.Errorf("%d replicas for %d primary shards; replica i must shadow shard i", len(replicas), len(primaries))
-		}
-		readAddrs, tier = replicas, "replicas"
-	}
-	readers, err := netstore.Dial(readAddrs, partitions)
-	if err != nil {
-		return nil, fmt.Errorf("dial read tier: %w", err)
-	}
-	writers, err := netstore.Dial(primaries, partitions)
-	if err != nil {
-		readers.Close()
-		return nil, fmt.Errorf("dial primaries: %w", err)
-	}
-	return &server{readers: readers, writers: writers, readTier: tier}, nil
-}
-
-func (s *server) Close() {
-	s.readers.Close()
-	s.writers.Close()
-}
-
-// mux wires the endpoints; exposed separately so tests can mount the
-// handler on httptest without binding a port.
-func (s *server) mux() *http.ServeMux {
-	m := http.NewServeMux()
-	m.HandleFunc("GET /v1/neighbors/{id}", s.handleNeighbors)
-	m.HandleFunc("GET /v1/profile/{id}", s.handleProfile)
-	m.HandleFunc("POST /v1/profile", s.handlePush)
-	m.HandleFunc("GET /healthz", s.handleHealth)
-	m.HandleFunc("GET /stats", s.handleStats)
-	return m
-}
-
-func (s *server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
-	u, ok := userParam(w, r)
-	if !ok {
-		return
-	}
-	start := time.Now()
-	epoch, ids, err := s.readers.Neighbors(u)
-	s.observe(start, err)
-	if err != nil {
-		lookupError(w, u, err)
-		return
-	}
-	if ids == nil {
-		ids = []uint32{}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"user": u, "epoch": epoch, "neighbors": ids})
-}
-
-func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	u, ok := userParam(w, r)
-	if !ok {
-		return
-	}
-	start := time.Now()
-	epoch, blob, err := s.readers.ProfileBytes(u)
-	s.observe(start, err)
-	if err != nil {
-		lookupError(w, u, err)
-		return
-	}
-	vec, rest, err := profile.DecodeVector(blob)
-	if err != nil || len(rest) != 0 {
-		http.Error(w, fmt.Sprintf("corrupt profile for user %d: %v", u, err), http.StatusBadGateway)
-		return
-	}
-	items := make([]itemJSON, 0, len(vec.Entries()))
-	for _, e := range vec.Entries() {
-		items = append(items, itemJSON{Item: e.Item, Weight: e.Weight})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"user": u, "epoch": epoch, "items": items})
-}
-
-// itemJSON is one profile entry on the wire.
-type itemJSON struct {
-	Item   uint32  `json:"item"`
-	Weight float32 `json:"weight"`
-}
-
-// updateJSON is one POST /v1/profile record.
-type updateJSON struct {
-	User   uint32  `json:"user"`
-	Op     string  `json:"op"` // "set" or "remove"
-	Item   uint32  `json:"item"`
-	Weight float32 `json:"weight"`
-}
-
-func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
-	var body struct {
-		Updates []updateJSON `json:"updates"`
-	}
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
-		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if len(body.Updates) == 0 {
-		http.Error(w, "no updates", http.StatusBadRequest)
-		return
-	}
-	ups := make([]profile.Update, 0, len(body.Updates))
-	for i, u := range body.Updates {
-		switch u.Op {
-		case "set":
-			ups = append(ups, profile.Update{User: u.User, Kind: profile.SetItem, Item: u.Item, Weight: u.Weight})
-		case "remove":
-			ups = append(ups, profile.Update{User: u.User, Kind: profile.RemoveItem, Item: u.Item})
-		default:
-			http.Error(w, fmt.Sprintf(`update %d: op %q (want "set" or "remove")`, i, u.Op), http.StatusBadRequest)
-			return
-		}
-	}
-	if err := s.writers.PushUpdates(ups); err != nil {
-		http.Error(w, "push failed: "+err.Error(), http.StatusBadGateway)
-		return
-	}
-	s.pushes.Add(uint64(len(ups)))
-	writeJSON(w, http.StatusAccepted, map[string]any{"queued": len(ups)})
-}
-
-func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	// Epoch of partition 0 exercises one roundtrip on each tier.
-	if _, _, rerr := s.readers.Epoch(0); rerr != nil {
-		http.Error(w, "read tier: "+rerr.Error(), http.StatusServiceUnavailable)
-		return
-	}
-	if _, _, err := s.writers.Epoch(0); err != nil {
-		http.Error(w, "primaries: "+err.Error(), http.StatusServiceUnavailable)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	p50, p99 := s.ring.percentiles()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"read_tier":      s.readTier,
-		"lookups":        s.lookups.Load(),
-		"misses":         s.misses.Load(),
-		"updates_queued": s.pushes.Load(),
-		"lookup_p50_ms":  float64(p50) / float64(time.Millisecond),
-		"lookup_p99_ms":  float64(p99) / float64(time.Millisecond),
-	})
-}
-
-// observe records one lookup's latency and outcome.
-func (s *server) observe(start time.Time, err error) {
-	s.lookups.Add(1)
-	if errors.Is(err, netstore.ErrNotServed) {
-		s.misses.Add(1)
-	}
-	s.ring.record(time.Since(start))
-}
-
-// userParam parses the {id} path segment; writes a 400 on failure.
-func userParam(w http.ResponseWriter, r *http.Request) (uint32, bool) {
-	id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
-	if err != nil {
-		http.Error(w, "bad user id: "+r.PathValue("id"), http.StatusBadRequest)
-		return 0, false
-	}
-	return uint32(id), true
-}
-
-// lookupError maps store errors onto HTTP: unknown user → 404 (not in
-// any published view yet), everything else → 502.
-func lookupError(w http.ResponseWriter, u uint32, err error) {
-	if errors.Is(err, netstore.ErrNotServed) {
-		http.Error(w, fmt.Sprintf("user %d not in any published view", u), http.StatusNotFound)
-		return
-	}
-	http.Error(w, err.Error(), http.StatusBadGateway)
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
-}
-
-// latencyRing keeps the last ringSize lookup latencies for the /stats
-// percentiles — enough history to be meaningful, bounded memory.
-type latencyRing struct {
-	mu      sync.Mutex
-	samples [ringSize]time.Duration
-	n       int // total recorded, may exceed ringSize
-}
-
-const ringSize = 4096
-
-func (r *latencyRing) record(d time.Duration) {
-	r.mu.Lock()
-	r.samples[r.n%ringSize] = d
-	r.n++
-	r.mu.Unlock()
-}
-
-// percentiles returns (p50, p99) over the retained window, 0 when no
-// lookups have happened yet.
-func (r *latencyRing) percentiles() (p50, p99 time.Duration) {
-	r.mu.Lock()
-	n := r.n
-	if n > ringSize {
-		n = ringSize
-	}
-	buf := make([]time.Duration, n)
-	copy(buf, r.samples[:n])
-	r.mu.Unlock()
-	if n == 0 {
-		return 0, 0
-	}
-	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
-	return buf[n*50/100], buf[min(n-1, n*99/100)]
 }

@@ -6,183 +6,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"net/http/httptest"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"knnpc/internal/api"
 	"knnpc/internal/netstore"
 	"knnpc/internal/profile"
 )
 
-// serveFixture starts a primary cluster with one published view and
-// returns it plus a server reading through replicas.
-func serveFixture(t *testing.T) (*netstore.Client, *server) {
-	t.Helper()
-	cluster, err := netstore.StartCluster(2, 4, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { cluster.Close() })
-	primary, err := netstore.Dial(cluster.Addrs(), 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { primary.Close() })
-
-	for p := uint32(0); p < 4; p++ {
-		if err := primary.PutBase(p, []byte("state")); err != nil {
-			t.Fatal(err)
-		}
-	}
-	vec, err := profile.NewVector([]profile.Entry{{Item: 11, Weight: 2.5}, {Item: 99, Weight: 0.5}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	view := netstore.EncodeView([]netstore.ViewEntry{
-		{User: 7, Neighbors: []uint32{1, 2, 3}, Profile: vec.AppendBinary(nil)},
-	})
-	if err := primary.PutView(1, view); err != nil {
-		t.Fatal(err)
-	}
-
-	reps, err := netstore.StartReplicas(cluster.Addrs(), 4, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { reps.Close() })
-	srv, err := newServer(cluster.Addrs(), reps.Addrs(), 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(srv.Close)
-	return primary, srv
-}
-
-// getJSON fetches a path from the handler and decodes the body.
-func getJSON(t *testing.T, h http.Handler, path string, wantCode int) map[string]any {
-	t.Helper()
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
-	if rec.Code != wantCode {
-		t.Fatalf("GET %s = %d (%s), want %d", path, rec.Code, rec.Body.String(), wantCode)
-	}
-	if wantCode != http.StatusOK {
-		return nil
-	}
-	var m map[string]any
-	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
-		t.Fatalf("GET %s: bad JSON %q: %v", path, rec.Body.String(), err)
-	}
-	return m
-}
-
-// TestLookupEndpoints: neighbors and profile answers come back with the
-// stamped epoch, misses are 404s, garbage ids are 400s.
-func TestLookupEndpoints(t *testing.T) {
-	_, srv := serveFixture(t)
-	h := srv.mux()
-
-	m := getJSON(t, h, "/v1/neighbors/7", http.StatusOK)
-	if m["epoch"].(float64) == 0 {
-		t.Fatal("unstamped neighbors answer")
-	}
-	ids := m["neighbors"].([]any)
-	if len(ids) != 3 || ids[0].(float64) != 1 {
-		t.Fatalf("neighbors = %v", ids)
-	}
-
-	m = getJSON(t, h, "/v1/profile/7", http.StatusOK)
-	items := m["items"].([]any)
-	if len(items) != 2 {
-		t.Fatalf("profile items = %v", items)
-	}
-	first := items[0].(map[string]any)
-	if first["item"].(float64) != 11 || first["weight"].(float64) != 2.5 {
-		t.Fatalf("first item = %v", first)
-	}
-
-	getJSON(t, h, "/v1/neighbors/4040", http.StatusNotFound)
-	getJSON(t, h, "/v1/neighbors/banana", http.StatusBadRequest)
-
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
-	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
-		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
-	}
-
-	m = getJSON(t, h, "/stats", http.StatusOK)
-	if m["read_tier"] != "replicas" {
-		t.Fatalf("read_tier = %v", m["read_tier"])
-	}
-	if m["lookups"].(float64) < 3 {
-		t.Fatalf("lookups = %v", m["lookups"])
-	}
-	if _, ok := m["lookup_p99_ms"].(float64); !ok {
-		t.Fatalf("no p99 in %v", m)
-	}
-}
-
-// TestPushEndpoint: POSTed updates land in the primaries' phase-5
-// queue in order; malformed bodies bounce before touching the store.
-func TestPushEndpoint(t *testing.T) {
-	primary, srv := serveFixture(t)
-	h := srv.mux()
-
-	post := func(body string) *httptest.ResponseRecorder {
-		rec := httptest.NewRecorder()
-		req := httptest.NewRequest("POST", "/v1/profile", strings.NewReader(body))
-		req.Header.Set("Content-Type", "application/json")
-		h.ServeHTTP(rec, req)
-		return rec
-	}
-
-	rec := post(`{"updates":[
-		{"user":3,"op":"set","item":500,"weight":4},
-		{"user":3,"op":"remove","item":11}]}`)
-	if rec.Code != http.StatusAccepted {
-		t.Fatalf("push = %d (%s)", rec.Code, rec.Body.String())
-	}
-	var resp map[string]any
-	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp["queued"].(float64) != 2 {
-		t.Fatalf("push response %s (%v)", rec.Body.String(), err)
-	}
-
-	got, err := primary.DrainUpdates()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 2 || got[0].Kind != profile.SetItem || got[0].Item != 500 ||
-		got[1].Kind != profile.RemoveItem || got[1].Item != 11 {
-		t.Fatalf("drained %+v", got)
-	}
-
-	if rec := post(`{"updates":[{"user":1,"op":"replace"}]}`); rec.Code != http.StatusBadRequest {
-		t.Fatalf("bad op accepted: %d", rec.Code)
-	}
-	if rec := post(`{"updates":[]}`); rec.Code != http.StatusBadRequest {
-		t.Fatalf("empty update list accepted: %d", rec.Code)
-	}
-	if rec := post(`{not json`); rec.Code != http.StatusBadRequest {
-		t.Fatalf("garbage body accepted: %d", rec.Code)
-	}
-}
-
-// TestNewServerValidation: config errors surface at startup, not at
-// first request.
-func TestNewServerValidation(t *testing.T) {
-	if _, err := newServer([]string{"127.0.0.1:1"}, []string{"a", "b"}, 4); err == nil {
-		t.Error("replica/primary count mismatch accepted")
-	}
-	if _, err := newServer([]string{"127.0.0.1:1"}, nil, 0); err == nil {
-		t.Error("zero partitions accepted")
-	}
-}
+// Handler-level coverage (endpoints, stats, validation) lives with the
+// extracted handler in internal/serve; this file only proves the
+// binary shell — flags, listener, ready lines, shutdown — end to end.
 
 // TestRunServesHTTP drives the binary's run() end to end: bind an
-// ephemeral port, answer over real HTTP, shut down on stop.
+// ephemeral port, answer over real HTTP with the shared api shapes,
+// shut down on stop.
 func TestRunServesHTTP(t *testing.T) {
 	cluster, err := netstore.StartCluster(1, 2, nil)
 	if err != nil {
@@ -244,12 +85,26 @@ func TestRunServesHTTP(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("HTTP %d", resp.StatusCode)
 	}
-	var m map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+	var nb api.NeighborsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&nb); err != nil {
 		t.Fatal(err)
 	}
-	if ns := m["neighbors"].([]any); len(ns) != 1 || ns[0].(float64) != 2 {
-		t.Fatalf("neighbors over HTTP = %v", ns)
+	if len(nb.Neighbors) != 1 || nb.Neighbors[0] != 2 {
+		t.Fatalf("neighbors over HTTP = %v", nb.Neighbors)
+	}
+
+	// The versioned stats document is live on both paths.
+	for _, path := range []string{api.PathStats, api.PathStatsDeprecated} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st api.StatsResponse
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil || st.Version != api.Version {
+			t.Fatalf("GET %s: version %d (%v)", path, st.Version, err)
+		}
 	}
 
 	close(stop)

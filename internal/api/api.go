@@ -1,0 +1,172 @@
+// Package api pins the versioned HTTP/JSON wire format of the online
+// serving tier. Both sides of the wire import it — cmd/knnserve
+// encodes these types, cmd/knnload (and any other client) decodes
+// them — so the schema lives in exactly one place and cannot fork
+// silently. Golden-file tests (testdata/*.json) freeze the v1
+// encoding byte for byte: a field rename, type change, or tag edit
+// fails the build's tests instead of breaking clients at runtime.
+//
+// Versioning contract: every path under /v1/ answers with the shapes
+// below, and the shapes only grow — new fields may be added (old
+// decoders ignore them), existing fields never change name, type, or
+// meaning within v1. A breaking change means a /v2/ tree served next
+// to /v1/, not an edit here.
+package api
+
+// Version is the serving-API generation these types describe. It is
+// also the integer reported in StatsResponse.Version so a scraper can
+// detect which schema it is reading.
+const Version = 1
+
+// URL paths of the v1 serving API. {id} is a decimal user id.
+const (
+	// PathNeighbors is GET /v1/neighbors/{id} → NeighborsResponse.
+	PathNeighbors = "/v1/neighbors/"
+	// PathProfile is GET /v1/profile/{id} → ProfileResponse, and
+	// POST /v1/profile (UpdateRequest body) → UpdateResponse.
+	PathProfile = "/v1/profile"
+	// PathStats is GET /v1/stats → StatsResponse.
+	PathStats = "/v1/stats"
+	// PathStatsDeprecated is the pre-v1 stats path, kept as an alias
+	// of PathStats. New scrapers should use PathStats; this alias can
+	// disappear in a future major version.
+	PathStatsDeprecated = "/stats"
+	// PathHealth is GET /healthz → plain-text "ok" once the server's
+	// store tiers answer. It is deliberately not JSON: load balancers
+	// and shell scripts probe it.
+	PathHealth = "/healthz"
+)
+
+// Update operations accepted by POST /v1/profile.
+const (
+	// OpSet sets one (item, weight) entry on the user's profile.
+	OpSet = "set"
+	// OpRemove removes one item from the user's profile; Weight is
+	// ignored.
+	OpRemove = "remove"
+)
+
+// NeighborsResponse is the body of GET /v1/neighbors/{id}: the user's
+// committed KNN list and the engine epoch (iteration) it reflects.
+// Neighbors is never null — a served user with no neighbors encodes
+// as an empty array.
+type NeighborsResponse struct {
+	// User echoes the requested user id.
+	User uint32 `json:"user"`
+	// Epoch is the committed engine iteration the answer reflects.
+	Epoch uint64 `json:"epoch"`
+	// Neighbors are the user's KNN ids, in the graph's sorted order.
+	Neighbors []uint32 `json:"neighbors"`
+}
+
+// ProfileItem is one (item, weight) entry of a served profile vector.
+type ProfileItem struct {
+	// Item is the item id.
+	Item uint32 `json:"item"`
+	// Weight is the item's weight in the profile vector.
+	Weight float32 `json:"weight"`
+}
+
+// ProfileResponse is the body of GET /v1/profile/{id}: the user's
+// committed profile vector and the epoch it reflects. Items is never
+// null.
+type ProfileResponse struct {
+	// User echoes the requested user id.
+	User uint32 `json:"user"`
+	// Epoch is the committed engine iteration the answer reflects.
+	Epoch uint64 `json:"epoch"`
+	// Items are the profile entries in the vector's canonical
+	// (ascending item id) order.
+	Items []ProfileItem `json:"items"`
+}
+
+// ProfileUpdate is one profile mutation in an UpdateRequest. Op is
+// OpSet or OpRemove; anything else is rejected with a 400 before the
+// batch touches the store.
+type ProfileUpdate struct {
+	// User is the profile to mutate.
+	User uint32 `json:"user"`
+	// Op is OpSet or OpRemove.
+	Op string `json:"op"`
+	// Item is the item id the op targets.
+	Item uint32 `json:"item"`
+	// Weight is the new weight for OpSet; omitted/ignored for
+	// OpRemove.
+	Weight float32 `json:"weight,omitempty"`
+}
+
+// UpdateRequest is the body of POST /v1/profile: a batch of profile
+// updates queued for the engine's next phase 5. The batch is applied
+// atomically to the queue — either every update is accepted (202) or
+// none is (4xx/5xx).
+type UpdateRequest struct {
+	// Updates is the ordered batch; per-user order is preserved all
+	// the way into phase 5.
+	Updates []ProfileUpdate `json:"updates"`
+}
+
+// UpdateResponse is the 202 body of POST /v1/profile.
+type UpdateResponse struct {
+	// Queued is the number of updates accepted into the phase-5
+	// queue.
+	Queued int `json:"queued"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON answer. The HTTP
+// status code carries the class (400 bad request, 404 user not in any
+// published view, 502 store failure); Error carries the detail.
+type ErrorResponse struct {
+	// Error is a human-readable description of what failed.
+	Error string `json:"error"`
+}
+
+// Endpoint names used as keys of StatsResponse.Endpoints.
+const (
+	// EndpointNeighbors aggregates GET /v1/neighbors/{id}.
+	EndpointNeighbors = "neighbors"
+	// EndpointProfile aggregates GET /v1/profile/{id}.
+	EndpointProfile = "profile"
+	// EndpointUpdate aggregates POST /v1/profile.
+	EndpointUpdate = "update"
+)
+
+// EndpointStats is one endpoint's row in StatsResponse: request and
+// failure counts since process start plus latency percentiles from
+// the server's log-scale histogram (stable over millions of requests
+// — the buckets never overflow or decay).
+type EndpointStats struct {
+	// Requests counts every request routed to the endpoint.
+	Requests uint64 `json:"requests"`
+	// Errors counts requests answered with a non-2xx status other
+	// than a lookup miss.
+	Errors uint64 `json:"errors"`
+	// Misses counts 404 lookup answers — the user was in no published
+	// view. Always 0 for the update endpoint.
+	Misses uint64 `json:"misses"`
+	// P50Ms, P90Ms, P95Ms and P99Ms are handler-latency percentiles
+	// in milliseconds, measured request-in to response-out.
+	P50Ms float64 `json:"p50_ms"`
+	// P90Ms is the 90th-percentile handler latency in milliseconds.
+	P90Ms float64 `json:"p90_ms"`
+	// P95Ms is the 95th-percentile handler latency in milliseconds.
+	P95Ms float64 `json:"p95_ms"`
+	// P99Ms is the 99th-percentile handler latency in milliseconds.
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// StatsResponse is the body of GET /v1/stats (and its deprecated
+// alias GET /stats): structured per-endpoint counters and latency
+// percentiles.
+type StatsResponse struct {
+	// Version identifies the stats schema generation (currently 1).
+	Version int `json:"version"`
+	// ReadTier is "replicas" when lookups are served from the replica
+	// tier, "primaries" otherwise.
+	ReadTier string `json:"read_tier"`
+	// UpdatesQueued counts individual profile updates accepted since
+	// process start.
+	UpdatesQueued uint64 `json:"updates_queued"`
+	// Endpoints maps EndpointNeighbors/EndpointProfile/EndpointUpdate
+	// to their counters.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}

@@ -1,0 +1,118 @@
+package api
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// -update rewrites the golden files from the current structs. Never
+// run it casually: a golden diff IS a wire-format change, and within
+// v1 the format may only grow, not mutate.
+var update = flag.Bool("update", false, "rewrite golden wire-format files")
+
+// goldenCases maps each golden file to a fully-populated value of its
+// wire type. Every field is set to a distinctive value so a dropped or
+// renamed JSON tag shows up as a byte diff, not a zero that happens to
+// match.
+var goldenCases = []struct {
+	file string
+	v    any
+}{
+	{"neighbors.json", NeighborsResponse{
+		User: 7, Epoch: 3, Neighbors: []uint32{1, 2, 3},
+	}},
+	{"neighbors_empty.json", NeighborsResponse{
+		User: 9, Epoch: 1, Neighbors: []uint32{},
+	}},
+	{"profile.json", ProfileResponse{
+		User: 7, Epoch: 3,
+		Items: []ProfileItem{{Item: 11, Weight: 2.5}, {Item: 99, Weight: 0.5}},
+	}},
+	{"update_request.json", UpdateRequest{Updates: []ProfileUpdate{
+		{User: 3, Op: OpSet, Item: 500, Weight: 4},
+		{User: 3, Op: OpRemove, Item: 11},
+	}}},
+	{"update_response.json", UpdateResponse{Queued: 2}},
+	{"error.json", ErrorResponse{Error: "user 4040 not in any published view"}},
+	{"stats.json", StatsResponse{
+		Version:       Version,
+		ReadTier:      "replicas",
+		UpdatesQueued: 12,
+		Endpoints: map[string]EndpointStats{
+			EndpointNeighbors: {Requests: 100, Errors: 1, Misses: 2,
+				P50Ms: 0.25, P90Ms: 0.75, P95Ms: 1.5, P99Ms: 3},
+			EndpointProfile: {Requests: 40,
+				P50Ms: 0.5, P90Ms: 1, P95Ms: 2, P99Ms: 4},
+			EndpointUpdate: {Requests: 6, Errors: 1,
+				P50Ms: 0.125, P90Ms: 0.25, P95Ms: 0.5, P99Ms: 1},
+		},
+	}},
+}
+
+// TestGoldenWireFormat pins the v1 JSON encoding byte for byte: each
+// case must marshal to exactly the bytes in its testdata file, and the
+// file must decode back to the original value (so no information is
+// lost on the wire either).
+func TestGoldenWireFormat(t *testing.T) {
+	for _, tc := range goldenCases {
+		path := filepath.Join("testdata", tc.file)
+		got, err := json.MarshalIndent(tc.v, "", "  ")
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.file, err)
+		}
+		got = append(got, '\n')
+		if *update {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to generate)", tc.file, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: wire format drifted.\n-- got --\n%s-- golden --\n%s", tc.file, got, want)
+		}
+
+		// Round-trip: the golden bytes decode to the original value.
+		back := reflect.New(reflect.TypeOf(tc.v))
+		if err := json.Unmarshal(want, back.Interface()); err != nil {
+			t.Fatalf("%s: unmarshal golden: %v", tc.file, err)
+		}
+		if !reflect.DeepEqual(back.Elem().Interface(), tc.v) {
+			t.Errorf("%s: round-trip lost information:\n got %+v\nwant %+v",
+				tc.file, back.Elem().Interface(), tc.v)
+		}
+	}
+}
+
+// TestGoldenFieldCoverage fails when a wire struct grows a field that
+// no golden case populates — additions are allowed within v1, but they
+// must be pinned the moment they exist.
+func TestGoldenFieldCoverage(t *testing.T) {
+	covered := map[reflect.Type]bool{}
+	for _, tc := range goldenCases {
+		covered[reflect.TypeOf(tc.v)] = true
+	}
+	for _, v := range []any{
+		NeighborsResponse{}, ProfileResponse{}, ProfileItem{},
+		UpdateRequest{}, ProfileUpdate{}, UpdateResponse{},
+		ErrorResponse{}, StatsResponse{}, EndpointStats{},
+	} {
+		rt := reflect.TypeOf(v)
+		if covered[rt] {
+			continue
+		}
+		// Nested types are pinned through their enclosing golden case.
+		switch v.(type) {
+		case ProfileItem, ProfileUpdate, EndpointStats:
+			continue
+		}
+		t.Errorf("wire type %s has no golden case", rt.Name())
+	}
+}

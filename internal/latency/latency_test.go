@@ -1,0 +1,159 @@
+package latency
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip: every bucket's representative value maps back
+// to the same bucket, indices are monotone in the value, and the
+// representative is within the documented 3.1% of any value in the
+// bucket — checked over the whole dynamic range.
+func TestBucketRoundTrip(t *testing.T) {
+	for b := 0; b < numBuckets; b++ {
+		if got := bucketFor(bucketValue(b)); got != b {
+			t.Fatalf("bucketFor(bucketValue(%d)) = %d", b, got)
+		}
+	}
+	prev := -1
+	for _, ns := range []uint64{0, 1, 63, 64, 65, 127, 128, 1000, 4095, 1 << 20, 1<<20 + 1<<15, 1 << 40, 1<<64 - 1} {
+		b := bucketFor(ns)
+		if b < prev {
+			t.Fatalf("bucketFor not monotone at %d: %d < %d", ns, b, prev)
+		}
+		prev = b
+		rep := bucketValue(b)
+		if diff := absDiff(rep, ns); float64(diff) > float64(ns)/32+1 {
+			t.Errorf("bucket %d: representative %d is %d away from member %d", b, rep, diff, ns)
+		}
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TestQuantileAgainstSortedOracle is the satellite's percentile-math
+// check: feed identical samples to the histogram and to a plain
+// sorted slice, and require every quantile to agree within the
+// histogram's bucket width. Three distributions — uniform, log-normal-
+// ish (exponentiated uniform), and a spiky bimodal — so the error
+// bound is not an artifact of one shape.
+func TestQuantileAgainstSortedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() time.Duration{
+		"uniform": func() time.Duration {
+			return time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+		},
+		"lognormalish": func() time.Duration {
+			return time.Duration(float64(time.Microsecond) * float64(uint64(1)<<uint(rng.Intn(16))) * (1 + rng.Float64()))
+		},
+		"bimodal": func() time.Duration {
+			if rng.Intn(100) < 95 {
+				return time.Duration(rng.Int63n(int64(200 * time.Microsecond)))
+			}
+			return 30*time.Millisecond + time.Duration(rng.Int63n(int64(5*time.Millisecond)))
+		},
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			samples := make([]time.Duration, 200_000)
+			for i := range samples {
+				samples[i] = draw()
+				h.Observe(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			s := h.Snapshot()
+			if s.Count() != uint64(len(samples)) {
+				t.Fatalf("count = %d, want %d", s.Count(), len(samples))
+			}
+			for _, q := range []float64{0, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+				oracle := samples[int(q*float64(len(samples)-1))]
+				got := s.Quantile(q)
+				// Bucket width is ≤ value/32; allow one bucket each way
+				// plus 1ns of integer slack.
+				tol := time.Duration(float64(oracle)/16) + 1
+				if got < oracle-tol || got > oracle+tol {
+					t.Errorf("q=%v: histogram %v vs oracle %v (tol %v)", q, got, oracle, tol)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotSubWindows: subtracting snapshots isolates one window's
+// samples exactly — the basis of the load driver's per-time-bucket
+// percentiles.
+func TestSnapshotSubWindows(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	mid := h.Snapshot()
+	for i := 0; i < 500; i++ {
+		h.Observe(8 * time.Millisecond)
+	}
+	win := h.Snapshot().Sub(mid)
+	if win.Count() != 500 {
+		t.Fatalf("window count = %d", win.Count())
+	}
+	// Every sample in the window is 8ms, so all quantiles sit there.
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := win.Quantile(q); got < 7*time.Millisecond || got > 9*time.Millisecond {
+			t.Errorf("window q=%v = %v, want ≈8ms", q, got)
+		}
+	}
+	if m := win.Mean(); m < 7*time.Millisecond || m > 9*time.Millisecond {
+		t.Errorf("window mean = %v", m)
+	}
+	// The cumulative view still has both populations.
+	all := h.Snapshot()
+	if all.Count() != 1500 {
+		t.Fatalf("cumulative count = %d", all.Count())
+	}
+	if got := all.Quantile(0.5); got < 900*time.Microsecond || got > 1100*time.Microsecond {
+		t.Errorf("cumulative p50 = %v, want ≈1ms", got)
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines under
+// the race detector and checks nothing is lost.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := h.Snapshot().Count(); n != workers*per {
+		t.Fatalf("count = %d, want %d", n, workers*per)
+	}
+}
+
+// TestObserveEdgeCases: negatives clamp to zero, zero is representable.
+func TestObserveEdgeCases(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	h.Observe(0)
+	s := h.Snapshot()
+	if s.Count() != 2 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if got := s.Quantile(1); got != 0 {
+		t.Errorf("max of {clamped, 0} = %v, want 0", got)
+	}
+}

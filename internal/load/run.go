@@ -1,0 +1,234 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knnpc/internal/latency"
+)
+
+// RunConfig tunes the replay of a plan.
+type RunConfig struct {
+	// Concurrency is the number of worker goroutines executing ops
+	// (default 8). Open-loop: when every worker is busy, dispatched
+	// ops queue and their queueing delay counts as latency.
+	Concurrency int
+	// Window is the time-bucket width for windowed percentiles
+	// (default 1s).
+	Window time.Duration
+}
+
+// kindAccum accumulates one op kind's live counters during a run.
+type kindAccum struct {
+	ops    atomic.Uint64
+	errors atomic.Uint64
+	misses atomic.Uint64
+	hist   latency.Histogram
+}
+
+// Run replays the plan against the target open-loop and aggregates
+// per-kind and per-window statistics. Each op's latency is measured
+// from its *scheduled* start, so server-side backpressure shows up as
+// tail latency instead of disappearing into a slowed-down driver.
+// The first error string per kind is retained for diagnosis; the run
+// itself only aborts on ctx cancellation.
+func Run(ctx context.Context, target Target, plan []Op, cfg RunConfig) (*Result, error) {
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("load: empty plan")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Second
+	}
+	numWindows := int(plan[len(plan)-1].At/cfg.Window) + 1
+	res := &Result{
+		Target:  target.Name(),
+		Window:  cfg.Window,
+		windows: make([]windowAccum, numWindows),
+	}
+	for w := range res.windows {
+		for k := range res.windows[w].hists {
+			res.windows[w].hists[k] = &latency.Histogram{}
+		}
+	}
+	var kinds [NumKinds]kindAccum
+	var firstErr [NumKinds]atomic.Pointer[string]
+
+	// Buffered to the whole plan so the dispatcher never blocks on
+	// slow workers — that would close the loop.
+	ch := make(chan Op, len(plan))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for op := range ch {
+				err := target.Do(op)
+				lat := time.Since(start.Add(op.At))
+				acc := &kinds[op.Kind]
+				acc.ops.Add(1)
+				switch {
+				case err == nil:
+				case err == ErrMiss:
+					acc.misses.Add(1)
+				default:
+					acc.errors.Add(1)
+					msg := err.Error()
+					firstErr[op.Kind].CompareAndSwap(nil, &msg)
+				}
+				acc.hist.Observe(lat)
+				res.windows[int(op.At/cfg.Window)].hists[op.Kind].Observe(lat)
+			}
+		}()
+	}
+
+	var dispatchErr error
+dispatch:
+	for _, op := range plan {
+		if wait := time.Until(start.Add(op.At)); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				dispatchErr = ctx.Err()
+				break dispatch
+			}
+		} else if ctx.Err() != nil {
+			dispatchErr = ctx.Err()
+			break dispatch
+		}
+		ch <- op
+	}
+	close(ch)
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	for k := range kinds {
+		acc := &kinds[k]
+		s := acc.hist.Snapshot()
+		r := KindReport{
+			Ops:    acc.ops.Load(),
+			Errors: acc.errors.Load(),
+			Misses: acc.misses.Load(),
+			Mean:   s.Mean(),
+			P50:    s.Quantile(0.50),
+			P95:    s.Quantile(0.95),
+			P99:    s.Quantile(0.99),
+		}
+		if res.Wall > 0 {
+			r.Throughput = float64(r.Ops) / res.Wall.Seconds()
+		}
+		if msg := firstErr[k].Load(); msg != nil {
+			r.FirstError = *msg
+		}
+		res.Kinds[k] = r
+	}
+	return res, dispatchErr
+}
+
+// KindReport is one op type's aggregate over a finished run.
+type KindReport struct {
+	// Ops is the number of operations executed (including errors and
+	// misses).
+	Ops uint64
+	// Errors counts protocol or transport failures.
+	Errors uint64
+	// Misses counts not-in-any-published-view answers.
+	Misses uint64
+	// Throughput is Ops divided by the run's wall time, in ops/s.
+	Throughput float64
+	// Mean, P50, P95 and P99 are scheduled-start-to-completion
+	// latencies.
+	Mean time.Duration
+	// P50 is the median latency.
+	P50 time.Duration
+	// P95 is the 95th-percentile latency.
+	P95 time.Duration
+	// P99 is the 99th-percentile latency.
+	P99 time.Duration
+	// FirstError is the first failure message seen for this kind
+	// ("" when none) — the shortest path from a red CI run to a
+	// cause.
+	FirstError string
+}
+
+// windowAccum holds one time bucket's live histograms.
+type windowAccum struct {
+	hists [NumKinds]*latency.Histogram
+}
+
+// WindowReport is one time bucket of a finished run.
+type WindowReport struct {
+	// Start is the window's offset from the run start.
+	Start time.Duration
+	// Ops, P50 and P99 are per kind, indexed by Kind.
+	Ops [NumKinds]uint64
+	// P50 is the per-kind median latency within the window.
+	P50 [NumKinds]time.Duration
+	// P99 is the per-kind 99th-percentile latency within the window.
+	P99 [NumKinds]time.Duration
+}
+
+// Result is a finished run: per-kind aggregates plus the windowed
+// series.
+type Result struct {
+	// Target is the label of the target that served the run.
+	Target string
+	// Wall is the measured wall time from first dispatch to last
+	// completion.
+	Wall time.Duration
+	// Window is the time-bucket width the windowed series uses.
+	Window time.Duration
+	// Kinds aggregates each op type, indexed by Kind.
+	Kinds [NumKinds]KindReport
+
+	windows []windowAccum
+}
+
+// Errors sums protocol errors across op kinds.
+func (r *Result) Errors() uint64 {
+	var n uint64
+	for k := range r.Kinds {
+		n += r.Kinds[k].Errors
+	}
+	return n
+}
+
+// Misses sums not-served answers across op kinds.
+func (r *Result) Misses() uint64 {
+	var n uint64
+	for k := range r.Kinds {
+		n += r.Kinds[k].Misses
+	}
+	return n
+}
+
+// Ops sums executed operations across op kinds.
+func (r *Result) Ops() uint64 {
+	var n uint64
+	for k := range r.Kinds {
+		n += r.Kinds[k].Ops
+	}
+	return n
+}
+
+// Windows materializes the windowed series.
+func (r *Result) Windows() []WindowReport {
+	out := make([]WindowReport, len(r.windows))
+	for w := range r.windows {
+		rep := WindowReport{Start: time.Duration(w) * r.Window}
+		for k, h := range r.windows[w].hists {
+			s := h.Snapshot()
+			rep.Ops[k] = s.Count()
+			rep.P50[k] = s.Quantile(0.50)
+			rep.P99[k] = s.Quantile(0.99)
+		}
+		out[w] = rep
+	}
+	return out
+}

@@ -30,6 +30,16 @@ type ReadClient interface {
 	Close() error
 }
 
+// DialRead dials a store tier (primaries or replicas) and returns only
+// the serving surface. This is the load driver's direct-client mode:
+// the same lookups knnserve issues, minus the HTTP layer, so a
+// comparison of the two isolates HTTP overhead from store latency.
+// Note writes pushed through a replica tier will be refused — point
+// updates at the primaries.
+func DialRead(addrs []string, numPartitions int) (ReadClient, error) {
+	return Dial(addrs, numPartitions)
+}
+
 // hintCache remembers which shard last answered for a user.
 type hintCache struct {
 	mu    sync.Mutex

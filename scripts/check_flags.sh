@@ -16,6 +16,7 @@ declare -A HELP=(
   [knnrun]="knnrun -help"
   [statestore]="statestore -help"
   [knnserve]="knnserve -help"
+  [knnload]="knnload -help"
   [table1]="table1 -help"
   [experiments]="experiments -help"
   [benchjson]="benchjson -help"
@@ -24,7 +25,7 @@ declare -A HELP=(
 )
 
 echo "== building binaries"
-for bin in knnrun statestore knnserve table1 experiments benchjson datagen; do
+for bin in knnrun statestore knnserve knnload table1 experiments benchjson datagen; do
   go build -o "$WORK/$bin" "./cmd/$bin"
 done
 

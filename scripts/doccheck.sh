@@ -10,6 +10,10 @@ PACKAGES=(
   internal/pigraph
   internal/core
   internal/tuples
+  internal/api
+  internal/latency
+  internal/serve
+  internal/load
 )
 
 go run ./scripts/doccheck "${PACKAGES[@]}"

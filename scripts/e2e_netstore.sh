@@ -5,8 +5,12 @@
 # seed/topology), and diff the two emitted KNN graphs byte for byte.
 # Then bring up read replicas (statestore -replicaof) and cmd/knnserve,
 # run knnrun with -serveviews, query knnserve over HTTP while the run
-# is active, push a profile update through POST /v1/profile, and diff
-# the serving run's graph against its own in-process reference.
+# is active, fire a read-only knnload burst at the replica-backed and
+# primary-only front ends mid-run, push a profile update through
+# POST /v1/profile, and diff the serving run's graph against its own
+# in-process reference. Finally run a write-mixed knnload burst, drain
+# the queued updates through one more serving iteration, and assert the
+# pushed profile entry is visible over HTTP.
 # Run via `make e2e-netstore`.
 set -euo pipefail
 
@@ -15,8 +19,9 @@ WORK="$(mktemp -d)"
 STATESTORE_PID=""
 REPLICA_PID=""
 KNNSERVE_PID=""
+KNNSERVE_PRIMARY_PID=""
 cleanup() {
-  for pid in "$STATESTORE_PID" "$REPLICA_PID" "$KNNSERVE_PID"; do
+  for pid in "$STATESTORE_PID" "$REPLICA_PID" "$KNNSERVE_PID" "$KNNSERVE_PRIMARY_PID"; do
     [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
   done
   rm -rf "$WORK"
@@ -56,8 +61,9 @@ echo "PASS: graphs are byte-identical ($LINES users)"
 
 # --- Serving tier: replicas + knnserve answering during an active run ---
 
-echo "== building knnserve"
+echo "== building knnserve and knnload"
 go build -o "$WORK/knnserve" ./cmd/knnserve
+go build -o "$WORK/knnload" ./cmd/knnload
 
 echo "== launching replicas (statestore -replicaof)"
 "$WORK/statestore" -listen 127.0.0.1:7771,127.0.0.1:7772 \
@@ -81,6 +87,17 @@ for _ in $(seq 1 100); do
 done
 curl -fsS http://127.0.0.1:7781/healthz >/dev/null || { echo "knnserve never became healthy"; cat "$WORK/knnserve.log"; exit 1; }
 
+echo "== launching a second knnserve (primary-only reads, for the tier comparison)"
+"$WORK/knnserve" -listen 127.0.0.1:7782 -store 127.0.0.1:7761,127.0.0.1:7762 \
+  -partitions 8 >"$WORK/knnserve_primary.log" &
+KNNSERVE_PRIMARY_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS http://127.0.0.1:7782/healthz >/dev/null 2>&1 && break
+  kill -0 "$KNNSERVE_PRIMARY_PID" 2>/dev/null || { echo "primary knnserve died:"; cat "$WORK/knnserve_primary.log"; exit 1; }
+  sleep 0.1
+done
+curl -fsS http://127.0.0.1:7782/healthz >/dev/null || { echo "primary knnserve never became healthy"; cat "$WORK/knnserve_primary.log"; exit 1; }
+
 # Longer run so phase 4 is still active when the lookups land; its own
 # in-process reference proves -serveviews leaves the graph untouched.
 SERVE_ARGS=(-users 600 -items 1500 -k 8 -m 8 -iters 4 -execworkers 2 -prefetch 2 -writeback -seed 5)
@@ -101,6 +118,25 @@ while kill -0 "$KNNRUN_PID" 2>/dev/null; do
   fi
   sleep 0.05
 done
+# Mid-run Zipfian burst: read-only (writes would drain into phase 5 and
+# change the graph vs the in-process reference), same fixed seed against
+# the replica-backed and primary-only front ends. knnload exits non-zero
+# on any protocol error; transient 404s on the primary tier (views
+# republish one partition at a time) count as misses, not errors.
+echo "== knnload read-only burst against both read tiers, mid-run"
+if ! "$WORK/knnload" \
+  -target replicas=http://127.0.0.1:7781 -target primary=http://127.0.0.1:7782 \
+  -users 600 -ops 600 -rate 1500 -zipf 1.1 -writefrac 0 -profilefrac 0.3 \
+  -window 200ms -conc 4 -seed 42 >"$WORK/knnload.log"; then
+  echo "FAIL: knnload burst saw protocol errors"
+  cat "$WORK/knnload.log"
+  exit 1
+fi
+grep -q "comparison (per op type, across targets):" "$WORK/knnload.log" || {
+  echo "FAIL: knnload printed no cross-target comparison"; cat "$WORK/knnload.log"; exit 1; }
+echo "knnload burst clean; tail of the report:"
+tail -n 12 "$WORK/knnload.log"
+
 wait "$KNNRUN_PID" || { echo "serving run failed:"; cat "$WORK/serving.log"; exit 1; }
 if [ "$MIDRUN_OK" != 1 ]; then
   echo "FAIL: knnserve never answered a lookup while the run was active"
@@ -115,7 +151,10 @@ curl -fsS -X POST http://127.0.0.1:7781/v1/profile \
   -d '{"updates":[{"user":0,"op":"set","item":9999,"weight":1.5}]}' >"$WORK/push.json"
 grep -q '"queued":1' "$WORK/push.json" || { echo "FAIL: push not queued:"; cat "$WORK/push.json"; exit 1; }
 
-echo "== serving-tier stats: $(curl -fsS http://127.0.0.1:7781/stats)"
+echo "== serving-tier stats: $(curl -fsS http://127.0.0.1:7781/v1/stats)"
+# The deprecated alias must serve the same versioned document.
+curl -fsS http://127.0.0.1:7781/stats | grep -q '"version":1' || {
+  echo "FAIL: /stats alias is not the v1 document"; exit 1; }
 
 echo "== diffing serving-run graph against its in-process reference"
 if ! cmp "$WORK/serve_ref.graph" "$WORK/serving.graph"; then
@@ -123,3 +162,28 @@ if ! cmp "$WORK/serve_ref.graph" "$WORK/serving.graph"; then
   exit 1
 fi
 echo "PASS: serving tier answered mid-run and the graph stayed byte-identical"
+
+# --- Write path end to end: knnload writes drain into phase 5 ---
+
+echo "== knnload write-mixed burst (updates queue on the primaries)"
+if ! "$WORK/knnload" -target replicas=http://127.0.0.1:7781 \
+  -users 600 -items 1500 -ops 200 -rate 2000 -zipf 1.1 -writefrac 0.2 \
+  -window 200ms -conc 4 -seed 43 >"$WORK/knnload_write.log"; then
+  echo "FAIL: write-mixed knnload burst saw protocol errors"
+  cat "$WORK/knnload_write.log"
+  exit 1
+fi
+
+# A known marker update, then one more serving iteration to drain the
+# queue through phase 5 and republish views with the post-update
+# profiles.
+curl -fsS -X POST http://127.0.0.1:7781/v1/profile \
+  -d '{"updates":[{"user":0,"op":"set","item":4242,"weight":1.5}]}' >/dev/null
+echo "== drain iteration (knnrun -iters 1 -serveviews)"
+"$WORK/knnrun" -users 600 -items 1500 -k 8 -m 8 -iters 1 -execworkers 2 -prefetch 2 \
+  -writeback -seed 5 -netstore 127.0.0.1:7761,127.0.0.1:7762 -serveviews >"$WORK/drain.log"
+
+curl -fsS http://127.0.0.1:7781/v1/profile/0 >"$WORK/profile0.json"
+grep -q '"item":4242' "$WORK/profile0.json" || {
+  echo "FAIL: pushed update not visible after drain:"; cat "$WORK/profile0.json"; exit 1; }
+echo "PASS: knnload bursts clean and pushed updates are served after the drain iteration"
