@@ -12,10 +12,12 @@ SHELL := /bin/bash
 # Pinned so benchmark JSON documents are comparable across CI runs.
 BENCHTIME ?= 1x
 BENCH_OUT ?= BENCH_PR.json
-# Pinned staticcheck release; CI installs exactly this version.
+# Pinned staticcheck release; `go run` executes exactly this version.
 STATICCHECK_VERSION ?= 2025.1
+# Pinned govulncheck release for the advisory CI job.
+GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race race-phase4 bench bench-json bench-compare e2e-netstore fmt vet staticcheck docs ci
+.PHONY: all build test race race-phase4 bench bench-json bench-compare e2e-netstore fmt vet staticcheck lint vulncheck docs ci
 
 all: build
 
@@ -37,7 +39,7 @@ race:
 race-phase4:
 	$(GO) test -race -count=1 \
 		-run 'Worker|Sharded|Parallel|Split|Cancel|Close|Device|Pipelined|MidTape|Commit|NetStore|NetOwner|Lease|Torn|Shard' \
-		./internal/pigraph ./internal/core ./internal/tuples ./internal/disk ./internal/netstore
+		./internal/pigraph ./internal/core ./internal/tuples ./internal/disk ./internal/netstore ./internal/lint
 
 # End-to-end proof of the network state store: launches cmd/statestore
 # with 2 shards, runs knnrun once in-process and once with -netstore on
@@ -45,10 +47,10 @@ race-phase4:
 e2e-netstore:
 	./scripts/e2e_netstore.sh
 
-# One pass of every benchmark — a smoke run proving the harness works,
-# not a measurement (use `go test -bench=. -benchmem` for numbers).
+# Every benchmark at the pinned $(BENCHTIME) — by default one pass, a
+# smoke run proving the harness works; override BENCHTIME for numbers.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
 
 # Full benchmark suite at the pinned -benchtime, captured as JSON
 # (name, ns/op, allocs, custom op-count metrics). CI uploads the file
@@ -70,15 +72,24 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Runs the pinned staticcheck when installed; CI installs it first, so
-# there it always runs. Locally the target degrades to a pointer at the
-# install command instead of failing offline builds.
+# Runs the pinned staticcheck via `go run`, which resolves the exact
+# release from the module cache (downloading it on first use) — the
+# target can no longer silently skip when no binary is on PATH.
 staticcheck:
-	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck ./...; \
-	else \
-		echo "staticcheck not installed — skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
-	fi
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# knnlint: the repository's own static-analysis suite (internal/lint,
+# driven by cmd/knnlint) — five analyzers enforcing the determinism,
+# locking, and protocol invariants documented in docs/LINTING.md. Needs
+# only the Go toolchain, so it runs everywhere, offline included.
+lint:
+	$(GO) run ./cmd/knnlint ./...
+
+# Known-vulnerability scan at a pinned govulncheck release. Advisory:
+# CI runs it in a non-blocking job so a fresh CVE in a dependency
+# surfaces without turning every PR red.
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 # Documentation lints: every exported symbol in the core packages must
 # carry a doc comment (scripts/doccheck), and every cmd/ binary flag
@@ -88,4 +99,4 @@ docs:
 	./scripts/doccheck.sh
 	./scripts/check_flags.sh
 
-ci: build fmt vet staticcheck race race-phase4 e2e-netstore docs bench
+ci: build fmt vet staticcheck lint race race-phase4 e2e-netstore docs bench

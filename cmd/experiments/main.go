@@ -11,10 +11,11 @@
 //	-quick shrinks the sweeps for a fast smoke run.
 //
 // The sweeps cover the paper's Table 1, the Figure 1 phase breakdown,
-// and FW-1..FW-9 (graph size, memory, disk models, scoring threads,
+// and FW-1..FW-10 (graph size, memory, disk models, scoring threads,
 // prefetch depth, the three-stream pipeline ablation, sharded-tape
-// phase-4 workers, the network-store shard-count sweep, and the
-// parallel build-side worker sweep).
+// phase-4 workers, the network-store shard-count sweep, the parallel
+// build-side worker sweep, and the serving-tier replica-count sweep
+// under fixed Zipfian load).
 package main
 
 import (
@@ -221,6 +222,24 @@ func run(out io.Writer, quick bool) error {
 	for _, p := range bwPoints {
 		fmt.Fprintf(out, "| %s | %v | %v | %v | %v | %d |\n",
 			p.Label, p.PartitionTime, p.TuplesTime, p.ScoreTime, p.IterTime, p.Ops)
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "## FW-10 — serving-tier replica count under fixed Zipfian load")
+	fmt.Fprintln(out)
+	rpUsers, rpCounts, rpSkew, rpOps := 2000, []int{0, 1, 2, 4}, 1.1, 2000
+	if quick {
+		rpUsers, rpCounts, rpSkew, rpOps = 300, []int{0, 1}, 1.1, 400
+	}
+	rpPoints, err := experiments.ReplicaSweep(ctx, rpUsers, rpCounts, rpSkew, rpOps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "| Configuration | Read p50 | Read p99 | Ops | Misses |")
+	fmt.Fprintln(out, "|---|---|---|---|---|")
+	for _, p := range rpPoints {
+		fmt.Fprintf(out, "| %s | %v | %v | %d | %d |\n",
+			p.Label, p.P50.Round(time.Microsecond), p.P99.Round(time.Microsecond), p.Ops, p.Misses)
 	}
 	fmt.Fprintln(out)
 

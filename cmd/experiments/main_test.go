@@ -23,6 +23,7 @@ func TestRunQuickProducesAllSections(t *testing.T) {
 		"## FW-7",
 		"## FW-8",
 		"## FW-9",
+		"## FW-10",
 	} {
 		if !strings.Contains(out, section) {
 			t.Errorf("output missing section %q", section)

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"knnpc/internal/lint"
+)
+
+// TestRunFindsSeededViolations drives the multichecker's core path
+// over one violation fixture and its clean twin.
+func TestRunFindsSeededViolations(t *testing.T) {
+	diags, err := run([]string{"./internal/lint/testdata/src/locksleep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no findings on the seeded locksleep fixture")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "locksleep" {
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+		if !strings.Contains(d.String(), "[locksleep]") {
+			t.Errorf("diagnostic %q missing analyzer tag", d.String())
+		}
+	}
+
+	clean, err := run([]string{"./internal/lint/testdata/src/locksleep_clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 0 {
+		t.Errorf("clean twin produced findings: %v", clean)
+	}
+}
+
+// TestSuiteRoster pins that the binary runs the full advertised
+// suite.
+func TestSuiteRoster(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range lint.All() {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"maporder", "locksleep", "wireswitch", "ctxloop", "budgetpair"} {
+		if !names[want] {
+			t.Errorf("suite missing analyzer %q", want)
+		}
+	}
+}

@@ -146,7 +146,17 @@ func PreferentialAttachment(n, out int, seed int64) (*graph.Digraph, error) {
 			}
 			chosen[candidate] = true
 		}
+		// The urn's element order feeds later draws
+		// (urn[rng.Intn(len(urn))]), so appending in map order made the
+		// whole graph differ run to run under one seed — the same
+		// map-order-into-RNG bug the dataset profile generator once had.
+		// Iterate the chosen set sorted.
+		added := make([]uint32, 0, len(chosen))
 		for u := range chosen {
+			added = append(added, u)
+		}
+		sort.Slice(added, func(a, b int) bool { return added[a] < added[b] })
+		for _, u := range added {
 			g.AddEdge(uint32(v), u)
 			urn = append(urn, uint32(v), u)
 		}

@@ -163,3 +163,30 @@ func TestBuildWorkerSweep(t *testing.T) {
 		t.Errorf("unexpected label %q", points[0].Label)
 	}
 }
+
+// TestReplicaSweep: FW-10's rungs replay the same read plan, so every
+// rung serves the full op count; percentiles must be measured and
+// ordered.
+func TestReplicaSweep(t *testing.T) {
+	points, err := ReplicaSweep(context.Background(), 200, []int{0, 1}, 1.2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want one per replica count", len(points))
+	}
+	for i, p := range points {
+		if p.Ops != 200 {
+			t.Errorf("%s: served %d ops, want the full plan (200)", p.Label, p.Ops)
+		}
+		if p.P50 <= 0 || p.P99 < p.P50 {
+			t.Errorf("%s: bad percentiles p50=%v p99=%v", p.Label, p.P50, p.P99)
+		}
+		if p.Replicas != []int{0, 1}[i] {
+			t.Errorf("point %d: replicas=%d", i, p.Replicas)
+		}
+	}
+	if points[0].Label != "replicas=0/skew=1.20" {
+		t.Errorf("unexpected label %q", points[0].Label)
+	}
+}

@@ -1,0 +1,12 @@
+package lint
+
+// All returns the full knnlint suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Budgetpair,
+		Ctxloop,
+		Locksleep,
+		Maporder,
+		Wireswitch,
+	}
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Budgetpair enforces the PR 3 leak lesson: a function that stages an
+// acquire (a disk.Budget.Reserve charge, a netstore Client.Lease)
+// and also releases it locally must release on *every* return path —
+// including the early error returns, which is exactly where the PR 3
+// budget leak hid (a payload whose Commit failed was dropped without
+// Discard, stranding its slot-budget charge).
+//
+// The check is flow-insensitive in the pairing sense: only functions
+// that contain both the acquire and a matching release are examined
+// (acquire-only functions transfer ownership — a lease token stored
+// for a later Unload is legal), and within such a function every
+// return after the acquire must have a release earlier in source
+// order, unless a deferred release covers all paths.
+var Budgetpair = &Analyzer{
+	Name: "budgetpair",
+	Doc: "flags return paths between a staged acquire (Budget.Reserve, Client.Lease) and its " +
+		"local release — when a function both acquires and releases, an early return in " +
+		"between leaks the stake (the PR 3 budget-leak shape); release before returning or " +
+		"defer the release",
+	Run: runBudgetpair,
+}
+
+// acquirePair describes one acquire/release discipline the analyzer
+// pairs up, keyed on the receiver's defining package and type.
+type acquirePair struct {
+	pkg, typ, acquire, release string
+	what                       string
+}
+
+// budgetPairs is the repo's staged-resource vocabulary.
+var budgetPairs = []acquirePair{
+	{diskPath, "Budget", "Reserve", "Release", "budget reservation"},
+	{netstorePath, "Client", "Lease", "Release", "partition lease"},
+}
+
+func runBudgetpair(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, scope := range funcScopes(file) {
+			body := funcBody(scope)
+			if body == nil {
+				continue
+			}
+			for _, pair := range budgetPairs {
+				checkPairScope(pass, body, pair)
+			}
+		}
+	}
+	return nil
+}
+
+// pairSite is one acquire, release, or return location. end matters
+// for returns: a release nested in the return expression itself
+// (`return c.Release(p, token)`) runs before the function exits and
+// covers that path.
+type pairSite struct {
+	pos, end int
+	node     ast.Node
+}
+
+// checkPairScope applies one pairing discipline to one function body.
+func checkPairScope(pass *Pass, body *ast.BlockStmt, pair acquirePair) {
+	var acquires, releases, returns []pairSite
+	deferredRelease := false
+
+	var inDefer ast.Node
+	// Releases are collected across nested literals too: a release
+	// inside `defer func() { ... }()` or a cleanup closure still
+	// releases. Acquires and returns stay shallow — they belong to
+	// this function's control flow.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			inDefer = d
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, pairSite{pos: int(n.Pos()), end: int(n.End()), node: n})
+		case *ast.CallExpr:
+			obj := calleeObj(pass.Info, n)
+			if obj == nil {
+				return true
+			}
+			switch {
+			case isMethodOn(obj, pair.pkg, pair.typ) && obj.Name() == pair.acquire:
+				acquires = append(acquires, pairSite{pos: int(n.Pos()), node: n})
+			case isMethodOn(obj, pair.pkg, pair.typ) && obj.Name() == pair.release:
+				releases = append(releases, pairSite{pos: int(n.Pos()), node: n})
+				if inDefer != nil && n.Pos() >= inDefer.Pos() && n.End() <= inDefer.End() {
+					deferredRelease = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Returns inside nested function literals are not this function's
+	// return paths; prune them. (Acquire/release sites inside literals
+	// are acceptable to keep — over-approximating releases only makes
+	// the check more permissive, never noisier.)
+	returns = pruneNestedReturns(body, returns)
+
+	if len(acquires) == 0 || len(releases) == 0 || deferredRelease {
+		return
+	}
+	for _, acq := range acquires {
+		// A failed acquire stages nothing: returns inside the acquire's
+		// own error check (`tok, err := c.Lease(p); if err != nil { return }`
+		// or the init-statement form) are not leak paths.
+		exemptEnd := int(acquireExemptEnd(pass.Info, body, acq.node.(*ast.CallExpr)))
+		for _, ret := range returns {
+			if ret.pos <= acq.pos || ret.pos <= exemptEnd {
+				continue
+			}
+			released := false
+			for _, rel := range releases {
+				if rel.pos > acq.pos && rel.pos <= ret.end {
+					released = true
+					break
+				}
+			}
+			if !released {
+				pass.Reportf(ret.node.Pos(), "return path leaks the %s staged at line %d: no %s between the acquire and this return (and no deferred release); release before returning",
+					pair.what, pass.Fset.Position(acq.node.Pos()).Line, pair.release)
+				break // one finding per acquire is enough
+			}
+		}
+	}
+}
+
+// acquireExemptEnd returns the end position of the acquire's
+// failure-check window: the IfStmt that either carries the acquire in
+// its init statement or immediately follows the acquire's assignment
+// and tests a variable that assignment wrote (the error). Returns
+// inside that window run only when the acquire failed. Without such a
+// check, the window is just the call itself.
+func acquireExemptEnd(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr) token.Pos {
+	end := call.End()
+	ast.Inspect(body, func(n ast.Node) bool {
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range blk.List {
+			if call.Pos() < stmt.Pos() || call.End() > stmt.End() {
+				continue
+			}
+			switch s := stmt.(type) {
+			case *ast.IfStmt:
+				if s.Init != nil && call.End() <= s.Init.End() && condMentionsAssigned(info, s.Cond, s.Init) {
+					if s.End() > end {
+						end = s.End()
+					}
+				}
+			case *ast.AssignStmt:
+				if i+1 < len(blk.List) {
+					if ifs, ok := blk.List[i+1].(*ast.IfStmt); ok && condMentionsAssigned(info, ifs.Cond, s) {
+						if ifs.End() > end {
+							end = ifs.End()
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return end
+}
+
+// condMentionsAssigned reports whether cond uses a variable the
+// statement's assignment defines or writes.
+func condMentionsAssigned(info *types.Info, cond ast.Expr, stmt ast.Stmt) bool {
+	assign, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	written := make(map[types.Object]bool)
+	for _, lhs := range assign.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				written[obj] = true
+			}
+			if obj := info.Uses[id]; obj != nil {
+				written[obj] = true
+			}
+		}
+	}
+	mentioned := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && (written[info.Uses[id]] && info.Uses[id] != nil) {
+			mentioned = true
+		}
+		return !mentioned
+	})
+	return mentioned
+}
+
+// pruneNestedReturns drops returns that belong to nested function
+// literals rather than the scanned body.
+func pruneNestedReturns(body *ast.BlockStmt, returns []pairSite) []pairSite {
+	var lits []ast.Node
+	first := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, n)
+			return false
+		}
+		return true
+	})
+	if len(lits) == 0 {
+		return returns
+	}
+	kept := returns[:0]
+	for _, r := range returns {
+		nested := false
+		for _, l := range lits {
+			if r.node.Pos() >= l.Pos() && r.node.End() <= l.End() {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxloop enforces prompt cancellation in the worker packages: a loop
+// that performs device or network I/O every iteration must observe
+// its context at least once per iteration — check ctx.Err(), select
+// on ctx.Done(), or hand ctx to a callee that does. Without it, a
+// canceled run keeps sleeping on the emulated spindle for the rest of
+// the tape (the shape the PR 3 error-path sweep and the phase-2
+// cancellation tests exist to prevent).
+var Ctxloop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "flags for/range loops in the worker packages whose bodies perform blocking I/O but " +
+		"never mention a context.Context — cancellation must be observable every iteration " +
+		"(an enclosing loop that checks ctx per iteration satisfies the rule)",
+	Match: pathMatcher(
+		"knnpc/internal/core",
+		"knnpc/internal/pigraph",
+		"knnpc/internal/load",
+	),
+	Run: runCtxloop,
+}
+
+func runCtxloop(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, scope := range funcScopes(file) {
+			body := funcBody(scope)
+			if body == nil {
+				continue
+			}
+			// A function that never sees a context can't check one; the
+			// finding there is the missing parameter, which is an API
+			// choice this analyzer doesn't force.
+			if !mentionsContext(pass.Info, body) {
+				continue
+			}
+			checkCtxLoops(pass, body, nil)
+		}
+	}
+	return nil
+}
+
+// checkCtxLoops walks the loops of one function body. ancestors
+// carries the enclosing loops' bodies: an outer loop that mentions
+// ctx per iteration covers its inner loops (a bounded batch loop
+// inside a cancellation-checked worker loop is fine).
+func checkCtxLoops(pass *Pass, body ast.Node, ancestors []ast.Node) {
+	walkTopLoops(body, func(loop ast.Node, loopBody *ast.BlockStmt) {
+		covered := mentionsContext(pass.Info, loopBody)
+		if !covered {
+			for _, a := range ancestors {
+				if mentionsContext(pass.Info, a) {
+					covered = true
+					break
+				}
+			}
+		}
+		if !covered {
+			if desc, node := firstBlockingCall(pass.Info, loopBody); node != nil {
+				pass.Reportf(loop.Pos(), "loop performs blocking I/O (%s at line %d) but never observes a context: check ctx.Err() or select on ctx.Done() each iteration",
+					desc, pass.Fset.Position(node.Pos()).Line)
+			}
+		}
+		checkCtxLoops(pass, loopBody, append(ancestors, loopBody))
+	})
+}
+
+// walkTopLoops visits the outermost for/range statements beneath root
+// (not descending through a found loop — the callback recurses — nor
+// into nested function literals).
+func walkTopLoops(root ast.Node, visit func(loop ast.Node, body *ast.BlockStmt)) {
+	first := true
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true
+		}
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			visit(l, l.Body)
+			return false
+		case *ast.RangeStmt:
+			visit(l, l.Body)
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+}
+
+// firstBlockingCall finds a blocking call directly in the loop body
+// (nested literals excluded — a goroutine launched per iteration owns
+// its own cancellation).
+func firstBlockingCall(info *types.Info, body ast.Node) (string, ast.Node) {
+	var desc string
+	var node ast.Node
+	walkShallow(body, func(n ast.Node) bool {
+		if node != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if d, ok := blockingCall(info, call); ok {
+				desc, node = d, call
+				return false
+			}
+		}
+		return true
+	})
+	return desc, node
+}
+
+// mentionsContext reports whether any expression under n has type
+// context.Context — a ctx.Err() check, a select on ctx.Done(), or
+// passing ctx onward all count. Nested function literals are
+// excluded: a ctx captured by a goroutine body is not observed by
+// this iteration.
+func mentionsContext(info *types.Info, n ast.Node) bool {
+	found := false
+	walkShallow(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[expr]; ok && tv.Type != nil && isContextType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

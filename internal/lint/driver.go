@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// RunAnalyzers applies every matching analyzer to every package,
+// honoring //knnlint:ignore directives, and returns the surviving
+// diagnostics sorted by position. Packages are analyzed concurrently
+// (one goroutine per package, bounded by GOMAXPROCS); within a
+// package analyzers run sequentially over the shared type
+// information. The result is deterministic regardless of scheduling:
+// per-package findings are collected independently and merged with a
+// total order on (file, line, column, analyzer, message).
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perPkg[i], errs[i] = runPackage(pkg, analyzers)
+		}(i, pkg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []Diagnostic
+	for _, ds := range perPkg {
+		all = append(all, ds...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}
+
+// runPackage applies the analyzers to one package and filters the
+// findings through the package's ignore directives.
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return filterIgnored(pkg, raw), nil
+}
+
+// filterIgnored drops diagnostics covered by a well-formed ignore
+// directive and appends a finding for every malformed directive.
+func filterIgnored(pkg *Package, raw []Diagnostic) []Diagnostic {
+	ignores := parseIgnores(pkg.Fset, pkg.Files)
+	kept := make([]Diagnostic, 0, len(raw))
+	for _, d := range raw {
+		if !ignores.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, ignores.malformed...)
+}

@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The fixture convention: each analyzer has a seeded-violation
+// package and a *_clean twin under testdata/src. Violation lines
+// carry a trailing comment
+//
+//	// want `regex`
+//
+// and the test checks the analyzer's diagnostics against those
+// expectations bidirectionally — every want matched by a finding on
+// its line, every finding matched by a want.
+
+// wantRe extracts the expectation regex from a fixture comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+`(.*)`")
+
+// loadFixture type-checks one testdata package through the real
+// loader (go list resolves the path because fixtures live in the
+// module, just outside every ./... wildcard).
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	pkgs, err := Load("./internal/lint/testdata/src/" + dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// analyzeFixture runs one analyzer over a loaded fixture, bypassing
+// Analyzer.Match (fixtures do not live at the production import
+// paths), and applies the ignore filter exactly as the driver would.
+func analyzeFixture(t *testing.T, a *Analyzer, pkg *Package) []Diagnostic {
+	t.Helper()
+	var raw []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		diags:    &raw,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+	}
+	return filterIgnored(pkg, raw)
+}
+
+// wantAt is one expectation: a message regex anchored to a file line.
+type wantAt struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants parses the `// want` comments of a fixture package.
+func collectWants(t *testing.T, pkg *Package) []wantAt {
+	t.Helper()
+	var wants []wantAt
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regex %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, wantAt{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture checks one analyzer against one fixture package.
+func runFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg := loadFixture(t, dir)
+	diags := analyzeFixture(t, a, pkg)
+	wants := collectWants(t, pkg)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if d.Pos.Filename == w.file && d.Pos.Line == w.line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected a %s diagnostic matching %q, got none", w.file, w.line, a.Name, w.re)
+		}
+	}
+}
+
+func TestMaporderFixtures(t *testing.T) {
+	runFixture(t, Maporder, "maporder")
+	runFixture(t, Maporder, "maporder_clean")
+}
+
+func TestLocksleepFixtures(t *testing.T) {
+	runFixture(t, Locksleep, "locksleep")
+	runFixture(t, Locksleep, "locksleep_clean")
+}
+
+func TestWireswitchFixtures(t *testing.T) {
+	for _, p := range []string{
+		"knnpc/internal/lint/testdata/src/wireswitch",
+		"knnpc/internal/lint/testdata/src/wireswitch_clean",
+	} {
+		WirePackages[p] = true
+		defer delete(WirePackages, p)
+	}
+	runFixture(t, Wireswitch, "wireswitch")
+	runFixture(t, Wireswitch, "wireswitch_clean")
+}
+
+func TestCtxloopFixtures(t *testing.T) {
+	runFixture(t, Ctxloop, "ctxloop")
+	runFixture(t, Ctxloop, "ctxloop_clean")
+}
+
+func TestBudgetpairFixtures(t *testing.T) {
+	runFixture(t, Budgetpair, "budgetpair")
+	runFixture(t, Budgetpair, "budgetpair_clean")
+}
+
+// TestIgnoreDirectives exercises the suppression machinery end to
+// end: both directive placements silence their finding, a directive
+// naming the wrong analyzer does not, and a reason-less directive
+// surfaces as a "knnlint" finding instead of suppressing anything.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := loadFixture(t, "ignoredirective")
+	diags := analyzeFixture(t, Locksleep, pkg)
+
+	var malformed, surviving []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "knnlint":
+			malformed = append(malformed, d)
+		case "locksleep":
+			surviving = append(surviving, d)
+		default:
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+	}
+	if len(malformed) != 1 {
+		t.Errorf("got %d malformed-directive findings, want 1: %v", len(malformed), malformed)
+	} else if !strings.Contains(malformed[0].Message, "malformed ignore directive") {
+		t.Errorf("malformed finding has message %q", malformed[0].Message)
+	}
+	// The suppressed sites (suppressedAbove, suppressedTrailing) must
+	// be silent; wrongAnalyzer and missingReason must still report.
+	if len(surviving) != 2 {
+		t.Errorf("got %d surviving locksleep findings, want 2 (wrongAnalyzer, missingReason): %v",
+			len(surviving), surviving)
+	}
+}
+
+// TestParallelDriverDeterministic runs the concurrent driver
+// repeatedly over the same fixture set and requires byte-identical
+// output: the per-package goroutines must not let scheduling order
+// leak into the merged diagnostics. (The name keeps this test inside
+// the race-detector phase's -run filter.)
+func TestParallelDriverDeterministic(t *testing.T) {
+	for _, p := range []string{
+		"knnpc/internal/lint/testdata/src/wireswitch",
+		"knnpc/internal/lint/testdata/src/wireswitch_clean",
+	} {
+		WirePackages[p] = true
+		defer delete(WirePackages, p)
+	}
+	dirs := []string{
+		"maporder", "maporder_clean",
+		"locksleep", "locksleep_clean",
+		"wireswitch", "wireswitch_clean",
+		"ctxloop", "ctxloop_clean",
+		"budgetpair", "budgetpair_clean",
+		"ignoredirective",
+	}
+	patterns := make([]string, len(dirs))
+	for i, d := range dirs {
+		patterns[i] = "./internal/lint/testdata/src/" + d
+	}
+	pkgs, err := Load(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(diags []Diagnostic) string {
+		lines := make([]string, len(diags))
+		for i, d := range diags {
+			lines[i] = d.String()
+		}
+		return strings.Join(lines, "\n")
+	}
+	first, err := RunAnalyzers(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("driver found nothing over the violation fixtures; the determinism check would be vacuous")
+	}
+	want := render(first)
+	for i := 0; i < 4; i++ {
+		got, err := RunAnalyzers(pkgs, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := render(got); g != want {
+			t.Fatalf("run %d diverged:\n--- first\n%s\n--- run %d\n%s", i+2, want, i+2, g)
+		}
+	}
+	// The driver's ordering contract, independent of scheduling luck.
+	sorted := sort.SliceIsSorted(first, func(i, j int) bool {
+		a, b := first[i], first[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	if !sorted {
+		t.Error("merged diagnostics are not position-sorted")
+	}
+}
+
+// TestAnalyzerRoster pins the suite's shape: at least five analyzers,
+// unique names, documented invariants.
+func TestAnalyzerRoster(t *testing.T) {
+	all := All()
+	if len(all) < 5 {
+		t.Fatalf("suite has %d analyzers, want >= 5", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestDiagnosticString pins the rendered shape CI greps for.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "maporder", Message: "boom"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "x.go", 3, 7
+	if got, want := d.String(), "x.go:3:7: [maporder] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got := fmt.Sprint(d); got != d.String() {
+		t.Errorf("fmt.Sprint = %q, want String() form", got)
+	}
+}

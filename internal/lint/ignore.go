@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix starts every suppression directive. The full form is
+//
+//	//knnlint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. The
+// analyzer name must match the diagnostic being silenced and the
+// reason must be non-empty: suppressions are justifications on the
+// record, not mute buttons.
+const ignorePrefix = "knnlint:ignore"
+
+// ignoreDirective is one parsed suppression comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// ignoreSet indexes a package's directives by file and line for the
+// two positions a directive covers (its own line and the next).
+type ignoreSet struct {
+	// byLine maps filename → covered line → directives.
+	byLine map[string]map[int][]ignoreDirective
+	// malformed collects directives missing an analyzer or a reason;
+	// the driver reports them as findings of the pseudo-analyzer
+	// "knnlint" so a broken suppression can't silently suppress.
+	malformed []Diagnostic
+}
+
+// parseIgnores scans a package's comments for knnlint directives.
+func parseIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	set := &ignoreSet{byLine: make(map[string]map[int][]ignoreDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) < 2 {
+					set.malformed = append(set.malformed, Diagnostic{
+						Analyzer: "knnlint",
+						Pos:      pos,
+						Message:  "malformed ignore directive: want //knnlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				d := ignoreDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      pos,
+				}
+				lines := set.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]ignoreDirective)
+					set.byLine[pos.Filename] = lines
+				}
+				// A directive covers its own line (trailing comment) and
+				// the next (comment-above form).
+				lines[pos.Line] = append(lines[pos.Line], d)
+				lines[pos.Line+1] = append(lines[pos.Line+1], d)
+			}
+		}
+	}
+	return set
+}
+
+// covers reports whether a directive for the diagnostic's analyzer is
+// in scope at its position.
+func (s *ignoreSet) covers(d Diagnostic) bool {
+	for _, dir := range s.byLine[d.Pos.Filename][d.Pos.Line] {
+		if dir.analyzer == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+// Package lint is knnlint: a suite of custom static analyzers that
+// mechanically enforce this repository's hard-won invariants — the
+// determinism, locking, and protocol rules that every Table 1
+// bit-identity claim and serving-tier guarantee rests on. Each
+// analyzer encodes one invariant that was once violated (and fixed)
+// in a past PR, so the regression can never be reintroduced silently:
+//
+//   - maporder: no order-nondeterministic work inside `range` over a
+//     map in the deterministic packages (the PR 1 dataset RNG bug)
+//   - locksleep: no emulated-device or network I/O while a sync mutex
+//     acquired in the same function is held (the PR 5 convoy bug)
+//   - wireswitch: switches over netstore protocol constants are
+//     exhaustive or fail loudly in default (new verbs can't fall
+//     through)
+//   - ctxloop: I/O-performing loop bodies in the worker packages
+//     observe ctx cancellation every iteration
+//   - budgetpair: staged acquires (Budget.Reserve, Client.Lease) are
+//     released on every return path within the function that also
+//     releases them (the PR 3 budget-leak shape)
+//
+// The suite is self-hosted on the standard library only: packages are
+// type-checked offline through `go list -export` plus the gc export
+// data importer, so the toolchain is the single dependency. Run it
+// via `go run ./cmd/knnlint ./...` or `make lint`; CI gates on it.
+//
+// A diagnostic that is a justified exception is silenced in place:
+//
+//	//knnlint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line directly above. The reason is
+// mandatory — a bare ignore is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check. The shape deliberately
+// mirrors golang.org/x/tools/go/analysis so the suite can migrate to
+// the upstream driver wholesale if the dependency ever lands; until
+// then the stdlib-only Pass below is the entire contract.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //knnlint:ignore directives. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph invariant statement printed by
+	// `knnlint -list`.
+	Doc string
+	// Match restricts the analyzer to packages whose import path it
+	// accepts; nil means every package. The driver applies it —
+	// fixture tests bypass it to run analyzers on testdata packages.
+	Match func(pkgPath string) bool
+	// Run inspects one type-checked package and reports findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset resolves token positions for every file in the package.
+	Fset *token.FileSet
+	// Files are the package's parsed sources (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the package's full type information (Uses, Defs,
+	// Types, Selections).
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: an invariant violation at a source
+// position.
+type Diagnostic struct {
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Pos locates the violation.
+	Pos token.Position
+	// Message states the violation and the repair.
+	Message string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: [analyzer] message shape.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}

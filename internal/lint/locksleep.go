@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Locksleep enforces the PR 5 convoy lesson: the emulated spindle
+// sleeps real wall time per access and a netstore round-trip blocks
+// on the network, so neither may happen while a sync.Mutex/RWMutex
+// acquired in the same function is still held — one sleeping holder
+// convoys every other goroutine behind the lock. (Phase-2 spill
+// flushes once slept inside the shard lock and serialized every
+// producer behind one spindle access.)
+var Locksleep = &Analyzer{
+	Name: "locksleep",
+	Doc: "flags device I/O, netstore client calls, raw net I/O, and sleeps performed while a " +
+		"sync.Mutex or sync.RWMutex acquired earlier in the same function is still held — " +
+		"blocking under a lock convoys every contender behind the sleeper",
+	Run: runLocksleep,
+}
+
+// lockEvent is one acquire or release of a sync lock, in source
+// order. Deferred unlocks keep the lock held to function end (the
+// lock-for-the-whole-function idiom), which is exactly when blocking
+// calls below them are findings.
+type lockEvent struct {
+	pos     int // source offset, for ordering
+	key     string
+	acquire bool
+	read    bool // RLock/RUnlock
+	deferLF bool // release via defer: does not end the held region
+	node    ast.Node
+}
+
+func runLocksleep(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, scope := range funcScopes(file) {
+			body := funcBody(scope)
+			if body == nil {
+				continue
+			}
+			checkLockScope(pass, body)
+		}
+	}
+	return nil
+}
+
+// checkLockScope scans one function body in source order, tracking
+// which locks are held, and reports blocking calls in held regions.
+// The scan is a source-order approximation of control flow — branch
+// interleavings that release before blocking on every real path can
+// annotate with //knnlint:ignore locksleep <reason>.
+func checkLockScope(pass *Pass, body *ast.BlockStmt) {
+	type blocking struct {
+		pos  int
+		desc string
+		node ast.Node
+	}
+	var events []lockEvent
+	var calls []blocking
+
+	var inDefer ast.Node
+	walkShallow(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			inDefer = d
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		deferred := inDefer != nil && call.Pos() >= inDefer.Pos() && call.End() <= inDefer.End()
+		if ev, ok := lockEventOf(pass.Info, call, deferred); ok {
+			events = append(events, ev)
+			return true
+		}
+		if deferred {
+			// Deferred cleanup runs after every unlock-at-return; a
+			// blocking call there is not "under the lock" in the sense
+			// this analyzer checks.
+			return true
+		}
+		if desc, ok := blockingCall(pass.Info, call); ok {
+			calls = append(calls, blocking{pos: int(call.Pos()), desc: desc, node: call})
+		}
+		return true
+	})
+	if len(events) == 0 || len(calls) == 0 {
+		return
+	}
+
+	for _, c := range calls {
+		held := heldAt(events, c.pos)
+		if held == nil {
+			continue
+		}
+		pass.Reportf(c.node.Pos(), "%s while %q (acquired at line %d) is held; release the lock before blocking, or stage the work and perform it after unlocking",
+			c.desc, held.key, pass.Fset.Position(held.node.Pos()).Line)
+	}
+}
+
+// heldAt replays the lock events before offset pos and returns an
+// acquire that is still outstanding there (nil if none).
+func heldAt(events []lockEvent, pos int) *lockEvent {
+	// held maps lock key → index of the outstanding acquire event.
+	held := make(map[string]int)
+	for i, ev := range events {
+		if ev.pos >= pos {
+			break
+		}
+		switch {
+		case ev.acquire:
+			held[ev.key] = i
+		case ev.deferLF:
+			// defer mu.Unlock(): the lock stays held until return, so
+			// it does NOT clear the held region.
+		default:
+			delete(held, ev.key)
+		}
+	}
+	for _, i := range held {
+		return &events[i]
+	}
+	return nil
+}
+
+// lockEventOf classifies a call as a sync lock acquire/release. The
+// lock's identity is the receiver expression's text (`s.mu`), which
+// distinguishes locks per variable but conflates aliases — fine for
+// the struct-field mutexes this repo uses.
+func lockEventOf(info *types.Info, call *ast.CallExpr, deferred bool) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	obj := calleeObj(info, call)
+	if obj == nil {
+		return lockEvent{}, false
+	}
+	if !isMethodOn(obj, "sync", "Mutex") && !isMethodOn(obj, "sync", "RWMutex") {
+		return lockEvent{}, false
+	}
+	ev := lockEvent{
+		pos:  int(call.Pos()),
+		key:  types.ExprString(sel.X),
+		node: call,
+	}
+	switch obj.Name() {
+	case "Lock", "RLock":
+		ev.acquire = true
+		ev.read = obj.Name() == "RLock"
+	case "Unlock", "RUnlock":
+		ev.deferLF = deferred
+	case "TryLock", "TryRLock":
+		// The success path holds the lock, but flow-insensitively the
+		// failure path doesn't; skip rather than guess.
+		return lockEvent{}, false
+	default:
+		return lockEvent{}, false
+	}
+	return ev, true
+}

@@ -1,0 +1,38 @@
+// Package budgetpair seeds the PR 3 leak shape: a function stages a
+// budget charge or a partition lease, releases it on the happy path,
+// but slips out of an early error return with the stake still held.
+package budgetpair
+
+import (
+	"errors"
+
+	"knnpc/internal/disk"
+	"knnpc/internal/netstore"
+)
+
+// spillLeaky releases on success but leaks the reservation when the
+// payload is oversized — the verbatim PR 3 bug shape.
+func spillLeaky(b *disk.Budget, payload []byte) error {
+	if err := b.Reserve(int64(len(payload))); err != nil {
+		return err // failed acquire staged nothing: exempt
+	}
+	if len(payload) > 1<<20 {
+		return errors.New("payload too large") // want `return path leaks the budget reservation`
+	}
+	b.Release(int64(len(payload)))
+	return nil
+}
+
+// leaseLeaky drops the lease token on the validation path.
+func leaseLeaky(c *netstore.Client, p uint32, ok func(uint64) bool) error {
+	token, err := c.Lease(p)
+	if err != nil {
+		return err // failed acquire: exempt
+	}
+	if !ok(token) {
+		return errors.New("stale lease") // want `return path leaks the partition lease`
+	}
+	return c.Release(p, token)
+}
+
+var use = []any{spillLeaky, leaseLeaky}

@@ -1,0 +1,36 @@
+// Package ctxloop seeds the cancellation-blind worker loops the
+// analyzer exists to catch: the function holds a context, but its
+// I/O loop never looks at it, so a canceled run keeps sleeping on
+// the emulated spindle to the end of the tape.
+package ctxloop
+
+import (
+	"context"
+	"time"
+
+	"knnpc/internal/disk"
+)
+
+// drainNoCheck checks ctx once up front and then never again —
+// cancellation arriving mid-tape is ignored for every remaining
+// block.
+func drainNoCheck(ctx context.Context, d *disk.Device, blocks []int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, n := range blocks { // want `performs blocking I/O .* but never observes a context`
+		d.Write(n)
+	}
+	return nil
+}
+
+// pollNoCheck holds a ctx but spins on the clock without observing
+// it.
+func pollNoCheck(ctx context.Context, ready func() bool) {
+	_ = ctx
+	for !ready() { // want `never observes a context`
+		time.Sleep(time.Millisecond)
+	}
+}
+
+var use = []any{drainNoCheck, pollNoCheck}

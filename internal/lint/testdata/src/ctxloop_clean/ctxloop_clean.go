@@ -1,0 +1,63 @@
+// Package ctxloop_clean holds the repaired twins: every I/O loop
+// observes its context per iteration, directly, via select, via an
+// enclosing checked loop, or by handing ctx to the callee. The
+// analyzer must report nothing here.
+package ctxloop_clean
+
+import (
+	"context"
+	"time"
+
+	"knnpc/internal/disk"
+)
+
+// drainChecked tests ctx.Err() every iteration.
+func drainChecked(ctx context.Context, d *disk.Device, blocks []int64) error {
+	for _, n := range blocks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		d.Write(n)
+	}
+	return nil
+}
+
+// pollSelect observes cancellation through select on ctx.Done().
+func pollSelect(ctx context.Context, ready func() bool) error {
+	for !ready() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// batchedInner does unchecked I/O in a bounded inner loop; the outer
+// worker loop checks ctx each pass, which covers it.
+func batchedInner(ctx context.Context, d *disk.Device, batches [][]int64) error {
+	for _, batch := range batches {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, n := range batch {
+			d.Write(n)
+		}
+	}
+	return nil
+}
+
+// delegated hands ctx to the callee each iteration — observation is
+// the callee's job.
+func delegated(ctx context.Context, step func(context.Context) error, d *disk.Device, blocks []int64) error {
+	for _, n := range blocks {
+		if err := step(ctx); err != nil {
+			return err
+		}
+		d.Write(n)
+	}
+	return nil
+}
+
+var use = []any{drainChecked, pollSelect, batchedInner, delegated}

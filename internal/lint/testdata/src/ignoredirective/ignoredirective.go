@@ -1,0 +1,47 @@
+// Package ignoredirective exercises the suppression machinery: a real
+// violation silenced by each well-formed directive placement, and one
+// malformed directive that must surface as a "knnlint" finding
+// instead of silently suppressing.
+package ignoredirective
+
+import (
+	"sync"
+	"time"
+)
+
+// suppressedAbove is silenced by a directive on the line above.
+func suppressedAbove(mu *sync.Mutex) {
+	mu.Lock()
+	//knnlint:ignore locksleep fixture exercising the comment-above placement
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}
+
+// suppressedTrailing is silenced by a trailing directive on the
+// flagged line itself.
+func suppressedTrailing(mu *sync.Mutex) {
+	mu.Lock()
+	time.Sleep(time.Millisecond) //knnlint:ignore locksleep fixture exercising the trailing placement
+	mu.Unlock()
+}
+
+// wrongAnalyzer carries a directive naming a different analyzer, so
+// the locksleep finding must survive.
+func wrongAnalyzer(mu *sync.Mutex) {
+	mu.Lock()
+	//knnlint:ignore maporder names the wrong analyzer on purpose
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}
+
+// missingReason carries a directive with no justification; the parser
+// must refuse it and report a malformed-directive finding, leaving
+// the underlying violation visible too.
+func missingReason(mu *sync.Mutex) {
+	//knnlint:ignore locksleep
+	mu.Lock()
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}
+
+var use = []any{suppressedAbove, suppressedTrailing, wrongAnalyzer, missingReason}

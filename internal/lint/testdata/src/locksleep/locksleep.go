@@ -1,0 +1,55 @@
+// Package locksleep seeds the PR 5 convoy shapes: blocking on the
+// emulated device, the store client, and the clock while a mutex
+// acquired in the same function is held.
+package locksleep
+
+import (
+	"sync"
+	"time"
+
+	"knnpc/internal/disk"
+	"knnpc/internal/netstore"
+)
+
+// shard mimics the tuple-table shape whose spill flush once slept
+// inside the shard lock.
+type shard struct {
+	mu      sync.Mutex
+	dev     *disk.Device
+	pending []byte
+}
+
+// flushUnderLock appends to the spindle inside the critical section.
+func (s *shard) flushUnderLock() {
+	s.mu.Lock()
+	s.dev.Append(int64(len(s.pending))) // want `sleeps the emulated spindle while "s.mu"`
+	s.pending = s.pending[:0]
+	s.mu.Unlock()
+}
+
+// writeWithDeferredUnlock holds the lock to function end by defer, so
+// the device write below is under it.
+func (s *shard) writeWithDeferredUnlock(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dev.Write(int64(len(b))) // want `sleeps the emulated spindle`
+}
+
+// leaseUnderLock performs a network round-trip inside the critical
+// section.
+func leaseUnderLock(c *netstore.Client, mu *sync.Mutex) error {
+	mu.Lock()
+	_, err := c.Lease(1) // want `network round-trip`
+	mu.Unlock()
+	return err
+}
+
+// sleepUnderRLock blocks the clock while readers hold the lock —
+// writers convoy behind the sleeper all the same.
+func sleepUnderRLock(mu *sync.RWMutex) {
+	mu.RLock()
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks`
+	mu.RUnlock()
+}
+
+var use = []any{leaseUnderLock, sleepUnderRLock, (*shard).flushUnderLock, (*shard).writeWithDeferredUnlock}

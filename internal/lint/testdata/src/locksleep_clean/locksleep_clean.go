@@ -1,0 +1,51 @@
+// Package locksleep_clean holds the repaired twins: stage under the
+// lock, block after releasing it — the PR 5 fix shape. The analyzer
+// must report nothing here.
+package locksleep_clean
+
+import (
+	"sync"
+	"time"
+
+	"knnpc/internal/disk"
+	"knnpc/internal/netstore"
+)
+
+// shard stages bytes under the lock and charges the spindle outside.
+type shard struct {
+	mu      sync.Mutex
+	dev     *disk.Device
+	pending []byte
+}
+
+// flushOutsideLock swaps the buffer inside the critical section and
+// sleeps the device after Unlock.
+func (s *shard) flushOutsideLock() {
+	s.mu.Lock()
+	n := int64(len(s.pending))
+	s.pending = s.pending[:0]
+	s.mu.Unlock()
+	s.dev.Append(n)
+}
+
+// leaseThenLock does the round-trip first and locks only for the
+// bookkeeping.
+func leaseThenLock(c *netstore.Client, mu *sync.Mutex, tokens map[uint32]uint64) error {
+	token, err := c.Lease(1)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	tokens[1] = token
+	mu.Unlock()
+	return nil
+}
+
+// sleepAfterUnlock releases before blocking the clock.
+func sleepAfterUnlock(mu *sync.RWMutex) {
+	mu.RLock()
+	mu.RUnlock()
+	time.Sleep(time.Millisecond)
+}
+
+var use = []any{leaseThenLock, sleepAfterUnlock, (*shard).flushOutsideLock}

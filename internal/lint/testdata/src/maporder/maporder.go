@@ -1,0 +1,63 @@
+// Package maporder seeds one violation of each maporder sink so the
+// analyzer's fixture test proves every rule fires; the clean twin
+// (maporder_clean) holds the repaired forms.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// rngInMapOrder draws from a stateful RNG once per map element — the
+// PR 1 bug shape: the draw sequence depends on random iteration order.
+func rngInMapOrder(m map[uint32]int, rng *rand.Rand) []int {
+	out := make([]int, 0, len(m))
+	for range m {
+		out = append(out, rng.Intn(10)) // want `RNG draw inside range over a map`
+	}
+	sort.Ints(out)
+	return out
+}
+
+// emitInMapOrder writes formatted output per element.
+func emitInMapOrder(m map[uint32]int, buf *bytes.Buffer) {
+	for k := range m {
+		fmt.Fprintf(buf, "%d\n", k) // want `Fprintf inside range over a map`
+	}
+}
+
+// collectUnsorted gathers keys but never sorts them.
+func collectUnsorted(m map[uint32]int) []uint32 {
+	var keys []uint32
+	for k := range m {
+		keys = append(keys, k) // want `never sorted afterwards`
+	}
+	return keys
+}
+
+// fanOutInMapOrder sends elements to a consumer in map order.
+func fanOutInMapOrder(m map[uint32]int, ch chan<- uint32) {
+	for k := range m {
+		ch <- k // want `channel send inside range over a map`
+	}
+}
+
+// encodeInMapOrder lays out wire bytes in map order.
+func encodeInMapOrder(m map[uint32]uint32) []byte {
+	var buf []byte
+	for k, v := range m {
+		buf = appendU32(buf, k+v) // want `appendU32 inside range over a map`
+	}
+	return buf
+}
+
+// appendU32 is a wire-layout helper like netstore's.
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// use keeps the seeded violations referenced so the fixture compiles
+// under unused-function vetting in future toolchains.
+var use = []any{rngInMapOrder, emitInMapOrder, collectUnsorted, fanOutInMapOrder, encodeInMapOrder}

@@ -1,0 +1,58 @@
+// Package maporder_clean holds the repaired twins of the maporder
+// fixture: the same work shapes with the order dependency removed.
+// The analyzer must report nothing here.
+package maporder_clean
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// rngAfterSort draws per key in sorted-key order.
+func rngAfterSort(m map[uint32]int, rng *rand.Rand) []int {
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	out := make([]int, 0, len(keys))
+	for range keys {
+		out = append(out, rng.Intn(10))
+	}
+	return out
+}
+
+// emitSorted writes output over sorted keys.
+func emitSorted(m map[uint32]int, buf *bytes.Buffer) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Fprintf(buf, "%d\n", k)
+	}
+}
+
+// countCommutative folds with an order-insensitive operation — no
+// sink, no finding.
+func countCommutative(m map[uint32]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// copyToMap writes into another map — order-insensitive.
+func copyToMap(m map[uint32]int) map[uint32]int {
+	out := make(map[uint32]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+var use = []any{rngAfterSort, emitSorted, countCommutative, copyToMap}

@@ -1,0 +1,45 @@
+// Package wireswitch seeds protocol-dispatch switches that would
+// swallow a new wire verb: a non-exhaustive switch with no default,
+// and one whose default soldiers on instead of failing. The fixture
+// test registers this package in lint.WirePackages, standing in for
+// internal/netstore (whose wire constants are unexported).
+package wireswitch
+
+// The fixture's wire vocabulary, mirroring netstore's op*/status*
+// groups.
+const (
+	opGet  = 0x01
+	opPut  = 0x02
+	opStop = 0x03
+)
+
+const (
+	statusOK  = 0x00
+	statusErr = 0x01
+)
+
+// dispatchFallthrough misses opStop with no default: a new verb would
+// be silently dropped.
+func dispatchFallthrough(op byte) int {
+	switch op { // want `misses opStop and has no default`
+	case opGet:
+		return 1
+	case opPut:
+		return 2
+	}
+	return 0
+}
+
+// dispatchSoftDefault has a default that neither returns nor panics.
+func dispatchSoftDefault(op byte) int {
+	n := 0
+	switch op {
+	case opGet:
+		n = 1
+	default: // want `default neither returns nor panics`
+		n = -1
+	}
+	return n
+}
+
+var use = []any{dispatchFallthrough, dispatchSoftDefault, statusOK, statusErr}

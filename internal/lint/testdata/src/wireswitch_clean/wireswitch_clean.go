@@ -1,0 +1,50 @@
+// Package wireswitch_clean holds the repaired dispatch twins: either
+// every group member is named, or the default fails loudly. The
+// analyzer must report nothing here.
+package wireswitch_clean
+
+import "errors"
+
+// The same wire vocabulary as the violation fixture.
+const (
+	opGet  = 0x01
+	opPut  = 0x02
+	opStop = 0x03
+)
+
+// dispatchExhaustive names every member of the group.
+func dispatchExhaustive(op byte) int {
+	switch op {
+	case opGet:
+		return 1
+	case opPut:
+		return 2
+	case opStop:
+		return 3
+	}
+	return 0
+}
+
+// dispatchErrorDefault handles a subset and returns an error for
+// anything else — a new verb fails loudly.
+func dispatchErrorDefault(op byte) (int, error) {
+	switch op {
+	case opGet:
+		return 1, nil
+	default:
+		return 0, errors.New("unhandled opcode")
+	}
+}
+
+// dispatchPanicDefault panics on the unexpected — acceptable for
+// can't-happen internal dispatch.
+func dispatchPanicDefault(op byte) int {
+	switch op {
+	case opGet, opPut:
+		return 1
+	default:
+		panic("unhandled opcode")
+	}
+}
+
+var use = []any{dispatchExhaustive, dispatchErrorDefault, dispatchPanicDefault}

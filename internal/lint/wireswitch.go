@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Wireswitch guards the netstore protocol against silently dropped
+// verbs: a switch over the wire constant groups (opcodes, statuses,
+// PUT kinds) must either name every member of the group or carry a
+// default that fails loudly (return or panic) — so adding a serving
+// verb forces every dispatch site to decide, at compile-review time,
+// what happens to it. Complements the PROTOCOL.md table-sync test,
+// which pins the docs but cannot see fall-through switches.
+var Wireswitch = &Analyzer{
+	Name: "wireswitch",
+	Doc: "flags switches over the netstore protocol constant groups (op*/status*/put*) that " +
+		"neither enumerate the whole group nor carry a default that returns or panics — a new " +
+		"wire verb must never fall through silently",
+	Run: runWireswitch,
+}
+
+// WirePackages names the import paths whose wire constant groups the
+// analyzer enforces. Fixture tests append their testdata package.
+var WirePackages = map[string]bool{netstorePath: true}
+
+// wireGroupName captures a wire constant's group prefix.
+var wireGroupName = regexp.MustCompile(`^(op|status|put)[A-Z]`)
+
+func runWireswitch(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			checkWireSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWireSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	// Identify the wire group from the case constants: all case
+	// expressions resolving to constants of one enforced group make
+	// this a protocol dispatch.
+	var groupPkg *types.Package
+	var groupPrefix string
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		if clause.List == nil {
+			defaultClause = clause
+			continue
+		}
+		for _, expr := range clause.List {
+			id, ok := ast.Unparen(expr).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			c, ok := pass.Info.Uses[id].(*types.Const)
+			if !ok || c.Pkg() == nil || !WirePackages[c.Pkg().Path()] {
+				continue
+			}
+			m := wireGroupName.FindStringSubmatch(c.Name())
+			if m == nil {
+				continue
+			}
+			groupPkg, groupPrefix = c.Pkg(), m[1]
+			covered[c.Name()] = true
+		}
+	}
+	if groupPkg == nil {
+		return
+	}
+
+	missing := missingWireConsts(groupPkg, groupPrefix, covered)
+	if len(missing) == 0 {
+		return
+	}
+	if defaultClause == nil {
+		pass.Reportf(sw.Pos(), "switch over %s constants %s* misses %s and has no default: a new wire verb would fall through silently; enumerate the members or add a default that returns an error",
+			groupPkg.Name(), groupPrefix, strings.Join(missing, ", "))
+		return
+	}
+	if !failsLoudly(defaultClause) {
+		pass.Reportf(defaultClause.Pos(), "switch over %s constants %s* misses %s and its default neither returns nor panics: an unhandled wire verb must fail loudly",
+			groupPkg.Name(), groupPrefix, strings.Join(missing, ", "))
+	}
+}
+
+// missingWireConsts lists the group's members (integer constants in
+// the declaring package's scope whose names share the group prefix)
+// absent from covered.
+func missingWireConsts(pkg *types.Package, prefix string, covered map[string]bool) []string {
+	var missing []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		m := wireGroupName.FindStringSubmatch(c.Name())
+		if m == nil || m[1] != prefix {
+			continue
+		}
+		if !covered[c.Name()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// failsLoudly reports whether a default clause body contains a return
+// or a panic (without descending into nested function literals).
+func failsLoudly(clause *ast.CaseClause) bool {
+	loud := false
+	for _, stmt := range clause.Body {
+		walkShallow(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				loud = true
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					loud = true
+				}
+			}
+			return !loud
+		})
+		if loud {
+			return true
+		}
+	}
+	return false
+}

@@ -378,3 +378,47 @@ func TestEndToEndDirect(t *testing.T) {
 		t.Fatalf("drained %d, pushed %d", len(drained), res.Kinds[Update].Ops)
 	}
 }
+
+// TestRoundRobinTarget: ops rotate evenly across the backends and
+// Close fans out to every one.
+func TestRoundRobinTarget(t *testing.T) {
+	if _, err := NewRoundRobinTarget("empty", nil); err == nil {
+		t.Fatal("round-robin over zero targets must be rejected")
+	}
+	backends := []*countingTarget{{}, {}, {}}
+	rr, err := NewRoundRobinTarget("rr", []Target{backends[0], backends[1], backends[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Name() != "rr" {
+		t.Errorf("name %q", rr.Name())
+	}
+	const ops = 99
+	var wg sync.WaitGroup
+	for i := 0; i < ops; i++ {
+		wg.Add(1)
+		go func(u uint32) {
+			defer wg.Done()
+			if err := rr.Do(Op{Kind: Neighbors, User: u}); err != nil {
+				t.Error(err)
+			}
+		}(uint32(i))
+	}
+	wg.Wait()
+	total := 0
+	for i, b := range backends {
+		b.mu.Lock()
+		n := len(b.ops)
+		b.mu.Unlock()
+		total += n
+		if n != ops/len(backends) {
+			t.Errorf("backend %d served %d ops, want %d", i, n, ops/len(backends))
+		}
+	}
+	if total != ops {
+		t.Errorf("served %d ops in total, want %d", total, ops)
+	}
+	if err := rr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

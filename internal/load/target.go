@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"knnpc/internal/api"
@@ -206,4 +207,43 @@ func missOr(err error) error {
 		return ErrMiss
 	}
 	return err
+}
+
+// RoundRobinTarget rotates ops across a fixed set of equivalent
+// targets — the client-side stand-in for a load balancer in front of
+// several replica sets, used by the FW-10 replica-count sweep. Do is
+// safe for concurrent use when every underlying target's Do is.
+type RoundRobinTarget struct {
+	name    string
+	next    atomic.Uint64
+	targets []Target
+}
+
+// NewRoundRobinTarget builds a rotating target over the given
+// backends. The backends are owned by the result: Close closes them
+// all.
+func NewRoundRobinTarget(name string, targets []Target) (*RoundRobinTarget, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("load: round-robin over zero targets")
+	}
+	return &RoundRobinTarget{name: name, targets: targets}, nil
+}
+
+// Name labels the target.
+func (t *RoundRobinTarget) Name() string { return t.name }
+
+// Do executes one op on the next backend in rotation.
+func (t *RoundRobinTarget) Do(op Op) error {
+	return t.targets[(t.next.Add(1)-1)%uint64(len(t.targets))].Do(op)
+}
+
+// Close closes every backend, returning the first error.
+func (t *RoundRobinTarget) Close() error {
+	var first error
+	for _, b := range t.targets {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

@@ -184,12 +184,16 @@ func (st *traversal) hasWork(p uint32) bool {
 	return st.deg[p] > 0 || st.self[p]
 }
 
-// livePeers returns the remaining neighbors of p (unsorted).
+// livePeers returns the remaining neighbors of p, sorted by id — the
+// live set is a map, and handing its random iteration order to
+// callers would make every schedule depend on the callers' sorts
+// being total. Sorting here makes the contract local.
 func (st *traversal) livePeers(p uint32) []uint32 {
 	peers := make([]uint32, 0, len(st.live[p]))
 	for q := range st.live[p] {
 		peers = append(peers, q)
 	}
+	sort.Slice(peers, func(a, b int) bool { return peers[a] < peers[b] })
 	return peers
 }
 

@@ -22,10 +22,11 @@ declare -A HELP=(
   [benchjson]="benchjson -help"
   [datagen-graph]="datagen graph -help"
   [datagen-profiles]="datagen profiles -help"
+  [knnlint]="knnlint -help"
 )
 
 echo "== building binaries"
-for bin in knnrun statestore knnserve knnload table1 experiments benchjson datagen; do
+for bin in knnrun statestore knnserve knnload table1 experiments benchjson datagen knnlint; do
   go build -o "$WORK/$bin" "./cmd/$bin"
 done
 

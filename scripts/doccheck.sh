@@ -14,6 +14,8 @@ PACKAGES=(
   internal/latency
   internal/serve
   internal/load
+  internal/lint
+  internal/experiments
 )
 
 go run ./scripts/doccheck "${PACKAGES[@]}"
