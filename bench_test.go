@@ -802,3 +802,77 @@ func BenchmarkServeUnderLoad(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDeltaVsRebuild quantifies the incremental-maintenance
+// payoff on the emulated HDD: absorbing a batch of online user adds
+// through the delta path (ApplyDeltas — greedy search + partition-
+// restricted candidate generation over the committed graph) versus
+// paying a full five-phase iteration to fold the same users in. Both
+// rungs start from the same converged on-disk engine; reported metrics
+// are wall milliseconds per absorbed batch. Part of benchjson's
+// critical gate.
+func BenchmarkDeltaVsRebuild(b *testing.B) {
+	const users, batch = 1500, 16
+	vecs, _, err := dataset.RatingsProfiles(users+batch, 4*(users+batch), 25, 8, 1234)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkEngine := func(b *testing.B, n int) *core.Engine {
+		eng, err := core.New(profile.NewStoreFromVectors(append([]profile.Vector(nil), vecs[:n]...)), core.Options{
+			K:             10,
+			NumPartitions: 8,
+			OnDisk:        true,
+			EmulateDisk:   &disk.HDD,
+			ScratchDir:    b.TempDir(),
+			Seed:          1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Iterate(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+
+	b.Run("delta", func(b *testing.B) {
+		eng := mkEngine(b, users)
+		defer eng.Close()
+		b.ResetTimer()
+		var evals int
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// Each round deletes the previous round's batch so the adds
+			// re-absorb the same ids — steady-state graph size.
+			if i > 0 {
+				for u := users; u < users+batch; u++ {
+					eng.EnqueueDelUser(uint32(u))
+				}
+				if _, err := eng.ApplyDeltas(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for u := users; u < users+batch; u++ {
+				eng.EnqueueAddUser(uint32(u), vecs[u])
+			}
+			b.StartTimer()
+			ds, err := eng.ApplyDeltas()
+			if err != nil {
+				b.Fatal(err)
+			}
+			evals = ds.SimEvals
+		}
+		b.ReportMetric(float64(evals), "sim-evals")
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		eng := mkEngine(b, users+batch)
+		defer eng.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Iterate(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

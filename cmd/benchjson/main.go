@@ -70,10 +70,11 @@ type Document struct {
 // multi-worker "workers" rungs, the network-store "netstore" shard
 // rungs, and the parallel-"build" rungs — plus the serving-tier
 // lookup-latency rungs and the Zipfian serving-under-load replica and
-// direct rungs, and nothing host-speed. ServeUnderLoad's primary rung
-// stays ungated: its wall time measures open-loop backlog drain behind
+// direct rungs, the delta-vs-rebuild incremental-maintenance rungs,
+// and nothing host-speed. ServeUnderLoad's primary rung stays
+// ungated: its wall time measures open-loop backlog drain behind
 // phase-4 I/O, which is the demonstration, not a regression signal.
-const defaultCritical = "BenchmarkPipelinedPhase4/(hdd|workers|netstore|build)|BenchmarkServeUnderPhase4|BenchmarkServeUnderLoad/(replicas|direct)"
+const defaultCritical = "BenchmarkPipelinedPhase4/(hdd|workers|netstore|build)|BenchmarkServeUnderPhase4|BenchmarkServeUnderLoad/(replicas|direct)|BenchmarkDeltaVsRebuild"
 
 func main() {
 	compare := flag.String("compare", "", "baseline JSON file; requires the candidate file as the positional argument")

@@ -225,13 +225,13 @@ func run(out io.Writer, quick bool) error {
 	}
 	fmt.Fprintln(out)
 
-	fmt.Fprintln(out, "## FW-10 — serving-tier replica count under fixed Zipfian load")
+	fmt.Fprintln(out, "## FW-10 — serving-tier replica count × Zipf skew")
 	fmt.Fprintln(out)
-	rpUsers, rpCounts, rpSkew, rpOps := 2000, []int{0, 1, 2, 4}, 1.1, 2000
+	rpUsers, rpCounts, rpSkews, rpOps := 2000, []int{0, 1, 2, 4}, []float64{1.05, 1.1, 1.4}, 2000
 	if quick {
-		rpUsers, rpCounts, rpSkew, rpOps = 300, []int{0, 1}, 1.1, 400
+		rpUsers, rpCounts, rpSkews, rpOps = 300, []int{0, 1}, []float64{1.1}, 400
 	}
-	rpPoints, err := experiments.ReplicaSweep(ctx, rpUsers, rpCounts, rpSkew, rpOps)
+	rpPoints, err := experiments.ReplicaSweep(ctx, rpUsers, rpCounts, rpSkews, rpOps)
 	if err != nil {
 		return err
 	}

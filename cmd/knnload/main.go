@@ -30,6 +30,10 @@
 //	-rate        open-loop arrival rate, ops/s
 //	-zipf        Zipf popularity exponent s (> 1; larger = more skew)
 //	-writefrac   fraction of ops that are profile-update writes
+//	-addfrac     fraction of ops that add a whole new user
+//	             (PUT /v1/profile/{id}; ids sequential from -users)
+//	-delfrac     fraction of ops that tombstone a user
+//	             (DELETE /v1/profile/{id}; previously added users first)
 //	-profilefrac fraction of reads hitting /v1/profile vs /v1/neighbors
 //	-burst       rate multiplier during burst windows (≤ 1 disables)
 //	-burstevery  burst period
@@ -116,6 +120,8 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	rate := fs.Float64("rate", 1000, "open-loop arrival rate, ops/s")
 	zipf := fs.Float64("zipf", 1.1, "Zipf popularity exponent s (> 1)")
 	writeFrac := fs.Float64("writefrac", 0.05, "fraction of ops that are profile-update writes")
+	addFrac := fs.Float64("addfrac", 0, "fraction of ops that add a whole new user (PUT /v1/profile/{id})")
+	delFrac := fs.Float64("delfrac", 0, "fraction of ops that tombstone a user (DELETE /v1/profile/{id})")
 	profileFrac := fs.Float64("profilefrac", 0.3, "fraction of reads hitting /v1/profile instead of /v1/neighbors")
 	burst := fs.Float64("burst", 1, "rate multiplier during burst windows (<= 1 disables)")
 	burstEvery := fs.Duration("burstevery", 10*time.Second, "burst period")
@@ -135,8 +141,9 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	plan, err := load.BuildPlan(load.PlanConfig{
 		Users: *users, Items: *items, Ops: *ops,
 		Rate: *rate, Skew: *zipf,
-		WriteFrac: *writeFrac, ProfileFrac: *profileFrac,
-		Burst: *burst, BurstEvery: *burstEvery, BurstLen: *burstLen,
+		WriteFrac: *writeFrac, AddFrac: *addFrac, DelFrac: *delFrac,
+		ProfileFrac: *profileFrac,
+		Burst:       *burst, BurstEvery: *burstEvery, BurstLen: *burstLen,
 		Seed: *seed,
 	})
 	if err != nil {

@@ -35,6 +35,13 @@
 //	             after each committed iteration, so statestore replicas
 //	             and cmd/knnserve can answer point lookups mid-run
 //	             (requires -netstore)
+//	-staleness   incremental-maintenance threshold: each pass first
+//	             drains queued whole-user adds/deletes (PUT/DELETE
+//	             /v1/profile/{id} through knnserve, or the store's
+//	             mutation journal) through a cheap delta commit, then
+//	             runs the full five-phase iteration only while some
+//	             partition's drift score is ≥ this value (0 = always
+//	             iterate, the classic schedule)
 //	-dumpgraph   write the final KNN graph to this file, one sorted
 //	             neighbor line per user — deterministic, so two runs
 //	             (e.g. in-process vs -netstore) can be diffed byte for byte
@@ -81,6 +88,7 @@ type config struct {
 	emulate                            string
 	netstore                           string
 	serveViews                         bool
+	staleness                          float64
 	dumpGraph                          string
 	onDisk, profilesOnDisk, recall     bool
 	scratch                            string
@@ -109,6 +117,7 @@ func parseFlags(args []string) config {
 	fs.StringVar(&cfg.emulate, "emulate", "", "enforce a disk model's latency on state I/O: hdd, ssd, nvme (empty = none)")
 	fs.StringVar(&cfg.netstore, "netstore", "", `sharded network state store: "shards=N" (loopback cluster) or a comma-separated statestore address list (empty = in-process store)`)
 	fs.BoolVar(&cfg.serveViews, "serveviews", false, "publish serve views to the network store after each iteration (requires -netstore)")
+	fs.Float64Var(&cfg.staleness, "staleness", 0, "drain add/delete deltas each pass and run a full iteration only at drift ≥ this score (0 = always iterate)")
 	fs.StringVar(&cfg.dumpGraph, "dumpgraph", "", "write the final KNN graph to this file (deterministic text, diffable across runs)")
 	fs.BoolVar(&cfg.profilesOnDisk, "profilesondisk", false, "keep the canonical profile collection on disk too")
 	fs.BoolVar(&cfg.recall, "recall", false, "also compute exact KNN and report recall (O(n²))")
@@ -148,26 +157,27 @@ func run(out io.Writer, cfg config) error {
 	store := profile.NewStoreFromVectors(vecs)
 
 	eng, err := core.New(store, core.Options{
-		K:              cfg.k,
-		NumPartitions:  cfg.m,
-		Partitioner:    p,
-		Heuristic:      h,
-		Similarity:     sim,
-		Workers:        cfg.workers,
-		ExecWorkers:    cfg.execWorkers,
-		BuildWorkers:   cfg.buildWorkers,
-		Slots:          cfg.slots,
-		PrefetchDepth:  cfg.prefetch,
-		AsyncWriteback: cfg.writeback,
-		ShardPrefetch:  cfg.shardAhead,
-		NetStoreShards: netShards,
-		NetStoreAddrs:  netAddrs,
-		PublishViews:   cfg.serveViews,
-		OnDisk:         cfg.onDisk,
-		EmulateDisk:    emulate,
-		ProfilesOnDisk: cfg.profilesOnDisk,
-		ScratchDir:     cfg.scratch,
-		Seed:           cfg.seed,
+		K:                  cfg.k,
+		NumPartitions:      cfg.m,
+		Partitioner:        p,
+		Heuristic:          h,
+		Similarity:         sim,
+		Workers:            cfg.workers,
+		ExecWorkers:        cfg.execWorkers,
+		BuildWorkers:       cfg.buildWorkers,
+		Slots:              cfg.slots,
+		PrefetchDepth:      cfg.prefetch,
+		AsyncWriteback:     cfg.writeback,
+		ShardPrefetch:      cfg.shardAhead,
+		NetStoreShards:     netShards,
+		NetStoreAddrs:      netAddrs,
+		PublishViews:       cfg.serveViews,
+		StalenessThreshold: cfg.staleness,
+		OnDisk:             cfg.onDisk,
+		EmulateDisk:        emulate,
+		ProfilesOnDisk:     cfg.profilesOnDisk,
+		ScratchDir:         cfg.scratch,
+		Seed:               cfg.seed,
 	})
 	if err != nil {
 		return err
@@ -186,6 +196,21 @@ func run(out io.Writer, cfg config) error {
 	fmt.Fprintln(out, "iter  phase1(part)  phase2(tuples)  phase3(pi)  phase4(score)  phase5(upd)  ops  prefetched  async-wb  changed")
 
 	for i := 0; i < cfg.iters; i++ {
+		if cfg.staleness > 0 {
+			ds, err := eng.ApplyDeltas()
+			if err != nil {
+				return err
+			}
+			if ds.Adds+ds.Upserts+ds.Deletes > 0 {
+				fmt.Fprintf(out, "delta: %d adds, %d upserts, %d deletes (%d sim evals, %d views republished), max staleness %.3f\n",
+					ds.Adds, ds.Upserts, ds.Deletes, ds.SimEvals, ds.Republished, eng.MaxStaleness())
+			}
+			if !eng.NeedsIteration() {
+				fmt.Fprintf(out, "staleness %.3f below threshold %.3f; skipping full iteration\n",
+					eng.MaxStaleness(), cfg.staleness)
+				break
+			}
+		}
 		st, err := eng.Iterate(context.Background())
 		if err != nil {
 			return err

@@ -22,9 +22,14 @@ const Version = 1
 const (
 	// PathNeighbors is GET /v1/neighbors/{id} → NeighborsResponse.
 	PathNeighbors = "/v1/neighbors/"
-	// PathProfile is GET /v1/profile/{id} → ProfileResponse, and
-	// POST /v1/profile (UpdateRequest body) → UpdateResponse.
+	// PathProfile is GET /v1/profile/{id} → ProfileResponse,
+	// POST /v1/profile (UpdateRequest body) → UpdateResponse,
+	// PUT /v1/profile/{id} (UpsertRequest body) → MutationResponse
+	// (add or upsert the user), and DELETE /v1/profile/{id} →
+	// MutationResponse (tombstone the user).
 	PathProfile = "/v1/profile"
+	// PathStaleness is GET /v1/staleness → StalenessResponse.
+	PathStaleness = "/v1/staleness"
 	// PathStats is GET /v1/stats → StatsResponse.
 	PathStats = "/v1/stats"
 	// PathStatsDeprecated is the pre-v1 stats path, kept as an alias
@@ -112,6 +117,66 @@ type UpdateResponse struct {
 	Queued int `json:"queued"`
 }
 
+// Mutation operations echoed in MutationResponse.Op.
+const (
+	// OpUpsert is PUT /v1/profile/{id}: add the user (or replace its
+	// profile and re-insert its neighborhood if it already exists).
+	OpUpsert = "upsert"
+	// OpDelete is DELETE /v1/profile/{id}: tombstone the user.
+	OpDelete = "delete"
+)
+
+// UpsertRequest is the body of PUT /v1/profile/{id}: the full profile
+// vector of the user being added or upserted. New users must take the
+// next sequential id; the engine's delta pass orders concurrent adds.
+type UpsertRequest struct {
+	// Items are the profile entries, in ascending item id order.
+	Items []ProfileItem `json:"items"`
+}
+
+// MutationResponse is the 202 body of PUT and DELETE
+// /v1/profile/{id}: the mutation was queued for the engine's next
+// delta pass (it is not yet visible to lookups).
+type MutationResponse struct {
+	// User echoes the mutated user id.
+	User uint32 `json:"user"`
+	// Op is OpUpsert or OpDelete.
+	Op string `json:"op"`
+}
+
+// PartitionStaleness is one partition's drift row in a
+// StalenessResponse.
+type PartitionStaleness struct {
+	// Partition is the partition id.
+	Partition uint32 `json:"partition"`
+	// Adds counts users added to the partition since its last full
+	// iteration.
+	Adds uint64 `json:"adds"`
+	// Deletes counts users tombstoned since the last full iteration.
+	Deletes uint64 `json:"deletes"`
+	// TouchedEdges estimates graph edges rewritten by delta commits.
+	TouchedEdges uint64 `json:"touched_edges"`
+	// Members is the partition's population at the last full
+	// iteration.
+	Members uint64 `json:"members"`
+	// Score is the normalized drift the engine's staleness threshold
+	// compares against.
+	Score float64 `json:"score"`
+}
+
+// StalenessResponse is the body of GET /v1/staleness: the engine's
+// published per-partition drift table. Partitions is never null.
+type StalenessResponse struct {
+	// LastFullEpoch is the committed epoch of the most recent full
+	// five-phase iteration.
+	LastFullEpoch uint64 `json:"last_full_epoch"`
+	// Threshold is the engine's configured staleness threshold; 0
+	// means delta scheduling is disabled.
+	Threshold float64 `json:"threshold"`
+	// Partitions holds one row per partition, ascending by id.
+	Partitions []PartitionStaleness `json:"partitions"`
+}
+
 // ErrorResponse is the body of every non-2xx JSON answer. The HTTP
 // status code carries the class (400 bad request, 404 user not in any
 // published view, 502 store failure); Error carries the detail.
@@ -128,6 +193,12 @@ const (
 	EndpointProfile = "profile"
 	// EndpointUpdate aggregates POST /v1/profile.
 	EndpointUpdate = "update"
+	// EndpointUpsert aggregates PUT /v1/profile/{id}.
+	EndpointUpsert = "upsert"
+	// EndpointDelete aggregates DELETE /v1/profile/{id}.
+	EndpointDelete = "delete"
+	// EndpointStaleness aggregates GET /v1/staleness.
+	EndpointStaleness = "staleness"
 )
 
 // EndpointStats is one endpoint's row in StatsResponse: request and
@@ -166,7 +237,7 @@ type StatsResponse struct {
 	// UpdatesQueued counts individual profile updates accepted since
 	// process start.
 	UpdatesQueued uint64 `json:"updates_queued"`
-	// Endpoints maps EndpointNeighbors/EndpointProfile/EndpointUpdate
-	// to their counters.
+	// Endpoints maps the Endpoint* names (neighbors, profile, update,
+	// upsert, delete, staleness) to their counters.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }

@@ -37,6 +37,19 @@ var goldenCases = []struct {
 		{User: 3, Op: OpRemove, Item: 11},
 	}}},
 	{"update_response.json", UpdateResponse{Queued: 2}},
+	{"upsert_request.json", UpsertRequest{Items: []ProfileItem{
+		{Item: 11, Weight: 2.5}, {Item: 99, Weight: 0.5},
+	}}},
+	{"mutation_upsert.json", MutationResponse{User: 200, Op: OpUpsert}},
+	{"mutation_delete.json", MutationResponse{User: 7, Op: OpDelete}},
+	{"staleness.json", StalenessResponse{
+		LastFullEpoch: 4,
+		Threshold:     0.25,
+		Partitions: []PartitionStaleness{
+			{Partition: 0, Adds: 3, Deletes: 1, TouchedEdges: 40, Members: 100, Score: 0.08},
+			{Partition: 1, Members: 50},
+		},
+	}},
 	{"error.json", ErrorResponse{Error: "user 4040 not in any published view"}},
 	{"stats.json", StatsResponse{
 		Version:       Version,
@@ -49,6 +62,12 @@ var goldenCases = []struct {
 				P50Ms: 0.5, P90Ms: 1, P95Ms: 2, P99Ms: 4},
 			EndpointUpdate: {Requests: 6, Errors: 1,
 				P50Ms: 0.125, P90Ms: 0.25, P95Ms: 0.5, P99Ms: 1},
+			EndpointUpsert: {Requests: 5,
+				P50Ms: 0.25, P90Ms: 0.5, P95Ms: 1, P99Ms: 2},
+			EndpointDelete: {Requests: 2, Errors: 1,
+				P50Ms: 0.125, P90Ms: 0.25, P95Ms: 0.25, P99Ms: 0.5},
+			EndpointStaleness: {Requests: 3,
+				P50Ms: 0.5, P90Ms: 1, P95Ms: 1, P99Ms: 2},
 		},
 	}},
 }
@@ -102,6 +121,8 @@ func TestGoldenFieldCoverage(t *testing.T) {
 	for _, v := range []any{
 		NeighborsResponse{}, ProfileResponse{}, ProfileItem{},
 		UpdateRequest{}, ProfileUpdate{}, UpdateResponse{},
+		UpsertRequest{}, MutationResponse{},
+		StalenessResponse{}, PartitionStaleness{},
 		ErrorResponse{}, StatsResponse{}, EndpointStats{},
 	} {
 		rt := reflect.TypeOf(v)
@@ -110,7 +131,7 @@ func TestGoldenFieldCoverage(t *testing.T) {
 		}
 		// Nested types are pinned through their enclosing golden case.
 		switch v.(type) {
-		case ProfileItem, ProfileUpdate, EndpointStats:
+		case ProfileItem, ProfileUpdate, EndpointStats, PartitionStaleness:
 			continue
 		}
 		t.Errorf("wire type %s has no golden case", rt.Name())

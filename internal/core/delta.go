@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"knnpc/internal/delta"
+	"knnpc/internal/netstore"
+	"knnpc/internal/profile"
+)
+
+// Incremental graph maintenance: between full five-phase iterations the
+// engine absorbs user adds and deletes through a cheap delta path.
+// Added users enter via greedy search over the committed graph plus a
+// phase-2-style candidate pool restricted to the partitions their seed
+// neighbors live in (internal/delta); deleted users are tombstoned —
+// stripped from the graph immediately, filtered out of phase-2 tuple
+// generation and the serve path afterwards. A per-partition staleness
+// counter accumulates the drift each delta commit causes, and Run
+// schedules a real iteration only when the worst partition's normalized
+// drift crosses Options.StalenessThreshold.
+
+// DeltaStats reports what one ApplyDeltas pass did.
+type DeltaStats struct {
+	// Adds is the number of new users appended to the graph.
+	Adds int
+	// Upserts is the number of existing users whose profile was
+	// replaced and neighborhood re-inserted (including resurrections
+	// of tombstoned users).
+	Upserts int
+	// Deletes is the number of users tombstoned.
+	Deletes int
+	// TouchedUsers counts existing users whose neighbor lists the
+	// inserts' refine passes or the deletes' strips changed.
+	TouchedUsers int
+	// SimEvals is the pass's total similarity-evaluation cost —
+	// compare against the ~n·K·K of a full iteration.
+	SimEvals int
+	// Republished is the number of partition serve views republished
+	// after the commit.
+	Republished int
+}
+
+// EnqueueAddUser defers adding (or upserting) user u with the given
+// profile to the next ApplyDeltas pass. New users must take sequential
+// ids — the first add's id is the current user count. Safe for
+// concurrent use.
+func (e *Engine) EnqueueAddUser(u uint32, vec profile.Vector) {
+	e.deltas.Enqueue(delta.Mutation{Op: delta.Add, User: u, Profile: vec})
+}
+
+// EnqueueDelUser defers tombstoning user u to the next ApplyDeltas
+// pass. Safe for concurrent use.
+func (e *Engine) EnqueueDelUser(u uint32) {
+	e.deltas.Enqueue(delta.Mutation{Op: delta.Delete, User: u})
+}
+
+// drainMutations collects this pass's work: mutations pushed to the
+// store fleet by serving front ends (ADDUSER/DELUSER, drained in shard
+// order — per-user order is preserved because a user's mutations all
+// journal on the shard user mod N), then this process's own queue.
+func (e *Engine) drainMutations() ([]delta.Mutation, error) {
+	var muts []delta.Mutation
+	if e.netClient != nil {
+		remote, err := e.netClient.DrainMutations()
+		if err != nil {
+			return nil, fmt.Errorf("core: drain remote mutations: %w", err)
+		}
+		for _, m := range remote {
+			switch m.Op {
+			case netstore.MutAdd:
+				vec, rest, err := profile.DecodeVector(m.Profile)
+				if err != nil {
+					return nil, fmt.Errorf("core: decode added user %d profile: %w", m.User, err)
+				}
+				if len(rest) != 0 {
+					return nil, fmt.Errorf("core: added user %d profile has %d trailing bytes", m.User, len(rest))
+				}
+				muts = append(muts, delta.Mutation{Op: delta.Add, User: m.User, Profile: vec})
+			case netstore.MutDel:
+				muts = append(muts, delta.Mutation{Op: delta.Delete, User: m.User})
+			default:
+				return nil, fmt.Errorf("core: unknown remote mutation op 0x%02x", m.Op)
+			}
+		}
+	}
+	return append(muts, e.deltas.Drain()...), nil
+}
+
+// partitionOfUser maps a user to its partition in the last committed
+// assignment, falling back to the delta assignment for users added
+// since; -1 before the first full iteration or for unknown users.
+func (e *Engine) partitionOfUser(u uint32) int {
+	if e.lastAssign != nil && int(u) < e.lastAssign.NumNodes() {
+		return int(e.lastAssign.Of(u))
+	}
+	if p, ok := e.deltaAssign[u]; ok {
+		return p
+	}
+	return -1
+}
+
+// ApplyDeltas drains every queued mutation and folds it into the
+// committed state: one commit window moves the grown graph, the
+// extended profile store, the tombstone set and the epoch together.
+// With nothing queued it is a strict no-op — no commit, no epoch bump,
+// no publishes — so delta-free runs are bit-identical to engines
+// without the delta path. Not safe concurrently with Iterate; Run
+// interleaves them correctly.
+func (e *Engine) ApplyDeltas() (*DeltaStats, error) {
+	if e.closed {
+		return nil, fmt.Errorf("core: engine is closed")
+	}
+	muts, err := e.drainMutations()
+	if err != nil {
+		return nil, err
+	}
+	stats := &DeltaStats{}
+	if len(muts) == 0 {
+		return stats, nil
+	}
+
+	// Work on clones; the commit window swaps them in atomically.
+	g := e.g.Clone()
+	dead := make(map[uint32]struct{}, len(e.dead))
+	for u := range e.dead {
+		dead[u] = struct{}{}
+	}
+	// overlay serves this pass's not-yet-committed profiles to the
+	// inserter (new users and upserted vectors).
+	overlay := make(map[uint32]profile.Vector)
+	lookup := func(v uint32) (profile.Vector, error) {
+		if vec, ok := overlay[v]; ok {
+			return vec, nil
+		}
+		return e.profiles.Profile(v)
+	}
+	cfg := delta.Config{
+		K:    e.opts.K,
+		Sim:  e.opts.Similarity,
+		Dead: func(v uint32) bool { _, ok := dead[v]; return ok },
+	}
+	if e.lastAssign != nil {
+		cfg.PartitionOf = e.partitionOfUser
+	}
+
+	var newVecs []profile.Vector               // appended users, in id order
+	var upserts []profile.Update               // ReplaceProfile for existing users
+	pending := make(map[uint32]profile.Vector) // adds that arrived ahead of their id
+	affected := make(map[int]bool)
+	newAssign := make(map[uint32]int)
+
+	insert := func(u uint32, vec profile.Vector) error {
+		overlay[u] = vec
+		delete(dead, u) // an add of a tombstoned user resurrects it
+		res, err := delta.Insert(g, lookup, cfg, u, vec)
+		if err != nil {
+			return err
+		}
+		stats.SimEvals += res.SimEvals
+		stats.TouchedUsers += len(res.Touched)
+		// The user joins the partition of its nearest accepted
+		// neighbor (the serving tier's locality rule); partition 0
+		// when the pool was empty.
+		p := 0
+		for _, v := range res.Neighbors {
+			if pv := e.partitionOfUser(v); pv >= 0 {
+				p = pv
+				break
+			}
+		}
+		if q, ok := newAssign[u]; ok {
+			p = q // upsert of a user added earlier this pass keeps its slot
+		}
+		e.tracker.RecordAdd(p, len(res.Neighbors)+len(res.Touched))
+		affected[p] = true
+		for _, v := range res.Touched {
+			if pv := e.partitionOfUser(v); pv >= 0 {
+				affected[pv] = true
+			}
+		}
+		if _, known := e.deltaAssign[u]; !known && e.partitionOfUser(u) < 0 {
+			newAssign[u] = p
+			e.deltaAssign[u] = p
+			e.deltaMembers[p] = append(e.deltaMembers[p], u)
+		}
+		return nil
+	}
+
+	appendUser := func(u uint32, vec profile.Vector) error {
+		g.Grow(1)
+		newVecs = append(newVecs, vec)
+		stats.Adds++
+		return insert(u, vec)
+	}
+
+	for _, m := range muts {
+		switch m.Op {
+		case delta.Add:
+			n := uint32(g.NumNodes())
+			switch {
+			case m.User < n:
+				if err := insert(m.User, m.Profile); err != nil {
+					return nil, fmt.Errorf("core: delta upsert user %d: %w", m.User, err)
+				}
+				upserts = append(upserts, profile.Update{
+					User: m.User, Kind: profile.ReplaceProfile, Vector: m.Profile,
+				})
+				stats.Upserts++
+			case m.User == n:
+				if err := appendUser(m.User, m.Profile); err != nil {
+					return nil, fmt.Errorf("core: delta add user %d: %w", m.User, err)
+				}
+				// Drain any adds that arrived ahead of their id and are
+				// now sequential.
+				for {
+					next := uint32(g.NumNodes())
+					vec, ok := pending[next]
+					if !ok {
+						break
+					}
+					delete(pending, next)
+					if err := appendUser(next, vec); err != nil {
+						return nil, fmt.Errorf("core: delta add user %d: %w", next, err)
+					}
+				}
+			default:
+				// Ahead of the sequence (its predecessors are still in
+				// flight on other shards); hold until they land.
+				pending[m.User] = m.Profile
+			}
+		case delta.Delete:
+			if _, ok := pending[m.User]; ok {
+				delete(pending, m.User) // cancels the not-yet-landed add
+				continue
+			}
+			if int(m.User) >= g.NumNodes() {
+				continue // unknown user: idempotent miss
+			}
+			if _, ok := dead[m.User]; ok {
+				continue // already tombstoned
+			}
+			touched, err := delta.Remove(g, m.User)
+			if err != nil {
+				return nil, fmt.Errorf("core: delta delete user %d: %w", m.User, err)
+			}
+			dead[m.User] = struct{}{}
+			stats.Deletes++
+			stats.TouchedUsers += len(touched)
+			p := e.partitionOfUser(m.User)
+			e.tracker.RecordDelete(p, len(touched))
+			if p >= 0 {
+				affected[p] = true
+			}
+			for _, v := range touched {
+				if pv := e.partitionOfUser(v); pv >= 0 {
+					affected[pv] = true
+				}
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown delta op %d", m.Op)
+		}
+	}
+	if len(pending) > 0 {
+		ids := make([]uint32, 0, len(pending))
+		for u := range pending {
+			ids = append(ids, u)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return nil, fmt.Errorf("core: delta adds %v leave an id gap below %d", ids, g.NumNodes())
+	}
+
+	// Commit window: profile growth, upserts, graph swap, tombstones
+	// and the epoch move together under the query boundary, exactly
+	// like Iterate's phase-5 commit.
+	e.serveMu.Lock()
+	if err := e.profiles.Extend(newVecs); err != nil {
+		e.serveMu.Unlock()
+		return nil, fmt.Errorf("core: extend profiles: %w", err)
+	}
+	if len(upserts) > 0 {
+		if _, err := e.profiles.Apply(upserts); err != nil {
+			e.serveMu.Unlock()
+			return nil, fmt.Errorf("core: apply delta upserts: %w", err)
+		}
+	}
+	e.g = g
+	e.dead = dead
+	e.epoch++
+	e.serveMu.Unlock()
+
+	// Republish only the affected partitions' serve views, then the
+	// staleness document. putDeltaView bumps each partition's store
+	// epoch so replicas re-pull without a full base install.
+	if e.opts.PublishViews && e.netClient != nil {
+		n, err := e.publishDeltaViews(affected)
+		if err != nil {
+			return nil, fmt.Errorf("core: republish delta views: %w", err)
+		}
+		stats.Republished = n
+	}
+	if e.netClient != nil {
+		if err := e.publishStaleness(); err != nil {
+			return nil, fmt.Errorf("core: publish staleness: %w", err)
+		}
+	}
+	return stats, nil
+}
+
+// publishDeltaViews re-encodes and republishes the serve views of the
+// given partitions from the just-committed state: the last full
+// iteration's members minus tombstones, plus the partition's
+// delta-added users. Before the first full iteration there are no
+// views to patch, so the republish is skipped.
+func (e *Engine) publishDeltaViews(affected map[int]bool) (int, error) {
+	if e.lastParts == nil {
+		return 0, nil
+	}
+	parts := make([]int, 0, len(affected))
+	for p := range affected {
+		if p >= 0 && p < len(e.lastParts) {
+			parts = append(parts, p)
+		}
+	}
+	sort.Ints(parts)
+	for _, p := range parts {
+		members := make([]uint32, 0, len(e.lastParts[p].Members)+len(e.deltaMembers[p]))
+		members = append(members, e.lastParts[p].Members...)
+		members = append(members, e.deltaMembers[p]...)
+		entries := make([]netstore.ViewEntry, 0, len(members))
+		for _, u := range members {
+			if _, tomb := e.dead[u]; tomb {
+				continue
+			}
+			vec, err := e.profiles.Profile(u)
+			if err != nil {
+				return 0, fmt.Errorf("partition %d user %d: %w", p, u, err)
+			}
+			entries = append(entries, netstore.ViewEntry{
+				User:      u,
+				Neighbors: e.g.Neighbors(u),
+				Profile:   vec.AppendBinary(nil),
+			})
+		}
+		if err := e.netClient.PutDeltaView(uint32(p), netstore.EncodeView(entries)); err != nil {
+			return 0, err
+		}
+	}
+	return len(parts), nil
+}
+
+// publishStaleness pushes the engine's staleness document to the store
+// (shard 0 broadcast; GET /v1/staleness serves it). The PUT is
+// metadata-only — no device charge — so publishing never perturbs the
+// I/O accounting.
+func (e *Engine) publishStaleness() error {
+	return e.netClient.PutStaleness(netstore.EncodeStaleness(e.stalenessDoc()))
+}
+
+// stalenessDoc assembles the current per-partition drift table.
+func (e *Engine) stalenessDoc() netstore.StalenessDoc {
+	snap := e.tracker.Snapshot()
+	doc := netstore.StalenessDoc{
+		LastFullEpoch: e.tracker.LastFullEpoch(),
+		Threshold:     e.opts.StalenessThreshold,
+		Partitions:    make([]netstore.PartitionStaleness, 0, len(snap)),
+	}
+	for p, c := range snap {
+		doc.Partitions = append(doc.Partitions, netstore.PartitionStaleness{
+			Partition:    uint32(p),
+			Adds:         c.Adds,
+			Deletes:      c.Deletes,
+			TouchedEdges: c.TouchedEdges,
+			Members:      c.Members,
+			Score:        e.tracker.Score(p),
+		})
+	}
+	return doc
+}
+
+// Staleness reports the engine's current staleness document — the same
+// table publishStaleness pushes to the store.
+func (e *Engine) Staleness() netstore.StalenessDoc { return e.stalenessDoc() }
+
+// MaxStaleness reports the worst partition's normalized drift since
+// the last full iteration.
+func (e *Engine) MaxStaleness() float64 { return e.tracker.MaxScore() }
+
+// NeedsIteration reports whether Run's next pass should schedule a
+// full five-phase iteration: always with delta scheduling disabled
+// (threshold 0) or before the first iteration, otherwise only once
+// some partition's drift reaches the threshold.
+func (e *Engine) NeedsIteration() bool {
+	if e.opts.StalenessThreshold <= 0 || e.iter == 0 {
+		return true
+	}
+	return e.tracker.MaxScore() >= e.opts.StalenessThreshold
+}

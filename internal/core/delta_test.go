@@ -1,0 +1,385 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"knnpc/internal/dataset"
+	"knnpc/internal/exact"
+	"knnpc/internal/knn"
+	"knnpc/internal/profile"
+)
+
+// runToConvergence drives plain full iterations until no edges change.
+func runToConvergence(t *testing.T, eng *Engine, maxIters int) {
+	t.Helper()
+	for i := 0; i < maxIters; i++ {
+		st, err := eng.Iterate(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.EdgeChanges == 0 {
+			return
+		}
+	}
+}
+
+// TestDeltaZeroMutationsBitIdentity is the tentpole's safety half: an
+// engine whose Run interleaves (no-op) ApplyDeltas passes must produce
+// byte-identical graphs and identical Loads/Unloads accounting to an
+// engine driving plain Iterate calls.
+func TestDeltaZeroMutationsBitIdentity(t *testing.T) {
+	mk := func() *Engine {
+		eng, err := New(testStore(t, 90, 5), Options{K: 5, NumPartitions: 4, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 3; i++ {
+		ds, err := a.ApplyDeltas()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *ds != (DeltaStats{}) {
+			t.Fatalf("iteration %d: no-op ApplyDeltas reported %+v", i, ds)
+		}
+		epochBefore := a.Epoch()
+		sa, err := a.Iterate(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Epoch() != epochBefore+1 {
+			t.Fatalf("iteration %d: no-op ApplyDeltas moved the epoch", i)
+		}
+		sb, err := b.Iterate(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := a.Graph().DiffEdges(b.Graph()); d != 0 {
+			t.Fatalf("iteration %d: graphs differ by %d edges", i, d)
+		}
+		if sa.Loads != sb.Loads || sa.Unloads != sb.Unloads || sa.TuplesAdded != sb.TuplesAdded {
+			t.Fatalf("iteration %d: accounting diverged: %d/%d/%d vs %d/%d/%d",
+				i, sa.Loads, sa.Unloads, sa.TuplesAdded, sb.Loads, sb.Unloads, sb.TuplesAdded)
+		}
+	}
+}
+
+// TestDeltaEquivalence is the tentpole's quality half: adding a batch
+// of users through the delta path must land within a documented recall
+// margin of rebuilding from scratch with those users present all
+// along. The margin below (delta recall ≥ rebuild recall − 0.10, and
+// absolutely ≥ 0.50) is the package's documented equivalence bound;
+// batch sizes grow to show the bound is not a one-off.
+func TestDeltaEquivalence(t *testing.T) {
+	const total, k = 150, 5
+	fullVecs, _, err := dataset.RatingsProfiles(total, 600, 18, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := exact.Compute(profile.NewStoreFromVectors(fullVecs), exact.Options{K: k, Sim: profile.Cosine{}, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild baseline: all users present from the start.
+	rebuilt, err := New(profile.NewStoreFromVectors(append([]profile.Vector(nil), fullVecs...)), Options{K: k, NumPartitions: 6, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rebuilt.Close()
+	runToConvergence(t, rebuilt, 10)
+	rebuildRecall := knn.Recall(rebuilt.Graph(), truth)
+
+	for _, batch := range []int{1, 5, 15} {
+		base := total - batch
+		eng, err := New(profile.NewStoreFromVectors(append([]profile.Vector(nil), fullVecs[:base]...)), Options{K: k, NumPartitions: 6, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runToConvergence(t, eng, 10)
+		for u := base; u < total; u++ {
+			eng.EnqueueAddUser(uint32(u), fullVecs[u])
+		}
+		ds, err := eng.ApplyDeltas()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Adds != batch {
+			t.Fatalf("batch %d: ApplyDeltas added %d users", batch, ds.Adds)
+		}
+		got := eng.Graph()
+		if got.NumNodes() != total {
+			t.Fatalf("batch %d: graph has %d nodes, want %d", batch, got.NumNodes(), total)
+		}
+		deltaRecall := knn.Recall(got, truth)
+		t.Logf("batch %d: delta recall %.3f (rebuild %.3f, %d sim evals)", batch, deltaRecall, rebuildRecall, ds.SimEvals)
+		if deltaRecall < rebuildRecall-0.10 {
+			t.Errorf("batch %d: delta recall %.3f more than 0.10 below rebuild %.3f", batch, deltaRecall, rebuildRecall)
+		}
+		if deltaRecall < 0.50 {
+			t.Errorf("batch %d: delta recall %.3f below the 0.50 floor", batch, deltaRecall)
+		}
+		// The delta path must be cheap: far fewer similarity
+		// evaluations than one full iteration's ~n·K·K tuple scoring.
+		if full := total * k * k; ds.SimEvals >= full {
+			t.Errorf("batch %d: %d sim evals, not cheaper than a full pass (~%d)", batch, ds.SimEvals, full)
+		}
+		eng.Close()
+	}
+}
+
+// TestDeltaAddDeleteLifecycle walks the serving contract: an added
+// user is immediately queryable, a deleted user misses, a deleted user
+// stays gone through the next full iteration, and re-adding
+// resurrects.
+func TestDeltaAddDeleteLifecycle(t *testing.T) {
+	store := testStore(t, 60, 21)
+	n := uint32(store.NumUsers())
+	eng, err := New(store, Options{K: 4, NumPartitions: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Iterate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	vec, err := profile.NewVector([]profile.Entry{{Item: 7, Weight: 2}, {Item: 8, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.EnqueueAddUser(n, vec)
+	eng.EnqueueDelUser(3)
+	epochBefore := eng.Epoch()
+	ds, err := eng.ApplyDeltas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Adds != 1 || ds.Deletes != 1 {
+		t.Fatalf("stats %+v, want 1 add + 1 delete", ds)
+	}
+	if eng.Epoch() != epochBefore+1 {
+		t.Fatal("delta commit did not bump the epoch")
+	}
+
+	// Added user: queryable, with a non-empty neighborhood.
+	nbrs, _, err := eng.QueryNeighbors(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) == 0 {
+		t.Fatal("added user has no neighbors")
+	}
+	gotVec, _, err := eng.QueryProfile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotVec.Equal(vec) {
+		t.Fatal("added user's profile does not round-trip")
+	}
+
+	// Deleted user: tombstoned on both query surfaces and absent from
+	// every neighbor list.
+	if _, _, err := eng.QueryNeighbors(3); err == nil || !strings.Contains(err.Error(), "tombstoned") {
+		t.Fatalf("deleted user still served: %v", err)
+	}
+	if _, _, err := eng.QueryProfile(3); err == nil || !strings.Contains(err.Error(), "tombstoned") {
+		t.Fatalf("deleted user's profile still served: %v", err)
+	}
+	g := eng.Graph()
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(uint32(u)) {
+			if v == 3 {
+				t.Fatalf("user %d still links to deleted user 3", u)
+			}
+		}
+	}
+
+	// The next full iteration must keep the tombstone out: the filter
+	// drops user 3's tuples in phase 2.
+	if _, err := eng.Iterate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g = eng.Graph()
+	if len(g.Neighbors(3)) != 0 {
+		t.Fatal("full iteration regrew edges for the deleted user")
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(uint32(u)) {
+			if v == 3 {
+				t.Fatalf("full iteration relinked user %d to deleted user 3", u)
+			}
+		}
+	}
+	if len(g.Neighbors(n)) == 0 {
+		t.Fatal("full iteration dropped the added user's neighborhood")
+	}
+
+	// Re-adding resurrects.
+	eng.EnqueueAddUser(3, vec)
+	if _, err := eng.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.QueryNeighbors(3); err != nil {
+		t.Fatalf("resurrected user not served: %v", err)
+	}
+}
+
+// TestDeltaStalenessScheduling: Run skips full iterations while the
+// worst partition's drift is under the threshold and schedules one
+// once it crosses.
+func TestDeltaStalenessScheduling(t *testing.T) {
+	store := testStore(t, 60, 9)
+	n := uint32(store.NumUsers())
+	eng, err := New(store, Options{K: 4, NumPartitions: 4, Seed: 3, StalenessThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// First pass always iterates (nothing committed yet).
+	all, err := eng.Run(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("first Run pass ran %d iterations, want 1", len(all))
+	}
+	if eng.MaxStaleness() != 0 {
+		t.Fatalf("staleness %g right after a full iteration", eng.MaxStaleness())
+	}
+
+	// One add over the threshold's head: Run applies it and skips.
+	vec, err := profile.NewVector([]profile.Entry{{Item: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.EnqueueAddUser(n, vec)
+	all, err = eng.Run(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 0 {
+		t.Fatalf("Run iterated %d times under the threshold, want 0", len(all))
+	}
+	if eng.MaxStaleness() <= 0 {
+		t.Fatal("delta commit left staleness at zero")
+	}
+	if _, _, err := eng.QueryNeighbors(n); err != nil {
+		t.Fatalf("user added by the skipped Run pass not served: %v", err)
+	}
+
+	// Pile on deletes until the drift crosses; Run then iterates and
+	// the clock resets.
+	for u := uint32(0); u < 20; u++ {
+		eng.EnqueueDelUser(u)
+	}
+	all, err = eng.Run(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("Run over the threshold ran %d iterations, want 1", len(all))
+	}
+	if eng.MaxStaleness() != 0 {
+		t.Fatalf("full iteration did not reset staleness: %g", eng.MaxStaleness())
+	}
+	doc := eng.Staleness()
+	if doc.Threshold != 0.5 || len(doc.Partitions) == 0 {
+		t.Fatalf("staleness doc %+v", doc)
+	}
+}
+
+// TestDeltaAddOrdering: adds may arrive ahead of their sequential id
+// (they journal on different store shards); ApplyDeltas holds them
+// until their predecessors land, and rejects a genuine gap.
+func TestDeltaAddOrdering(t *testing.T) {
+	store := testStore(t, 40, 31)
+	n := uint32(store.NumUsers())
+	vec, err := profile.NewVector([]profile.Entry{{Item: 2, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := New(store.Clone(), Options{K: 3, NumPartitions: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.EnqueueAddUser(n+1, vec) // ahead of its id
+	eng.EnqueueAddUser(n, vec)
+	ds, err := eng.ApplyDeltas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Adds != 2 {
+		t.Fatalf("out-of-order adds landed %d users, want 2", ds.Adds)
+	}
+	if _, _, err := eng.QueryNeighbors(n + 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A delete can cancel an add that has not landed yet.
+	eng.EnqueueAddUser(n+3, vec)
+	eng.EnqueueDelUser(n + 3)
+	if ds, err = eng.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Adds != 0 || ds.Deletes != 0 {
+		t.Fatalf("cancelled add reported %+v", ds)
+	}
+
+	// A genuine gap is an error.
+	eng.EnqueueAddUser(n+5, vec)
+	if _, err := eng.ApplyDeltas(); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gap not rejected: %v", err)
+	}
+
+	// An upsert replaces an existing user's profile and neighborhood.
+	eng2, err := New(store.Clone(), Options{K: 3, NumPartitions: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if _, err := eng2.Iterate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	eng2.EnqueueAddUser(7, vec)
+	ds, err = eng2.ApplyDeltas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Upserts != 1 || ds.Adds != 0 {
+		t.Fatalf("upsert reported %+v", ds)
+	}
+	gotVec, _, err := eng2.QueryProfile(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotVec.Equal(vec) {
+		t.Fatal("upsert did not replace the profile")
+	}
+}
+
+// TestDeltaValidation: negative thresholds are rejected; ApplyDeltas
+// on a closed engine fails.
+func TestDeltaValidation(t *testing.T) {
+	store := testStore(t, 10, 1)
+	if _, err := New(store, Options{K: 3, StalenessThreshold: -1}); err == nil {
+		t.Error("negative staleness threshold should fail")
+	}
+	eng, err := New(store, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if _, err := eng.ApplyDeltas(); err == nil {
+		t.Error("ApplyDeltas on closed engine should fail")
+	}
+}

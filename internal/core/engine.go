@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"knnpc/internal/delta"
 	"knnpc/internal/disk"
 	"knnpc/internal/graph"
 	"knnpc/internal/knn"
@@ -209,6 +210,14 @@ type Options struct {
 	// Seed drives the random initial graph G(0) and the
 	// RandomCandidates sampling.
 	Seed int64
+	// StalenessThreshold enables delta scheduling in Run: a pass first
+	// applies queued user adds/deletes through the cheap delta path,
+	// then runs a full five-phase iteration only if some partition's
+	// normalized drift — (adds + deletes + touched-edges/K) / members
+	// since its last full iteration — has reached this threshold.
+	// 0 (the default) disables the scheduler: every pass iterates,
+	// exactly the pre-delta behavior. Must not be negative.
+	StalenessThreshold float64
 }
 
 func (o *Options) applyDefaults() {
@@ -271,7 +280,23 @@ type Engine struct {
 	// iteration does runs outside it, so lookups stay answerable
 	// through phase 4.
 	serveMu sync.RWMutex
-	epoch   uint64 // committed iterations; guarded by serveMu
+	epoch   uint64 // committed epochs (iterations + delta commits); guarded by serveMu
+
+	// Delta-path state (see delta.go). deltas is the local mutation
+	// queue; dead the committed tombstone set (written only inside
+	// commit windows, read under serveMu's read side by queries and
+	// unsynchronized by the single-threaded iteration path); tracker
+	// the per-partition drift counters; lastAssign/lastParts the
+	// partitioning of the last full iteration, which delta inserts
+	// restrict their candidate pools to; deltaAssign/deltaMembers the
+	// partition slots of users added since.
+	deltas       *delta.Queue
+	dead         map[uint32]struct{}
+	tracker      *delta.Tracker
+	lastAssign   *partition.Assignment
+	lastParts    []*partition.Data
+	deltaAssign  map[uint32]int
+	deltaMembers map[int][]uint32
 }
 
 // New creates an engine over the given profiles. G(0) is a random
@@ -311,6 +336,9 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 	if opts.ShardPrefetch < 0 {
 		return nil, fmt.Errorf("core: negative shard prefetch %d", opts.ShardPrefetch)
 	}
+	if opts.StalenessThreshold < 0 {
+		return nil, fmt.Errorf("core: negative staleness threshold %g", opts.StalenessThreshold)
+	}
 	if opts.NetStoreShards < 0 {
 		return nil, fmt.Errorf("core: negative state-store shard count %d", opts.NetStoreShards)
 	}
@@ -346,11 +374,15 @@ func New(store *profile.Store, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		opts:     opts,
-		profiles: memCanonical{store: store},
-		queue:    profile.NewUpdateQueue(),
-		g:        g,
-		budget:   disk.NewBudget(opts.MemoryBudget),
+		opts:         opts,
+		profiles:     memCanonical{store: store},
+		queue:        profile.NewUpdateQueue(),
+		g:            g,
+		budget:       disk.NewBudget(opts.MemoryBudget),
+		deltas:       delta.NewQueue(),
+		tracker:      delta.NewTracker(opts.K),
+		deltaAssign:  make(map[uint32]int),
+		deltaMembers: make(map[int][]uint32),
 	}
 	// fail releases everything a partially built engine acquired.
 	fail := func(err error) (*Engine, error) {
@@ -480,11 +512,22 @@ func (e *Engine) Close() error {
 	return err
 }
 
-// Run executes up to maxIters iterations, stopping early when an
-// iteration changes no edges (convergence) or the context is canceled.
+// Run executes up to maxIters passes. Each pass first applies queued
+// user adds/deletes through the delta path (ApplyDeltas), then — if
+// the staleness scheduler calls for one (NeedsIteration; always, with
+// StalenessThreshold 0) — a full five-phase iteration. Run stops early
+// when scheduling skips the iteration (nothing new arrives mid-Run
+// after the first skip), when an iteration changes no edges
+// (convergence), or when the context is canceled.
 func (e *Engine) Run(ctx context.Context, maxIters int) ([]*IterationStats, error) {
 	var all []*IterationStats
 	for i := 0; i < maxIters; i++ {
+		if _, err := e.ApplyDeltas(); err != nil {
+			return all, err
+		}
+		if !e.NeedsIteration() {
+			break
+		}
 		st, err := e.Iterate(ctx)
 		if err != nil {
 			return all, err
@@ -537,6 +580,16 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 		return nil, fmt.Errorf("core: phase 2 (hash table): %w", err)
 	}
 	defer table.Close()
+	// Tombstoned users neither emit nor receive candidates: the filter
+	// drops their tuples at the table door. Installed only when there
+	// are tombstones, so deletion-free runs keep the exact pre-filter
+	// add path.
+	if len(e.dead) > 0 {
+		if tf, ok := table.(tuples.TombstoneFilter); ok {
+			dead := e.dead
+			tf.SetTombstones(func(u uint32) bool { _, ok := dead[u]; return ok })
+		}
+	}
 	if err := e.populateTable(ctx, dg, parts, table); err != nil {
 		return nil, fmt.Errorf("core: phase 2 (populate H): %w", err)
 	}
@@ -680,6 +733,24 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 	stats.UpdatesApplied = applied
 	stats.Phases.Update = time.Since(start)
 
+	// This iteration refreshed every partition from scratch: reset the
+	// staleness clock and adopt its partitioning as the locality map
+	// the next delta inserts restrict themselves to. Delta-added users
+	// were partitioned for real by this phase 1, so their provisional
+	// slots retire.
+	e.lastAssign, e.lastParts = assign, parts
+	live := make([]int, len(parts))
+	for p, part := range parts {
+		for _, u := range part.Members {
+			if _, tomb := e.dead[u]; !tomb {
+				live[p]++
+			}
+		}
+	}
+	e.tracker.ResetFull(live, e.epoch)
+	e.deltaAssign = make(map[uint32]int)
+	e.deltaMembers = make(map[int][]uint32)
+
 	// Serve-view publish: push every partition's committed view — final
 	// top-K lists and post-update profiles — to the store, where point
 	// lookups and replicas answer from it. Runs outside the commit
@@ -688,6 +759,13 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 	if e.opts.PublishViews && e.netClient != nil {
 		if err := e.publishViews(parts); err != nil {
 			return nil, fmt.Errorf("core: publish serve views: %w", err)
+		}
+	}
+	// Staleness document: freshly reset counters, new last-full epoch.
+	// Metadata-only PUT — never perturbs the I/O accounting.
+	if e.netClient != nil {
+		if err := e.publishStaleness(); err != nil {
+			return nil, fmt.Errorf("core: publish staleness: %w", err)
 		}
 	}
 
@@ -705,6 +783,9 @@ func (e *Engine) publishViews(parts []*partition.Data) error {
 	for p, part := range parts {
 		entries := make([]netstore.ViewEntry, 0, len(part.Members))
 		for _, u := range part.Members {
+			if _, tomb := e.dead[u]; tomb {
+				continue // tombstoned users are not served
+			}
 			vec, err := e.profiles.Profile(u)
 			if err != nil {
 				return fmt.Errorf("partition %d user %d: %w", p, u, err)
@@ -733,6 +814,9 @@ func (e *Engine) QueryNeighbors(u uint32) ([]uint32, uint64, error) {
 	if int(u) >= e.g.NumNodes() {
 		return nil, 0, fmt.Errorf("core: user %d out of range [0,%d)", u, e.g.NumNodes())
 	}
+	if _, tomb := e.dead[u]; tomb {
+		return nil, 0, fmt.Errorf("core: user %d is tombstoned", u)
+	}
 	return append([]uint32(nil), e.g.Neighbors(u)...), e.epoch, nil
 }
 
@@ -743,6 +827,9 @@ func (e *Engine) QueryNeighbors(u uint32) ([]uint32, uint64, error) {
 func (e *Engine) QueryProfile(u uint32) (profile.Vector, uint64, error) {
 	e.serveMu.RLock()
 	defer e.serveMu.RUnlock()
+	if _, tomb := e.dead[u]; tomb {
+		return profile.Vector{}, 0, fmt.Errorf("core: user %d is tombstoned", u)
+	}
 	vec, err := e.profiles.Profile(u)
 	if err != nil {
 		return profile.Vector{}, 0, err

@@ -14,6 +14,9 @@ type canonicalProfiles interface {
 	Profile(u uint32) (profile.Vector, error)
 	// Apply folds drained queue updates in (phase 5).
 	Apply(updates []profile.Update) (int, error)
+	// Extend appends new users at the next sequential ids — the delta
+	// path's storage growth.
+	Extend(vecs []profile.Vector) error
 	// Close releases resources.
 	Close() error
 }
@@ -31,6 +34,13 @@ func (m memCanonical) Profile(u uint32) (profile.Vector, error) {
 
 func (m memCanonical) Apply(updates []profile.Update) (int, error) {
 	return profile.ApplyUpdates(m.store, updates)
+}
+
+func (m memCanonical) Extend(vecs []profile.Vector) error {
+	for _, v := range vecs {
+		m.store.Append(v)
+	}
+	return nil
 }
 
 func (m memCanonical) Close() error { return nil }

@@ -291,3 +291,102 @@ func TestQueryBeforeFirstIterate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDeltaViewsRepublished drives the full online-mutation loop over
+// the store fleet: a front end pushes ADDUSER/DELUSER, ApplyDeltas
+// drains them, commits, and republishes only the affected partitions'
+// views — so primaries and replicas serve the added user and miss the
+// deleted one, and the staleness document is retrievable.
+func TestDeltaViewsRepublished(t *testing.T) {
+	const users = 200
+	store := testStore(t, users, 42)
+	eng, err := New(store, Options{
+		K: 5, NumPartitions: 6, NetStoreShards: 2,
+		PublishViews: true, NetStoreReplicas: true, Seed: 3,
+		StalenessThreshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Iterate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	front, err := netstore.Dial(eng.StoreAddrs(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	vec, err := profile.NewVector([]profile.Entry{{Item: 3, Weight: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := front.AddUser(users, vec.AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.DelUser(5); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := eng.ApplyDeltas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Adds != 1 || ds.Deletes != 1 {
+		t.Fatalf("remote mutations landed as %+v", ds)
+	}
+	if ds.Republished == 0 {
+		t.Fatal("no partition views republished after the delta commit")
+	}
+
+	for _, tc := range []struct {
+		name  string
+		addrs []string
+	}{
+		{"primary", eng.StoreAddrs()},
+		{"replica", eng.ReplicaAddrs()},
+	} {
+		client, err := netstore.Dial(tc.addrs, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		if _, ids, err := client.Neighbors(users); err != nil || len(ids) == 0 {
+			t.Fatalf("%s: added user not served: ids=%v err=%v", tc.name, ids, err)
+		}
+		if _, _, err := client.Neighbors(5); err == nil {
+			t.Fatalf("%s: deleted user still served", tc.name)
+		}
+	}
+
+	doc, ok, err := front.Staleness()
+	if err != nil || !ok {
+		t.Fatalf("staleness doc missing: ok=%v err=%v", ok, err)
+	}
+	if doc.Threshold != 0.5 || len(doc.Partitions) == 0 {
+		t.Fatalf("staleness doc %+v", doc)
+	}
+	var adds, deletes uint64
+	for _, p := range doc.Partitions {
+		adds += p.Adds
+		deletes += p.Deletes
+	}
+	if adds != 1 || deletes != 1 {
+		t.Fatalf("staleness rows count %d adds / %d deletes, want 1/1", adds, deletes)
+	}
+
+	// A full iteration resets the published document.
+	if _, err := eng.Iterate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	doc, ok, err = front.Staleness()
+	if err != nil || !ok {
+		t.Fatal("staleness doc gone after full iteration")
+	}
+	for _, p := range doc.Partitions {
+		if p.Adds != 0 || p.Deletes != 0 || p.Score != 0 {
+			t.Fatalf("staleness not reset after full iteration: %+v", p)
+		}
+	}
+}

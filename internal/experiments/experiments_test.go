@@ -164,17 +164,19 @@ func TestBuildWorkerSweep(t *testing.T) {
 	}
 }
 
-// TestReplicaSweep: FW-10's rungs replay the same read plan, so every
-// rung serves the full op count; percentiles must be measured and
-// ordered.
+// TestReplicaSweep: FW-10's rungs replay the same-size read plan at
+// every (replica count, skew) pair, so every rung serves the full op
+// count; percentiles must be measured and ordered.
 func TestReplicaSweep(t *testing.T) {
-	points, err := ReplicaSweep(context.Background(), 200, []int{0, 1}, 1.2, 200)
+	points, err := ReplicaSweep(context.Background(), 200, []int{0, 1}, []float64{1.2, 1.6}, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 2 {
-		t.Fatalf("got %d points, want one per replica count", len(points))
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want one per (replica count, skew) pair", len(points))
 	}
+	wantReplicas := []int{0, 0, 1, 1}
+	wantSkew := []float64{1.2, 1.6, 1.2, 1.6}
 	for i, p := range points {
 		if p.Ops != 200 {
 			t.Errorf("%s: served %d ops, want the full plan (200)", p.Label, p.Ops)
@@ -182,11 +184,18 @@ func TestReplicaSweep(t *testing.T) {
 		if p.P50 <= 0 || p.P99 < p.P50 {
 			t.Errorf("%s: bad percentiles p50=%v p99=%v", p.Label, p.P50, p.P99)
 		}
-		if p.Replicas != []int{0, 1}[i] {
-			t.Errorf("point %d: replicas=%d", i, p.Replicas)
+		if p.Replicas != wantReplicas[i] || p.Skew != wantSkew[i] {
+			t.Errorf("point %d: replicas=%d skew=%g, want %d/%g", i, p.Replicas, p.Skew, wantReplicas[i], wantSkew[i])
 		}
 	}
 	if points[0].Label != "replicas=0/skew=1.20" {
 		t.Errorf("unexpected label %q", points[0].Label)
+	}
+	if points[3].Label != "replicas=1/skew=1.60" {
+		t.Errorf("unexpected label %q", points[3].Label)
+	}
+
+	if _, err := ReplicaSweep(context.Background(), 200, []int{0}, nil, 100); err == nil {
+		t.Error("empty skew list accepted")
 	}
 }

@@ -22,6 +22,8 @@ type ReplicaPoint struct {
 	// Replicas is the number of replica sets behind the round-robin
 	// target; 0 means the workload read the primaries directly.
 	Replicas int
+	// Skew is the Zipf exponent s of the rung's read plan.
+	Skew float64
 	// Ops is the number of read operations the rung served.
 	Ops uint64
 	// Misses counts not-in-any-published-view answers (legal early
@@ -33,17 +35,26 @@ type ReplicaPoint struct {
 	P50, P99 time.Duration
 }
 
-// ReplicaSweep runs the FW-10 sweep: the same fixed-seed Zipfian read
-// plan (skew s, open loop) replayed against the serving tier at
-// increasing replica-set counts, while the engine iterates phase 4
-// underneath on emulated HDD spindles. The 0-replica rung reads the
-// primaries directly — lookups queue behind live phase-4 state I/O on
-// the same spindles — and each r>0 rung round-robins the identical
-// plan across r replica sets that answer from their view caches. The
-// table answers the ROADMAP question directly: p50/p99 versus replica
-// count at fixed skew, showing where adding replicas stops helping.
-func ReplicaSweep(ctx context.Context, users int, replicaCounts []int, skew float64, ops int) ([]ReplicaPoint, error) {
+// ReplicaSweep runs the FW-10 sweep: fixed-seed Zipfian read plans
+// (open loop) replayed against the serving tier at increasing
+// replica-set counts, while the engine iterates phase 4 underneath on
+// emulated HDD spindles. The 0-replica rung reads the primaries
+// directly — lookups queue behind live phase-4 state I/O on the same
+// spindles — and each r>0 rung round-robins the identical plan across
+// r replica sets that answer from their view caches.
+//
+// The sweep is two-dimensional: every replica count is measured at
+// every Zipf exponent in skews (plans differ only in skew — same
+// seed, same rate, same op count). The skew dimension answers the
+// FW-10 leftover directly: the client's shard hint cache only pays
+// off when the same hot users repeat, so as s falls toward uniform
+// traffic the replica rungs' advantage should flatten — the table
+// shows where adding replicas (and caching hints) stops helping.
+func ReplicaSweep(ctx context.Context, users int, replicaCounts []int, skews []float64, ops int) ([]ReplicaPoint, error) {
 	const partitions = 8
+	if len(skews) == 0 {
+		return nil, fmt.Errorf("experiments: replica sweep needs at least one skew")
+	}
 	vecs, _, err := dataset.RatingsProfiles(users, 4*users, 25, 8, 1)
 	if err != nil {
 		return nil, err
@@ -71,22 +82,23 @@ func ReplicaSweep(ctx context.Context, users int, replicaCounts []int, skew floa
 	if _, err := eng.Iterate(ctx); err != nil {
 		return nil, err
 	}
-	plan, err := load.BuildPlan(load.PlanConfig{
-		Users: users, Items: 500, Ops: ops,
-		Rate: 1000, Skew: skew, ProfileFrac: 0.3,
-		Seed: 1,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	points := make([]ReplicaPoint, 0, len(replicaCounts))
+	points := make([]ReplicaPoint, 0, len(replicaCounts)*len(skews))
 	for _, r := range replicaCounts {
-		p, err := replicaRung(ctx, eng, plan, partitions, r, skew)
-		if err != nil {
-			return nil, err
+		for _, skew := range skews {
+			plan, err := load.BuildPlan(load.PlanConfig{
+				Users: users, Items: 500, Ops: ops,
+				Rate: 1000, Skew: skew, ProfileFrac: 0.3,
+				Seed: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			p, err := replicaRung(ctx, eng, plan, partitions, r, skew)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
 		}
-		points = append(points, p)
 	}
 	return points, nil
 }
@@ -99,6 +111,7 @@ func replicaRung(ctx context.Context, eng *core.Engine, plan []load.Op, partitio
 	point := ReplicaPoint{
 		Label:    fmt.Sprintf("replicas=%d/skew=%.2f", r, skew),
 		Replicas: r,
+		Skew:     skew,
 	}
 	var target load.Target
 	if r == 0 {

@@ -163,6 +163,15 @@ func (g *KNN) Clone() *KNN {
 	return c
 }
 
+// Grow appends extra nodes with empty neighbor lists — the delta
+// path's structural half of adding a user (the profile store grows in
+// lockstep). Existing edges are untouched; negative extra is ignored.
+func (g *KNN) Grow(extra int) {
+	for i := 0; i < extra; i++ {
+		g.nbr = append(g.nbr, nil)
+	}
+}
+
 // Digraph converts the KNN graph to a general Digraph.
 func (g *KNN) Digraph() *Digraph {
 	d := NewDigraph(len(g.nbr))

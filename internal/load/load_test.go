@@ -52,12 +52,14 @@ func TestPlanDeterministic(t *testing.T) {
 // TestPlanValidation rejects degenerate configs.
 func TestPlanValidation(t *testing.T) {
 	for name, mut := range map[string]func(*PlanConfig){
-		"zero users":      func(c *PlanConfig) { c.Users = 0 },
-		"zero rate":       func(c *PlanConfig) { c.Rate = 0 },
-		"skew at 1":       func(c *PlanConfig) { c.Skew = 1 },
-		"writefrac 1":     func(c *PlanConfig) { c.WriteFrac = 1 },
-		"burst no len":    func(c *PlanConfig) { c.Burst = 4; c.BurstEvery = time.Second },
-		"burst len>every": func(c *PlanConfig) { c.Burst = 4; c.BurstEvery = time.Second; c.BurstLen = 2 * time.Second },
+		"zero users":       func(c *PlanConfig) { c.Users = 0 },
+		"zero rate":        func(c *PlanConfig) { c.Rate = 0 },
+		"skew at 1":        func(c *PlanConfig) { c.Skew = 1 },
+		"writefrac 1":      func(c *PlanConfig) { c.WriteFrac = 1 },
+		"negative addfrac": func(c *PlanConfig) { c.AddFrac = -0.1 },
+		"fracs sum to 1":   func(c *PlanConfig) { c.AddFrac = 0.5; c.DelFrac = 0.4 },
+		"burst no len":     func(c *PlanConfig) { c.Burst = 4; c.BurstEvery = time.Second },
+		"burst len>every":  func(c *PlanConfig) { c.Burst = 4; c.BurstEvery = time.Second; c.BurstLen = 2 * time.Second },
 	} {
 		cfg := planCfg()
 		mut(&cfg)
@@ -170,6 +172,68 @@ func TestPlanMix(t *testing.T) {
 	wantProfile := (1 - cfg.WriteFrac) * cfg.ProfileFrac
 	if got := n[Profile] / total; math.Abs(got-wantProfile) > 0.02 {
 		t.Errorf("profile fraction %.3f, want %.3f", got, wantProfile)
+	}
+}
+
+// TestPlanMutations: AddFrac/DelFrac draw whole-user mutations at the
+// configured rates; add ids are handed out sequentially from Users;
+// deletes consume previously added ids oldest-first (falling back to a
+// base user only before the first add).
+func TestPlanMutations(t *testing.T) {
+	cfg := planCfg()
+	cfg.Ops = 50_000
+	cfg.AddFrac, cfg.DelFrac = 0.05, 0.03
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n [NumKinds]float64
+	addNext, delNext := uint32(cfg.Users), uint32(cfg.Users)
+	for _, op := range plan {
+		n[op.Kind]++
+		switch op.Kind {
+		case AddUser:
+			if op.User != addNext {
+				t.Fatalf("add handed out id %d, want sequential %d", op.User, addNext)
+			}
+			addNext++
+			if op.Item >= uint32(cfg.Items) || op.Weight < 1 || op.Weight > 5 {
+				t.Fatalf("add profile entry out of range: %+v", op)
+			}
+		case DelUser:
+			if delNext < addNext {
+				if op.User != delNext {
+					t.Fatalf("delete targets %d, want oldest added %d", op.User, delNext)
+				}
+				delNext++
+			} else if op.User >= uint32(cfg.Users) {
+				t.Fatalf("fallback delete targets unadded user %d", op.User)
+			}
+		}
+	}
+	total := float64(len(plan))
+	if got := n[AddUser] / total; math.Abs(got-cfg.AddFrac) > 0.01 {
+		t.Errorf("add fraction %.3f, want %.3f", got, cfg.AddFrac)
+	}
+	if got := n[DelUser] / total; math.Abs(got-cfg.DelFrac) > 0.01 {
+		t.Errorf("delete fraction %.3f, want %.3f", got, cfg.DelFrac)
+	}
+
+	// Zero fracs must reproduce the historical draw sequence exactly —
+	// a mutation-free plan is bit-identical to one built before the
+	// mutation kinds existed.
+	a, err := BuildPlan(planCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := planCfg()
+	zero.AddFrac, zero.DelFrac = 0, 0
+	b, err := BuildPlan(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("explicit zero add/del fracs changed the plan")
 	}
 }
 
@@ -376,6 +440,65 @@ func TestEndToEndDirect(t *testing.T) {
 	}
 	if uint64(len(drained)) != res.Kinds[Update].Ops {
 		t.Fatalf("drained %d, pushed %d", len(drained), res.Kinds[Update].Ops)
+	}
+}
+
+// TestEndToEndMutations: a plan with add/del fractions drives PUT and
+// DELETE /v1/profile/{id} through both target flavors, and every
+// mutation lands in the primaries' delta journal.
+func TestEndToEndMutations(t *testing.T) {
+	url, addrs, primary := serveStack(t, 64)
+	cfg := PlanConfig{
+		Users: 64, Items: 500, Ops: 300,
+		Rate: 3000, Skew: 1.2,
+		WriteFrac: 0.1, ProfileFrac: 0.3,
+		AddFrac: 0.1, DelFrac: 0.05,
+		Seed: 11,
+	}
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	httpTgt := NewHTTPTarget("replicas", url, 0)
+	defer httpTgt.Close()
+	res, err := Run(context.Background(), httpTgt, plan, RunConfig{Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kinds[AddUser].Ops == 0 || res.Kinds[DelUser].Ops == 0 {
+		t.Fatalf("empty mutation kind: %+v", res.Kinds)
+	}
+	if res.Errors() != 0 {
+		t.Fatalf("%d errors; add %q del %q", res.Errors(),
+			res.Kinds[AddUser].FirstError, res.Kinds[DelUser].FirstError)
+	}
+	muts, err := primary.DrainMutations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res.Kinds[AddUser].Ops + res.Kinds[DelUser].Ops; uint64(len(muts)) != want {
+		t.Fatalf("drained %d mutations, sent %d", len(muts), want)
+	}
+
+	direct, err := NewDirectTarget("direct", addrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	res, err = Run(context.Background(), direct, plan, RunConfig{Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors() != 0 {
+		t.Fatalf("direct mutations: %d errors (add %q)", res.Errors(), res.Kinds[AddUser].FirstError)
+	}
+	muts, err = primary.DrainMutations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res.Kinds[AddUser].Ops + res.Kinds[DelUser].Ops; uint64(len(muts)) != want {
+		t.Fatalf("direct drained %d mutations, sent %d", len(muts), want)
 	}
 }
 

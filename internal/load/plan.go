@@ -39,6 +39,12 @@ const (
 	// Update is a POST /v1/profile single-update write that drains
 	// into the engine's phase 5.
 	Update
+	// AddUser is a PUT /v1/profile/{id} whole-user add that drains
+	// into the engine's delta pass. New ids are sequential from Users.
+	AddUser
+	// DelUser is a DELETE /v1/profile/{id} tombstone, also drained by
+	// the delta pass. Previously added users are deleted first.
+	DelUser
 	// NumKinds is the number of op types (for per-kind arrays).
 	NumKinds
 )
@@ -52,6 +58,10 @@ func (k Kind) String() string {
 		return "profile"
 	case Update:
 		return "update"
+	case AddUser:
+		return "adduser"
+	case DelUser:
+		return "deluser"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -92,6 +102,16 @@ type PlanConfig struct {
 	// WriteFrac is the fraction of ops that are profile-update
 	// writes, in [0, 1).
 	WriteFrac float64
+	// AddFrac is the fraction of ops that add a whole new user
+	// (PUT /v1/profile/{id}); new ids are handed out sequentially from
+	// Users, matching the engine's sequential-id delta contract.
+	AddFrac float64
+	// DelFrac is the fraction of ops that tombstone a user
+	// (DELETE /v1/profile/{id}). Deletes target users the plan added
+	// earlier, oldest first, so the base population the views were
+	// built from stays intact; a delete drawn before any add falls
+	// back to a Zipf-drawn base user.
+	DelFrac float64
 	// ProfileFrac is the fraction of reads that hit /v1/profile
 	// instead of /v1/neighbors, in [0, 1].
 	ProfileFrac float64
@@ -122,6 +142,10 @@ func (c PlanConfig) validate() error {
 		return fmt.Errorf("load: zipf skew must be > 1, got %g", c.Skew)
 	case c.WriteFrac < 0 || c.WriteFrac >= 1:
 		return fmt.Errorf("load: writefrac must be in [0,1), got %g", c.WriteFrac)
+	case c.AddFrac < 0 || c.DelFrac < 0:
+		return fmt.Errorf("load: addfrac/delfrac must be ≥ 0, got %g/%g", c.AddFrac, c.DelFrac)
+	case c.WriteFrac+c.AddFrac+c.DelFrac >= 1:
+		return fmt.Errorf("load: writefrac+addfrac+delfrac must be < 1, got %g", c.WriteFrac+c.AddFrac+c.DelFrac)
 	case c.ProfileFrac < 0 || c.ProfileFrac > 1:
 		return fmt.Errorf("load: profilefrac must be in [0,1], got %g", c.ProfileFrac)
 	case c.Burst > 1 && (c.BurstEvery <= 0 || c.BurstLen <= 0 || c.BurstLen > c.BurstEvery):
@@ -147,6 +171,13 @@ func BuildPlan(cfg PlanConfig) ([]Op, error) {
 
 	ops := make([]Op, cfg.Ops)
 	now := 0.0 // seconds
+	// Mutation bookkeeping: adds hand out sequential ids from Users,
+	// deletes consume them oldest-first. The bands below collapse to
+	// the historical layout when AddFrac and DelFrac are zero, so draw
+	// sequences — and therefore whole plans — stay bit-identical for
+	// configs that predate user mutations.
+	writes := cfg.WriteFrac + cfg.AddFrac + cfg.DelFrac
+	addNext, delNext := uint32(cfg.Users), uint32(cfg.Users)
 	for i := range ops {
 		op := &ops[i]
 		op.At = time.Duration(now * float64(time.Second))
@@ -159,7 +190,19 @@ func BuildPlan(cfg PlanConfig) ([]Op, error) {
 			op.Kind = Update
 			op.Item = uint32(rng.Intn(cfg.Items))
 			op.Weight = 1 + 4*rng.Float32()
-		case mix < cfg.WriteFrac+(1-cfg.WriteFrac)*cfg.ProfileFrac:
+		case mix < cfg.WriteFrac+cfg.AddFrac:
+			op.Kind = AddUser
+			op.User = addNext
+			addNext++
+			op.Item = uint32(rng.Intn(cfg.Items))
+			op.Weight = 1 + 4*rng.Float32()
+		case mix < writes:
+			op.Kind = DelUser
+			if delNext < addNext {
+				op.User = delNext
+				delNext++
+			}
+		case mix < writes+(1-writes)*cfg.ProfileFrac:
 			op.Kind = Profile
 		default:
 			op.Kind = Neighbors

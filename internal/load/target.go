@@ -114,8 +114,46 @@ func (t *HTTPTarget) Do(op Op) error {
 			return fmt.Errorf("load: queued %d updates, pushed 1", out.Queued)
 		}
 		return nil
+	case AddUser:
+		body, err := json.Marshal(api.UpsertRequest{Items: []api.ProfileItem{
+			{Item: op.Item, Weight: op.Weight},
+		}})
+		if err != nil {
+			return err
+		}
+		return t.mutate(http.MethodPut, op.User, bytes.NewReader(body), api.OpUpsert)
+	case DelUser:
+		return t.mutate(http.MethodDelete, op.User, nil, api.OpDelete)
 	}
 	return fmt.Errorf("load: unknown op kind %d", op.Kind)
+}
+
+// mutate issues a PUT or DELETE /v1/profile/{id} and checks the 202
+// echo.
+func (t *HTTPTarget) mutate(method string, user uint32, body io.Reader, wantOp string) error {
+	req, err := http.NewRequest(method, fmt.Sprintf("%s%s/%d", t.base, api.PathProfile, user), body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return httpError(resp)
+	}
+	var out api.MutationResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("load: bad mutation response: %w", err)
+	}
+	if out.User != user || out.Op != wantOp {
+		return fmt.Errorf("load: mutation echo {%d %s}, want {%d %s}", out.User, out.Op, user, wantOp)
+	}
+	return nil
 }
 
 // get fetches a lookup URL and decodes a 200 into out.
@@ -197,8 +235,33 @@ func (t *DirectTarget) Do(op Op) error {
 		return t.c.PushUpdates([]profile.Update{
 			{User: op.User, Kind: profile.SetItem, Item: op.Item, Weight: op.Weight},
 		})
+	case AddUser:
+		m, ok := t.c.(mutator)
+		if !ok {
+			return fmt.Errorf("load: target %s cannot add users", t.name)
+		}
+		vec, err := profile.NewVector([]profile.Entry{{Item: op.Item, Weight: op.Weight}})
+		if err != nil {
+			return err
+		}
+		return m.AddUser(op.User, vec.AppendBinary(nil))
+	case DelUser:
+		m, ok := t.c.(mutator)
+		if !ok {
+			return fmt.Errorf("load: target %s cannot delete users", t.name)
+		}
+		return m.DelUser(op.User)
 	}
 	return fmt.Errorf("load: unknown op kind %d", op.Kind)
+}
+
+// mutator is the whole-user mutation surface of the full store client.
+// ReadClient deliberately omits it (replica tiers are read-only), so
+// DirectTarget discovers it by assertion at op time — DialRead hands
+// back the full client, which satisfies this on primary tiers.
+type mutator interface {
+	AddUser(u uint32, profileBlob []byte) error
+	DelUser(u uint32) error
 }
 
 // missOr maps the store's not-served sentinel onto ErrMiss.

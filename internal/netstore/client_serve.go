@@ -210,6 +210,118 @@ func (c *Client) PushUpdates(updates []profile.Update) error {
 	return nil
 }
 
+// AddUser broadcasts a user add to every shard: each shard clears its
+// tombstone for u (a re-add resurrects the id), and u's owning shard
+// (u mod N) journals the profile for the engine's next delta pass. The
+// profile blob is the opaque profile.Vector encoding.
+func (c *Client) AddUser(u uint32, profileBlob []byte) error {
+	req := appendU32([]byte{opAddUser}, u)
+	req = append(req, profileBlob...)
+	for s, sc := range c.shards {
+		if _, err := sc.roundTrip(req); err != nil {
+			return fmt.Errorf("netstore: add user %d on shard %d: %w", u, s, err)
+		}
+	}
+	return nil
+}
+
+// DelUser broadcasts a tombstone for user u to every shard — point
+// lookups miss immediately on the primaries — and u's owning shard
+// journals the removal for the engine's next delta pass. Replicas keep
+// serving the stale view until the delta commit republishes the user's
+// partition without it (the usual bounded staleness).
+func (c *Client) DelUser(u uint32) error {
+	req := appendU32([]byte{opDelUser}, u)
+	for s, sc := range c.shards {
+		if _, err := sc.roundTrip(req); err != nil {
+			return fmt.Errorf("netstore: delete user %d on shard %d: %w", u, s, err)
+		}
+	}
+	return nil
+}
+
+// DrainMutations collects and clears every shard's pending mutation
+// queue, in shard order then arrival order — per-user order holds
+// because a user's mutations all journal on its owning shard.
+func (c *Client) DrainMutations() ([]Mutation, error) {
+	var all []Mutation
+	for s, sc := range c.shards {
+		body, err := sc.roundTrip([]byte{opDrainMut})
+		if err != nil {
+			return nil, fmt.Errorf("netstore: drain mutations from shard %d: %w", s, err)
+		}
+		for len(body) > 0 {
+			size, rest, err := cutU32(body)
+			if err != nil {
+				return nil, err
+			}
+			if uint64(size) > uint64(len(rest)) {
+				return nil, fmt.Errorf("netstore: drained mutation batch claims %d bytes over %d", size, len(rest))
+			}
+			batch, err := DecodeMutations(rest[:size])
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, batch...)
+			body = rest[size:]
+		}
+	}
+	return all, nil
+}
+
+// PutDeltaView republishes partition p's serve view after a delta
+// commit: the shard bumps the partition's epoch and stamps the view
+// with the new value, so replicas re-pull without any phase-1 base
+// install having happened.
+func (c *Client) PutDeltaView(p uint32, blob []byte) error {
+	sc, err := c.shardFor(p)
+	if err != nil {
+		return err
+	}
+	req := appendU32([]byte{opPut}, p)
+	req = append(req, putDeltaView)
+	req = appendU64(req, 0)
+	req = append(req, blob...)
+	_, err = sc.roundTrip(req)
+	return err
+}
+
+// PutStaleness broadcasts the engine's staleness document (an
+// EncodeStaleness blob) to every shard, so any shard can answer a
+// STALENESS query. Pure metadata — the PUT rides partition lo of each
+// shard's range purely for routing.
+func (c *Client) PutStaleness(blob []byte) error {
+	for s := range c.shards {
+		lo, _ := c.router.Range(s)
+		req := appendU32([]byte{opPut}, uint32(lo))
+		req = append(req, putStale)
+		req = appendU64(req, 0)
+		req = append(req, blob...)
+		if _, err := c.shards[s].roundTrip(req); err != nil {
+			return fmt.Errorf("netstore: put staleness on shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Staleness fetches the engine's last published staleness document
+// from shard 0 (every shard holds the same broadcast copy). The second
+// return reports whether any document has been published yet.
+func (c *Client) Staleness() (StalenessDoc, bool, error) {
+	body, err := c.shards[0].roundTrip([]byte{opStaleness})
+	if err != nil {
+		return StalenessDoc{}, false, err
+	}
+	if len(body) == 0 {
+		return StalenessDoc{}, false, nil
+	}
+	doc, err := DecodeStaleness(body)
+	if err != nil {
+		return StalenessDoc{}, false, err
+	}
+	return doc, true, nil
+}
+
 // DrainUpdates collects and clears every shard's pending update queue,
 // in shard order then arrival order — which preserves per-user order,
 // since a user's pushes all route to the same shard.

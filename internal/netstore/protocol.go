@@ -34,6 +34,15 @@
 //	PROFILE u        → user u's committed profile blob (epoch-tagged)
 //	PUSHUPD blob     → enqueue encoded profile updates for phase 5
 //	DRAINUPD         → return and clear the pending update queue
+//	ADDUSER u blob   → record user u (re)entering the graph: clears the
+//	                   shard's tombstone for u, and on u's owning shard
+//	                   (u mod N) enqueues the profile for the engine's
+//	                   delta path
+//	DELUSER u        → tombstone user u: point lookups on this shard
+//	                   miss immediately, and u's owning shard enqueues
+//	                   the removal for the engine's delta path
+//	DRAINMUT         → return and clear the pending mutation queue
+//	STALENESS        → the staleness document the engine last published
 //
 // Every frame is a uint32 big-endian length followed by that many
 // payload bytes; requests start with a one-byte opcode, responses with
@@ -67,6 +76,10 @@ const (
 	opProfile   = 0x0a
 	opPushUpd   = 0x0b
 	opDrainUpd  = 0x0c
+	opAddUser   = 0x0d
+	opDelUser   = 0x0e
+	opDrainMut  = 0x0f
+	opStaleness = 0x10
 )
 
 // Statuses (first payload byte of a response frame).
@@ -84,6 +97,15 @@ const (
 	putBase    = 0x00
 	putPartial = 0x01
 	putView    = 0x02
+	// putDeltaView is a delta republish: it bumps the partition's epoch
+	// FIRST and then installs the view stamped with the new epoch, so
+	// replicas' probe-then-pull sees the stamp move without any phase-1
+	// base install having happened. Compute state is untouched.
+	putDeltaView = 0x03
+	// putStale stores the engine's staleness document (an
+	// EncodeStaleness blob) on the shard. Pure metadata: no device
+	// charge, survives CLEAR, replaced wholesale by each publish.
+	putStale = 0x04
 )
 
 // maxFrame bounds a frame's payload so a torn or corrupt length prefix
@@ -366,4 +388,198 @@ func DecodeUpdates(blob []byte) ([]profile.Update, error) {
 		return nil, fmt.Errorf("netstore: update batch has %d trailing bytes", len(buf))
 	}
 	return updates, nil
+}
+
+// Mutation ops (first byte of an encoded mutation record).
+const (
+	// MutAdd records a user (re)entering the graph, carrying the
+	// profile vector the delta inserter places.
+	MutAdd = 0x00
+	// MutDel records a user leaving the graph; the profile field is
+	// empty.
+	MutDel = 0x01
+)
+
+// Mutation is one queued graph mutation — an online user add (with its
+// encoded profile vector) or a tombstone delete — awaiting the engine's
+// delta pass. Mutations are routed to shard user mod N (the same stable
+// mapping PUSHUPD uses), so per-user order survives the fleet.
+type Mutation struct {
+	// Op is MutAdd or MutDel.
+	Op byte
+	// User is the mutated user id.
+	User uint32
+	// Profile is the opaque profile.Vector encoding for MutAdd; empty
+	// for MutDel.
+	Profile []byte
+}
+
+// EncodeMutations serializes a mutation batch for ADDUSER/DELUSER
+// queues: count u32, then per mutation op byte, user u32, profile
+// length u32 + bytes.
+func EncodeMutations(muts []Mutation) []byte {
+	n := 4
+	for _, m := range muts {
+		n += 1 + 4 + 4 + len(m.Profile)
+	}
+	buf := make([]byte, 0, n)
+	buf = appendU32(buf, uint32(len(muts)))
+	for _, m := range muts {
+		buf = append(buf, m.Op)
+		buf = appendU32(buf, m.User)
+		buf = appendU32(buf, uint32(len(m.Profile)))
+		buf = append(buf, m.Profile...)
+	}
+	return buf
+}
+
+// DecodeMutations parses an encoded mutation batch, rejecting unknown
+// ops on arrival so a malformed batch fails its sender, not the
+// draining engine.
+func DecodeMutations(blob []byte) ([]Mutation, error) {
+	count, buf, err := cutU32(blob)
+	if err != nil {
+		return nil, err
+	}
+	// Each mutation needs at least its 9-byte fixed header, bounding the
+	// claimed count before the allocation (same rule as collect items).
+	if int64(count) > int64(len(buf))/9 {
+		return nil, fmt.Errorf("netstore: mutation batch claims %d mutations in %d bytes", count, len(buf))
+	}
+	muts := make([]Mutation, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var m Mutation
+		op, rest, err := cutByte(buf)
+		if err != nil {
+			return nil, fmt.Errorf("netstore: mutation %d: %w", i, err)
+		}
+		buf = rest
+		if op != MutAdd && op != MutDel {
+			return nil, fmt.Errorf("netstore: mutation %d has unknown op 0x%02x", i, op)
+		}
+		m.Op = op
+		if m.User, buf, err = cutU32(buf); err != nil {
+			return nil, fmt.Errorf("netstore: mutation %d: %w", i, err)
+		}
+		pLen, rest2, err := cutU32(buf)
+		if err != nil {
+			return nil, fmt.Errorf("netstore: mutation %d: %w", i, err)
+		}
+		buf = rest2
+		if uint32(len(buf)) < pLen {
+			return nil, fmt.Errorf("netstore: mutation %d truncated in profile blob", i)
+		}
+		if op == MutDel && pLen != 0 {
+			return nil, fmt.Errorf("netstore: mutation %d is a delete carrying %d profile bytes", i, pLen)
+		}
+		m.Profile = buf[:pLen:pLen]
+		buf = buf[pLen:]
+		muts = append(muts, m)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("netstore: mutation batch has %d trailing bytes", len(buf))
+	}
+	return muts, nil
+}
+
+// PartitionStaleness is one partition's row of the engine's published
+// staleness document: the mutation counts accumulated since the last
+// full iteration and the resulting staleness score.
+type PartitionStaleness struct {
+	// Partition is the partition id (per the assignment of the last
+	// full iteration).
+	Partition uint32
+	// Adds and Deletes count delta mutations attributed to the
+	// partition since its last full rebuild.
+	Adds, Deletes uint64
+	// TouchedEdges estimates how many graph edges delta commits have
+	// rewritten inside the partition.
+	TouchedEdges uint64
+	// Members is the partition's population at the last full iteration.
+	Members uint64
+	// Score is the normalized staleness the engine's threshold compares
+	// against: (Adds + Deletes + TouchedEdges/K) / max(1, Members).
+	Score float64
+}
+
+// StalenessDoc is the engine's published staleness document — what
+// GET /v1/staleness serves. One document covers every partition.
+type StalenessDoc struct {
+	// LastFullEpoch is the committed epoch of the most recent full
+	// five-phase iteration.
+	LastFullEpoch uint64
+	// Threshold is the configured staleness threshold (0 = delta
+	// scheduling disabled; every Run pass iterates fully).
+	Threshold float64
+	// Partitions holds one row per partition, in ascending id order.
+	Partitions []PartitionStaleness
+}
+
+// EncodeStaleness serializes a staleness document for putStale:
+// last-full epoch u64, threshold float64 bits u64, row count u32, then
+// per row partition u32 and five u64 fields (score as float64 bits).
+func EncodeStaleness(doc StalenessDoc) []byte {
+	buf := make([]byte, 0, 8+8+4+44*len(doc.Partitions))
+	buf = appendU64(buf, doc.LastFullEpoch)
+	buf = appendU64(buf, math.Float64bits(doc.Threshold))
+	buf = appendU32(buf, uint32(len(doc.Partitions)))
+	for _, p := range doc.Partitions {
+		buf = appendU32(buf, p.Partition)
+		buf = appendU64(buf, p.Adds)
+		buf = appendU64(buf, p.Deletes)
+		buf = appendU64(buf, p.TouchedEdges)
+		buf = appendU64(buf, p.Members)
+		buf = appendU64(buf, math.Float64bits(p.Score))
+	}
+	return buf
+}
+
+// DecodeStaleness parses an encoded staleness document.
+func DecodeStaleness(blob []byte) (StalenessDoc, error) {
+	var doc StalenessDoc
+	var err error
+	if doc.LastFullEpoch, blob, err = cutU64(blob); err != nil {
+		return doc, err
+	}
+	bits, blob, err := cutU64(blob)
+	if err != nil {
+		return doc, err
+	}
+	doc.Threshold = math.Float64frombits(bits)
+	count, blob, err := cutU32(blob)
+	if err != nil {
+		return doc, err
+	}
+	if int64(count) > int64(len(blob))/44 {
+		return doc, fmt.Errorf("netstore: staleness doc claims %d partitions in %d bytes", count, len(blob))
+	}
+	doc.Partitions = make([]PartitionStaleness, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var p PartitionStaleness
+		if p.Partition, blob, err = cutU32(blob); err != nil {
+			return doc, fmt.Errorf("netstore: staleness row %d: %w", i, err)
+		}
+		if p.Adds, blob, err = cutU64(blob); err != nil {
+			return doc, fmt.Errorf("netstore: staleness row %d: %w", i, err)
+		}
+		if p.Deletes, blob, err = cutU64(blob); err != nil {
+			return doc, fmt.Errorf("netstore: staleness row %d: %w", i, err)
+		}
+		if p.TouchedEdges, blob, err = cutU64(blob); err != nil {
+			return doc, fmt.Errorf("netstore: staleness row %d: %w", i, err)
+		}
+		if p.Members, blob, err = cutU64(blob); err != nil {
+			return doc, fmt.Errorf("netstore: staleness row %d: %w", i, err)
+		}
+		var sb uint64
+		if sb, blob, err = cutU64(blob); err != nil {
+			return doc, fmt.Errorf("netstore: staleness row %d: %w", i, err)
+		}
+		p.Score = math.Float64frombits(sb)
+		doc.Partitions = append(doc.Partitions, p)
+	}
+	if len(blob) != 0 {
+		return doc, fmt.Errorf("netstore: staleness doc has %d trailing bytes", len(blob))
+	}
+	return doc, nil
 }

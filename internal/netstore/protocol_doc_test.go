@@ -67,6 +67,10 @@ func TestProtocolDocMatchesCode(t *testing.T) {
 			"PROFILE":   opProfile,
 			"PUSHUPD":   opPushUpd,
 			"DRAINUPD":  opDrainUpd,
+			"ADDUSER":   opAddUser,
+			"DELUSER":   opDelUser,
+			"DRAINMUT":  opDrainMut,
+			"STALENESS": opStaleness,
 			// Statuses share the "| NAME | `0xNN` |" row shape; list
 			// them here so the single regexp's catch covers both tables.
 			"OK":    statusOK,
@@ -78,11 +82,13 @@ func TestProtocolDocMatchesCode(t *testing.T) {
 		})
 
 	check("put kinds",
-		regexp.MustCompile(`(?m)^\| (base|partial|view) +\| .(0x[0-9a-f]{2}). \|`),
+		regexp.MustCompile(`(?m)^\| (base|partial|deltaview|view|stale) +\| .(0x[0-9a-f]{2}). \|`),
 		map[string]byte{
-			"base":    putBase,
-			"partial": putPartial,
-			"view":    putView,
+			"base":      putBase,
+			"partial":   putPartial,
+			"view":      putView,
+			"deltaview": putDeltaView,
+			"stale":     putStale,
 		})
 }
 

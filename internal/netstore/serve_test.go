@@ -376,3 +376,69 @@ func TestReplicaStalenessMatrix(t *testing.T) {
 		})
 	}
 }
+
+// TestReplicaTombstoneStaleness extends the staleness matrix to
+// deleted users. A DELUSER tombstone misses immediately on the
+// primary — the deleting client must never read its own deleted user
+// back — while a replica keeps serving the last *committed* view
+// (bounded staleness, same window as any other read) until the
+// partition republishes without the user, at which point the next
+// lookup self-invalidates and misses there too. A re-add resurrects
+// the id on both tiers once a view carries it again.
+func TestReplicaTombstoneStaleness(t *testing.T) {
+	cluster, client := startCluster(t, 2, 4, nil)
+	const user = 77
+	const home = 0 // user's partition, on shard 0
+	if err := client.PutBase(home, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutView(home, viewFor(user, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, rc := startReplicas(t, cluster, 4)
+	if _, ids, err := rc.Neighbors(user); err != nil || len(ids) != 3 {
+		t.Fatalf("warm replica lookup: ids=%v err=%v", ids, err)
+	}
+
+	if err := client.DelUser(user); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Neighbors(user); !errors.Is(err, ErrNotServed) {
+		t.Fatalf("primary lookup after DELUSER: err=%v, want ErrNotServed", err)
+	}
+	// The replica answers from committed views, not journals: until a
+	// delta pass republishes the partition, the epoch-1 view is still
+	// the freshest committed state and must keep serving.
+	if epoch, ids, err := rc.Neighbors(user); err != nil || epoch != 1 || len(ids) != 3 {
+		t.Fatalf("replica lookup pre-republish: epoch=%d ids=%v err=%v, want the stale epoch-1 view", epoch, ids, err)
+	}
+
+	// The delta pass republishes the partition without the user
+	// (PutDeltaView — no base install, the PUT itself bumps the
+	// epoch): the replica's next lookup invalidates, pulls, and
+	// misses on both read verbs.
+	if err := client.PutDeltaView(home, EncodeView(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rc.Neighbors(user); !errors.Is(err, ErrNotServed) {
+		t.Fatalf("replica lookup post-republish: err=%v, want ErrNotServed", err)
+	}
+	if _, _, err := rc.ProfileBytes(user); !errors.Is(err, ErrNotServed) {
+		t.Fatalf("replica profile post-republish: err=%v, want ErrNotServed", err)
+	}
+
+	// Re-add resurrects the id: the tombstone clears, and once a view
+	// carries the user again both tiers serve it.
+	if err := client.AddUser(user, []byte("profile-at-3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutDeltaView(home, viewFor(user, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ids, err := client.Neighbors(user); err != nil || len(ids) != 3 || ids[0] != 3 {
+		t.Fatalf("primary lookup after re-add: ids=%v err=%v", ids, err)
+	}
+	if _, ids, err := rc.Neighbors(user); err != nil || len(ids) != 3 || ids[0] != 3 {
+		t.Fatalf("replica lookup after re-add: ids=%v err=%v", ids, err)
+	}
+}

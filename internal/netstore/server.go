@@ -62,16 +62,19 @@ type Server struct {
 	lo, hi int
 	ln     net.Listener
 
-	mu        sync.Mutex
-	base      map[uint32][]byte
-	partials  map[uint32][][]byte
-	leases    map[uint32]map[uint64]struct{}
-	epochs    map[uint32]uint64    // bumped by every base PUT; survives CLEAR
-	views     map[uint32]serveView // committed serve views; survive CLEAR
-	userIdx   map[uint32]uint32    // view member → owning partition
-	updates   [][]byte             // pending PUSHUPD batches; survive CLEAR
-	nextToken uint64
-	closed    bool
+	mu         sync.Mutex
+	base       map[uint32][]byte
+	partials   map[uint32][][]byte
+	leases     map[uint32]map[uint64]struct{}
+	epochs     map[uint32]uint64    // bumped by every base PUT; survives CLEAR
+	views      map[uint32]serveView // committed serve views; survive CLEAR
+	userIdx    map[uint32]uint32    // view member → owning partition
+	updates    [][]byte             // pending PUSHUPD batches; survive CLEAR
+	mutations  [][]byte             // pending ADDUSER/DELUSER batches; survive CLEAR
+	tombstones map[uint32]struct{}  // DELUSER'd users; lookups miss; survives CLEAR
+	staleness  []byte               // last putStale document; survives CLEAR
+	nextToken  uint64
+	closed     bool
 
 	connMu      sync.Mutex
 	conns       map[net.Conn]struct{}
@@ -95,16 +98,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("netstore: listen %s: %w", cfg.Addr, err)
 	}
 	s := &Server{
-		cfg:      cfg,
-		router:   router,
-		ln:       ln,
-		base:     make(map[uint32][]byte),
-		partials: make(map[uint32][][]byte),
-		leases:   make(map[uint32]map[uint64]struct{}),
-		epochs:   make(map[uint32]uint64),
-		views:    make(map[uint32]serveView),
-		userIdx:  make(map[uint32]uint32),
-		conns:    make(map[net.Conn]struct{}),
+		cfg:        cfg,
+		router:     router,
+		ln:         ln,
+		base:       make(map[uint32][]byte),
+		partials:   make(map[uint32][][]byte),
+		leases:     make(map[uint32]map[uint64]struct{}),
+		epochs:     make(map[uint32]uint64),
+		views:      make(map[uint32]serveView),
+		userIdx:    make(map[uint32]uint32),
+		tombstones: make(map[uint32]struct{}),
+		conns:      make(map[net.Conn]struct{}),
 	}
 	s.lo, s.hi = router.Range(cfg.Shard)
 	s.wg.Add(1)
@@ -340,9 +344,102 @@ func (s *Server) serveRequest(conn net.Conn, req []byte) error {
 	case opDrainUpd:
 		return ok(s.drainUpdates())
 
+	case opAddUser:
+		u, blob, err := cutU32(body)
+		if err != nil {
+			return err
+		}
+		if err := s.addUser(u, blob); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case opDelUser:
+		u, _, err := cutU32(body)
+		if err != nil {
+			return err
+		}
+		s.delUser(u)
+		return ok(nil)
+
+	case opDrainMut:
+		return ok(s.drainMutations())
+
+	case opStaleness:
+		s.mu.Lock()
+		blob := s.staleness
+		s.mu.Unlock()
+		return ok(blob)
+
 	default:
 		return fmt.Errorf("netstore: unknown opcode 0x%02x", op)
 	}
+}
+
+// ownsUser reports whether this shard is user u's mutation owner —
+// shard u mod N, the same stable user-keyed mapping PUSHUPD routes by.
+// ADDUSER/DELUSER broadcast to every shard (tombstones must be globally
+// visible so point lookups miss immediately on whichever shard holds
+// the user's view), but only the owning shard journals the mutation, so
+// the engine's drain sees each mutation exactly once.
+func (s *Server) ownsUser(u uint32) bool {
+	return int(u)%s.router.NumShards() == s.cfg.Shard
+}
+
+// addUser clears user u's tombstone (a re-add resurrects the id) and,
+// on u's owning shard, enqueues a MutAdd record carrying the profile
+// blob for the engine's next delta pass.
+func (s *Server) addUser(u uint32, profileBlob []byte) error {
+	batch := EncodeMutations([]Mutation{{Op: MutAdd, User: u, Profile: profileBlob}})
+	s.mu.Lock()
+	delete(s.tombstones, u)
+	owner := s.ownsUser(u)
+	if owner {
+		s.mutations = append(s.mutations, batch)
+	}
+	s.mu.Unlock()
+	if owner {
+		s.cfg.Device.Append(int64(len(batch)))
+	}
+	return nil
+}
+
+// delUser tombstones user u — point lookups on this shard miss
+// immediately, before any delta commit — and, on u's owning shard,
+// enqueues a MutDel record for the engine's next delta pass.
+func (s *Server) delUser(u uint32) {
+	batch := EncodeMutations([]Mutation{{Op: MutDel, User: u}})
+	s.mu.Lock()
+	s.tombstones[u] = struct{}{}
+	owner := s.ownsUser(u)
+	if owner {
+		s.mutations = append(s.mutations, batch)
+	}
+	s.mu.Unlock()
+	if owner {
+		s.cfg.Device.Append(int64(len(batch)))
+	}
+}
+
+// drainMutations returns the concatenated pending mutation batches (in
+// arrival order) and clears the queue — same shape as drainUpdates:
+// each batch length-prefixed, charged as one sequential read.
+func (s *Server) drainMutations() []byte {
+	s.mu.Lock()
+	batches := s.mutations
+	s.mutations = nil
+	s.mu.Unlock()
+	var out []byte
+	var volume int64
+	for _, b := range batches {
+		out = appendU32(out, uint32(len(b)))
+		out = append(out, b...)
+		volume += int64(len(b))
+	}
+	if volume > 0 {
+		s.cfg.Device.Read(volume)
+	}
+	return out
 }
 
 // checkRange validates shard ownership — the router is the only
@@ -378,7 +475,7 @@ func (s *Server) put(p uint32, kind byte, token uint64, blob []byte) error {
 	}
 	stored := append([]byte(nil), blob...)
 	var viewIdx map[uint32]ViewEntry
-	if kind == putView {
+	if kind == putView || kind == putDeltaView {
 		// Decode outside the state mutex — a view covers a whole
 		// partition's membership and lookups should not stall on it.
 		entries, err := DecodeView(stored)
@@ -418,6 +515,18 @@ func (s *Server) put(p uint32, kind byte, token uint64, blob []byte) error {
 		for u := range viewIdx {
 			s.userIdx[u] = p
 		}
+	case putDeltaView:
+		// A delta republish: no base install opened a new epoch, so the
+		// PUT itself bumps the counter and stamps the view with the new
+		// value — that moved stamp is what makes replicas re-pull.
+		// Compute state (base, partials, leases) is untouched.
+		s.epochs[p]++
+		s.views[p] = serveView{epoch: s.epochs[p], blob: stored, index: viewIdx}
+		for u := range viewIdx {
+			s.userIdx[u] = p
+		}
+	case putStale:
+		s.staleness = stored
 	default:
 		s.mu.Unlock()
 		return fmt.Errorf("netstore: unknown PUT kind 0x%02x", kind)
@@ -427,11 +536,16 @@ func (s *Server) put(p uint32, kind byte, token uint64, blob []byte) error {
 	// random write. A partial — and a view publish — is a blind append
 	// to the shard's journal (the log-structured write path collect's
 	// per-partition read model assumes), so it pays sequential transfer
-	// with no seek.
-	if kind == putBase {
+	// with no seek. A staleness publish is pure metadata, like EPOCH.
+	switch kind {
+	case putBase:
 		s.cfg.Device.Write(int64(len(blob)))
-	} else {
+	case putPartial, putView, putDeltaView:
 		s.cfg.Device.Append(int64(len(blob)))
+	case putStale:
+		// metadata only — no device charge
+	default:
+		panic("unreachable: kind validated above")
 	}
 	return nil
 }
@@ -474,14 +588,21 @@ func (s *Server) getView(p uint32) (uint64, []byte, error) {
 // queueing that read replicas exist to take off this device.
 func (s *Server) lookup(u uint32) (uint64, ViewEntry, error) {
 	s.mu.Lock()
+	_, dead := s.tombstones[u]
 	p, ok := s.userIdx[u]
 	var v serveView
 	var entry ViewEntry
-	if ok {
+	if ok && !dead {
 		v = s.views[p]
 		entry, ok = v.index[u]
 	}
 	s.mu.Unlock()
+	if dead {
+		// A tombstoned user misses immediately on the primaries, even
+		// before the delta commit republishes the partition without it —
+		// the DELUSER caller must never read its own deleted user back.
+		return 0, ViewEntry{}, fmt.Errorf("%w: user %d tombstoned on shard %d", ErrNotServed, u, s.cfg.Shard)
+	}
 	if !ok {
 		return 0, ViewEntry{}, fmt.Errorf("%w: user %d on shard %d", ErrNotServed, u, s.cfg.Shard)
 	}
@@ -591,7 +712,8 @@ func (s *Server) collect() []CollectItem {
 }
 
 // clear drops the compute-side state (bases, partials, leases) but
-// keeps the serving side — epochs, views, user index, pending updates.
+// keeps the serving side — epochs, views, user index, pending updates,
+// pending mutations, tombstones, and the published staleness document.
 // The engine clears the store at the end of every iteration, after the
 // serve views are published; wiping them would blind the serving tier
 // between iterations, and resetting epochs would let a replica mistake

@@ -122,3 +122,45 @@ func TestFileStoreCloseIdempotent(t *testing.T) {
 		t.Errorf("double close should be a no-op: %v", err)
 	}
 }
+
+func TestFileStoreExtend(t *testing.T) {
+	fs, stats := newFileStore(t, []Vector{
+		FromItems([]uint32{1, 2}),
+		FromItems([]uint32{5}),
+	})
+	before := stats.Snapshot().BytesWritten
+	added := []Vector{FromItems([]uint32{8, 9}), {}}
+	if err := fs.Extend(added); err != nil {
+		t.Fatal(err)
+	}
+	if fs.NumUsers() != 4 {
+		t.Fatalf("NumUsers = %d after extend", fs.NumUsers())
+	}
+	// New users read back; old users untouched.
+	for u, want := range []Vector{FromItems([]uint32{1, 2}), FromItems([]uint32{5}), added[0], added[1]} {
+		got, err := fs.Profile(uint32(u))
+		if err != nil {
+			t.Fatalf("Profile(%d): %v", u, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("user %d mismatch after extend", u)
+		}
+	}
+	if stats.Snapshot().BytesWritten <= before {
+		t.Error("extend should count its sequential write")
+	}
+	// Extend then Apply: the rewrite must keep the appended users.
+	if _, err := fs.Apply([]Update{{User: 3, Kind: SetItem, Item: 77, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Profile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(FromItems([]uint32{77})) {
+		t.Errorf("appended user lost across Apply rewrite: %+v", got)
+	}
+	if err := fs.Extend(nil); err != nil {
+		t.Fatal(err) // no-op
+	}
+}

@@ -44,6 +44,13 @@ func (s *Store) Set(u uint32, v Vector) error {
 	return nil
 }
 
+// Append adds a new user with the given profile at the next sequential
+// id — the delta path's storage half of adding a user (the graph grows
+// in lockstep).
+func (s *Store) Append(v Vector) {
+	s.vecs = append(s.vecs, v)
+}
+
 // Clone returns a deep-enough copy: the vector table is copied, the
 // immutable vectors are shared.
 func (s *Store) Clone() *Store {

@@ -58,6 +58,9 @@ type Server struct {
 	neighbors endpointMetrics
 	profile   endpointMetrics
 	update    endpointMetrics
+	upsert    endpointMetrics
+	del       endpointMetrics
+	staleness endpointMetrics
 	queued    atomic.Uint64 // individual updates accepted
 }
 
@@ -148,6 +151,9 @@ func (s *Server) Mux() *http.ServeMux {
 	m.HandleFunc("GET /v1/neighbors/{id}", s.handleNeighbors)
 	m.HandleFunc("GET /v1/profile/{id}", s.handleProfile)
 	m.HandleFunc("POST /v1/profile", s.handlePush)
+	m.HandleFunc("PUT /v1/profile/{id}", s.handleUpsert)
+	m.HandleFunc("DELETE /v1/profile/{id}", s.handleDelete)
+	m.HandleFunc("GET "+api.PathStaleness, s.handleStaleness)
 	m.HandleFunc("GET "+api.PathHealth, s.handleHealth)
 	m.HandleFunc("GET "+api.PathStats, s.handleStats)
 	// Deprecated pre-v1 alias; serves the identical v1 document.
@@ -234,6 +240,85 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	s.update.observe(start, http.StatusAccepted)
 }
 
+func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	u, ok := userParam(w, r, &s.upsert, start)
+	if !ok {
+		return
+	}
+	fail := func(code int, msg string) {
+		writeError(w, code, msg)
+		s.upsert.observe(start, code)
+	}
+	var body api.UpsertRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
+		fail(http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	entries := make([]profile.Entry, 0, len(body.Items))
+	for _, it := range body.Items {
+		entries = append(entries, profile.Entry{Item: it.Item, Weight: it.Weight})
+	}
+	vec, err := profile.NewVector(entries)
+	if err != nil {
+		fail(http.StatusBadRequest, "bad profile: "+err.Error())
+		return
+	}
+	if err := s.writers.AddUser(u, vec.AppendBinary(nil)); err != nil {
+		fail(http.StatusBadGateway, "add failed: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.MutationResponse{User: u, Op: api.OpUpsert})
+	s.upsert.observe(start, http.StatusAccepted)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	u, ok := userParam(w, r, &s.del, start)
+	if !ok {
+		return
+	}
+	if err := s.writers.DelUser(u); err != nil {
+		writeError(w, http.StatusBadGateway, "delete failed: "+err.Error())
+		s.del.observe(start, http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.MutationResponse{User: u, Op: api.OpDelete})
+	s.del.observe(start, http.StatusAccepted)
+}
+
+func (s *Server) handleStaleness(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	doc, ok, err := s.writers.Staleness()
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "staleness: "+err.Error())
+		s.staleness.observe(start, http.StatusBadGateway)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no staleness document published yet")
+		s.staleness.observe(start, http.StatusNotFound)
+		return
+	}
+	resp := api.StalenessResponse{
+		LastFullEpoch: doc.LastFullEpoch,
+		Threshold:     doc.Threshold,
+		Partitions:    make([]api.PartitionStaleness, 0, len(doc.Partitions)),
+	}
+	for _, p := range doc.Partitions {
+		resp.Partitions = append(resp.Partitions, api.PartitionStaleness{
+			Partition:    p.Partition,
+			Adds:         p.Adds,
+			Deletes:      p.Deletes,
+			TouchedEdges: p.TouchedEdges,
+			Members:      p.Members,
+			Score:        p.Score,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	s.staleness.observe(start, http.StatusOK)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// Epoch of partition 0 exercises one roundtrip on each tier.
 	if _, _, rerr := s.readers.Epoch(0); rerr != nil {
@@ -259,6 +344,9 @@ func (s *Server) Stats() api.StatsResponse {
 			api.EndpointNeighbors: s.neighbors.stats(),
 			api.EndpointProfile:   s.profile.stats(),
 			api.EndpointUpdate:    s.update.stats(),
+			api.EndpointUpsert:    s.upsert.stats(),
+			api.EndpointDelete:    s.del.stats(),
+			api.EndpointStaleness: s.staleness.stats(),
 		},
 	}
 }

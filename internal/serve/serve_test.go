@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -203,6 +204,103 @@ func TestPushEndpoint(t *testing.T) {
 	}
 	if st.UpdatesQueued != 2 {
 		t.Fatalf("updates_queued = %d", st.UpdatesQueued)
+	}
+}
+
+// TestMutationEndpoints: PUT and DELETE /v1/profile/{id} queue
+// add/delete mutations on the primaries for the engine's next delta
+// pass; GET /v1/staleness serves the engine's published drift table
+// (404 before anything is published); the three new stats rows book
+// the traffic.
+func TestMutationEndpoints(t *testing.T) {
+	primary, srv := fixture(t)
+	h := srv.Mux()
+
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req := httptest.NewRequest(method, path, rd)
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Nothing published yet: staleness is a 404 miss, not an error.
+	var apiErr api.ErrorResponse
+	get(t, h, api.PathStaleness, http.StatusNotFound, &apiErr)
+
+	rec := do("PUT", "/v1/profile/100", `{"items":[{"item":11,"weight":2.5},{"item":99,"weight":0.5}]}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("upsert = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var mut api.MutationResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &mut); err != nil || mut != (api.MutationResponse{User: 100, Op: api.OpUpsert}) {
+		t.Fatalf("upsert response %s (%v)", rec.Body.String(), err)
+	}
+	if rec := do("DELETE", "/v1/profile/7", ""); rec.Code != http.StatusAccepted {
+		t.Fatalf("delete = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if rec := do("PUT", "/v1/profile/100", `{not json`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage upsert body accepted: %d", rec.Code)
+	}
+	if rec := do("PUT", "/v1/profile/banana", `{"items":[]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage upsert id accepted: %d", rec.Code)
+	}
+
+	// Both mutations reached the primaries' journal, in order, with the
+	// profile blob intact.
+	muts, err := primary.DrainMutations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) != 2 || muts[0].Op != netstore.MutAdd || muts[0].User != 100 ||
+		muts[1].Op != netstore.MutDel || muts[1].User != 7 {
+		t.Fatalf("drained mutations = %+v", muts)
+	}
+	vec, _, err := profile.DecodeVector(muts[0].Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vec.Entries(); len(got) != 2 || got[0] != (profile.Entry{Item: 11, Weight: 2.5}) {
+		t.Fatalf("queued profile entries = %v", got)
+	}
+
+	// Publish a staleness doc the way the engine does and read it back
+	// through the endpoint.
+	doc := netstore.StalenessDoc{
+		LastFullEpoch: 4,
+		Threshold:     0.25,
+		Partitions: []netstore.PartitionStaleness{
+			{Partition: 0, Adds: 3, Deletes: 1, TouchedEdges: 40, Members: 100, Score: 0.08},
+			{Partition: 1, Members: 50},
+		},
+	}
+	if err := primary.PutStaleness(netstore.EncodeStaleness(doc)); err != nil {
+		t.Fatal(err)
+	}
+	var st api.StalenessResponse
+	get(t, h, api.PathStaleness, http.StatusOK, &st)
+	if st.LastFullEpoch != 4 || st.Threshold != 0.25 || len(st.Partitions) != 2 {
+		t.Fatalf("staleness = %+v", st)
+	}
+	if st.Partitions[0] != (api.PartitionStaleness{Partition: 0, Adds: 3, Deletes: 1, TouchedEdges: 40, Members: 100, Score: 0.08}) {
+		t.Fatalf("staleness row 0 = %+v", st.Partitions[0])
+	}
+
+	stats := srv.Stats()
+	if row := stats.Endpoints[api.EndpointUpsert]; row.Requests != 3 || row.Errors != 2 {
+		t.Fatalf("upsert row = %+v", row)
+	}
+	if row := stats.Endpoints[api.EndpointDelete]; row.Requests != 1 || row.Errors != 0 {
+		t.Fatalf("delete row = %+v", row)
+	}
+	if row := stats.Endpoints[api.EndpointStaleness]; row.Requests != 2 || row.Misses != 1 {
+		t.Fatalf("staleness row = %+v", row)
 	}
 }
 

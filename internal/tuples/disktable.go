@@ -51,6 +51,8 @@ type DiskTable struct {
 	added           atomic.Int64
 	prefetchedBytes atomic.Int64
 
+	dead func(uint32) bool // tombstone predicate; set before producers start
+
 	// encPool recycles spill-record encode buffers across flushes, so
 	// the batched emit path does not allocate one fresh record per
 	// flush the way the old per-call packing did; groupPool recycles
@@ -159,8 +161,14 @@ func (t *DiskTable) addKeys(id ShardID, keys []uint64) (int64, error) {
 	return 0, nil
 }
 
+// SetTombstones implements TombstoneFilter.
+func (t *DiskTable) SetTombstones(dead func(uint32) bool) { t.dead = dead }
+
 // Add implements Table.
 func (t *DiskTable) Add(s, d uint32) error {
+	if t.dead != nil && (t.dead(s) || t.dead(d)) {
+		return nil
+	}
 	id := ShardID{I: t.assign.Of(s), J: t.assign.Of(d)}
 	spilled, err := t.addKeys(id, []uint64{pack(s, d)})
 	if err != nil {
@@ -179,6 +187,7 @@ func (t *DiskTable) Add(s, d uint32) error {
 // once per tuple, and the grouping itself allocates nothing in steady
 // state.
 func (t *DiskTable) AddBatch(ts []Tuple) error {
+	ts = filterTuples(ts, t.dead)
 	if len(ts) == 0 {
 		return nil
 	}

@@ -25,6 +25,7 @@ type MemTable struct {
 	shards map[ShardID]*memShard
 	closed bool
 	added  atomic.Int64
+	dead   func(uint32) bool // tombstone predicate; set before producers start
 
 	// groupPool recycles the per-AddBatch shard-grouping scratch (one
 	// bucket per directed partition pair, ordinal-indexed) across
@@ -72,8 +73,14 @@ func (t *MemTable) shard(id ShardID) (*memShard, error) {
 	return sh, nil
 }
 
+// SetTombstones implements TombstoneFilter.
+func (t *MemTable) SetTombstones(dead func(uint32) bool) { t.dead = dead }
+
 // Add implements Table.
 func (t *MemTable) Add(s, d uint32) error {
+	if t.dead != nil && (t.dead(s) || t.dead(d)) {
+		return nil
+	}
 	id := ShardID{I: t.assign.Of(s), J: t.assign.Of(d)}
 	sh, err := t.shard(id)
 	if err != nil {
@@ -90,6 +97,7 @@ func (t *MemTable) Add(s, d uint32) error {
 // pooled ordinal-indexed scratch so each touched shard's lock is taken
 // once per batch and the grouping allocates nothing in steady state.
 func (t *MemTable) AddBatch(ts []Tuple) error {
+	ts = filterTuples(ts, t.dead)
 	if len(ts) == 0 {
 		return nil
 	}

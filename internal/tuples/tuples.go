@@ -129,3 +129,32 @@ type ShardID struct {
 	I uint32
 	J uint32
 }
+
+// TombstoneFilter is the optional deletion surface of a Table:
+// SetTombstones installs a predicate and every subsequently added
+// tuple with a tombstoned endpoint is dropped at the door, so a
+// deleted user neither emits nor receives candidates in the next full
+// iteration. The predicate must be installed before any producer
+// starts adding (it is read without synchronization from the add
+// paths) and must be safe for concurrent calls. A nil predicate — the
+// default — filters nothing and costs one nil check per add, keeping
+// the deletion-free path bit-identical to a table without the filter.
+type TombstoneFilter interface {
+	SetTombstones(dead func(uint32) bool)
+}
+
+// filterTuples drops batch entries with a tombstoned endpoint. With a
+// nil predicate the input is returned as-is, copy-free.
+func filterTuples(ts []Tuple, dead func(uint32) bool) []Tuple {
+	if dead == nil {
+		return ts
+	}
+	out := make([]Tuple, 0, len(ts))
+	for _, tu := range ts {
+		if dead(tu.S) || dead(tu.D) {
+			continue
+		}
+		out = append(out, tu)
+	}
+	return out
+}

@@ -711,3 +711,60 @@ func TestCloseDrainsInFlightShardReads(t *testing.T) {
 		t.Fatal(err) // idempotent
 	}
 }
+
+// TestTombstoneFilterDropsDeadEndpoints: with a predicate installed,
+// both tables drop tuples touching tombstoned users on both add paths;
+// with no predicate the tables behave exactly as before.
+func TestTombstoneFilterDropsDeadEndpoints(t *testing.T) {
+	a, err := partition.NewAssignment([]uint32{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := disk.NewScratch(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats disk.IOStats
+	dead := func(u uint32) bool { return u == 2 }
+	for name, table := range map[string]Table{
+		"mem":  NewMemTable(a),
+		"disk": NewDiskTable(a, scratch, &stats, 0),
+	} {
+		table.(TombstoneFilter).SetTombstones(dead)
+		if err := table.Add(0, 2); err != nil { // dead dst: dropped
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := table.Add(2, 1); err != nil { // dead src: dropped
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := table.AddBatch([]Tuple{{0, 1}, {2, 3}, {3, 2}, {1, 3}}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := table.Added(); got != 2 {
+			t.Errorf("%s: Added = %d, want 2 surviving tuples", name, got)
+		}
+		var all []Tuple
+		for i := uint32(0); i < 2; i++ {
+			for j := uint32(0); j < 2; j++ {
+				ts, err := table.Shard(i, j)
+				if err != nil {
+					t.Fatalf("%s: Shard(%d,%d): %v", name, i, j, err)
+				}
+				all = append(all, ts...)
+			}
+		}
+		sortTuples(all)
+		want := []Tuple{{0, 1}, {1, 3}}
+		if !reflect.DeepEqual(all, want) {
+			t.Errorf("%s: surviving tuples %v, want %v", name, all, want)
+		}
+		if err := table.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// filterTuples with a nil predicate must be copy-free pass-through.
+	in := []Tuple{{0, 1}}
+	if out := filterTuples(in, nil); &out[0] != &in[0] {
+		t.Error("filterTuples(nil) copied its input")
+	}
+}

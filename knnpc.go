@@ -173,6 +173,14 @@ type Config struct {
 	// MemoryBudgetBytes, when positive, bounds resident partition
 	// state; exceeding it fails the iteration.
 	MemoryBudgetBytes int64
+	// StalenessThreshold enables incremental graph maintenance in Run:
+	// each pass first folds queued whole-user adds/deletes (AddUser,
+	// DeleteUser) into the graph through a cheap delta commit, then
+	// runs a full five-phase iteration only while some partition's
+	// normalized drift score is ≥ this value. 0 (default) disables the
+	// scheduling — every Run pass iterates, the paper's schedule.
+	// Negative values are rejected.
+	StalenessThreshold float64
 	// Exploration, when positive, adds that many random candidates
 	// per user each iteration. The paper's structural candidate rule
 	// cannot escape a converged neighborhood after large profile
@@ -185,25 +193,26 @@ type Config struct {
 
 func (c Config) engineOptions() (core.Options, error) {
 	opts := core.Options{
-		K:                c.K,
-		NumPartitions:    c.Partitions,
-		Workers:          c.Workers,
-		ExecWorkers:      c.ExecWorkers,
-		BuildWorkers:     c.BuildWorkers,
-		Slots:            c.Slots,
-		PrefetchDepth:    c.PrefetchDepth,
-		AsyncWriteback:   c.AsyncWriteback,
-		ShardPrefetch:    c.ShardPrefetch,
-		NetStoreShards:   c.NetStoreShards,
-		NetStoreAddrs:    c.NetStoreAddrs,
-		PublishViews:     c.PublishViews,
-		NetStoreReplicas: c.NetStoreReplicas,
-		OnDisk:           c.OnDisk,
-		ProfilesOnDisk:   c.ProfilesOnDisk,
-		ScratchDir:       c.ScratchDir,
-		MemoryBudget:     c.MemoryBudgetBytes,
-		RandomCandidates: c.Exploration,
-		Seed:             c.Seed,
+		K:                  c.K,
+		NumPartitions:      c.Partitions,
+		Workers:            c.Workers,
+		ExecWorkers:        c.ExecWorkers,
+		BuildWorkers:       c.BuildWorkers,
+		Slots:              c.Slots,
+		PrefetchDepth:      c.PrefetchDepth,
+		AsyncWriteback:     c.AsyncWriteback,
+		ShardPrefetch:      c.ShardPrefetch,
+		NetStoreShards:     c.NetStoreShards,
+		NetStoreAddrs:      c.NetStoreAddrs,
+		PublishViews:       c.PublishViews,
+		NetStoreReplicas:   c.NetStoreReplicas,
+		OnDisk:             c.OnDisk,
+		ProfilesOnDisk:     c.ProfilesOnDisk,
+		ScratchDir:         c.ScratchDir,
+		MemoryBudget:       c.MemoryBudgetBytes,
+		RandomCandidates:   c.Exploration,
+		StalenessThreshold: c.StalenessThreshold,
+		Seed:               c.Seed,
 	}
 	if c.PartitionStrategy != "" {
 		p, ok := partition.ByName(c.PartitionStrategy)
@@ -404,6 +413,69 @@ func (s *System) SetProfileItem(u uint32, item uint32, weight float32) {
 func (s *System) RemoveProfileItem(u uint32, item uint32) {
 	s.eng.EnqueueUpdate(profile.Update{User: u, Kind: profile.RemoveItem, Item: item})
 }
+
+// DeltaReport summarizes one ApplyDeltas commit.
+type DeltaReport struct {
+	// Adds is the number of genuinely new users committed.
+	Adds int
+	// Upserts is the number of existing users whose profile was
+	// replaced and neighborhood re-inserted.
+	Upserts int
+	// Deletes is the number of users tombstoned.
+	Deletes int
+	// TouchedUsers counts existing users whose neighbor lists changed.
+	TouchedUsers int
+	// SimEvals is the number of similarity evaluations the commit
+	// spent — the delta path's cost, versus a full iteration's.
+	SimEvals int
+}
+
+// AddUser queues a whole new user (or an upsert of an existing one)
+// for the next ApplyDeltas commit. New users must take the next
+// sequential id; out-of-order adds are held until the gap fills.
+func (s *System) AddUser(u uint32, items []Item) error {
+	entries := make([]profile.Entry, len(items))
+	for i, it := range items {
+		entries[i] = profile.Entry{Item: it.ID, Weight: it.Weight}
+	}
+	vec, err := profile.NewVector(entries)
+	if err != nil {
+		return fmt.Errorf("knnpc: profile of user %d: %w", u, err)
+	}
+	s.eng.EnqueueAddUser(u, vec)
+	return nil
+}
+
+// DeleteUser queues a tombstone for user u; after the next ApplyDeltas
+// commit the user stops being served and is dropped from every
+// neighbor list.
+func (s *System) DeleteUser(u uint32) {
+	s.eng.EnqueueDelUser(u)
+}
+
+// ApplyDeltas folds every queued AddUser/DeleteUser mutation into the
+// committed graph without a full iteration: adds are placed by greedy
+// search plus partition-restricted candidate generation, deletes
+// tombstone. With no queued mutations it is a strict no-op. Run calls
+// this automatically when Config.StalenessThreshold is set.
+func (s *System) ApplyDeltas() (DeltaReport, error) {
+	ds, err := s.eng.ApplyDeltas()
+	if err != nil {
+		return DeltaReport{}, err
+	}
+	return DeltaReport{
+		Adds:         ds.Adds,
+		Upserts:      ds.Upserts,
+		Deletes:      ds.Deletes,
+		TouchedUsers: ds.TouchedUsers,
+		SimEvals:     ds.SimEvals,
+	}, nil
+}
+
+// MaxStaleness reports the worst partition's normalized drift since
+// the last full iteration — what Run compares against
+// Config.StalenessThreshold.
+func (s *System) MaxStaleness() float64 { return s.eng.MaxStaleness() }
 
 // QueryNeighbors answers an online point lookup for user u's committed
 // top-K list, stamped with the epoch (iteration count) it was

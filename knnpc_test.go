@@ -498,3 +498,50 @@ func TestSystemNetworkStore(t *testing.T) {
 		t.Error("NetStoreShards together with NetStoreAddrs accepted")
 	}
 }
+
+func TestSystemDeltas(t *testing.T) {
+	profiles := testProfiles(t, 60)
+	sys, err := New(profiles, Config{K: 4, Partitions: 4, StalenessThreshold: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.Run(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.MaxStaleness(); got != 0 {
+		t.Fatalf("staleness %g right after a full iteration", got)
+	}
+
+	// A whole-user add commits through the delta path and is served.
+	if err := sys.AddUser(60, []Item{{ID: 5, Weight: 2}, {ID: 9, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sys.DeleteUser(3)
+	rep, err := sys.ApplyDeltas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Adds != 1 || rep.Deletes != 1 || rep.SimEvals == 0 {
+		t.Fatalf("delta report = %+v", rep)
+	}
+	if sys.MaxStaleness() <= 0 {
+		t.Fatal("drift not tracked after a delta commit")
+	}
+	ids, _, err := sys.QueryNeighbors(60)
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("added user not served: %v (%v)", ids, err)
+	}
+	if _, _, err := sys.QueryNeighbors(3); err == nil {
+		t.Fatal("deleted user still served")
+	}
+
+	// An invalid profile is rejected at the API boundary, not queued.
+	if err := sys.AddUser(61, []Item{{ID: 1, Weight: 1}, {ID: 1, Weight: 2}}); err == nil {
+		t.Fatal("duplicate items in AddUser accepted")
+	}
+
+	if _, err := New(profiles, Config{K: 4, StalenessThreshold: -1}); err == nil {
+		t.Error("negative staleness threshold accepted")
+	}
+}

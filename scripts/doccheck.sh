@@ -9,6 +9,7 @@ PACKAGES=(
   internal/netstore
   internal/pigraph
   internal/core
+  internal/delta
   internal/tuples
   internal/api
   internal/latency

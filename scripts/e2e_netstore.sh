@@ -8,9 +8,12 @@
 # is active, fire a read-only knnload burst at the replica-backed and
 # primary-only front ends mid-run, push a profile update through
 # POST /v1/profile, and diff the serving run's graph against its own
-# in-process reference. Finally run a write-mixed knnload burst, drain
+# in-process reference. Then run a write-mixed knnload burst, drain
 # the queued updates through one more serving iteration, and assert the
-# pushed profile entry is visible over HTTP.
+# pushed profile entry is visible over HTTP. Finally queue a whole-user
+# add (PUT /v1/profile/{id}) and a delete (DELETE), drain both through
+# a knnrun -staleness delta pass, and assert the added user is served,
+# the deleted user 404s, and /v1/staleness answers.
 # Run via `make e2e-netstore`.
 set -euo pipefail
 
@@ -187,3 +190,34 @@ curl -fsS http://127.0.0.1:7781/v1/profile/0 >"$WORK/profile0.json"
 grep -q '"item":4242' "$WORK/profile0.json" || {
   echo "FAIL: pushed update not visible after drain:"; cat "$WORK/profile0.json"; exit 1; }
 echo "PASS: knnload bursts clean and pushed updates are served after the drain iteration"
+
+# --- Whole-user mutations end to end: PUT/DELETE drain through a delta
+# pass (knnrun -staleness) and the serving tier reflects them ---
+
+echo "== queueing a whole-user add (PUT) and a delete (DELETE) over HTTP"
+curl -fsS -X PUT http://127.0.0.1:7781/v1/profile/600 \
+  -d '{"items":[{"item":7,"weight":2.5},{"item":4242,"weight":1.0}]}' >"$WORK/put.json"
+grep -q '"op":"upsert"' "$WORK/put.json" || { echo "FAIL: PUT not queued:"; cat "$WORK/put.json"; exit 1; }
+curl -fsS -X DELETE http://127.0.0.1:7781/v1/profile/599 >"$WORK/del.json"
+grep -q '"op":"delete"' "$WORK/del.json" || { echo "FAIL: DELETE not queued:"; cat "$WORK/del.json"; exit 1; }
+
+echo "== delta run (knnrun -staleness): drain mutations, then iterate"
+"$WORK/knnrun" -users 600 -items 1500 -k 8 -m 8 -iters 2 -execworkers 2 -prefetch 2 \
+  -writeback -seed 5 -staleness 0.5 \
+  -netstore 127.0.0.1:7761,127.0.0.1:7762 -serveviews >"$WORK/delta.log"
+grep -q "delta: 1 adds, 0 upserts, 1 deletes" "$WORK/delta.log" || {
+  echo "FAIL: delta pass did not commit the queued mutations:"; cat "$WORK/delta.log"; exit 1; }
+
+echo "== added user is served, deleted user is gone"
+curl -fsS http://127.0.0.1:7781/v1/neighbors/600 >"$WORK/added.json"
+grep -q '"neighbors":\[[0-9]' "$WORK/added.json" || {
+  echo "FAIL: added user 600 has no served neighbors:"; cat "$WORK/added.json"; exit 1; }
+DEL_CODE=$(curl -s -o "$WORK/deleted.json" -w '%{http_code}' http://127.0.0.1:7781/v1/profile/599)
+[ "$DEL_CODE" = 404 ] || { echo "FAIL: deleted user 599 still served ($DEL_CODE):"; cat "$WORK/deleted.json"; exit 1; }
+
+echo "== staleness endpoint serves the engine's published drift table"
+curl -fsS http://127.0.0.1:7781/v1/staleness >"$WORK/staleness.json"
+grep -q '"threshold":0.5' "$WORK/staleness.json" || {
+  echo "FAIL: staleness doc missing or wrong threshold:"; cat "$WORK/staleness.json"; exit 1; }
+
+echo "PASS: whole-user add/delete drained through the delta pass and the serving tier reflects them"
