@@ -53,6 +53,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -199,7 +200,14 @@ func run(out io.Writer, cfg config) error {
 		if cfg.staleness > 0 {
 			ds, err := eng.ApplyDeltas()
 			if err != nil {
-				return err
+				// A publish failure happens after the commit already
+				// landed: the pass's work is durable, only the pushed
+				// serve views lag. Warn and keep iterating — the next
+				// committed iteration republishes every view anyway.
+				if !errors.Is(err, core.ErrPublishFailed) {
+					return err
+				}
+				fmt.Fprintf(out, "delta: committed but view publish failed: %v\n", err)
 			}
 			if ds.Adds+ds.Upserts+ds.Deletes > 0 {
 				fmt.Fprintf(out, "delta: %d adds, %d upserts, %d deletes (%d sim evals, %d views republished), max staleness %.3f\n",

@@ -173,6 +173,10 @@ type StalenessResponse struct {
 	// Threshold is the engine's configured staleness threshold; 0
 	// means delta scheduling is disabled.
 	Threshold float64 `json:"threshold"`
+	// Users is the engine's total committed id space (tombstoned ids
+	// included): the next fresh PUT /v1/profile/{id} add takes id
+	// Users, and ids far beyond it are rejected with 422.
+	Users uint64 `json:"users"`
 	// Partitions holds one row per partition, ascending by id.
 	Partitions []PartitionStaleness `json:"partitions"`
 }

@@ -45,6 +45,7 @@ var goldenCases = []struct {
 	{"staleness.json", StalenessResponse{
 		LastFullEpoch: 4,
 		Threshold:     0.25,
+		Users:         150,
 		Partitions: []PartitionStaleness{
 			{Partition: 0, Adds: 3, Deletes: 1, TouchedEdges: 40, Members: 100, Score: 0.08},
 			{Partition: 1, Members: 50},

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -19,10 +20,37 @@ import (
 // counter accumulates the drift each delta commit causes, and Run
 // schedules a real iteration only when the worst partition's normalized
 // drift crosses Options.StalenessThreshold.
+//
+// Mutations are never silently lost: the store-side journals clear the
+// moment they are drained, so every drained-but-uncommitted mutation is
+// parked on the engine's backlog and retried by the next pass — whether
+// it failed to apply or merely arrived ahead of its sequential id. All
+// engine bookkeeping (staleness tracker, delta partition slots) is
+// staged during a pass and lands only inside the commit window, so a
+// failed pass leaves no trace.
+
+// ErrPublishFailed marks an ApplyDeltas pass whose commit landed — the
+// graph, profiles, tombstones and epoch all advanced — but whose
+// post-commit republish of serve views or the staleness document
+// failed. Callers should retry the publish (the next successful commit
+// republishes anyway), not re-apply the mutations: test with
+// errors.Is(err, ErrPublishFailed).
+var ErrPublishFailed = errors.New("core: delta pass committed but post-commit publish failed")
+
+// publishError wraps a post-commit publish failure so callers can
+// distinguish it from a failed commit via errors.Is(err,
+// ErrPublishFailed) while keeping the underlying cause unwrappable.
+type publishError struct{ err error }
+
+func (p *publishError) Error() string        { return ErrPublishFailed.Error() + ": " + p.err.Error() }
+func (p *publishError) Unwrap() error        { return p.err }
+func (p *publishError) Is(target error) bool { return target == ErrPublishFailed }
 
 // DeltaStats reports what one ApplyDeltas pass did.
 type DeltaStats struct {
-	// Adds is the number of new users appended to the graph.
+	// Adds is the number of new users appended to the graph (including
+	// users whose add and delete landed in the same pass — they occupy
+	// their id tombstoned, counting as one add and one delete).
 	Adds int
 	// Upserts is the number of existing users whose profile was
 	// replaced and neighborhood re-inserted (including resurrections
@@ -30,6 +58,13 @@ type DeltaStats struct {
 	Upserts int
 	// Deletes is the number of users tombstoned.
 	Deletes int
+	// Held is the number of adds that arrived ahead of their
+	// sequential id and are parked on the backlog until their
+	// predecessors land; the next pass retries them.
+	Held int
+	// Malformed is the number of remote mutations dropped because
+	// their payload did not decode; retrying cannot fix them.
+	Malformed int
 	// TouchedUsers counts existing users whose neighbor lists the
 	// inserts' refine passes or the deletes' strips changed.
 	TouchedUsers int
@@ -55,33 +90,40 @@ func (e *Engine) EnqueueDelUser(u uint32) {
 	e.deltas.Enqueue(delta.Mutation{Op: delta.Delete, User: u})
 }
 
-// drainMutations collects this pass's work: mutations pushed to the
-// store fleet by serving front ends (ADDUSER/DELUSER, drained in shard
-// order — per-user order is preserved because a user's mutations all
-// journal on the shard user mod N), then this process's own queue.
-func (e *Engine) drainMutations() ([]delta.Mutation, error) {
-	var muts []delta.Mutation
+// drainMutations collects this pass's work: the backlog parked by the
+// previous pass (oldest first, so per-user order holds across passes),
+// then mutations pushed to the store fleet by serving front ends
+// (ADDUSER/DELUSER, drained in shard order — per-user order is
+// preserved because a user's mutations all journal on the shard user
+// mod N), then this process's own queue. Remote payloads that fail to
+// decode are dropped and counted in stats.Malformed — the journaled
+// bytes are immutable, so retrying cannot help. On a transport error
+// the mutations drained so far (whose journals are already cleared)
+// are parked on the backlog before returning, and the local queue is
+// left queued.
+func (e *Engine) drainMutations(stats *DeltaStats) ([]delta.Mutation, error) {
+	muts := e.deltaBacklog
+	e.deltaBacklog = nil
 	if e.netClient != nil {
 		remote, err := e.netClient.DrainMutations()
-		if err != nil {
-			return nil, fmt.Errorf("core: drain remote mutations: %w", err)
-		}
 		for _, m := range remote {
 			switch m.Op {
 			case netstore.MutAdd:
-				vec, rest, err := profile.DecodeVector(m.Profile)
-				if err != nil {
-					return nil, fmt.Errorf("core: decode added user %d profile: %w", m.User, err)
-				}
-				if len(rest) != 0 {
-					return nil, fmt.Errorf("core: added user %d profile has %d trailing bytes", m.User, len(rest))
+				vec, rest, derr := profile.DecodeVector(m.Profile)
+				if derr != nil || len(rest) != 0 {
+					stats.Malformed++
+					continue
 				}
 				muts = append(muts, delta.Mutation{Op: delta.Add, User: m.User, Profile: vec})
 			case netstore.MutDel:
 				muts = append(muts, delta.Mutation{Op: delta.Delete, User: m.User})
 			default:
-				return nil, fmt.Errorf("core: unknown remote mutation op 0x%02x", m.Op)
+				stats.Malformed++
 			}
+		}
+		if err != nil {
+			e.deltaBacklog = muts
+			return nil, fmt.Errorf("core: drain remote mutations: %w", err)
 		}
 	}
 	return append(muts, e.deltas.Drain()...), nil
@@ -102,22 +144,34 @@ func (e *Engine) partitionOfUser(u uint32) int {
 
 // ApplyDeltas drains every queued mutation and folds it into the
 // committed state: one commit window moves the grown graph, the
-// extended profile store, the tombstone set and the epoch together.
-// With nothing queued it is a strict no-op — no commit, no epoch bump,
-// no publishes — so delta-free runs are bit-identical to engines
-// without the delta path. Not safe concurrently with Iterate; Run
-// interleaves them correctly.
+// extended profile store, the tombstone set, the staleness bookkeeping
+// and the epoch together. With nothing queued it is a strict no-op —
+// no commit, no epoch bump, no publishes — so delta-free runs are
+// bit-identical to engines without the delta path. A pass in which
+// nothing lands (every mutation held, malformed, or an idempotent
+// miss) commits nothing either. On error the drained mutations are
+// parked on the backlog and retried by the next pass; a post-commit
+// publish failure returns non-nil stats plus an error satisfying
+// errors.Is(err, ErrPublishFailed). Not safe concurrently with
+// Iterate; Run interleaves them correctly.
 func (e *Engine) ApplyDeltas() (*DeltaStats, error) {
 	if e.closed {
 		return nil, fmt.Errorf("core: engine is closed")
 	}
-	muts, err := e.drainMutations()
+	stats := &DeltaStats{}
+	muts, err := e.drainMutations(stats)
 	if err != nil {
 		return nil, err
 	}
-	stats := &DeltaStats{}
 	if len(muts) == 0 {
 		return stats, nil
+	}
+	// fail parks every drained mutation for the next pass. Staging is
+	// side-effect free, so re-applying the whole batch from scratch is
+	// correct.
+	fail := func(err error) (*DeltaStats, error) {
+		e.deltaBacklog = muts
+		return nil, err
 	}
 
 	// Work on clones; the commit window swaps them in atomically.
@@ -135,20 +189,41 @@ func (e *Engine) ApplyDeltas() (*DeltaStats, error) {
 		}
 		return e.profiles.Profile(v)
 	}
+
+	// Engine bookkeeping is staged here and replayed inside the commit
+	// window, so an aborted pass mutates nothing.
+	type assignOp struct {
+		u uint32
+		p int
+	}
+	type trackOp struct {
+		del      bool
+		p, edges int
+	}
+	var assignOps []assignOp
+	var trackOps []trackOp
+	staged := make(map[uint32]int) // partition slots staged this pass
+	partOf := func(v uint32) int {
+		if p, ok := staged[v]; ok {
+			return p
+		}
+		return e.partitionOfUser(v)
+	}
+
 	cfg := delta.Config{
 		K:    e.opts.K,
 		Sim:  e.opts.Similarity,
 		Dead: func(v uint32) bool { _, ok := dead[v]; return ok },
 	}
 	if e.lastAssign != nil {
-		cfg.PartitionOf = e.partitionOfUser
+		cfg.PartitionOf = partOf
 	}
 
 	var newVecs []profile.Vector               // appended users, in id order
 	var upserts []profile.Update               // ReplaceProfile for existing users
 	pending := make(map[uint32]profile.Vector) // adds that arrived ahead of their id
+	pendingDead := make(map[uint32]bool)       // pending adds whose delete already arrived
 	affected := make(map[int]bool)
-	newAssign := make(map[uint32]int)
 
 	insert := func(u uint32, vec profile.Vector) error {
 		overlay[u] = vec
@@ -159,30 +234,30 @@ func (e *Engine) ApplyDeltas() (*DeltaStats, error) {
 		}
 		stats.SimEvals += res.SimEvals
 		stats.TouchedUsers += len(res.Touched)
-		// The user joins the partition of its nearest accepted
-		// neighbor (the serving tier's locality rule); partition 0
-		// when the pool was empty.
-		p := 0
-		for _, v := range res.Neighbors {
-			if pv := e.partitionOfUser(v); pv >= 0 {
-				p = pv
-				break
+		// The user's own partition when it has one (upsert or
+		// resurrection — its committed view must republish to pick up
+		// the new profile and neighbor list); otherwise the new user
+		// joins the partition of its nearest accepted neighbor (the
+		// serving tier's locality rule), partition 0 when the pool was
+		// empty.
+		p := partOf(u)
+		if p < 0 {
+			p = 0
+			for _, v := range res.Neighbors {
+				if pv := partOf(v); pv >= 0 {
+					p = pv
+					break
+				}
 			}
+			staged[u] = p
+			assignOps = append(assignOps, assignOp{u: u, p: p})
 		}
-		if q, ok := newAssign[u]; ok {
-			p = q // upsert of a user added earlier this pass keeps its slot
-		}
-		e.tracker.RecordAdd(p, len(res.Neighbors)+len(res.Touched))
+		trackOps = append(trackOps, trackOp{p: p, edges: len(res.Neighbors) + len(res.Touched)})
 		affected[p] = true
 		for _, v := range res.Touched {
-			if pv := e.partitionOfUser(v); pv >= 0 {
+			if pv := partOf(v); pv >= 0 {
 				affected[pv] = true
 			}
-		}
-		if _, known := e.deltaAssign[u]; !known && e.partitionOfUser(u) < 0 {
-			newAssign[u] = p
-			e.deltaAssign[u] = p
-			e.deltaMembers[p] = append(e.deltaMembers[p], u)
 		}
 		return nil
 	}
@@ -191,6 +266,17 @@ func (e *Engine) ApplyDeltas() (*DeltaStats, error) {
 		g.Grow(1)
 		newVecs = append(newVecs, vec)
 		stats.Adds++
+		if pendingDead[u] {
+			// The add's delete already arrived: occupy the id — the
+			// sequential space must stay contiguous — but tombstone it
+			// immediately and skip the insertion work. No partition
+			// ever contained the user, so no view changes.
+			delete(pendingDead, u)
+			overlay[u] = vec
+			dead[u] = struct{}{}
+			stats.Deletes++
+			return nil
+		}
 		return insert(u, vec)
 	}
 
@@ -201,7 +287,7 @@ func (e *Engine) ApplyDeltas() (*DeltaStats, error) {
 			switch {
 			case m.User < n:
 				if err := insert(m.User, m.Profile); err != nil {
-					return nil, fmt.Errorf("core: delta upsert user %d: %w", m.User, err)
+					return fail(fmt.Errorf("core: delta upsert user %d: %w", m.User, err))
 				}
 				upserts = append(upserts, profile.Update{
 					User: m.User, Kind: profile.ReplaceProfile, Vector: m.Profile,
@@ -209,7 +295,7 @@ func (e *Engine) ApplyDeltas() (*DeltaStats, error) {
 				stats.Upserts++
 			case m.User == n:
 				if err := appendUser(m.User, m.Profile); err != nil {
-					return nil, fmt.Errorf("core: delta add user %d: %w", m.User, err)
+					return fail(fmt.Errorf("core: delta add user %d: %w", m.User, err))
 				}
 				// Drain any adds that arrived ahead of their id and are
 				// now sequential.
@@ -221,17 +307,24 @@ func (e *Engine) ApplyDeltas() (*DeltaStats, error) {
 					}
 					delete(pending, next)
 					if err := appendUser(next, vec); err != nil {
-						return nil, fmt.Errorf("core: delta add user %d: %w", next, err)
+						return fail(fmt.Errorf("core: delta add user %d: %w", next, err))
 					}
 				}
 			default:
 				// Ahead of the sequence (its predecessors are still in
-				// flight on other shards); hold until they land.
+				// flight on other shards); hold until they land. A
+				// re-add overrides an earlier delete of the held id.
 				pending[m.User] = m.Profile
+				delete(pendingDead, m.User)
 			}
 		case delta.Delete:
 			if _, ok := pending[m.User]; ok {
-				delete(pending, m.User) // cancels the not-yet-landed add
+				// The add has not landed yet. Cancelling it outright
+				// would leave its id permanently unoccupied — every
+				// later sequential add would park behind the gap — so
+				// the add still applies when its predecessors land,
+				// immediately tombstoned.
+				pendingDead[m.User] = true
 				continue
 			}
 			if int(m.User) >= g.NumNodes() {
@@ -242,66 +335,96 @@ func (e *Engine) ApplyDeltas() (*DeltaStats, error) {
 			}
 			touched, err := delta.Remove(g, m.User)
 			if err != nil {
-				return nil, fmt.Errorf("core: delta delete user %d: %w", m.User, err)
+				return fail(fmt.Errorf("core: delta delete user %d: %w", m.User, err))
 			}
 			dead[m.User] = struct{}{}
 			stats.Deletes++
 			stats.TouchedUsers += len(touched)
-			p := e.partitionOfUser(m.User)
-			e.tracker.RecordDelete(p, len(touched))
+			p := partOf(m.User)
+			trackOps = append(trackOps, trackOp{del: true, p: p, edges: len(touched)})
 			if p >= 0 {
 				affected[p] = true
 			}
 			for _, v := range touched {
-				if pv := e.partitionOfUser(v); pv >= 0 {
+				if pv := partOf(v); pv >= 0 {
 					affected[pv] = true
 				}
 			}
 		default:
-			return nil, fmt.Errorf("core: unknown delta op %d", m.Op)
+			return fail(fmt.Errorf("core: unknown delta op %d", m.Op))
 		}
 	}
+
+	// Adds still ahead of the sequence park on the backlog — with their
+	// pending tombstones, preserving per-user order — and retry next
+	// pass, once the in-flight predecessors land.
+	var held []delta.Mutation
 	if len(pending) > 0 {
 		ids := make([]uint32, 0, len(pending))
 		for u := range pending {
 			ids = append(ids, u)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		return nil, fmt.Errorf("core: delta adds %v leave an id gap below %d", ids, g.NumNodes())
+		for _, u := range ids {
+			held = append(held, delta.Mutation{Op: delta.Add, User: u, Profile: pending[u]})
+			if pendingDead[u] {
+				held = append(held, delta.Mutation{Op: delta.Delete, User: u})
+			}
+		}
+		stats.Held = len(ids)
+	}
+	if stats.Adds == 0 && stats.Upserts == 0 && stats.Deletes == 0 {
+		// Nothing landed: no commit, no epoch bump, no publishes.
+		e.deltaBacklog = held
+		return stats, nil
 	}
 
-	// Commit window: profile growth, upserts, graph swap, tombstones
-	// and the epoch move together under the query boundary, exactly
-	// like Iterate's phase-5 commit.
+	// Commit window: profile growth, upserts, graph swap, tombstones,
+	// the staged bookkeeping and the epoch move together under the
+	// query boundary, exactly like Iterate's phase-5 commit.
 	e.serveMu.Lock()
 	if err := e.profiles.Extend(newVecs); err != nil {
 		e.serveMu.Unlock()
-		return nil, fmt.Errorf("core: extend profiles: %w", err)
+		return fail(fmt.Errorf("core: extend profiles: %w", err))
 	}
 	if len(upserts) > 0 {
 		if _, err := e.profiles.Apply(upserts); err != nil {
 			e.serveMu.Unlock()
-			return nil, fmt.Errorf("core: apply delta upserts: %w", err)
+			return fail(fmt.Errorf("core: apply delta upserts: %w", err))
 		}
 	}
 	e.g = g
 	e.dead = dead
+	for _, op := range assignOps {
+		e.deltaAssign[op.u] = op.p
+		e.deltaMembers[op.p] = append(e.deltaMembers[op.p], op.u)
+	}
+	for _, op := range trackOps {
+		if op.del {
+			e.tracker.RecordDelete(op.p, op.edges)
+		} else {
+			e.tracker.RecordAdd(op.p, op.edges)
+		}
+	}
 	e.epoch++
 	e.serveMu.Unlock()
+	e.deltaBacklog = held
 
 	// Republish only the affected partitions' serve views, then the
 	// staleness document. putDeltaView bumps each partition's store
-	// epoch so replicas re-pull without a full base install.
+	// epoch so replicas re-pull without a full base install. From here
+	// on the commit is durable: failures wrap ErrPublishFailed and do
+	// NOT requeue the mutations.
 	if e.opts.PublishViews && e.netClient != nil {
 		n, err := e.publishDeltaViews(affected)
 		if err != nil {
-			return nil, fmt.Errorf("core: republish delta views: %w", err)
+			return stats, &publishError{err: fmt.Errorf("republish delta views: %w", err)}
 		}
 		stats.Republished = n
 	}
 	if e.netClient != nil {
 		if err := e.publishStaleness(); err != nil {
-			return nil, fmt.Errorf("core: publish staleness: %w", err)
+			return stats, &publishError{err: fmt.Errorf("publish staleness: %w", err)}
 		}
 	}
 	return stats, nil
@@ -363,6 +486,7 @@ func (e *Engine) stalenessDoc() netstore.StalenessDoc {
 	doc := netstore.StalenessDoc{
 		LastFullEpoch: e.tracker.LastFullEpoch(),
 		Threshold:     e.opts.StalenessThreshold,
+		Users:         uint64(e.g.NumNodes()),
 		Partitions:    make([]netstore.PartitionStaleness, 0, len(snap)),
 	}
 	for p, c := range snap {

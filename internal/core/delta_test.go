@@ -298,7 +298,8 @@ func TestDeltaStalenessScheduling(t *testing.T) {
 
 // TestDeltaAddOrdering: adds may arrive ahead of their sequential id
 // (they journal on different store shards); ApplyDeltas holds them
-// until their predecessors land, and rejects a genuine gap.
+// across passes until their predecessors land, keeping the id space
+// contiguous even when a delete races an add that has not landed yet.
 func TestDeltaAddOrdering(t *testing.T) {
 	store := testStore(t, 40, 31)
 	n := uint32(store.NumUsers())
@@ -325,20 +326,50 @@ func TestDeltaAddOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A delete can cancel an add that has not landed yet.
-	eng.EnqueueAddUser(n+3, vec)
+	// A delete can race an add that has not landed yet: both are held
+	// (nothing commits) and the id stays reserved, so the space never
+	// develops a permanent hole.
+	eng.EnqueueAddUser(n+3, vec) // ahead: n+2 has not arrived
 	eng.EnqueueDelUser(n + 3)
+	epoch := eng.Epoch()
 	if ds, err = eng.ApplyDeltas(); err != nil {
 		t.Fatal(err)
 	}
-	if ds.Adds != 0 || ds.Deletes != 0 {
-		t.Fatalf("cancelled add reported %+v", ds)
+	if ds.Adds != 0 || ds.Deletes != 0 || ds.Held != 1 {
+		t.Fatalf("racing add+delete reported %+v, want held", ds)
+	}
+	if eng.Epoch() != epoch {
+		t.Fatal("held-only pass committed an epoch")
 	}
 
-	// A genuine gap is an error.
-	eng.EnqueueAddUser(n+5, vec)
-	if _, err := eng.ApplyDeltas(); err == nil || !strings.Contains(err.Error(), "gap") {
-		t.Fatalf("gap not rejected: %v", err)
+	// When the predecessor lands, the held pair applies in order: n+2
+	// joins the graph live, n+3 takes its id and is tombstoned at once.
+	eng.EnqueueAddUser(n+2, vec)
+	if ds, err = eng.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Adds != 2 || ds.Deletes != 1 || ds.Held != 0 {
+		t.Fatalf("predecessor arrival reported %+v, want 2 adds / 1 delete", ds)
+	}
+	if _, _, err := eng.QueryNeighbors(n + 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.QueryNeighbors(n + 3); err == nil {
+		t.Fatal("tombstoned user n+3 still answers lookups")
+	}
+
+	// A genuine gap is not fatal — the add just stays held until its
+	// predecessors arrive (or forever, if they never do).
+	eng.EnqueueAddUser(n+6, vec) // next sequential id is n+4
+	epoch = eng.Epoch()
+	if ds, err = eng.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Adds != 0 || ds.Held != 1 {
+		t.Fatalf("gapped add reported %+v, want held", ds)
+	}
+	if eng.Epoch() != epoch {
+		t.Fatal("gapped add committed an epoch")
 	}
 
 	// An upsert replaces an existing user's profile and neighborhood.

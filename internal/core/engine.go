@@ -289,7 +289,10 @@ type Engine struct {
 	// the per-partition drift counters; lastAssign/lastParts the
 	// partitioning of the last full iteration, which delta inserts
 	// restrict their candidate pools to; deltaAssign/deltaMembers the
-	// partition slots of users added since.
+	// partition slots of users added since; deltaBacklog the drained-
+	// but-uncommitted mutations a failed or incomplete ApplyDeltas
+	// pass parked for retry (store journals clear on drain, so this is
+	// their only home).
 	deltas       *delta.Queue
 	dead         map[uint32]struct{}
 	tracker      *delta.Tracker
@@ -297,6 +300,7 @@ type Engine struct {
 	lastParts    []*partition.Data
 	deltaAssign  map[uint32]int
 	deltaMembers map[int][]uint32
+	deltaBacklog []delta.Mutation
 }
 
 // New creates an engine over the given profiles. G(0) is a random

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -375,6 +376,9 @@ func TestDeltaViewsRepublished(t *testing.T) {
 	if adds != 1 || deletes != 1 {
 		t.Fatalf("staleness rows count %d adds / %d deletes, want 1/1", adds, deletes)
 	}
+	if doc.Users != uint64(users+1) {
+		t.Fatalf("staleness doc advertises %d users, want %d", doc.Users, users+1)
+	}
 
 	// A full iteration resets the published document.
 	if _, err := eng.Iterate(context.Background()); err != nil {
@@ -388,5 +392,121 @@ func TestDeltaViewsRepublished(t *testing.T) {
 		if p.Adds != 0 || p.Deletes != 0 || p.Score != 0 {
 			t.Fatalf("staleness not reset after full iteration: %+v", p)
 		}
+	}
+
+	// An upsert of an existing user must republish the user's OWN
+	// committed partition (not just its neighbors'): the fresh profile
+	// is served from primaries and replicas, and the staleness row
+	// attributes the churn to that partition.
+	const target = 7
+	vec2, err := profile.NewVector([]profile.Entry{{Item: 9, Weight: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := front.AddUser(target, vec2.AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	ds, err = eng.ApplyDeltas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Upserts != 1 || ds.Republished == 0 {
+		t.Fatalf("upsert pass reported %+v", ds)
+	}
+	own := eng.partitionOfUser(target)
+	if own < 0 {
+		t.Fatalf("upserted user %d has no committed partition", target)
+	}
+	doc, ok, err = front.Staleness()
+	if err != nil || !ok {
+		t.Fatalf("staleness doc missing after upsert: ok=%v err=%v", ok, err)
+	}
+	var row *netstore.PartitionStaleness
+	for i := range doc.Partitions {
+		if doc.Partitions[i].Partition == uint32(own) {
+			row = &doc.Partitions[i]
+		}
+	}
+	if row == nil || row.Adds != 1 {
+		t.Fatalf("upsert churn not attributed to own partition %d: %+v", own, doc.Partitions)
+	}
+	want := vec2.AppendBinary(nil)
+	for _, tc := range []struct {
+		name  string
+		addrs []string
+	}{
+		{"primary", eng.StoreAddrs()},
+		{"replica", eng.ReplicaAddrs()},
+	} {
+		client, err := netstore.Dial(tc.addrs, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		_, blob, err := client.ProfileBytes(target)
+		if err != nil {
+			t.Fatalf("%s: upserted profile not served: %v", tc.name, err)
+		}
+		if !bytes.Equal(blob, want) {
+			t.Fatalf("%s: serves a stale profile for upserted user %d", tc.name, target)
+		}
+	}
+}
+
+// TestDeltaMalformedPayloadSkipped: a front end can journal arbitrary
+// bytes as an ADDUSER payload (the PUT path accepts the body with a
+// 202 before the engine ever sees it). An undecodable payload must not
+// wedge the delta path — it is dropped and counted, and every
+// well-formed mutation in the same drain still lands.
+func TestDeltaMalformedPayloadSkipped(t *testing.T) {
+	const users = 60
+	store := testStore(t, users, 9)
+	eng, err := New(store, Options{
+		K: 4, NumPartitions: 3, NetStoreShards: 2,
+		PublishViews: true, Seed: 5, StalenessThreshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Iterate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	front, err := netstore.Dial(eng.StoreAddrs(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	if err := front.AddUser(users, []byte{0xff, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	vec, err := profile.NewVector([]profile.Entry{{Item: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := front.AddUser(users, vec.AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := eng.ApplyDeltas()
+	if err != nil {
+		t.Fatalf("malformed payload wedged the pass: %v", err)
+	}
+	if ds.Malformed != 1 || ds.Adds != 1 {
+		t.Fatalf("pass reported %+v, want 1 malformed / 1 add", ds)
+	}
+	if _, _, err := eng.QueryNeighbors(users); err != nil {
+		t.Fatalf("well-formed add did not land: %v", err)
+	}
+
+	// The dropped payload is gone for good: the next pass is a strict
+	// no-op, not a retry loop.
+	ds, err = eng.ApplyDeltas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *ds != (DeltaStats{}) {
+		t.Fatalf("follow-up pass reported %+v, want all-zero", ds)
 	}
 }

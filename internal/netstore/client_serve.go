@@ -242,25 +242,28 @@ func (c *Client) DelUser(u uint32) error {
 
 // DrainMutations collects and clears every shard's pending mutation
 // queue, in shard order then arrival order — per-user order holds
-// because a user's mutations all journal on its owning shard.
+// because a user's mutations all journal on its owning shard. A drain
+// clears each shard's journal as it answers, so on error the mutations
+// collected so far are returned alongside it — the caller must keep
+// them (the engine parks them on its backlog) or they are lost.
 func (c *Client) DrainMutations() ([]Mutation, error) {
 	var all []Mutation
 	for s, sc := range c.shards {
 		body, err := sc.roundTrip([]byte{opDrainMut})
 		if err != nil {
-			return nil, fmt.Errorf("netstore: drain mutations from shard %d: %w", s, err)
+			return all, fmt.Errorf("netstore: drain mutations from shard %d: %w", s, err)
 		}
 		for len(body) > 0 {
 			size, rest, err := cutU32(body)
 			if err != nil {
-				return nil, err
+				return all, err
 			}
 			if uint64(size) > uint64(len(rest)) {
-				return nil, fmt.Errorf("netstore: drained mutation batch claims %d bytes over %d", size, len(rest))
+				return all, fmt.Errorf("netstore: drained mutation batch claims %d bytes over %d", size, len(rest))
 			}
 			batch, err := DecodeMutations(rest[:size])
 			if err != nil {
-				return nil, err
+				return all, err
 			}
 			all = append(all, batch...)
 			body = rest[size:]

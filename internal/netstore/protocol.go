@@ -511,17 +511,24 @@ type StalenessDoc struct {
 	// Threshold is the configured staleness threshold (0 = delta
 	// scheduling disabled; every Run pass iterates fully).
 	Threshold float64
+	// Users is the total committed id space — every id ever assigned,
+	// tombstoned ones included — so the next fresh add takes id Users.
+	// Serving front ends use it to reject obviously out-of-range
+	// mutation ids before they reach a journal.
+	Users uint64
 	// Partitions holds one row per partition, in ascending id order.
 	Partitions []PartitionStaleness
 }
 
 // EncodeStaleness serializes a staleness document for putStale:
-// last-full epoch u64, threshold float64 bits u64, row count u32, then
-// per row partition u32 and five u64 fields (score as float64 bits).
+// last-full epoch u64, threshold float64 bits u64, user count u64, row
+// count u32, then per row partition u32 and five u64 fields (score as
+// float64 bits).
 func EncodeStaleness(doc StalenessDoc) []byte {
-	buf := make([]byte, 0, 8+8+4+44*len(doc.Partitions))
+	buf := make([]byte, 0, 8+8+8+4+44*len(doc.Partitions))
 	buf = appendU64(buf, doc.LastFullEpoch)
 	buf = appendU64(buf, math.Float64bits(doc.Threshold))
+	buf = appendU64(buf, doc.Users)
 	buf = appendU32(buf, uint32(len(doc.Partitions)))
 	for _, p := range doc.Partitions {
 		buf = appendU32(buf, p.Partition)
@@ -546,6 +553,9 @@ func DecodeStaleness(blob []byte) (StalenessDoc, error) {
 		return doc, err
 	}
 	doc.Threshold = math.Float64frombits(bits)
+	if doc.Users, blob, err = cutU64(blob); err != nil {
+		return doc, err
+	}
 	count, blob, err := cutU32(blob)
 	if err != nil {
 		return doc, err

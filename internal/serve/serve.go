@@ -240,6 +240,14 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	s.update.observe(start, http.StatusAccepted)
 }
 
+// maxIDAhead bounds how far beyond the engine's published id space an
+// upserted user id may run. New ids must be sequential, so a PUT this
+// far ahead can never land — without the bound it would be 202-accepted
+// into a store journal and then parked forever on the engine's backlog
+// waiting for predecessors that do not exist. The slack absorbs adds
+// accepted since the engine last published its staleness document.
+const maxIDAhead = 1 << 16
+
 func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	u, ok := userParam(w, r, &s.upsert, start)
@@ -249,6 +257,18 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	fail := func(code int, msg string) {
 		writeError(w, code, msg)
 		s.upsert.observe(start, code)
+	}
+	// Reject obviously out-of-range ids while the engine's published
+	// id space is known. A staleness fetch failure (or no document
+	// yet) skips the check — the engine tolerates out-of-range ids by
+	// holding them, this is just the cheap front-line filter.
+	if doc, published, err := s.writers.Staleness(); err == nil && published {
+		if uint64(u) >= doc.Users+maxIDAhead {
+			fail(http.StatusUnprocessableEntity, fmt.Sprintf(
+				"user id %d is beyond the %d-user id space (ids below %d accepted; new ids must be sequential)",
+				u, doc.Users, doc.Users+maxIDAhead))
+			return
+		}
 	}
 	var body api.UpsertRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
@@ -303,6 +323,7 @@ func (s *Server) handleStaleness(w http.ResponseWriter, r *http.Request) {
 	resp := api.StalenessResponse{
 		LastFullEpoch: doc.LastFullEpoch,
 		Threshold:     doc.Threshold,
+		Users:         doc.Users,
 		Partitions:    make([]api.PartitionStaleness, 0, len(doc.Partitions)),
 	}
 	for _, p := range doc.Partitions {

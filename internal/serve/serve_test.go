@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -275,6 +276,7 @@ func TestMutationEndpoints(t *testing.T) {
 	doc := netstore.StalenessDoc{
 		LastFullEpoch: 4,
 		Threshold:     0.25,
+		Users:         150,
 		Partitions: []netstore.PartitionStaleness{
 			{Partition: 0, Adds: 3, Deletes: 1, TouchedEdges: 40, Members: 100, Score: 0.08},
 			{Partition: 1, Members: 50},
@@ -285,15 +287,28 @@ func TestMutationEndpoints(t *testing.T) {
 	}
 	var st api.StalenessResponse
 	get(t, h, api.PathStaleness, http.StatusOK, &st)
-	if st.LastFullEpoch != 4 || st.Threshold != 0.25 || len(st.Partitions) != 2 {
+	if st.LastFullEpoch != 4 || st.Threshold != 0.25 || st.Users != 150 || len(st.Partitions) != 2 {
 		t.Fatalf("staleness = %+v", st)
 	}
 	if st.Partitions[0] != (api.PartitionStaleness{Partition: 0, Adds: 3, Deletes: 1, TouchedEdges: 40, Members: 100, Score: 0.08}) {
 		t.Fatalf("staleness row 0 = %+v", st.Partitions[0])
 	}
 
+	// With a published id space, an upsert id absurdly far beyond it is
+	// rejected up front (422) — new ids must be sequential, so it could
+	// never land and would otherwise clog the engine's backlog forever.
+	// The last id inside the slack window is still accepted.
+	far := fmt.Sprintf("/v1/profile/%d", 150+(1<<16))
+	if rec := do("PUT", far, `{"items":[{"item":1,"weight":1}]}`); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("far-future id = %d (%s), want 422", rec.Code, rec.Body.String())
+	}
+	edge := fmt.Sprintf("/v1/profile/%d", 150+(1<<16)-1)
+	if rec := do("PUT", edge, `{"items":[{"item":1,"weight":1}]}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("in-window id = %d (%s), want 202", rec.Code, rec.Body.String())
+	}
+
 	stats := srv.Stats()
-	if row := stats.Endpoints[api.EndpointUpsert]; row.Requests != 3 || row.Errors != 2 {
+	if row := stats.Endpoints[api.EndpointUpsert]; row.Requests != 5 || row.Errors != 3 {
 		t.Fatalf("upsert row = %+v", row)
 	}
 	if row := stats.Endpoints[api.EndpointDelete]; row.Requests != 1 || row.Errors != 0 {

@@ -414,6 +414,12 @@ func (s *System) RemoveProfileItem(u uint32, item uint32) {
 	s.eng.EnqueueUpdate(profile.Update{User: u, Kind: profile.RemoveItem, Item: item})
 }
 
+// ErrPublishFailed marks an ApplyDeltas pass whose commit landed but
+// whose post-commit republish of serve views or the staleness document
+// failed; the committed state is intact and the next successful commit
+// republishes. Test with errors.Is.
+var ErrPublishFailed = core.ErrPublishFailed
+
 // DeltaReport summarizes one ApplyDeltas commit.
 type DeltaReport struct {
 	// Adds is the number of genuinely new users committed.
@@ -423,6 +429,10 @@ type DeltaReport struct {
 	Upserts int
 	// Deletes is the number of users tombstoned.
 	Deletes int
+	// Held is the number of adds that arrived ahead of their
+	// sequential id and were parked for the next ApplyDeltas pass,
+	// waiting for their predecessors to land.
+	Held int
 	// TouchedUsers counts existing users whose neighbor lists changed.
 	TouchedUsers int
 	// SimEvals is the number of similarity evaluations the commit
@@ -460,16 +470,19 @@ func (s *System) DeleteUser(u uint32) {
 // this automatically when Config.StalenessThreshold is set.
 func (s *System) ApplyDeltas() (DeltaReport, error) {
 	ds, err := s.eng.ApplyDeltas()
-	if err != nil {
+	if ds == nil {
 		return DeltaReport{}, err
 	}
+	// A non-nil report alongside an error means ErrPublishFailed: the
+	// commit landed, only the republish is outstanding.
 	return DeltaReport{
 		Adds:         ds.Adds,
 		Upserts:      ds.Upserts,
 		Deletes:      ds.Deletes,
+		Held:         ds.Held,
 		TouchedUsers: ds.TouchedUsers,
 		SimEvals:     ds.SimEvals,
-	}, nil
+	}, err
 }
 
 // MaxStaleness reports the worst partition's normalized drift since
