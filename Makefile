@@ -17,7 +17,7 @@ STATICCHECK_VERSION ?= 2025.1
 # Pinned govulncheck release for the advisory CI job.
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race race-phase4 bench bench-json bench-compare e2e-netstore fmt vet staticcheck lint vulncheck docs ci
+.PHONY: all build test race race-phase4 bench bench-json bench-compare e2e-netstore e2e-chaos fmt vet staticcheck lint vulncheck docs ci
 
 all: build
 
@@ -46,6 +46,14 @@ race-phase4:
 # the same preset topology, and diffs the emitted graphs byte for byte.
 e2e-netstore:
 	./scripts/e2e_netstore.sh
+
+# End-to-end proof of the robustness stack: a run against shards under
+# a seeded -faults plan must emit a byte-identical graph (and the plan
+# digest must reproduce across boots), and a run that loses a shard to
+# SIGKILL mid-iteration must heal through snapshot+journal recovery and
+# still match the fault-free reference byte for byte.
+e2e-chaos:
+	./scripts/e2e_chaos.sh
 
 # Every benchmark at the pinned $(BENCHTIME) — by default one pass, a
 # smoke run proving the harness works; override BENCHTIME for numbers.
@@ -79,7 +87,7 @@ staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # knnlint: the repository's own static-analysis suite (internal/lint,
-# driven by cmd/knnlint) — five analyzers enforcing the determinism,
+# driven by cmd/knnlint) — six analyzers enforcing the determinism,
 # locking, and protocol invariants documented in docs/LINTING.md. Needs
 # only the Go toolchain, so it runs everywhere, offline included.
 lint:
@@ -99,4 +107,4 @@ docs:
 	./scripts/doccheck.sh
 	./scripts/check_flags.sh
 
-ci: build fmt vet staticcheck lint race race-phase4 e2e-netstore docs bench
+ci: build fmt vet staticcheck lint race race-phase4 e2e-netstore e2e-chaos docs bench

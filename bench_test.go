@@ -14,6 +14,7 @@ package knnpc
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/http/httptest"
 	"sort"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"knnpc/internal/core"
 	"knnpc/internal/dataset"
 	"knnpc/internal/disk"
+	"knnpc/internal/fault"
 	"knnpc/internal/load"
 	"knnpc/internal/netstore"
 	"knnpc/internal/nndescent"
@@ -678,9 +680,14 @@ func BenchmarkServeUnderPhase4(b *testing.B) {
 // ("primary"), from the replica tier ("replicas"), and via the store
 // protocol with no HTTP in the path ("direct"). All rungs replay the
 // identical op sequence, so the deltas isolate the read tier and the
-// front end's overhead. Reported metrics are the merged read p50/p99
-// (worse of neighbors/profile, matching knnload's table) and the
-// serviced-op count.
+// front end's overhead. The "faults" rung repeats the replica-tier
+// shape with every replica listener wrapped in a seeded delay+drop
+// plan: reads must keep flowing through the client retry ladder and
+// the front end's primary fallback — a wedged front end shows up as a
+// starved op count — with the surviving error rate reported and
+// bounded. Reported metrics are the merged read p50/p99 (worse of
+// neighbors/profile, matching knnload's table) and the serviced-op
+// count.
 func BenchmarkServeUnderLoad(b *testing.B) {
 	const users = 2000
 	plan, err := load.BuildPlan(load.PlanConfig{
@@ -695,10 +702,12 @@ func BenchmarkServeUnderLoad(b *testing.B) {
 		name     string
 		replicas bool // read tier
 		direct   bool // skip HTTP, drive the store protocol
+		faults   bool // seeded chaos on the replica listeners
 	}{
-		{"primary", false, false},
-		{"replicas", true, false},
-		{"direct", true, true},
+		{"primary", false, false, false},
+		{"replicas", true, false, false},
+		{"direct", true, true, false},
+		{"faults", true, false, true},
 	} {
 		b.Run(v.name, func(b *testing.B) {
 			store := benchStore(b, users)
@@ -712,7 +721,7 @@ func BenchmarkServeUnderLoad(b *testing.B) {
 				AsyncWriteback:   true,
 				NetStoreShards:   2,
 				PublishViews:     true,
-				NetStoreReplicas: v.replicas,
+				NetStoreReplicas: v.replicas && !v.faults,
 				OnDisk:           true,
 				EmulateDisk:      &disk.HDD,
 				ScratchDir:       b.TempDir(),
@@ -727,9 +736,36 @@ func BenchmarkServeUnderLoad(b *testing.B) {
 			if _, err := eng.Iterate(context.Background()); err != nil {
 				b.Fatal(err)
 			}
+			replicaAddrs := eng.ReplicaAddrs()
+			if v.faults {
+				// The faults rung hosts its own replica tier so the
+				// listeners can be wrapped in the seeded plan — the
+				// same seam cmd/statestore -faults uses.
+				fp, err := fault.NewPlan(fault.PlanConfig{
+					Seed:      7,
+					DropRate:  0.02,
+					DelayRate: 0.1, MaxDelay: 2 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reps, err := netstore.StartReplicasOpts(
+					[]string{"127.0.0.1:0", "127.0.0.1:0"},
+					eng.StoreAddrs(), 8, nil,
+					netstore.ReplicaSetOptions{
+						WrapListener: func(shard int, ln net.Listener) net.Listener {
+							return fp.Listener(ln)
+						},
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer reps.Close()
+				replicaAddrs = reps.Addrs()
+			}
 			readAddrs := eng.StoreAddrs()
 			if v.replicas {
-				readAddrs = eng.ReplicaAddrs()
+				readAddrs = replicaAddrs
 			}
 			var target load.Target
 			if v.direct {
@@ -740,7 +776,7 @@ func BenchmarkServeUnderLoad(b *testing.B) {
 			} else {
 				srv, err := serve.New(serve.Config{
 					Primaries:  eng.StoreAddrs(),
-					Replicas:   eng.ReplicaAddrs(),
+					Replicas:   replicaAddrs,
 					Partitions: 8,
 				})
 				if err != nil {
@@ -782,7 +818,17 @@ func BenchmarkServeUnderLoad(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if n := res.Errors(); n > 0 {
+				if v.faults {
+					// Drops that defeat both the client's per-op retry
+					// ladder and the front end's primary fallback
+					// surface as errors. Bounded, not zero: past 5% of
+					// the serviced ops the chaos is no longer being
+					// absorbed and the rung fails.
+					if n, ops := res.Errors(), res.Ops(); n > ops/20 {
+						b.Fatalf("%d errors over %d ops under the seeded fault plan (first: %s)",
+							n, ops, res.Kinds[0].FirstError)
+					}
+				} else if n := res.Errors(); n > 0 {
 					b.Fatalf("%d protocol errors (first: %s)", n, res.Kinds[0].FirstError)
 				}
 			}
@@ -797,6 +843,9 @@ func BenchmarkServeUnderLoad(b *testing.B) {
 			p99 := max(res.Kinds[load.Neighbors].P99, res.Kinds[load.Profile].P99)
 			b.ReportMetric(float64(res.Ops()), "load-ops")
 			b.ReportMetric(float64(res.Misses()), "misses")
+			if v.faults {
+				b.ReportMetric(float64(res.Errors()), "load-errors")
+			}
 			b.ReportMetric(float64(p50.Microseconds())/1000, "read-p50-ms")
 			b.ReportMetric(float64(p99.Microseconds())/1000, "read-p99-ms")
 		})

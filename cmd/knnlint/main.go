@@ -1,5 +1,5 @@
 // Command knnlint runs the repository's custom static-analysis suite
-// (internal/lint): five analyzers that mechanically enforce the
+// (internal/lint): six analyzers that mechanically enforce the
 // determinism, locking, and protocol invariants the reproduction's
 // correctness claims rest on. It is the multichecker `make lint` and
 // CI invoke.

@@ -42,6 +42,14 @@
 //	             runs the full five-phase iteration only while some
 //	             partition's drift score is ≥ this value (0 = always
 //	             iterate, the classic schedule)
+//	-iterretries retry a transiently failed iteration up to this many
+//	             times (network store runs). A failed iteration aborts
+//	             before its commit, so the retry re-runs it from the
+//	             same committed state deterministically — this is the
+//	             operator-level ladder above the client's per-op
+//	             retries and the engine's phase-4 heal loop, and it
+//	             rides out a shard crash+restart mid-run (0 = fail
+//	             fast, the default)
 //	-dumpgraph   write the final KNN graph to this file, one sorted
 //	             neighbor line per user — deterministic, so two runs
 //	             (e.g. in-process vs -netstore) can be diffed byte for byte
@@ -60,6 +68,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"knnpc/internal/core"
 	"knnpc/internal/dataset"
@@ -67,6 +76,7 @@ import (
 	"knnpc/internal/exact"
 	"knnpc/internal/graph"
 	"knnpc/internal/knn"
+	"knnpc/internal/netstore"
 	"knnpc/internal/partition"
 	"knnpc/internal/pigraph"
 	"knnpc/internal/profile"
@@ -90,6 +100,7 @@ type config struct {
 	netstore                           string
 	serveViews                         bool
 	staleness                          float64
+	iterRetries                        int
 	dumpGraph                          string
 	onDisk, profilesOnDisk, recall     bool
 	scratch                            string
@@ -119,6 +130,7 @@ func parseFlags(args []string) config {
 	fs.StringVar(&cfg.netstore, "netstore", "", `sharded network state store: "shards=N" (loopback cluster) or a comma-separated statestore address list (empty = in-process store)`)
 	fs.BoolVar(&cfg.serveViews, "serveviews", false, "publish serve views to the network store after each iteration (requires -netstore)")
 	fs.Float64Var(&cfg.staleness, "staleness", 0, "drain add/delete deltas each pass and run a full iteration only at drift ≥ this score (0 = always iterate)")
+	fs.IntVar(&cfg.iterRetries, "iterretries", 0, "retry a transiently failed iteration up to this many times (network store runs; 0 = fail fast)")
 	fs.StringVar(&cfg.dumpGraph, "dumpgraph", "", "write the final KNN graph to this file (deterministic text, diffable across runs)")
 	fs.BoolVar(&cfg.profilesOnDisk, "profilesondisk", false, "keep the canonical profile collection on disk too")
 	fs.BoolVar(&cfg.recall, "recall", false, "also compute exact KNN and report recall (O(n²))")
@@ -219,9 +231,26 @@ func run(out io.Writer, cfg config) error {
 				break
 			}
 		}
-		st, err := eng.Iterate(context.Background())
-		if err != nil {
-			return err
+		// A transiently failed iteration aborts before its commit
+		// window, so re-running it from the same committed state is
+		// deterministic — the healed trajectory matches a fault-free
+		// run bit for bit. -iterretries is the operator-level ladder
+		// above the client's per-op retries and the engine's phase-4
+		// heal loop: it covers the exchanges those deliberately do not
+		// retry (phase-5 drains) and outages longer than their budgets.
+		var st *core.IterationStats
+		var err error
+		for attempt := 0; ; attempt++ {
+			st, err = eng.Iterate(context.Background())
+			if err == nil {
+				break
+			}
+			if attempt >= cfg.iterRetries || !netstore.IsTransient(err) {
+				return err
+			}
+			fmt.Fprintf(out, "iteration %d failed transiently (attempt %d/%d, retrying): %v\n",
+				i, attempt+1, cfg.iterRetries, err)
+			time.Sleep(time.Duration(attempt+1) * 200 * time.Millisecond)
 		}
 		fmt.Fprintf(out, "%4d  %12v  %14v  %10v  %13v  %11v  %5d  %10d  %8d  %d\n",
 			st.Iteration, st.Phases.Partition, st.Phases.Tuples, st.Phases.PIGraph,

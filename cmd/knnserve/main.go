@@ -21,6 +21,9 @@
 //	-replicas   comma-separated replica addresses (statestore
 //	            -replicaof); when set, lookups are served from here
 //	-partitions the engine's partition count m (must match the cluster)
+//	-maxinflight when positive, bound on concurrently served requests;
+//	            excess requests are shed with 503 + Retry-After
+//	            (/healthz and /v1/stats are exempt)
 //
 // Endpoints (JSON shapes are internal/api's v1 types, pinned by golden
 // tests; see docs/PROTOCOL.md):
@@ -32,7 +35,9 @@
 //	GET  /v1/stats           api.StatsResponse: per-endpoint counts and
 //	                         p50/p90/p95/p99 from log-scale histograms
 //	GET  /stats              deprecated alias of /v1/stats
-//	GET  /healthz            "ok" once both stores answer
+//	GET  /healthz            per-tier reachability: "ok"/"degraded"
+//	                         (200 while anything can be served) or
+//	                         "unreachable" (503)
 //
 // Answers carry the epoch (committed engine iteration) they reflect;
 // a 404 means the user is not in any published view yet.
@@ -80,6 +85,7 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	store := fs.String("store", "", "comma-separated primary statestore addresses, in shard order")
 	replicas := fs.String("replicas", "", "comma-separated replica addresses; lookups served from here when set")
 	partitions := fs.Int("partitions", 8, "engine partition count m")
+	maxInflight := fs.Int("maxinflight", 0, "bound on concurrently served requests; excess shed with 503 + Retry-After (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,9 +93,10 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 		return errors.New("-store is required")
 	}
 	srv, err := serve.New(serve.Config{
-		Primaries:  splitList(*store),
-		Replicas:   splitList(*replicas),
-		Partitions: *partitions,
+		Primaries:   splitList(*store),
+		Replicas:    splitList(*replicas),
+		Partitions:  *partitions,
+		MaxInflight: *maxInflight,
 	})
 	if err != nil {
 		return err

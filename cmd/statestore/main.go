@@ -23,23 +23,38 @@
 //	-partitions the engine's partition count m (must match the client)
 //	-emulate    per-shard emulated device model: "hdd", "ssd", "nvme"
 //	            ("" = serve at host speed)
+//	-datadir    root durability directory; each shard persists a
+//	            snapshot+journal pair under <datadir>/shard<i> and
+//	            recovers it on restart (see docs/PROTOCOL.md)
+//	-shard      cluster-wide index of the first listed address — set
+//	            with -shards when this process hosts a slice of a
+//	            larger cluster, so one shard can restart alone
+//	-shards     cluster-wide shard count (0 = the -listen list is the
+//	            whole cluster)
+//	-faults     seeded fault-injection spec, e.g.
+//	            "seed=42,drop=0.01,delay=0.05,maxdelay=5ms,torn=0.005";
+//	            see internal/fault.ParseSpec for every key
 //
 // The process prints one "shard i/N partitions [lo,hi) listening on
-// addr" line per shard (replicas print "replica" instead of "shard")
-// and a final "ready" line once every listener is bound, then serves
-// until SIGINT/SIGTERM.
+// addr" line per shard (replicas print "replica" instead of "shard"),
+// with -faults a "fault plan ... digest ..." line pinning the decision
+// stream (same seed ⇒ same digest ⇒ same fault sequence), and a final
+// "ready" line once every listener is bound, then serves until
+// SIGINT/SIGTERM.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"knnpc/internal/disk"
+	"knnpc/internal/fault"
 	"knnpc/internal/netstore"
 )
 
@@ -70,6 +85,10 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	replicaOf := fs.String("replicaof", "", "comma-separated primary addresses; serve read replicas of them instead of primary shards")
 	partitions := fs.Int("partitions", 8, "engine partition count m")
 	emulate := fs.String("emulate", "", "emulated device model per shard: hdd, ssd, nvme (empty = host speed)")
+	dataDir := fs.String("datadir", "", "durability root; shard i persists snapshot+journal under <datadir>/shard<i> and recovers on restart")
+	shard := fs.Int("shard", 0, "cluster-wide index of the first listed address (use with -shards to host a slice of a larger cluster)")
+	shards := fs.Int("shards", 0, "cluster-wide shard count (0 = the -listen list is the whole cluster)")
+	faults := fs.String("faults", "", `seeded fault-injection spec, e.g. "seed=42,drop=0.01,delay=0.05,maxdelay=5ms" (empty = no faults)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,13 +100,35 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
+	var plan *fault.Plan
+	if *faults != "" {
+		if plan, err = fault.ParseSpec(*faults); err != nil {
+			return err
+		}
+		// The digest pins the decision streams: two runs printing the
+		// same digest inject the same fault sequence, which is what
+		// makes a chaos failure replayable from its seed alone.
+		fmt.Fprintf(out, "statestore: fault plan %q digest %s\n", *faults, plan.Digest(8, 64))
+	}
+
+	wrap := func(shard int, ln net.Listener) net.Listener { return ln }
+	if plan != nil {
+		wrap = func(shard int, ln net.Listener) net.Listener { return plan.Listener(ln) }
+	}
 
 	if *replicaOf != "" {
+		if *dataDir != "" {
+			return fmt.Errorf("-datadir applies to primary shards only (replicas rebuild their cache from the primary)")
+		}
 		primaries, err := splitAddrs("-replicaof", *replicaOf)
 		if err != nil {
 			return err
 		}
-		set, err := netstore.StartReplicasAt(addrs, primaries, *partitions, model)
+		var ropts netstore.ReplicaSetOptions
+		if plan != nil {
+			ropts.WrapListener = wrap
+		}
+		set, err := netstore.StartReplicasOpts(addrs, primaries, *partitions, model, ropts)
 		if err != nil {
 			return err
 		}
@@ -102,14 +143,27 @@ func run(out io.Writer, args []string, stop <-chan struct{}) error {
 		return nil
 	}
 
-	cluster, err := netstore.StartClusterAt(addrs, *partitions, model)
+	opts := netstore.ClusterOptions{
+		FirstShard:  *shard,
+		TotalShards: *shards,
+		DataDir:     *dataDir,
+	}
+	if plan != nil {
+		opts.WrapListener = wrap
+		opts.DiskHook = plan.DiskHook
+	}
+	cluster, err := netstore.StartClusterOpts(addrs, *partitions, model, opts)
 	if err != nil {
 		return err
 	}
 	defer cluster.Close()
+	total := *shards
+	if total == 0 {
+		total = len(addrs)
+	}
 	for i, srv := range cluster.Servers() {
 		lo, hi := srv.Range()
-		fmt.Fprintf(out, "statestore: shard %d/%d partitions [%d,%d) listening on %s\n", i, len(addrs), lo, hi, srv.Addr())
+		fmt.Fprintf(out, "statestore: shard %d/%d partitions [%d,%d) listening on %s\n", *shard+i, total, lo, hi, srv.Addr())
 	}
 	fmt.Fprintln(out, "statestore: ready")
 	<-stop

@@ -36,9 +36,13 @@ const (
 	// of PathStats. New scrapers should use PathStats; this alias can
 	// disappear in a future major version.
 	PathStatsDeprecated = "/stats"
-	// PathHealth is GET /healthz → plain-text "ok" once the server's
-	// store tiers answer. It is deliberately not JSON: load balancers
-	// and shell scripts probe it.
+	// PathHealth is GET /healthz → plain text, one status word on the
+	// first line ("ok" when both store tiers answer, "degraded" when
+	// exactly one does) followed by one "read <tier>: ..."/"write
+	// primaries: ..." reachability line per tier. The HTTP status is
+	// 200 while the front end can still serve anything and 503 only
+	// when both tiers are unreachable. It is deliberately not JSON:
+	// load balancers and shell scripts probe it.
 	PathHealth = "/healthz"
 )
 
@@ -241,6 +245,14 @@ type StatsResponse struct {
 	// UpdatesQueued counts individual profile updates accepted since
 	// process start.
 	UpdatesQueued uint64 `json:"updates_queued"`
+	// ReadFallbacks counts lookups the replica tier failed transiently
+	// and the primaries answered instead — degraded-mode serving.
+	// Always 0 when ReadTier is "primaries" (there is nothing to fall
+	// back to).
+	ReadFallbacks uint64 `json:"read_fallbacks"`
+	// Shed counts requests refused with 503 + Retry-After because the
+	// server was at its configured in-flight limit.
+	Shed uint64 `json:"shed"`
 	// Endpoints maps the Endpoint* names (neighbors, profile, update,
 	// upsert, delete, staleness) to their counters.
 	Endpoints map[string]EndpointStats `json:"endpoints"`

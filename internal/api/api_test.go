@@ -56,6 +56,8 @@ var goldenCases = []struct {
 		Version:       Version,
 		ReadTier:      "replicas",
 		UpdatesQueued: 12,
+		ReadFallbacks: 4,
+		Shed:          9,
 		Endpoints: map[string]EndpointStats{
 			EndpointNeighbors: {Requests: 100, Errors: 1, Misses: 2,
 				P50Ms: 0.25, P90Ms: 0.75, P95Ms: 1.5, P99Ms: 3},

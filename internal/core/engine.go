@@ -164,6 +164,18 @@ type Options struct {
 	// NetStoreShards and PublishViews; with an external cluster
 	// (NetStoreAddrs), run `cmd/statestore -replicaof` instead.
 	NetStoreReplicas bool
+	// StoreRetries bounds how many times one Iterate re-runs phase 4
+	// after a transient store failure (shard restart, dropped
+	// connection, injected fault) before giving up. Each retry issues
+	// RESET to every shard — dropping all partials and leases, keeping
+	// bases — and re-executes the tape from phase 1's installed bases,
+	// so a healed attempt produces exactly the graph a fault-free run
+	// would. Meaningful only with a network store; 0 defaults to 3.
+	StoreRetries int
+	// StoreRetryBackoff is the pause before each phase-4 re-run
+	// (doubled per retry, jitter-free — determinism of the result does
+	// not depend on timing). 0 defaults to 250ms.
+	StoreRetryBackoff time.Duration
 	// OnDisk selects real file-backed partition state and tuple
 	// spills under ScratchDir; false keeps serialized state in memory
 	// (same code paths, no file traffic). With a network store
@@ -244,6 +256,12 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Slots == 0 {
 		o.Slots = 2
+	}
+	if o.StoreRetries == 0 {
+		o.StoreRetries = 3
+	}
+	if o.StoreRetryBackoff == 0 {
+		o.StoreRetryBackoff = 250 * time.Millisecond
 	}
 }
 
@@ -575,86 +593,115 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 		return nil, fmt.Errorf("core: canceled after phase 1: %w", err)
 	}
 
-	// Phase 2: populate the hash table H — bridge tuples, the direct
-	// edges of G(t), and the exploration stream — from concurrent
-	// producers on the same pool, emitting in batches.
-	start = time.Now()
-	table, err := e.newTable(assign)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 2 (hash table): %w", err)
-	}
-	defer table.Close()
-	// Tombstoned users neither emit nor receive candidates: the filter
-	// drops their tuples at the table door. Installed only when there
-	// are tombstones, so deletion-free runs keep the exact pre-filter
-	// add path.
-	if len(e.dead) > 0 {
-		if tf, ok := table.(tuples.TombstoneFilter); ok {
-			dead := e.dead
-			tf.SetTombstones(func(u uint32) bool { _, ok := dead[u]; return ok })
+	// Phases 2–4 run as one heal-and-retry unit. A transient store
+	// failure (shard crash/restart, dropped connection, injected
+	// fault) or a stale lease — the signature of a restart that wiped
+	// the lease table — does not invalidate phase 1's installed bases,
+	// but it does invalidate the tuple table: phase-4 scoring consumes
+	// each tuple shard exactly once (DiskTable.Shard drains and
+	// deletes the spill file), so a partially executed tape cannot be
+	// replayed over the same table — re-running it would score only
+	// the shards the failed attempt had not yet consumed. The retry
+	// therefore rebuilds from phase 2: the tuple multiset is a pure
+	// function of (G(t), assign, seed, iteration), so the rebuilt
+	// shards, PI graph, and op tape are identical; RESET drops every
+	// shard's partials (including any a zombie worker landed after the
+	// abort) and the accumulators rebuild from the same empty
+	// baseline, so a healed attempt's graph is byte-identical to a
+	// fault-free run's.
+	var table tuples.Table
+	defer func() {
+		if table != nil {
+			table.Close()
 		}
-	}
-	if err := e.populateTable(ctx, dg, parts, table); err != nil {
-		return nil, fmt.Errorf("core: phase 2 (populate H): %w", err)
-	}
-	stats.TuplesAdded = table.Added()
-	stats.Phases.Tuples = time.Since(start)
+	}()
+	var shared *phase4Shared
+	var result pigraph.Result
+	var perWorker []pigraph.Result
+	var prefetcher tuples.ShardPrefetcher
+	for attempt := 0; ; attempt++ {
+		// Phase 2: populate the hash table H — bridge tuples, the
+		// direct edges of G(t), and the exploration stream — from
+		// concurrent producers on the same pool, emitting in batches.
+		start = time.Now()
+		var err error
+		table, err = e.newTable(assign)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 2 (hash table): %w", err)
+		}
+		// Tombstoned users neither emit nor receive candidates: the
+		// filter drops their tuples at the table door. Installed only
+		// when there are tombstones, so deletion-free runs keep the
+		// exact pre-filter add path.
+		if len(e.dead) > 0 {
+			if tf, ok := table.(tuples.TombstoneFilter); ok {
+				dead := e.dead
+				tf.SetTombstones(func(u uint32) bool { _, ok := dead[u]; return ok })
+			}
+		}
+		if err := e.populateTable(ctx, dg, parts, table); err != nil {
+			return nil, fmt.Errorf("core: phase 2 (populate H): %w", err)
+		}
+		stats.TuplesAdded = table.Added()
+		stats.Phases.Tuples += time.Since(start)
 
-	// Phase 3: PI graph and traversal plan.
-	start = time.Now()
-	pi, err := pigraph.FromTupleCounts(e.opts.NumPartitions, table.ShardCounts())
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 3 (PI graph): %w", err)
-	}
-	stats.PIEdges = pi.NumEdges()
-	schedule := e.opts.Heuristic.Plan(pi)
-	execOpts := pigraph.ExecOptions{
-		Slots:         e.opts.Slots,
-		PrefetchDepth: e.opts.PrefetchDepth,
-		ShardAhead:    e.opts.ShardPrefetch,
-		Workers:       e.opts.ExecWorkers,
-	}
-	if e.opts.AsyncWriteback {
-		// The in-flight write bound mirrors the load lookahead, so the
-		// two pipeline directions stay symmetric.
-		execOpts.WritebackDepth = max(1, e.opts.PrefetchDepth)
-	}
-	predicted, err := schedule.SimulateOpts(execOpts)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 3 (simulate): %w", err)
-	}
-	stats.PredictedLoads, stats.PredictedUnloads = predicted.Loads, predicted.Unloads
-	stats.Phases.PIGraph = time.Since(start)
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: canceled after phase 3: %w", err)
-	}
+		// Phase 3: PI graph and traversal plan.
+		start = time.Now()
+		pi, err := pigraph.FromTupleCounts(e.opts.NumPartitions, table.ShardCounts())
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 3 (PI graph): %w", err)
+		}
+		stats.PIEdges = pi.NumEdges()
+		schedule := e.opts.Heuristic.Plan(pi)
+		execOpts := pigraph.ExecOptions{
+			Slots:         e.opts.Slots,
+			PrefetchDepth: e.opts.PrefetchDepth,
+			ShardAhead:    e.opts.ShardPrefetch,
+			Workers:       e.opts.ExecWorkers,
+		}
+		if e.opts.AsyncWriteback {
+			// The in-flight write bound mirrors the load lookahead, so
+			// the two pipeline directions stay symmetric.
+			execOpts.WritebackDepth = max(1, e.opts.PrefetchDepth)
+		}
+		predicted, err := schedule.SimulateOpts(execOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 3 (simulate): %w", err)
+		}
+		stats.PredictedLoads, stats.PredictedUnloads = predicted.Loads, predicted.Unloads
+		stats.Phases.PIGraph += time.Since(start)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: canceled after phase 3: %w", err)
+		}
 
-	// Phase 4: execute the schedule under the S-slot memory model —
-	// sharded across ExecWorkers tape segments — scoring shards and
-	// folding results into the owning partitions' accumulators through
-	// the per-partition ownership layer. Each worker's executor
-	// overlaps up to three I/O streams with its scoring cursor:
-	// PrefetchDepth upcoming partition fetches, AsyncWriteback's
-	// bounded background write-backs, and ShardPrefetch tuple-shard
-	// reads.
-	start = time.Now()
-	runCtx, cancelRun := context.WithCancel(ctx)
-	defer cancelRun()
-	shared := &phase4Shared{
-		engine: e,
-		assign: assign,
-		owner:  e.newOwner(states),
-		table:  table,
-		ctx:    runCtx,
-		cancel: cancelRun,
-	}
-	prefetcher, _ := table.(tuples.ShardPrefetcher)
-	shared.shards = prefetcher
-	result, perWorker, err := schedule.ExecuteParallel(shared.workerCallbacks, execOpts)
-	if err != nil {
+		// Phase 4: execute the schedule under the S-slot memory model —
+		// sharded across ExecWorkers tape segments — scoring shards and
+		// folding results into the owning partitions' accumulators
+		// through the per-partition ownership layer. Each worker's
+		// executor overlaps up to three I/O streams with its scoring
+		// cursor: PrefetchDepth upcoming partition fetches,
+		// AsyncWriteback's bounded background write-backs, and
+		// ShardPrefetch tuple-shard reads.
+		start = time.Now()
+		prefetcher, _ = table.(tuples.ShardPrefetcher)
+		runCtx, cancelRun := context.WithCancel(ctx)
+		shared = &phase4Shared{
+			engine: e,
+			assign: assign,
+			owner:  e.newOwner(states),
+			table:  table,
+			ctx:    runCtx,
+			cancel: cancelRun,
+		}
+		shared.shards = prefetcher
+		result, perWorker, err = schedule.ExecuteParallel(shared.workerCallbacks, execOpts)
+		cancelRun()
+		if err == nil {
+			break
+		}
 		// Workers that aborted mid-tape still hold references to their
 		// resident partitions; return that staged memory to the budget
-		// (the next Iterate rebuilds all state from phase 1).
+		// (the next attempt rebuilds all state from the store).
 		shared.owner.abort()
 		// Prefer the first real callback error over the executor's view:
 		// sibling workers cancelled by it report a secondary
@@ -662,7 +709,22 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 		if first := shared.firstErr(); first != nil {
 			err = first
 		}
-		return nil, fmt.Errorf("core: phase 4 (KNN computation): %w", err)
+		if e.netClient == nil || attempt >= e.opts.StoreRetries || !storeTransient(err) || ctx.Err() != nil {
+			return nil, fmt.Errorf("core: phase 4 (KNN computation): %w", err)
+		}
+		// The partially consumed table cannot be re-run; drop it and
+		// rebuild it from scratch after the barrier.
+		table.Close()
+		table = nil
+		if rerr := e.netClient.Reset(); rerr != nil {
+			return nil, fmt.Errorf("core: phase 4 reset after %v: %w", err, rerr)
+		}
+		wait := e.opts.StoreRetryBackoff << attempt
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("core: phase 4 (KNN computation): %w", err)
+		case <-time.After(wait):
+		}
 	}
 	stats.Loads, stats.Unloads = result.Loads, result.Unloads
 	stats.PrefetchedLoads = result.PrefetchedLoads
@@ -684,21 +746,37 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 			stats.Loads, stats.Unloads, stats.PredictedLoads, stats.PredictedUnloads)
 	}
 
-	// Assemble G(t+1) from the persisted accumulators.
-	next, err := graph.NewKNN(e.profiles.NumUsers(), e.opts.K)
-	if err != nil {
-		return nil, err
-	}
-	err = states.Collect(func(st *partState) error {
-		for _, u := range st.members {
-			if err := next.Set(u, st.accs[u].IDs()); err != nil {
-				return err
-			}
+	// Assemble G(t+1) from the persisted accumulators. A COLLECT stream
+	// that dies mid-flight is not resumed (the client contract — see
+	// Client.Collect), so a transient store failure restarts the
+	// assembly from scratch with a fresh graph; partials are immutable
+	// once phase 4 succeeds, so every attempt reads the same state.
+	var next *graph.KNN
+	for attempt := 0; ; attempt++ {
+		var err error
+		next, err = graph.NewKNN(e.profiles.NumUsers(), e.opts.K)
+		if err != nil {
+			return nil, err
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 4 (collect): %w", err)
+		err = states.Collect(func(st *partState) error {
+			for _, u := range st.members {
+				if err := next.Set(u, st.accs[u].IDs()); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			break
+		}
+		if e.netClient == nil || attempt >= e.opts.StoreRetries || !storeTransient(err) || ctx.Err() != nil {
+			return nil, fmt.Errorf("core: phase 4 (collect): %w", err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("core: phase 4 (collect): %w", err)
+		case <-time.After(e.opts.StoreRetryBackoff << attempt):
+		}
 	}
 	stats.EdgeChanges = e.g.DiffEdges(next)
 	stats.Phases.Score = time.Since(start)
@@ -707,18 +785,20 @@ func (e *Engine) Iterate(ctx context.Context) (*IterationStats, error) {
 	// store client) pushed since the last iteration, ahead of this
 	// process's own queue. Both streams preserve per-user order; cross-
 	// stream order between a remote and a local update is unspecified,
-	// like any two concurrent EnqueueUpdate calls.
+	// like any two concurrent EnqueueUpdate calls. The remote drain
+	// runs first: it is the one exchange that can fail, and failing
+	// before the local Drain means an aborted iteration loses nothing —
+	// locally enqueued updates are still queued when the caller retries.
 	start = time.Now()
-	updates := e.queue.Drain()
+	var updates []profile.Update
 	if e.netClient != nil {
 		remote, err := e.netClient.DrainUpdates()
 		if err != nil {
 			return nil, fmt.Errorf("core: phase 5 (drain remote updates): %w", err)
 		}
-		if len(remote) > 0 {
-			updates = append(remote, updates...)
-		}
+		updates = remote
 	}
+	updates = append(updates, e.queue.Drain()...)
 
 	// Commit window: swap in G(t+1) and apply phase 5, P(t) → P(t+1),
 	// under the write side of the query boundary. Queries block only

@@ -1,12 +1,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"knnpc/internal/disk"
 	"knnpc/internal/netstore"
 )
+
+// storeTransient reports whether err is a store failure phase 4 can
+// heal by resetting and re-running: a transport-classified transient
+// (dropped connection, timeout, injected fault, RETRY response), or a
+// stale lease — the signature of a shard restart that wiped the lease
+// table out from under a live worker.
+func storeTransient(err error) bool {
+	return netstore.IsTransient(err) || errors.Is(err, netstore.ErrStaleLease)
+}
 
 // netOwner is the lease-client ownership layer of network-store
 // phase 4 — the in-process partOwner's guards replaced by store-side
@@ -115,7 +125,11 @@ func (o *netOwner) release(worker int, id uint32, writeBack bool) error {
 	if err := o.client.PutPartial(id, l.token, blob); err != nil {
 		return fmt.Errorf("core: write back partition %d partial: %w", id, err)
 	}
-	if err := o.client.Release(id, l.token); err != nil {
+	// A stale answer here is the release succeeding twice: RELEASE is
+	// retried on dropped connections, and a retry whose first send
+	// landed finds the token already gone. The partial above was
+	// admitted under the live token, so the write-back is complete.
+	if err := o.client.Release(id, l.token); err != nil && !errors.Is(err, netstore.ErrStaleLease) {
 		return fmt.Errorf("core: release lease of partition %d: %w", id, err)
 	}
 	o.stats.AddWrite(int64(len(blob)))

@@ -27,6 +27,12 @@ type Device struct {
 	debt    time.Duration
 	modeled time.Duration // total duration ever charged
 	slept   time.Duration // total wall time actually slept
+
+	// The fault hook lives under its own lock so installing or
+	// consulting it never queues behind the spindle mutex (whose
+	// critical section includes the modeled sleep). See fault.go.
+	hookMu sync.Mutex
+	hook   FaultHook
 }
 
 // NewDevice returns an emulated device for the model. A nil receiver is

@@ -1,0 +1,74 @@
+package disk
+
+import (
+	"time"
+)
+
+// AccessKind names the device access class a fault hook is consulted
+// for — the same three classes the cost model prices.
+type AccessKind uint8
+
+const (
+	// AccessRead is a random read.
+	AccessRead AccessKind = iota
+	// AccessWrite is a random write.
+	AccessWrite
+	// AccessAppend is a sequential journal append.
+	AccessAppend
+)
+
+// String names the access kind for diagnostics.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessAppend:
+		return "append"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultHook decides one access's injected faults: an extra stall
+// (beyond the modeled time) and/or a transient error. Hooks must be
+// safe for concurrent use; internal/fault derives deterministic seeded
+// hooks, but any function of this shape plugs in.
+type FaultHook func(kind AccessKind, n int64) (time.Duration, error)
+
+// SetFaultHook installs (or, with nil, removes) the device's fault
+// hook. Safe to call on a nil device (no-op) and concurrently with
+// accesses.
+func (d *Device) SetFaultHook(h FaultHook) {
+	if d == nil {
+		return
+	}
+	d.hookMu.Lock()
+	d.hook = h
+	d.hookMu.Unlock()
+}
+
+// Fault consults the device's fault hook for one prospective access,
+// sleeping any injected stall and returning any injected error. The
+// stall is injected chaos, not modeled device time — it bypasses the
+// debt accounting on purpose, so the modeled == slept + debt invariant
+// and every Table 1 measurement stay exact under fault injection.
+// Callers gate the access on the returned error before charging the
+// device. A nil device or absent hook injects nothing.
+func (d *Device) Fault(kind AccessKind, n int64) error {
+	if d == nil {
+		return nil
+	}
+	d.hookMu.Lock()
+	h := d.hook
+	d.hookMu.Unlock()
+	if h == nil {
+		return nil
+	}
+	delay, err := h(kind, n)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}

@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Listener wraps ln so every accepted connection carries the plan's
+// schedule for its accept index: connection 0 gets Conn(0)'s stream,
+// and so on. Accept order is the only nondeterminism — the stream each
+// slot replays is fixed by the seed.
+func (p *Plan) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, plan: p}
+}
+
+type faultListener struct {
+	net.Listener
+	plan *Plan
+	next atomic.Int64
+}
+
+// Accept wraps the next connection with its accept-indexed schedule.
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	idx := int(l.next.Add(1) - 1)
+	return &Conn{Conn: c, sched: l.plan.Conn(idx), index: idx}, nil
+}
+
+// Conn is a fault-injecting net.Conn. Every Read and Write first draws
+// a decision from the connection's schedule: an injected delay stalls
+// the I/O, a drop closes the underlying connection and fails the call,
+// and a torn write delivers only a prefix before closing — the peer
+// sees a truncated frame, exactly the shape a mid-write crash leaves.
+// Deadlines pass through to the wrapped connection, so a peer that
+// armed one still observes it across injected stalls that outlast it.
+type Conn struct {
+	net.Conn
+	sched *Schedule
+	index int
+}
+
+// Index reports the connection's accept index — the schedule it replays.
+func (c *Conn) Index() int { return c.index }
+
+// Read draws the connection's next read decision, then reads.
+func (c *Conn) Read(b []byte) (int, error) {
+	d := c.sched.Next(OpRead)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Drop {
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: conn %d read %d dropped", ErrInjected, c.index, c.sched.IO())
+	}
+	return c.Conn.Read(b)
+}
+
+// Write draws the connection's next write decision, then writes.
+func (c *Conn) Write(b []byte) (int, error) {
+	d := c.sched.Next(OpWrite)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Drop {
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: conn %d write %d dropped", ErrInjected, c.index, c.sched.IO())
+	}
+	if d.Torn && len(b) > 1 {
+		n, _ := c.Conn.Write(b[:len(b)/2])
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: conn %d write %d torn after %d of %d bytes", ErrInjected, c.index, c.sched.IO(), n, len(b))
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec builds a plan from a compact flag-friendly spec: a
+// comma-separated key=value list, e.g.
+//
+//	seed=42,drop=0.01,delay=0.05,maxdelay=5ms,torn=0.005
+//
+// Keys (all optional; omitted keys stay zero, i.e. inject nothing):
+//
+//	seed         int64   decision-stream seed
+//	drop         float   per-I/O connection drop probability
+//	delay        float   per-I/O connection stall probability
+//	maxdelay     dur     stall bound (required with delay>0)
+//	torn         float   per-write torn-frame probability
+//	diskerr      float   per-access device error probability
+//	diskdelay    float   per-access device stall probability
+//	maxdiskdelay dur     device stall bound (required with diskdelay>0)
+//
+// The empty string is rejected — callers gate on flag presence, so an
+// empty spec reaching here is a harness bug, not a no-fault plan.
+func ParseSpec(spec string) (*Plan, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("fault: empty spec")
+	}
+	var cfg PlanConfig
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: spec entry %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "drop":
+			cfg.DropRate, err = strconv.ParseFloat(v, 64)
+		case "delay":
+			cfg.DelayRate, err = strconv.ParseFloat(v, 64)
+		case "maxdelay":
+			cfg.MaxDelay, err = time.ParseDuration(v)
+		case "torn":
+			cfg.TornRate, err = strconv.ParseFloat(v, 64)
+		case "diskerr":
+			cfg.DiskErrRate, err = strconv.ParseFloat(v, 64)
+		case "diskdelay":
+			cfg.DiskDelayRate, err = strconv.ParseFloat(v, 64)
+		case "maxdiskdelay":
+			cfg.MaxDiskDelay, err = time.ParseDuration(v)
+		default:
+			return nil, fmt.Errorf("fault: unknown spec key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: spec %s=%q: %v", k, v, err)
+		}
+	}
+	return NewPlan(cfg)
+}

@@ -7,6 +7,7 @@ func All() []*Analyzer {
 		Ctxloop,
 		Locksleep,
 		Maporder,
+		Netdeadline,
 		Wireswitch,
 	}
 }

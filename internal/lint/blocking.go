@@ -30,6 +30,8 @@ func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 		switch name {
 		case "Read", "Write", "Append":
 			return "(*disk.Device)." + name + " sleeps the emulated spindle", true
+		case "Fault":
+			return "(*disk.Device).Fault sleeps any injected stall", true
 		}
 	}
 	// Store clients: every method is at least one network round-trip.

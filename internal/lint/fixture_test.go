@@ -145,6 +145,11 @@ func TestBudgetpairFixtures(t *testing.T) {
 	runFixture(t, Budgetpair, "budgetpair_clean")
 }
 
+func TestNetdeadlineFixtures(t *testing.T) {
+	runFixture(t, Netdeadline, "netdeadline")
+	runFixture(t, Netdeadline, "netdeadline_clean")
+}
+
 // TestIgnoreDirectives exercises the suppression machinery end to
 // end: both directive placements silence their finding, a directive
 // naming the wrong analyzer does not, and a reason-less directive
@@ -196,6 +201,7 @@ func TestParallelDriverDeterministic(t *testing.T) {
 		"wireswitch", "wireswitch_clean",
 		"ctxloop", "ctxloop_clean",
 		"budgetpair", "budgetpair_clean",
+		"netdeadline", "netdeadline_clean",
 		"ignoredirective",
 	}
 	patterns := make([]string, len(dirs))

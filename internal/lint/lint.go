@@ -17,6 +17,9 @@
 //   - budgetpair: staged acquires (Budget.Reserve, Client.Lease) are
 //     released on every return path within the function that also
 //     releases them (the PR 3 budget-leak shape)
+//   - netdeadline: owned-conn network I/O arms a deadline in the same
+//     function, so a dead peer cannot park a client path forever (the
+//     hang the PR 10 fault-injection suite reproduces)
 //
 // The suite is self-hosted on the standard library only: packages are
 // type-checked offline through `go list -export` plus the gc export

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Netdeadline enforces bounded network waits on the store's client
+// paths: a function doing I/O on a connection it owns — reading or
+// writing it directly, or handing it to a frame helper as a plain
+// io.Reader/io.Writer (where the deadline surface is gone) — must arm
+// SetDeadline (or the read/write variants) in that same function.
+// Without it, a dead or stalled peer parks the caller forever, which
+// is exactly the hang the PR 10 fault-injection suite reproduces.
+//
+// Two shapes are exempt by design. A connection received as a
+// parameter belongs to the caller's deadline policy — the server's
+// per-conn loops deliberately wait unbounded for the next request. And
+// methods of conn-shaped types (fault-injection wrappers embedding
+// net.Conn) are the connection, not a user of it.
+var Netdeadline = &Analyzer{
+	Name: "netdeadline",
+	Doc: "flags functions that perform network I/O on a conn they own (field or local, not a " +
+		"parameter) without arming SetDeadline/SetReadDeadline/SetWriteDeadline in the same " +
+		"function — an unbounded wait on a dead peer; conn parameters and conn-wrapper methods " +
+		"are exempt",
+	Match: pathMatcher(
+		netstorePath,
+		"knnpc/internal/fault",
+	),
+	Run: runNetdeadline,
+}
+
+// deadlineMethods are the calls that satisfy the invariant.
+var deadlineMethods = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// connIOMethods are the direct conn operations that block on the peer.
+var connIOMethods = map[string]bool{
+	"Read":     true,
+	"Write":    true,
+	"ReadFrom": true,
+	"WriteTo":  true,
+}
+
+func runNetdeadline(pass *Pass) error {
+	for _, file := range pass.Files {
+		// Parameters are collected file-wide: Go scoping already
+		// guarantees a bare identifier can only resolve to a parameter
+		// of a lexically enclosing function, so a closure inheriting its
+		// parent handler's conn parameter inherits the exemption too.
+		params := make(map[types.Object]bool)
+		for _, scope := range funcScopes(file) {
+			addParamObjs(pass.Info, scope, params)
+		}
+		for _, scope := range funcScopes(file) {
+			body := funcBody(scope)
+			if body == nil {
+				continue
+			}
+			if connWrapperMethod(pass.Info, scope) {
+				continue
+			}
+			if armsDeadline(pass.Info, body) {
+				continue
+			}
+			walkShallow(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				connExpr, desc := connIOSite(pass.Info, call)
+				if connExpr == nil || isParamIdent(pass.Info, connExpr, params) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "%s, but this function never arms a deadline: a dead peer stalls this path forever; call SetDeadline/SetReadDeadline/SetWriteDeadline before the I/O, or accept the conn as a parameter so the caller's deadline policy governs it",
+					desc)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// connIOSite reports whether call is network I/O on a conn-shaped
+// value: a direct Read/Write/ReadFrom/WriteTo method call on one, or a
+// call passing one where a non-conn parameter (io.Reader, io.Writer)
+// is expected — the decay after which no callee can arm a deadline.
+func connIOSite(info *types.Info, call *ast.CallExpr) (ast.Expr, string) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && connIOMethods[sel.Sel.Name] {
+		if exprConnShaped(info, sel.X) {
+			return sel.X, "direct conn ." + sel.Sel.Name
+		}
+	}
+	sig := calleeSignature(info, call)
+	if sig == nil {
+		return nil, ""
+	}
+	for i, arg := range call.Args {
+		if !exprConnShaped(info, arg) {
+			continue
+		}
+		pt := paramTypeAt(sig, i)
+		if pt == nil || connShaped(pt) {
+			// The conn keeps its deadline surface across the call;
+			// the callee (checked on its own) owns the decision.
+			continue
+		}
+		return arg, "a conn decays to a plain stream here"
+	}
+	return nil, ""
+}
+
+// calleeSignature resolves the called function's signature (nil for
+// builtins and type conversions).
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// paramTypeAt maps an argument index onto its parameter type,
+// flattening the variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		t := sig.Params().At(n - 1).Type()
+		if s, ok := t.Underlying().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return t
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// exprConnShaped reports whether an expression's static type is
+// conn-shaped.
+func exprConnShaped(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Type != nil && connShaped(tv.Type)
+}
+
+// connShaped reports whether t carries both SetDeadline and RemoteAddr
+// — the net.Conn surface. The RemoteAddr half keeps deadline-capable
+// non-network types (*os.File) out of the net rule.
+func connShaped(t types.Type) bool {
+	return hasMethod(t, "SetDeadline") && hasMethod(t, "RemoteAddr")
+}
+
+// hasMethod reports whether t (or *t) has a method named name.
+func hasMethod(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	fn, ok := obj.(*types.Func)
+	return ok && fn != nil
+}
+
+// connWrapperMethod reports whether scope is a method whose receiver
+// is itself conn-shaped — a net.Conn implementation forwarding to the
+// wrapped conn.
+func connWrapperMethod(info *types.Info, scope ast.Node) bool {
+	decl, ok := scope.(*ast.FuncDecl)
+	if !ok || decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return false
+	}
+	fn, ok := info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return connShaped(sig.Recv().Type())
+}
+
+// armsDeadline reports whether the body (nested literals excluded)
+// calls any Set*Deadline method.
+func armsDeadline(info *types.Info, body ast.Node) bool {
+	armed := false
+	walkShallow(body, func(n ast.Node) bool {
+		if armed {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && deadlineMethods[sel.Sel.Name] {
+			armed = true
+			return false
+		}
+		return true
+	})
+	return armed
+}
+
+// addParamObjs collects the objects bound to a function scope's
+// parameters (receiver included) into set.
+func addParamObjs(info *types.Info, scope ast.Node, set map[types.Object]bool) {
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					set[obj] = true
+				}
+			}
+		}
+	}
+	switch fn := scope.(type) {
+	case *ast.FuncDecl:
+		addFields(fn.Recv)
+		addFields(fn.Type.Params)
+	case *ast.FuncLit:
+		addFields(fn.Type.Params)
+	}
+}
+
+// isParamIdent reports whether expr is a bare identifier bound to one
+// of the function's parameters. A field selector (sc.conn) never is —
+// owning the struct means owning the deadline policy.
+func isParamIdent(info *types.Info, expr ast.Expr, params map[types.Object]bool) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return params[info.Uses[id]]
+}

@@ -1,0 +1,65 @@
+// Package netdeadline seeds violations for the netdeadline analyzer:
+// owned-conn I/O with no deadline armed in the performing function.
+package netdeadline
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+)
+
+// writeFrame mimics the store's frame helper: the conn argument decays
+// to a plain io.Writer, past which no deadline can be armed.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame mimics the store's frame helper on the read side.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// client owns a long-lived conn, the shape of the store's shardConn.
+type client struct {
+	conn net.Conn
+}
+
+// exchange does frame I/O on the owned conn and never arms a deadline:
+// a dead server parks the caller forever.
+func (c *client) exchange(req []byte) ([]byte, error) {
+	if err := writeFrame(c.conn, req); err != nil { // want `never arms a deadline`
+		return nil, err
+	}
+	return readFrame(c.conn) // want `never arms a deadline`
+}
+
+// probe reads the owned conn directly, also without a deadline.
+func (c *client) probe() error {
+	buf := make([]byte, 1)
+	_, err := c.conn.Read(buf) // want `never arms a deadline`
+	return err
+}
+
+// dialAndPing owns the conn it just dialed — a local is as owned as a
+// field.
+func dialAndPing(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.Write([]byte{0x01}) // want `never arms a deadline`
+	return err
+}

@@ -1,0 +1,109 @@
+// Package netdeadline_clean is the netdeadline analyzer's clean twin:
+// every conn I/O shape the rule permits, with zero findings expected.
+package netdeadline_clean
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"time"
+)
+
+// writeFrame decays the conn to io.Writer, as in the violation twin.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame decays the conn to io.Reader.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// client owns a long-lived conn.
+type client struct {
+	conn net.Conn
+}
+
+// exchange arms the per-op deadline before the frames: the permitted
+// shape for owned-conn I/O.
+func (c *client) exchange(req []byte) ([]byte, error) {
+	c.conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	return readFrame(c.conn)
+}
+
+// probeSplit arms read and write deadlines separately — either variant
+// satisfies the rule.
+func (c *client) probeSplit() error {
+	c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	if _, err := c.conn.Write([]byte{0x01}); err != nil {
+		return err
+	}
+	c.conn.SetReadDeadline(time.Now().Add(time.Second))
+	_, err := c.conn.Read(make([]byte, 1))
+	return err
+}
+
+// serveConn receives the conn as a parameter: the accept loop owns the
+// deadline policy, and a server waiting unbounded for the next request
+// is deliberate.
+func serveConn(conn net.Conn) error {
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(conn, req); err != nil {
+			return err
+		}
+	}
+}
+
+// handOff passes the conn to a callee that keeps the conn surface —
+// the callee, analyzed on its own, owns the decision.
+func (c *client) handOff() error {
+	return serveConn(c.conn)
+}
+
+// wrapper is a fault-injection-style net.Conn implementation: its
+// methods ARE the conn and forward to the wrapped one; the deadline
+// belongs to whoever uses the wrapper.
+type wrapper struct {
+	net.Conn
+}
+
+// Read forwards to the wrapped conn.
+func (w *wrapper) Read(b []byte) (int, error) {
+	return w.Conn.Read(b)
+}
+
+// Write forwards to the wrapped conn.
+func (w *wrapper) Write(b []byte) (int, error) {
+	return w.Conn.Write(b)
+}
+
+// logFile exercises the RemoteAddr discriminator: deadline-capable
+// non-network streams (os.File-shaped) are outside the rule.
+type fileish struct{}
+
+func (fileish) Write(b []byte) (int, error)   { return len(b), nil }
+func (fileish) SetDeadline(t time.Time) error { return nil }
+
+// journal writes a deadline-capable but non-conn stream freely.
+func journal(f fileish, payload []byte) error {
+	return writeFrame(f, payload)
+}

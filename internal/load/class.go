@@ -1,0 +1,77 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"syscall"
+)
+
+// Class buckets one failed op by cause, so a chaos run's report
+// separates "the server shed load as designed" from "the protocol
+// broke" — the same total error count can mean either.
+type Class uint8
+
+const (
+	// ClassTimeout is a deadline failure: the request (or its dial)
+	// exceeded its budget.
+	ClassTimeout Class = iota
+	// ClassRefused is a connection-level failure — refused, reset, or
+	// closed mid-exchange. The shape a dead or restarting server (or an
+	// injected connection drop) presents.
+	ClassRefused
+	// ClassShed is an explicit 503 + Retry-After overload refusal: the
+	// server chose not to serve. Bounded sheds under burst are a
+	// designed behavior, not a defect.
+	ClassShed
+	// ClassProtocol is everything else: malformed frames, schema
+	// drift, wrong-answer echoes. Never acceptable.
+	ClassProtocol
+	// NumClasses sizes per-class arrays.
+	NumClasses
+)
+
+// String names the class for report tables.
+func (c Class) String() string {
+	switch c {
+	case ClassTimeout:
+		return "timeout"
+	case ClassRefused:
+		return "refused"
+	case ClassShed:
+		return "shed"
+	case ClassProtocol:
+		return "protocol"
+	}
+	return "unknown"
+}
+
+// ErrShed marks an op the server refused with 503 — the HTTP target
+// wraps overload answers in it so Classify can tell a shed from a
+// protocol failure.
+var ErrShed = errors.New("load: shed")
+
+// Classify buckets a non-nil, non-ErrMiss op error. The first match
+// wins in severity-of-signal order: an explicit shed is the clearest,
+// then deadline failures, then connection-level failures; anything
+// unrecognized is a protocol error — the bucket that should stay zero.
+func Classify(err error) Class {
+	var ne net.Error
+	switch {
+	case errors.Is(err, ErrShed):
+		return ClassShed
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.As(err, &ne) && ne.Timeout():
+		return ClassTimeout
+	case errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, net.ErrClosed):
+		return ClassRefused
+	default:
+		return ClassProtocol
+	}
+}

@@ -1,0 +1,137 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+	"time"
+
+	"knnpc/internal/api"
+)
+
+// timeoutErr is a minimal net.Error whose Timeout() is true — the
+// shape http.Client deadline failures arrive in.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{fmt.Errorf("%w: HTTP 503", ErrShed), ClassShed},
+		{context.DeadlineExceeded, ClassTimeout},
+		{fmt.Errorf("get: %w", context.DeadlineExceeded), ClassTimeout},
+		{&net.OpError{Op: "read", Err: timeoutErr{}}, ClassTimeout},
+		{syscall.ECONNREFUSED, ClassRefused},
+		{fmt.Errorf("dial: %w", syscall.ECONNREFUSED), ClassRefused},
+		{syscall.ECONNRESET, ClassRefused},
+		{syscall.EPIPE, ClassRefused},
+		{io.EOF, ClassRefused},
+		{io.ErrUnexpectedEOF, ClassRefused},
+		{net.ErrClosed, ClassRefused},
+		{errors.New("load: neighbors answer for user 3, asked 7"), ClassProtocol},
+		{fmt.Errorf("load: HTTP 500"), ClassProtocol},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %s, want %s", c.err, got, c.want)
+		}
+	}
+}
+
+// A shed arrives wrapped even when it carries the JSON error shape,
+// and a timeout wins over the connection bucket when both could match.
+func TestClassifyShedBeatsTimeout(t *testing.T) {
+	err := fmt.Errorf("%w: %w", ErrShed, context.DeadlineExceeded)
+	if got := Classify(err); got != ClassShed {
+		t.Fatalf("Classify(shed+timeout) = %s, want shed", got)
+	}
+}
+
+// TestHTTPTarget503IsShed: a 503 answer from a real HTTP exchange —
+// with and without the v1 JSON error body — classifies as a shed, not
+// a protocol error.
+func TestHTTPTarget503IsShed(t *testing.T) {
+	for _, jsonBody := range []bool{true, false} {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			if jsonBody {
+				fmt.Fprintf(w, `{"error": "overloaded"}`)
+			}
+		}))
+		tgt := NewHTTPTarget("shedding", srv.URL, time.Second)
+		err := tgt.Do(Op{Kind: Neighbors, User: 7})
+		tgt.Close()
+		srv.Close()
+		if err == nil {
+			t.Fatalf("jsonBody=%v: 503 produced no error", jsonBody)
+		}
+		if !errors.Is(err, ErrShed) {
+			t.Fatalf("jsonBody=%v: 503 error %v does not wrap ErrShed", jsonBody, err)
+		}
+		if got := Classify(err); got != ClassShed {
+			t.Fatalf("jsonBody=%v: Classify = %s, want shed", jsonBody, got)
+		}
+	}
+}
+
+// TestRunBooksClasses: a run against a target mixing sheds and
+// connection failures reports the right per-class counts, and the
+// class columns sum to the error total.
+func TestRunBooksClasses(t *testing.T) {
+	mux := http.NewServeMux()
+	var n int
+	mux.HandleFunc(api.PathNeighbors, func(w http.ResponseWriter, r *http.Request) {
+		n++
+		switch n % 3 {
+		case 0:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	tgt := NewHTTPTarget("mixed", srv.URL, time.Second)
+	defer tgt.Close()
+	plan, err := BuildPlan(PlanConfig{
+		Users: 100, Items: 10, Ops: 30, Rate: 10000,
+		Skew: 1.1, ProfileFrac: 0, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), tgt, plan, RunConfig{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors() != 30 {
+		t.Fatalf("errors = %d, want 30", res.Errors())
+	}
+	if res.ClassErrors(ClassShed) != 10 {
+		t.Fatalf("sheds = %d, want 10", res.ClassErrors(ClassShed))
+	}
+	if res.ClassErrors(ClassProtocol) != 20 {
+		t.Fatalf("protocol = %d, want 20", res.ClassErrors(ClassProtocol))
+	}
+	var sum uint64
+	for c := Class(0); c < NumClasses; c++ {
+		sum += res.ClassErrors(c)
+	}
+	if sum != res.Errors() {
+		t.Fatalf("class sum %d != errors %d", sum, res.Errors())
+	}
+}

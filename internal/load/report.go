@@ -27,15 +27,16 @@ func (r *Result) WriteTable(w io.Writer) {
 			win.Start.Truncate(time.Millisecond), reads, ms(rp50), ms(rp99),
 			win.Ops[Update], ms(win.P50[Update]), ms(win.P99[Update]))
 	}
-	fmt.Fprintln(w, "op         count    ops/s   meanms    p50ms    p95ms    p99ms  misses  errors")
+	fmt.Fprintln(w, "op         count    ops/s   meanms    p50ms    p95ms    p99ms  misses  errors  timeout  refused  shed  proto")
 	for k := Kind(0); k < NumKinds; k++ {
 		kr := r.Kinds[k]
 		if kr.Ops == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%-9s %6d  %7.0f  %7.2f  %7.2f  %7.2f  %7.2f  %6d  %6d\n",
+		fmt.Fprintf(w, "%-9s %6d  %7.0f  %7.2f  %7.2f  %7.2f  %7.2f  %6d  %6d  %7d  %7d  %4d  %5d\n",
 			k, kr.Ops, kr.Throughput, ms(kr.Mean), ms(kr.P50), ms(kr.P95), ms(kr.P99),
-			kr.Misses, kr.Errors)
+			kr.Misses, kr.Errors,
+			kr.Classes[ClassTimeout], kr.Classes[ClassRefused], kr.Classes[ClassShed], kr.Classes[ClassProtocol])
 		if kr.FirstError != "" {
 			fmt.Fprintf(w, "          first error: %s\n", kr.FirstError)
 		}

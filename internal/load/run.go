@@ -23,10 +23,11 @@ type RunConfig struct {
 
 // kindAccum accumulates one op kind's live counters during a run.
 type kindAccum struct {
-	ops    atomic.Uint64
-	errors atomic.Uint64
-	misses atomic.Uint64
-	hist   latency.Histogram
+	ops     atomic.Uint64
+	errors  atomic.Uint64
+	misses  atomic.Uint64
+	classes [NumClasses]atomic.Uint64
+	hist    latency.Histogram
 }
 
 // Run replays the plan against the target open-loop and aggregates
@@ -79,6 +80,7 @@ func Run(ctx context.Context, target Target, plan []Op, cfg RunConfig) (*Result,
 					acc.misses.Add(1)
 				default:
 					acc.errors.Add(1)
+					acc.classes[Classify(err)].Add(1)
 					msg := err.Error()
 					firstErr[op.Kind].CompareAndSwap(nil, &msg)
 				}
@@ -120,6 +122,9 @@ dispatch:
 			P95:    s.Quantile(0.95),
 			P99:    s.Quantile(0.99),
 		}
+		for c := range r.Classes {
+			r.Classes[c] = acc.classes[c].Load()
+		}
 		if res.Wall > 0 {
 			r.Throughput = float64(r.Ops) / res.Wall.Seconds()
 		}
@@ -138,6 +143,9 @@ type KindReport struct {
 	Ops uint64
 	// Errors counts protocol or transport failures.
 	Errors uint64
+	// Classes breaks Errors down by cause (indexed by Class); the
+	// entries sum to Errors.
+	Classes [NumClasses]uint64
 	// Misses counts not-in-any-published-view answers.
 	Misses uint64
 	// Throughput is Ops divided by the run's wall time, in ops/s.
@@ -195,6 +203,15 @@ func (r *Result) Errors() uint64 {
 	var n uint64
 	for k := range r.Kinds {
 		n += r.Kinds[k].Errors
+	}
+	return n
+}
+
+// ClassErrors sums one failure class across op kinds.
+func (r *Result) ClassErrors(c Class) uint64 {
+	var n uint64
+	for k := range r.Kinds {
+		n += r.Kinds[k].Classes[c]
 	}
 	return n
 }

@@ -174,11 +174,22 @@ func (t *HTTPTarget) get(url string, out any) error {
 }
 
 // httpError turns a non-2xx answer into an error, preferring the v1
-// JSON error shape when the body carries one.
+// JSON error shape when the body carries one. 503s wrap ErrShed so
+// the runner books them as sheds, not protocol failures.
 func httpError(resp *http.Response) error {
+	sentinel := error(nil)
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		sentinel = ErrShed
+	}
 	var e api.ErrorResponse
 	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+		if sentinel != nil {
+			return fmt.Errorf("%w: HTTP %d: %s", sentinel, resp.StatusCode, e.Error)
+		}
 		return fmt.Errorf("load: HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	if sentinel != nil {
+		return fmt.Errorf("%w: HTTP %d", sentinel, resp.StatusCode)
 	}
 	return fmt.Errorf("load: HTTP %d", resp.StatusCode)
 }

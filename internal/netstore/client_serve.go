@@ -202,8 +202,11 @@ func (c *Client) PushUpdates(updates []profile.Update) error {
 		if len(batch) == 0 {
 			continue
 		}
+		// roundTripOnce: a replayed push could enqueue the batch twice,
+		// and phase 5 applies updates in arrival order — duplicates are
+		// real state, not noise.
 		req := append([]byte{opPushUpd}, EncodeUpdates(batch)...)
-		if _, err := c.shards[s].roundTrip(req); err != nil {
+		if _, err := c.shards[s].roundTripOnce(req); err != nil {
 			return fmt.Errorf("netstore: push updates to shard %d: %w", s, err)
 		}
 	}
@@ -218,7 +221,9 @@ func (c *Client) AddUser(u uint32, profileBlob []byte) error {
 	req := appendU32([]byte{opAddUser}, u)
 	req = append(req, profileBlob...)
 	for s, sc := range c.shards {
-		if _, err := sc.roundTrip(req); err != nil {
+		// roundTripOnce: a replay would journal the mutation twice on
+		// the owning shard.
+		if _, err := sc.roundTripOnce(req); err != nil {
 			return fmt.Errorf("netstore: add user %d on shard %d: %w", u, s, err)
 		}
 	}
@@ -233,7 +238,8 @@ func (c *Client) AddUser(u uint32, profileBlob []byte) error {
 func (c *Client) DelUser(u uint32) error {
 	req := appendU32([]byte{opDelUser}, u)
 	for s, sc := range c.shards {
-		if _, err := sc.roundTrip(req); err != nil {
+		// roundTripOnce: same double-journal hazard as AddUser.
+		if _, err := sc.roundTripOnce(req); err != nil {
 			return fmt.Errorf("netstore: delete user %d on shard %d: %w", u, s, err)
 		}
 	}
@@ -249,7 +255,11 @@ func (c *Client) DelUser(u uint32) error {
 func (c *Client) DrainMutations() ([]Mutation, error) {
 	var all []Mutation
 	for s, sc := range c.shards {
-		body, err := sc.roundTrip([]byte{opDrainMut})
+		// roundTripOnce: a drain clears the queue as it answers, so if
+		// the response is lost the data is in flight, not on the shard —
+		// a blind replay would return an empty queue and the caller
+		// would never learn anything was dropped.
+		body, err := sc.roundTripOnce([]byte{opDrainMut})
 		if err != nil {
 			return all, fmt.Errorf("netstore: drain mutations from shard %d: %w", s, err)
 		}
@@ -331,7 +341,8 @@ func (c *Client) Staleness() (StalenessDoc, bool, error) {
 func (c *Client) DrainUpdates() ([]profile.Update, error) {
 	var all []profile.Update
 	for s, sc := range c.shards {
-		body, err := sc.roundTrip([]byte{opDrainUpd})
+		// roundTripOnce: same lost-response hazard as DrainMutations.
+		body, err := sc.roundTripOnce([]byte{opDrainUpd})
 		if err != nil {
 			return nil, fmt.Errorf("netstore: drain updates from shard %d: %w", s, err)
 		}

@@ -2,6 +2,8 @@ package netstore
 
 import (
 	"fmt"
+	"net"
+	"path/filepath"
 
 	"knnpc/internal/disk"
 )
@@ -34,19 +36,67 @@ func StartCluster(shards, numPartitions int, model *disk.Model) (*Cluster, error
 // construction (device naming, range assignment, failure cleanup) with
 // externally addressed deployments like cmd/statestore.
 func StartClusterAt(addrs []string, numPartitions int, model *disk.Model) (*Cluster, error) {
+	return StartClusterOpts(addrs, numPartitions, model, ClusterOptions{})
+}
+
+// ClusterOptions carries the robustness knobs an externally managed
+// deployment layers onto a cluster; the zero value reproduces
+// StartClusterAt exactly.
+type ClusterOptions struct {
+	// FirstShard is the cluster-wide index of the first listed address,
+	// and TotalShards the cluster-wide shard count — set both when this
+	// process hosts a slice of a larger cluster (cmd/statestore -shard/
+	// -shards), so partition ranges land where the client expects. Zero
+	// TotalShards means the address list is the whole cluster.
+	FirstShard  int
+	TotalShards int
+	// DataDir, when non-empty, makes every shard durable, each under
+	// its own subdirectory "shard<i>" (cluster-wide index, so a
+	// restarted slice finds its own state).
+	DataDir string
+	// WrapListener, when non-nil, wraps each shard's listener — the
+	// fault-injection seam (shard is the cluster-wide index).
+	WrapListener func(shard int, ln net.Listener) net.Listener
+	// DiskHook, when non-nil, installs a fault hook on each shard's
+	// emulated device (ignored without a device model).
+	DiskHook func(shard int) disk.FaultHook
+}
+
+// StartClusterOpts is StartClusterAt plus ClusterOptions — durability
+// directories, fault-wrapped listeners, device fault hooks, and
+// multi-process shard indexing.
+func StartClusterOpts(addrs []string, numPartitions int, model *disk.Model, opts ClusterOptions) (*Cluster, error) {
+	total := opts.TotalShards
+	if total == 0 {
+		total = len(addrs)
+	}
+	if opts.FirstShard < 0 || opts.FirstShard+len(addrs) > total {
+		return nil, fmt.Errorf("netstore: shards [%d,%d) outside cluster of %d", opts.FirstShard, opts.FirstShard+len(addrs), total)
+	}
 	c := &Cluster{}
 	for i, addr := range addrs {
+		shard := opts.FirstShard + i
 		var dev *disk.Device
 		if model != nil {
-			dev = disk.NewNamedDevice(*model, fmt.Sprintf("shard%d", i))
+			dev = disk.NewNamedDevice(*model, fmt.Sprintf("shard%d", shard))
+			if opts.DiskHook != nil {
+				dev.SetFaultHook(opts.DiskHook(shard))
+			}
 		}
-		srv, err := NewServer(ServerConfig{
+		cfg := ServerConfig{
 			Addr:          addr,
-			Shard:         i,
-			Shards:        len(addrs),
+			Shard:         shard,
+			Shards:        total,
 			NumPartitions: numPartitions,
 			Device:        dev,
-		})
+		}
+		if opts.DataDir != "" {
+			cfg.DataDir = filepath.Join(opts.DataDir, fmt.Sprintf("shard%d", shard))
+		}
+		if opts.WrapListener != nil {
+			cfg.WrapListener = func(ln net.Listener) net.Listener { return opts.WrapListener(shard, ln) }
+		}
+		srv, err := NewServer(cfg)
 		if err != nil {
 			c.Close()
 			return nil, err

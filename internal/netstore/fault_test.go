@@ -11,10 +11,19 @@ import (
 	"time"
 )
 
-// fakeShard accepts one connection and runs script against it — the
-// torn-frame / garbage-response injection endpoint a Client is pointed
-// at.
-func fakeShard(t *testing.T, script func(conn net.Conn)) string {
+// fastOpts keeps fault-injection tests quick: one attempt, tight
+// deadlines — the classification is under test, not the retry ladder.
+var fastOpts = ClientOptions{
+	OpTimeout:   2 * time.Second,
+	DialTimeout: time.Second,
+	MaxAttempts: 1,
+}
+
+// fakeShard accepts connections in sequence and runs the matching
+// script against each — the torn-frame / garbage-response injection
+// endpoint a Client is pointed at. Connection i beyond the script list
+// is closed immediately.
+func fakeShard(t *testing.T, scripts ...func(conn net.Conn)) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -22,12 +31,21 @@ func fakeShard(t *testing.T, script func(conn net.Conn)) string {
 	}
 	t.Cleanup(func() { ln.Close() })
 	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
+		for i := 0; ; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if i >= len(scripts) {
+				conn.Close()
+				continue
+			}
+			script := scripts[i]
+			go func() {
+				defer conn.Close()
+				script(conn)
+			}()
 		}
-		defer conn.Close()
-		script(conn)
 	}()
 	return ln.Addr().String()
 }
@@ -38,9 +56,9 @@ func drainRequest(conn net.Conn) {
 	_, _ = readFrame(conn)
 }
 
-// TestClientTornResponseFrame: a response cut mid-payload surfaces as a
-// transport error (io.ErrUnexpectedEOF), not a hang or a garbage
-// decode, and the connection is poisoned so later calls fail fast.
+// TestClientTornResponseFrame: a response cut mid-payload surfaces as
+// a classified transport error (io.ErrUnexpectedEOF under
+// ErrUnavailable), not a hang or a garbage decode.
 func TestClientTornResponseFrame(t *testing.T) {
 	addr := fakeShard(t, func(conn net.Conn) {
 		drainRequest(conn)
@@ -50,7 +68,7 @@ func TestClientTornResponseFrame(t *testing.T) {
 		conn.Write(hdr[:])
 		conn.Write([]byte{statusOK, 0xAA, 0xBB})
 	})
-	client, err := Dial([]string{addr}, 4)
+	client, err := DialOptions([]string{addr}, 4, fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,8 +77,39 @@ func TestClientTornResponseFrame(t *testing.T) {
 	if !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("torn frame surfaced as %v, want io.ErrUnexpectedEOF", err)
 	}
-	if _, err := client.Get(0); err == nil || !strings.Contains(err.Error(), "connection is down") {
-		t.Fatalf("poisoned connection reused: %v", err)
+	if !errors.Is(err, ErrUnavailable) || !IsTransient(err) {
+		t.Fatalf("torn frame not classified transient: %v", err)
+	}
+}
+
+// TestClientReconnectsAfterTornFrame: the connection a torn frame
+// poisoned is redialed transparently — the next attempt reaches a
+// healthy endpoint and succeeds, with no client rebuild.
+func TestClientReconnectsAfterTornFrame(t *testing.T) {
+	addr := fakeShard(t,
+		func(conn net.Conn) {
+			drainRequest(conn)
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], 100)
+			conn.Write(hdr[:]) // torn: header only, then close
+		},
+		func(conn net.Conn) {
+			drainRequest(conn)
+			writeFrame(conn, append([]byte{statusOK}, "healed"...))
+		},
+	)
+	opts := fastOpts
+	opts.MaxAttempts = 3
+	opts.BackoffBase = time.Millisecond
+	opts.BackoffMax = 5 * time.Millisecond
+	client, err := DialOptions([]string{addr}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	got, err := client.Get(0)
+	if err != nil || string(got) != "healed" {
+		t.Fatalf("reconnect after torn frame: %q, %v", got, err)
 	}
 }
 
@@ -73,7 +122,7 @@ func TestClientOversizedFrame(t *testing.T) {
 		binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
 		conn.Write(hdr[:])
 	})
-	client, err := Dial([]string{addr}, 4)
+	client, err := DialOptions([]string{addr}, 4, fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}

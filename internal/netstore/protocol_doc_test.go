@@ -71,6 +71,7 @@ func TestProtocolDocMatchesCode(t *testing.T) {
 			"DELUSER":   opDelUser,
 			"DRAINMUT":  opDrainMut,
 			"STALENESS": opStaleness,
+			"RESET":     opReset,
 			// Statuses share the "| NAME | `0xNN` |" row shape; list
 			// them here so the single regexp's catch covers both tables.
 			"OK":    statusOK,
@@ -79,6 +80,7 @@ func TestProtocolDocMatchesCode(t *testing.T) {
 			"END":   statusEnd,
 			"STALE": statusStale,
 			"MISS":  statusMiss,
+			"RETRY": statusRetry,
 		})
 
 	check("put kinds",

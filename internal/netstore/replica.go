@@ -3,9 +3,11 @@ package netstore
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"knnpc/internal/disk"
 	"knnpc/internal/pigraph"
@@ -36,8 +38,9 @@ type Replica struct {
 	views   map[uint32]serveView
 	userIdx map[uint32]uint32
 
-	pulls  atomic.Uint64 // view re-pulls from the primary
-	closed atomic.Bool
+	pulls    atomic.Uint64 // view re-pulls from the primary
+	degraded atomic.Uint64 // lookups served stale because the primary was unreachable
+	closed   atomic.Bool
 
 	connMu      sync.Mutex
 	conns       map[net.Conn]struct{}
@@ -61,6 +64,14 @@ type ReplicaConfig struct {
 	// instead of on the primary's device — the whole reason replicas
 	// improve tail latency under phase-4 load. Nil adds no latency.
 	Device *disk.Device
+	// ProbeTimeout bounds each freshness probe and view pull against
+	// the primary, so a dead primary can never wedge a lookup — the
+	// probe fails fast and the replica serves its cached view in
+	// degraded mode instead. Default 1s.
+	ProbeTimeout time.Duration
+	// WrapListener, when non-nil, wraps the replica's listener before
+	// serving starts (the fault-injection seam, same as ServerConfig's).
+	WrapListener func(net.Listener) net.Listener
 }
 
 // NewReplica dials the primary, binds the replica's listener, and
@@ -73,7 +84,22 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.Shard < 0 || cfg.Shard >= router.NumShards() {
 		return nil, fmt.Errorf("netstore: shard index %d out of range [0,%d)", cfg.Shard, router.NumShards())
 	}
-	conn, err := net.Dial("tcp", cfg.Primary)
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	// The probe connection is a regular client shard connection with a
+	// tight envelope: short deadline, two attempts, fast backoff — a
+	// probe that cannot answer quickly should fail into the degraded
+	// path, not queue lookups behind a dead primary. Reconnects are
+	// transparent, so a restarted primary is picked up on the next probe.
+	popts := ClientOptions{
+		OpTimeout:   cfg.ProbeTimeout,
+		DialTimeout: cfg.ProbeTimeout,
+		MaxAttempts: 2,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	}
+	conn, err := net.DialTimeout("tcp", cfg.Primary, popts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("netstore: replica dial primary %s: %w", cfg.Primary, err)
 	}
@@ -82,11 +108,19 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		conn.Close()
 		return nil, fmt.Errorf("netstore: listen %s: %w", cfg.Addr, err)
 	}
+	if cfg.WrapListener != nil {
+		ln = cfg.WrapListener(ln)
+	}
 	r := &Replica{
-		cfg:     cfg,
-		router:  router,
-		ln:      ln,
-		primary: &shardConn{addr: cfg.Primary, conn: conn},
+		cfg:    cfg,
+		router: router,
+		ln:     ln,
+		primary: &shardConn{
+			addr: cfg.Primary,
+			opts: popts,
+			conn: conn,
+			rng:  rand.New(rand.NewSource(jitterSeed(0, cfg.Shard))),
+		},
 		views:   make(map[uint32]serveView),
 		userIdx: make(map[uint32]uint32),
 		conns:   make(map[net.Conn]struct{}),
@@ -111,6 +145,11 @@ func (r *Replica) Device() *disk.Device { return r.cfg.Device }
 // observable cost of invalidation (at most one per partition per
 // committed epoch, regardless of read rate).
 func (r *Replica) Pulls() uint64 { return r.pulls.Load() }
+
+// Degraded reports how many requests were answered from the cached
+// view because the primary was unreachable — the observable size of
+// the degraded-mode window.
+func (r *Replica) Degraded() uint64 { return r.degraded.Load() }
 
 // Close stops the listener, hangs up on the primary and every client,
 // and waits for all handlers to return.
@@ -272,23 +311,41 @@ func (r *Replica) primaryEpoch(p uint32) (base, view uint64, err error) {
 // primary's current view epoch: probe, and re-pull only on mismatch.
 // A primary that has not published a view yet (view epoch 0) leaves
 // the cache as-is.
+//
+// The probe carries the configured deadline and NEVER fails a request
+// it could still answer: when the primary is unreachable (transient
+// failure) and a cached view exists, the replica serves it as-is —
+// degraded mode, staleness bounded by however long the primary stays
+// down instead of by one epoch. Only a partition with no cached view
+// at all surfaces the probe failure.
 func (r *Replica) refreshPartition(p uint32) error {
 	if int(p) < r.lo || int(p) >= r.hi {
 		return fmt.Errorf("netstore: partition %d outside replica %d/%d range [%d,%d)",
 			p, r.cfg.Shard, r.router.NumShards(), r.lo, r.hi)
 	}
-	_, view, err := r.primaryEpoch(p)
-	if err != nil {
-		return err
-	}
 	r.mu.Lock()
 	cached, have := r.views[p]
 	r.mu.Unlock()
+	_, view, err := r.primaryEpoch(p)
+	if err != nil {
+		if IsTransient(err) && have {
+			r.degraded.Add(1)
+			return nil
+		}
+		return err
+	}
 	if view == 0 || (have && cached.epoch == view) {
 		return nil
 	}
 	epoch, blob, err := r.primaryGetView(p)
 	if err != nil {
+		if IsTransient(err) && have {
+			// The primary died between the probe and the pull; the view
+			// it advertised is gone for now. The cached epoch still
+			// serves.
+			r.degraded.Add(1)
+			return nil
+		}
 		return err
 	}
 	entries, err := DecodeView(blob)
@@ -386,6 +443,19 @@ func StartReplicas(primaries []string, numPartitions int, model *disk.Model) (*R
 // shadowing primaries[i] — the externally addressed form cmd/statestore
 // -replicaof uses; StartReplicas is its loopback specialization.
 func StartReplicasAt(addrs, primaries []string, numPartitions int, model *disk.Model) (*ReplicaSet, error) {
+	return StartReplicasOpts(addrs, primaries, numPartitions, model, ReplicaSetOptions{})
+}
+
+// ReplicaSetOptions carries the robustness knobs of an externally
+// managed replica tier; the zero value reproduces StartReplicasAt.
+type ReplicaSetOptions struct {
+	// WrapListener, when non-nil, wraps each replica's listener — the
+	// fault-injection seam.
+	WrapListener func(shard int, ln net.Listener) net.Listener
+}
+
+// StartReplicasOpts is StartReplicasAt plus ReplicaSetOptions.
+func StartReplicasOpts(addrs, primaries []string, numPartitions int, model *disk.Model, opts ReplicaSetOptions) (*ReplicaSet, error) {
 	if len(addrs) != len(primaries) {
 		return nil, fmt.Errorf("netstore: %d replica addresses for %d primaries", len(addrs), len(primaries))
 	}
@@ -395,14 +465,19 @@ func StartReplicasAt(addrs, primaries []string, numPartitions int, model *disk.M
 		if model != nil {
 			dev = disk.NewNamedDevice(*model, fmt.Sprintf("replica%d", i))
 		}
-		rep, err := NewReplica(ReplicaConfig{
+		cfg := ReplicaConfig{
 			Addr:          addrs[i],
 			Primary:       primary,
 			Shard:         i,
 			Shards:        len(primaries),
 			NumPartitions: numPartitions,
 			Device:        dev,
-		})
+		}
+		if opts.WrapListener != nil {
+			shard := i
+			cfg.WrapListener = func(ln net.Listener) net.Listener { return opts.WrapListener(shard, ln) }
+		}
+		rep, err := NewReplica(cfg)
 		if err != nil {
 			rs.Close()
 			return nil, err

@@ -49,6 +49,18 @@ type ServerConfig struct {
 	// time, serialized per shard — N shards emulate N independent
 	// devices. Nil adds no latency.
 	Device *disk.Device
+	// DataDir, when non-empty, makes the shard durable: every applied
+	// mutation journals to DataDir before its response is sent, a
+	// snapshot is cut at each commit (staleness publish) or when the
+	// journal grows past its threshold, and a restarting shard replays
+	// snapshot+journal back to its pre-crash state. Leases are volatile
+	// on purpose — a restart revokes them all, which is what fences the
+	// pre-crash workers (see docs/PROTOCOL.md, "Snapshot and journal").
+	DataDir string
+	// WrapListener, when non-nil, wraps the shard's TCP listener before
+	// serving starts — the seam internal/fault's injecting listener
+	// plugs into without this package importing it.
+	WrapListener func(net.Listener) net.Listener
 }
 
 // Server is one state-store shard: a partition-range-validated blob map
@@ -62,9 +74,14 @@ type Server struct {
 	lo, hi int
 	ln     net.Listener
 
-	mu         sync.Mutex
+	mu sync.Mutex
+	// partials are keyed by the lease token that admitted them: a
+	// client retrying a PUT whose response was lost overwrites its own
+	// first copy instead of appending a duplicate — the property that
+	// makes write-back replay safe, because TopK's collect-time merge
+	// does not deduplicate.
 	base       map[uint32][]byte
-	partials   map[uint32][][]byte
+	partials   map[uint32]map[uint64][]byte
 	leases     map[uint32]map[uint64]struct{}
 	epochs     map[uint32]uint64    // bumped by every base PUT; survives CLEAR
 	views      map[uint32]serveView // committed serve views; survive CLEAR
@@ -74,6 +91,7 @@ type Server struct {
 	tombstones map[uint32]struct{}  // DELUSER'd users; lookups miss; survives CLEAR
 	staleness  []byte               // last putStale document; survives CLEAR
 	nextToken  uint64
+	durable    *durableStore // nil without DataDir; guarded by mu for appends
 	closed     bool
 
 	connMu      sync.Mutex
@@ -93,16 +111,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Shard < 0 || cfg.Shard >= router.NumShards() {
 		return nil, fmt.Errorf("netstore: shard index %d out of range [0,%d)", cfg.Shard, router.NumShards())
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("netstore: listen %s: %w", cfg.Addr, err)
-	}
 	s := &Server{
 		cfg:        cfg,
 		router:     router,
-		ln:         ln,
 		base:       make(map[uint32][]byte),
-		partials:   make(map[uint32][][]byte),
+		partials:   make(map[uint32]map[uint64][]byte),
 		leases:     make(map[uint32]map[uint64]struct{}),
 		epochs:     make(map[uint32]uint64),
 		views:      make(map[uint32]serveView),
@@ -111,6 +124,26 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		conns:      make(map[net.Conn]struct{}),
 	}
 	s.lo, s.hi = router.Range(cfg.Shard)
+	if cfg.DataDir != "" {
+		// Recover BEFORE binding the listener: no request is served
+		// until the pre-crash state is fully back, and recovery ends by
+		// revoking every lease — the restart itself fences workers that
+		// held tokens across the crash.
+		if err := s.recover(cfg.DataDir); err != nil {
+			return nil, fmt.Errorf("netstore: shard %d recover from %s: %w", cfg.Shard, cfg.DataDir, err)
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		if s.durable != nil {
+			s.durable.close()
+		}
+		return nil, fmt.Errorf("netstore: listen %s: %w", cfg.Addr, err)
+	}
+	if cfg.WrapListener != nil {
+		ln = cfg.WrapListener(ln)
+	}
+	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -143,6 +176,9 @@ func (s *Server) Close() error {
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
+	if s.durable != nil {
+		s.durable.close()
+	}
 	return err
 }
 
@@ -212,6 +248,11 @@ func (s *Server) serveRequest(conn net.Conn, req []byte) error {
 			status = statusStale
 		case errors.Is(err, ErrNotServed):
 			status = statusMiss
+		case errors.Is(err, ErrRetryable):
+			// Transient server-side faults (the injected-device class)
+			// fire BEFORE any state mutates, so the client may always
+			// retry — the status byte is that promise on the wire.
+			status = statusRetry
 		}
 		return writeFrame(conn, append([]byte{status}, err.Error()...))
 	}
@@ -274,7 +315,10 @@ func (s *Server) serveRequest(conn net.Conn, req []byte) error {
 		return ok(nil)
 
 	case opCollect:
-		items := s.collect()
+		items, err := s.collect()
+		if err != nil {
+			return fail(err)
+		}
 		for _, it := range items {
 			if err := writeFrame(conn, encodeCollectItem(it)); err != nil {
 				return err
@@ -283,7 +327,15 @@ func (s *Server) serveRequest(conn net.Conn, req []byte) error {
 		return writeFrame(conn, []byte{statusEnd})
 
 	case opClear:
-		s.clear()
+		if err := s.clear(); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case opReset:
+		if err := s.reset(); err != nil {
+			return fail(err)
+		}
 		return ok(nil)
 
 	case opEpoch:
@@ -397,11 +449,12 @@ func (s *Server) addUser(u uint32, profileBlob []byte) error {
 	if owner {
 		s.mutations = append(s.mutations, batch)
 	}
+	jerr := s.logRecordLocked(recAddUser, append(appendU32(nil, u), profileBlob...))
 	s.mu.Unlock()
 	if owner {
 		s.cfg.Device.Append(int64(len(batch)))
 	}
-	return nil
+	return jerr
 }
 
 // delUser tombstones user u — point lookups on this shard miss
@@ -415,6 +468,7 @@ func (s *Server) delUser(u uint32) {
 	if owner {
 		s.mutations = append(s.mutations, batch)
 	}
+	s.logRecordLocked(recDelUser, appendU32(nil, u))
 	s.mu.Unlock()
 	if owner {
 		s.cfg.Device.Append(int64(len(batch)))
@@ -428,6 +482,7 @@ func (s *Server) drainMutations() []byte {
 	s.mu.Lock()
 	batches := s.mutations
 	s.mutations = nil
+	s.logRecordLocked(recDrainMut, nil)
 	s.mu.Unlock()
 	var out []byte
 	var volume int64
@@ -452,8 +507,22 @@ func (s *Server) checkRange(p uint32) error {
 	return nil
 }
 
+// faultGate consults the shard's device fault hook before an op reads
+// or mutates state. A gated failure maps onto ErrRetryable — and
+// because the gate fires before any mutation, the retry promise the
+// status byte makes is structurally true.
+func (s *Server) faultGate(kind disk.AccessKind, n int64) error {
+	if err := s.cfg.Device.Fault(kind, n); err != nil {
+		return fmt.Errorf("%w: %v", ErrRetryable, err)
+	}
+	return nil
+}
+
 func (s *Server) get(p uint32) ([]byte, error) {
 	if err := s.checkRange(p); err != nil {
+		return nil, err
+	}
+	if err := s.faultGate(disk.AccessRead, 0); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
@@ -472,6 +541,20 @@ func (s *Server) get(p uint32) ([]byte, error) {
 func (s *Server) put(p uint32, kind byte, token uint64, blob []byte) error {
 	if err := s.checkRange(p); err != nil {
 		return err
+	}
+	switch kind {
+	case putBase:
+		if err := s.faultGate(disk.AccessWrite, int64(len(blob))); err != nil {
+			return err
+		}
+	case putPartial, putView, putDeltaView:
+		if err := s.faultGate(disk.AccessAppend, int64(len(blob))); err != nil {
+			return err
+		}
+	case putStale:
+		// Pure metadata, never charged to the device — so no injected
+		// device fault either; an unknown kind fails in the state
+		// switch below.
 	}
 	stored := append([]byte(nil), blob...)
 	var viewIdx map[uint32]ViewEntry
@@ -505,7 +588,10 @@ func (s *Server) put(p uint32, kind byte, token uint64, blob []byte) error {
 			s.mu.Unlock()
 			return fmt.Errorf("%w: partition %d token %d", ErrStaleLease, p, token)
 		}
-		s.partials[p] = append(s.partials[p], stored)
+		if s.partials[p] == nil {
+			s.partials[p] = make(map[uint64][]byte)
+		}
+		s.partials[p][token] = stored
 	case putView:
 		// The committed serve view, stamped with the partition's current
 		// epoch (the one the publishing iteration's base PUT opened).
@@ -531,7 +617,22 @@ func (s *Server) put(p uint32, kind byte, token uint64, blob []byte) error {
 		s.mu.Unlock()
 		return fmt.Errorf("netstore: unknown PUT kind 0x%02x", kind)
 	}
+	// Journal the applied PUT while still holding the state mutex, so
+	// journal order IS application order — replay cannot invert two
+	// racing writes. A staleness publish is the engine's per-iteration
+	// commit marker, so it also cuts a snapshot.
+	body := appendU32(nil, p)
+	body = append(body, kind)
+	body = appendU64(body, token)
+	body = append(body, stored...)
+	jerr := s.logRecordLocked(recPut, body)
+	if jerr == nil {
+		jerr = s.maybeSnapshotLocked(kind == putStale)
+	}
 	s.mu.Unlock()
+	if jerr != nil {
+		return jerr
+	}
 	// A base PUT installs a partition's state wherever it lives — a
 	// random write. A partial — and a view publish — is a blind append
 	// to the shard's journal (the log-structured write path collect's
@@ -621,9 +722,10 @@ func (s *Server) pushUpdates(blob []byte) error {
 	stored := append([]byte(nil), blob...)
 	s.mu.Lock()
 	s.updates = append(s.updates, stored)
+	jerr := s.logRecordLocked(recPushUpd, stored)
 	s.mu.Unlock()
 	s.cfg.Device.Append(int64(len(blob)))
-	return nil
+	return jerr
 }
 
 // drainUpdates returns the concatenated pending update batches (in
@@ -633,6 +735,7 @@ func (s *Server) drainUpdates() []byte {
 	s.mu.Lock()
 	batches := s.updates
 	s.updates = nil
+	s.logRecordLocked(recDrainUpd, nil)
 	s.mu.Unlock()
 	var out []byte
 	var volume int64
@@ -662,6 +765,13 @@ func (s *Server) lease(p uint32) (uint64, error) {
 		s.leases[p] = make(map[uint64]struct{})
 	}
 	s.leases[p][token] = struct{}{}
+	// Journal the grant for token monotonicity only: replay advances
+	// nextToken past every token ever issued, so a restarted shard can
+	// never re-grant a pre-crash token. The lease itself is volatile —
+	// recovery revokes it, which is the fencing.
+	if err := s.logRecordLocked(recLease, appendU64(appendU32(nil, p), token)); err != nil {
+		return 0, err
+	}
 	return token, nil
 }
 
@@ -685,7 +795,12 @@ func (s *Server) release(p uint32, token uint64) error {
 // transfer — the same one-read-per-partition cost the in-process
 // store's Collect pays, never a free aggregate scan (COLLECT is the
 // final read pass of phase 4, so it pays device time like any load).
-func (s *Server) collect() []CollectItem {
+// Partials emit in ascending token order — a deterministic order, but
+// any order would do: they merge commutatively.
+func (s *Server) collect() ([]CollectItem, error) {
+	if err := s.faultGate(disk.AccessRead, 0); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	ids := make([]uint32, 0, len(s.base))
 	for id := range s.base {
@@ -694,10 +809,20 @@ func (s *Server) collect() []CollectItem {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	items := make([]CollectItem, 0, len(ids))
 	for _, id := range ids {
+		byToken := s.partials[id]
+		tokens := make([]uint64, 0, len(byToken))
+		for t := range byToken {
+			tokens = append(tokens, t)
+		}
+		sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+		parts := make([][]byte, 0, len(tokens))
+		for _, t := range tokens {
+			parts = append(parts, byToken[t])
+		}
 		items = append(items, CollectItem{
 			Partition: id,
 			Base:      s.base[id],
-			Partials:  append([][]byte(nil), s.partials[id]...),
+			Partials:  parts,
 		})
 	}
 	s.mu.Unlock()
@@ -708,7 +833,7 @@ func (s *Server) collect() []CollectItem {
 		}
 		s.cfg.Device.Read(volume)
 	}
-	return items
+	return items, nil
 }
 
 // clear drops the compute-side state (bases, partials, leases) but
@@ -718,10 +843,26 @@ func (s *Server) collect() []CollectItem {
 // serve views are published; wiping them would blind the serving tier
 // between iterations, and resetting epochs would let a replica mistake
 // a fresh run's view for the one it already cached.
-func (s *Server) clear() {
+func (s *Server) clear() error {
 	s.mu.Lock()
 	s.base = make(map[uint32][]byte)
-	s.partials = make(map[uint32][][]byte)
+	s.partials = make(map[uint32]map[uint64][]byte)
 	s.leases = make(map[uint32]map[uint64]struct{})
+	err := s.logRecordLocked(recClear, nil)
 	s.mu.Unlock()
+	return err
+}
+
+// reset drops the shard's phase-4 accumulation — partials and leases —
+// keeping bases, epochs, views, and the pending queues. This is the
+// engine's retry barrier: a re-run of phase 4 must start from the
+// phase-1 bases with nothing left over from the failed attempt, or a
+// surviving partial would merge twice (TopK merge does not dedupe).
+func (s *Server) reset() error {
+	s.mu.Lock()
+	s.partials = make(map[uint32]map[uint64][]byte)
+	s.leases = make(map[uint32]map[uint64]struct{})
+	err := s.logRecordLocked(recReset, nil)
+	s.mu.Unlock()
+	return err
 }

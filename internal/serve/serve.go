@@ -39,11 +39,18 @@ type Config struct {
 	Primaries []string
 	// Replicas are read-replica addresses (statestore -replicaof),
 	// replica i shadowing shard i. When set, lookups are served from
-	// here.
+	// here, falling back to the primaries when a replica fails
+	// transiently (counted as ReadFallbacks in /v1/stats).
 	Replicas []string
 	// Partitions is the engine's partition count m; must match the
 	// cluster.
 	Partitions int
+	// MaxInflight, when positive, bounds concurrently served API
+	// requests; excess requests are shed immediately with 503 +
+	// Retry-After instead of queueing until every store connection is
+	// a convoy. /healthz and /v1/stats are exempt — an overloaded
+	// server must still report that it is overloaded. 0 = unlimited.
+	MaxInflight int
 }
 
 // Server holds the two store clients (read tier, write tier) and the
@@ -54,6 +61,11 @@ type Server struct {
 	readers  *netstore.Client // replicas when given, else the primaries
 	writers  *netstore.Client // always the primaries (replicas refuse writes)
 	readTier string           // "replicas" or "primaries", for logs/stats
+
+	maxInflight int64
+	inflight    atomic.Int64
+	shed        atomic.Uint64 // requests refused at the inflight limit
+	fallbacks   atomic.Uint64 // replica-tier lookups the primaries answered
 
 	neighbors endpointMetrics
 	profile   endpointMetrics
@@ -132,7 +144,12 @@ func New(cfg Config) (*Server, error) {
 		readers.Close()
 		return nil, fmt.Errorf("serve: dial primaries: %w", err)
 	}
-	return &Server{readers: readers, writers: writers, readTier: tier}, nil
+	return &Server{
+		readers:     readers,
+		writers:     writers,
+		readTier:    tier,
+		maxInflight: int64(cfg.MaxInflight),
+	}, nil
 }
 
 // ReadTier reports where lookups go: "replicas" or "primaries".
@@ -148,17 +165,64 @@ func (s *Server) Close() {
 // http.Server (or httptest).
 func (s *Server) Mux() *http.ServeMux {
 	m := http.NewServeMux()
-	m.HandleFunc("GET /v1/neighbors/{id}", s.handleNeighbors)
-	m.HandleFunc("GET /v1/profile/{id}", s.handleProfile)
-	m.HandleFunc("POST /v1/profile", s.handlePush)
-	m.HandleFunc("PUT /v1/profile/{id}", s.handleUpsert)
-	m.HandleFunc("DELETE /v1/profile/{id}", s.handleDelete)
-	m.HandleFunc("GET "+api.PathStaleness, s.handleStaleness)
+	m.HandleFunc("GET /v1/neighbors/{id}", s.limit(s.handleNeighbors))
+	m.HandleFunc("GET /v1/profile/{id}", s.limit(s.handleProfile))
+	m.HandleFunc("POST /v1/profile", s.limit(s.handlePush))
+	m.HandleFunc("PUT /v1/profile/{id}", s.limit(s.handleUpsert))
+	m.HandleFunc("DELETE /v1/profile/{id}", s.limit(s.handleDelete))
+	m.HandleFunc("GET "+api.PathStaleness, s.limit(s.handleStaleness))
 	m.HandleFunc("GET "+api.PathHealth, s.handleHealth)
 	m.HandleFunc("GET "+api.PathStats, s.handleStats)
 	// Deprecated pre-v1 alias; serves the identical v1 document.
 	m.HandleFunc("GET "+api.PathStatsDeprecated, s.handleStats)
 	return m
+}
+
+// limit is the overload valve: past MaxInflight concurrent requests,
+// shed with 503 + Retry-After rather than queueing — a convoy of
+// waiting handlers holds every store connection hostage and takes the
+// whole front end down with it, while a shed client backs off and the
+// tier keeps its latency bound.
+func (s *Server) limit(h http.HandlerFunc) http.HandlerFunc {
+	if s.maxInflight <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight.Add(1) > s.maxInflight {
+			s.inflight.Add(-1)
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "overloaded: in-flight request limit reached")
+			return
+		}
+		defer s.inflight.Add(-1)
+		h(w, r)
+	}
+}
+
+// readNeighbors and readProfileBytes are the degraded-mode read path:
+// a replica-tier lookup that fails transiently (replica down, dropped
+// connection, injected fault) retries against the primaries instead of
+// surfacing a 502 — the paper's serving property is that reads stay
+// answerable, just possibly slower and against busier spindles. Real
+// answers (ErrNotServed, a decode failure) pass through: the primary
+// would only repeat them.
+func (s *Server) readNeighbors(u uint32) (uint64, []uint32, error) {
+	epoch, ids, err := s.readers.Neighbors(u)
+	if err != nil && s.readTier == "replicas" && netstore.IsTransient(err) {
+		s.fallbacks.Add(1)
+		return s.writers.Neighbors(u)
+	}
+	return epoch, ids, err
+}
+
+func (s *Server) readProfileBytes(u uint32) (uint64, []byte, error) {
+	epoch, blob, err := s.readers.ProfileBytes(u)
+	if err != nil && s.readTier == "replicas" && netstore.IsTransient(err) {
+		s.fallbacks.Add(1)
+		return s.writers.ProfileBytes(u)
+	}
+	return epoch, blob, err
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
@@ -167,7 +231,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	epoch, ids, err := s.readers.Neighbors(u)
+	epoch, ids, err := s.readNeighbors(u)
 	if err != nil {
 		lookupError(w, u, err, &s.neighbors, start)
 		return
@@ -185,7 +249,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	epoch, blob, err := s.readers.ProfileBytes(u)
+	epoch, blob, err := s.readProfileBytes(u)
 	if err != nil {
 		lookupError(w, u, err, &s.profile, start)
 		return
@@ -340,18 +404,30 @@ func (s *Server) handleStaleness(w http.ResponseWriter, r *http.Request) {
 	s.staleness.observe(start, http.StatusOK)
 }
 
+// handleHealth reports per-tier reachability: an Epoch probe of
+// partition 0 exercises one roundtrip on each tier. The HTTP status
+// answers the load balancer's only question — can this front end serve
+// anything? — so one dead tier degrades the body but keeps the 200:
+// reads fall back to the primaries and a read-only front end still
+// answers lookups. Only both tiers down is a 503.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	// Epoch of partition 0 exercises one roundtrip on each tier.
-	if _, _, rerr := s.readers.Epoch(0); rerr != nil {
-		http.Error(w, "read tier: "+rerr.Error(), http.StatusServiceUnavailable)
-		return
+	readMsg, writeMsg := "ok", "ok"
+	if _, _, err := s.readers.Epoch(0); err != nil {
+		readMsg = err.Error()
 	}
 	if _, _, err := s.writers.Epoch(0); err != nil {
-		http.Error(w, "primaries: "+err.Error(), http.StatusServiceUnavailable)
-		return
+		writeMsg = err.Error()
+	}
+	status, code := "ok", http.StatusOK
+	switch {
+	case readMsg != "ok" && writeMsg != "ok":
+		status, code = "unreachable", http.StatusServiceUnavailable
+	case readMsg != "ok" || writeMsg != "ok":
+		status = "degraded"
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "%s\nread %s: %s\nwrite primaries: %s\n", status, s.readTier, readMsg, writeMsg)
 }
 
 // Stats assembles the current v1 stats document — also useful to
@@ -361,6 +437,8 @@ func (s *Server) Stats() api.StatsResponse {
 		Version:       api.Version,
 		ReadTier:      s.readTier,
 		UpdatesQueued: s.queued.Load(),
+		ReadFallbacks: s.fallbacks.Load(),
+		Shed:          s.shed.Load(),
 		Endpoints: map[string]api.EndpointStats{
 			api.EndpointNeighbors: s.neighbors.stats(),
 			api.EndpointProfile:   s.profile.stats(),

@@ -105,8 +105,13 @@ func TestLookupEndpoints(t *testing.T) {
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
-	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "ok\n") {
 		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	for _, tier := range []string{"read replicas: ok", "write primaries: ok"} {
+		if !strings.Contains(rec.Body.String(), tier) {
+			t.Fatalf("healthz body %q missing %q", rec.Body.String(), tier)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PACKAGES=(
+  internal/fault
   internal/netstore
   internal/pigraph
   internal/core
